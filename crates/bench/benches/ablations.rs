@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`.
+//!
+//! Each group compares two variants of one mechanism; the interesting
+//! output is the *modelled emulation seconds* each variant accumulates
+//! (printed once per group) as much as the host-side wall-clock Criterion
+//! measures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fades_bench::{context, BENCH_FAULTS, BENCH_SEED};
+use fades_core::{DurationRange, FaultLoad, TargetClass};
+use fades_vfit::{VfitFaultLoad, VfitTargetClass};
+
+fn bench_ablations(c: &mut Criterion) {
+    let ctx = context();
+    let campaign = ctx.fades_campaign().expect("campaign builds");
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    // --- GSR vs LSR bit-flip mechanism (paper §4.1) ----------------------
+    let mut lsr = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let mut gsr = lsr.clone();
+    lsr.use_gsr = false;
+    gsr.use_gsr = true;
+    let l = campaign.run(&lsr, 16, BENCH_SEED).expect("lsr runs");
+    let g = campaign.run(&gsr, 16, BENCH_SEED).expect("gsr runs");
+    println!(
+        "[ablation] bit-flip mechanism: LSR {:.3} s/fault vs GSR {:.3} s/fault (modelled)",
+        l.mean_seconds_per_fault(),
+        g.mean_seconds_per_fault()
+    );
+    group.bench_function("gsr_vs_lsr/lsr", |b| {
+        b.iter(|| campaign.run(&lsr, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+    });
+    group.bench_function("gsr_vs_lsr/gsr", |b| {
+        b.iter(|| campaign.run(&gsr, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+    });
+
+    // --- Delay shipping: full configuration vs partial frames ------------
+    let mut full = FaultLoad::delays(TargetClass::SequentialWires, DurationRange::SHORT);
+    let mut partial = full.clone();
+    full.delay_full_download = true;
+    partial.delay_full_download = false;
+    let f = campaign.run(&full, 16, BENCH_SEED).expect("full runs");
+    let p = campaign.run(&partial, 16, BENCH_SEED).expect("partial runs");
+    println!(
+        "[ablation] delay shipping: full-download {:.3} s/fault vs partial {:.3} s/fault (modelled)",
+        f.mean_seconds_per_fault(),
+        p.mean_seconds_per_fault()
+    );
+    group.bench_function("delay_shipping/full_download", |b| {
+        b.iter(|| campaign.run(&full, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+    });
+    group.bench_function("delay_shipping/partial", |b| {
+        b.iter(|| {
+            campaign
+                .run(&partial, BENCH_FAULTS, BENCH_SEED)
+                .expect("runs")
+        })
+    });
+
+    // --- Oscillating vs fixed indetermination ---------------------------
+    let fixed = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::MEDIUM, false);
+    let osc = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::MEDIUM, true);
+    group.bench_function("indetermination/fixed", |b| {
+        b.iter(|| campaign.run(&fixed, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+    });
+    group.bench_function("indetermination/oscillating", |b| {
+        b.iter(|| campaign.run(&osc, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+    });
+
+    // --- RTR emulation vs direct simulator commands (FADES vs VFIT) -----
+    let vfit = ctx.vfit_campaign().expect("vfit builds");
+    let fades_load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let vfit_load = VfitFaultLoad::bit_flips(VfitTargetClass::AllFfs, DurationRange::SubCycle);
+    group.bench_function("rtr_vs_direct/fades_device", |b| {
+        b.iter(|| {
+            campaign
+                .run(&fades_load, BENCH_FAULTS, BENCH_SEED)
+                .expect("runs")
+        })
+    });
+    group.bench_function("rtr_vs_direct/vfit_simulator", |b| {
+        b.iter(|| vfit.run(&vfit_load, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

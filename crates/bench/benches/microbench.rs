@@ -1,0 +1,73 @@
+//! Substrate microbenchmarks: raw speed of the FPGA device, the netlist
+//! simulator, the implementation flow and single reconfigurations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fades_fpga::{ArchParams, Device, Mutation};
+use fades_mcu8051::{build_soc, workloads};
+use fades_netlist::Simulator;
+use fades_pnr::implement;
+
+fn bench_substrate(c: &mut Criterion) {
+    let workload = workloads::bubblesort();
+    let soc = build_soc(&workload.rom).expect("soc builds");
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).expect("implements");
+
+    let mut group = c.benchmark_group("substrate");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("pnr_implement_8051", |b| {
+        b.iter(|| implement(&soc.netlist, ArchParams::virtex1000_like()).expect("implements"))
+    });
+    group.bench_function("device_configure_8051", |b| {
+        b.iter(|| Device::configure(imp.bitstream.clone()).expect("configures"))
+    });
+
+    const CYCLES: u64 = 256;
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("device_run_256_cycles", |b| {
+        let mut dev = Device::configure(imp.bitstream.clone()).expect("configures");
+        b.iter(|| {
+            dev.reset();
+            dev.run(CYCLES);
+        })
+    });
+    group.bench_function("netlist_sim_256_cycles", |b| {
+        let mut sim = Simulator::new(&soc.netlist).expect("simulates");
+        b.iter(|| {
+            sim.reset();
+            sim.run(CYCLES);
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("reconfiguration");
+    group.sample_size(10);
+    let lut = imp.bitstream.used_luts()[0];
+    let ff = imp.bitstream.used_ffs()[0];
+    let mut dev = Device::configure(imp.bitstream.clone()).expect("configures");
+    group.bench_function("set_lut_table", |b| {
+        b.iter(|| {
+            dev.apply(&Mutation::SetLutTable {
+                cb: lut,
+                table: 0xBEEF,
+            })
+            .expect("applies")
+        })
+    });
+    group.bench_function("readback_ff", |b| {
+        b.iter(|| dev.readback_ff(ff).expect("reads"))
+    });
+    group.bench_function("pulse_lsr", |b| {
+        b.iter(|| dev.apply(&Mutation::PulseLsr { cb: ff }).expect("applies"))
+    });
+    group.bench_function("timing_reanalysis", |b| {
+        b.iter(|| dev.recompute_timing())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! The benches regenerate (small slices of) every table and figure of the
+//! paper — see `benches/figures.rs` — quantify the design-choice
+//! ablations called out in `DESIGN.md` — `benches/ablations.rs` — and
+//! measure the substrate's raw performance — `benches/microbench.rs`.
+
+#![forbid(unsafe_code)]
+
+use fades_experiments::ExperimentContext;
+
+/// Builds the standard experimental context (8051 + Bubblesort,
+/// implemented on the Virtex-1000-like device).
+///
+/// # Panics
+///
+/// Panics if the model fails to build — benches have no error channel.
+pub fn context() -> ExperimentContext {
+    ExperimentContext::new().expect("experimental context builds")
+}
+
+/// Faults per campaign inside a bench iteration: small, so one iteration
+/// stays in the tens of milliseconds.
+pub const BENCH_FAULTS: usize = 6;
+
+/// Fixed bench seed.
+pub const BENCH_SEED: u64 = 0xFADE5;

@@ -1,0 +1,305 @@
+//! Fault-injection campaigns: thousands of experiments, run in parallel.
+
+use fades_fpga::{CbCoord, Device};
+use fades_netlist::Netlist;
+use fades_pnr::Implementation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::classify::OutcomeStats;
+use crate::error::CoreError;
+use crate::experiment::{run_experiment, ExperimentResult, FaultSchedule};
+use crate::golden::GoldenRun;
+use crate::location::{
+    resolve_targets, sample_fault, DurationRange, FaultLoad, ResolvedFault, TargetClass,
+};
+use crate::strategies::strategy_for;
+use crate::timing::TimeModel;
+
+/// Tunables of a campaign run.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Worker threads (experiments are embarrassingly parallel; each
+    /// worker clones the configured device).
+    pub threads: usize,
+    /// Extra cycles executed beyond the workload's nominal completion so
+    /// delayed completions still count as observed differences.
+    pub margin_cycles: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            margin_cycles: 64,
+        }
+    }
+}
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Outcome counts.
+    pub outcomes: OutcomeStats,
+    /// Modelled total emulation time of the whole campaign in seconds
+    /// (the quantity of the paper's Figure 10 / Table 2).
+    pub emulation_seconds: f64,
+    /// Experiments executed.
+    pub n: usize,
+}
+
+impl CampaignStats {
+    /// Experiments executed.
+    pub fn total(&self) -> usize {
+        self.n
+    }
+
+    /// Mean modelled seconds per injected fault.
+    pub fn mean_seconds_per_fault(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.emulation_seconds / self.n as f64
+        }
+    }
+}
+
+/// A prepared fault-injection campaign over one implemented design.
+///
+/// Holds the configured device, the golden run and the time model; each
+/// [`run`](Campaign::run) executes a fault load against it. See the crate
+/// documentation for an example.
+#[derive(Debug)]
+pub struct Campaign<'n> {
+    netlist: &'n Netlist,
+    implementation: Implementation,
+    ports: Vec<String>,
+    run_cycles: u64,
+    golden: GoldenRun,
+    device: Device,
+    time_model: TimeModel,
+    config: CampaignConfig,
+}
+
+impl<'n> Campaign<'n> {
+    /// Prepares a campaign: configures the device, captures the golden
+    /// run over `workload_cycles` plus a safety margin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-configuration errors and unknown observed ports.
+    pub fn new(
+        netlist: &'n Netlist,
+        implementation: Implementation,
+        observed_ports: &[&str],
+        workload_cycles: u64,
+    ) -> Result<Self, CoreError> {
+        Self::with_config(
+            netlist,
+            implementation,
+            observed_ports,
+            workload_cycles,
+            CampaignConfig::default(),
+        )
+    }
+
+    /// [`Campaign::new`] with explicit tunables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-configuration errors and unknown observed ports.
+    pub fn with_config(
+        netlist: &'n Netlist,
+        implementation: Implementation,
+        observed_ports: &[&str],
+        workload_cycles: u64,
+        config: CampaignConfig,
+    ) -> Result<Self, CoreError> {
+        let mut device = Device::configure(implementation.bitstream.clone())?;
+        let ports: Vec<String> = observed_ports.iter().map(|s| s.to_string()).collect();
+        let run_cycles = workload_cycles + config.margin_cycles;
+        let golden = GoldenRun::capture(&mut device, &ports, run_cycles)?;
+        let time_model = TimeModel::paper_calibrated(device.arch());
+        Ok(Campaign {
+            netlist,
+            implementation,
+            ports,
+            run_cycles,
+            golden,
+            device,
+            time_model,
+            config,
+        })
+    }
+
+    /// The golden run this campaign classifies against.
+    pub fn golden(&self) -> &GoldenRun {
+        &self.golden
+    }
+
+    /// The implementation under test.
+    pub fn implementation(&self) -> &Implementation {
+        &self.implementation
+    }
+
+    /// The netlist under test.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The time model used for emulation-time reporting.
+    pub fn time_model(&self) -> &TimeModel {
+        &self.time_model
+    }
+
+    /// Experiment run length in cycles (workload plus margin).
+    pub fn run_cycles(&self) -> u64 {
+        self.run_cycles
+    }
+
+    /// Runs `n_faults` experiments of the given fault load and aggregates
+    /// outcome statistics and modelled emulation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the target class resolves to nothing, or if an
+    /// experiment fails to reconfigure.
+    pub fn run(
+        &self,
+        load: &FaultLoad,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<CampaignStats, CoreError> {
+        let results = self.run_detailed(load, n_faults, seed)?;
+        let mut stats = CampaignStats {
+            n: results.len(),
+            ..Default::default()
+        };
+        for r in &results {
+            stats.outcomes.record(r.outcome);
+            stats.emulation_seconds += self
+                .time_model
+                .experiment_seconds(&r.traffic, self.run_cycles);
+        }
+        Ok(stats)
+    }
+
+    /// Like [`run`](Campaign::run), returning every per-experiment result.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Campaign::run).
+    pub fn run_detailed(
+        &self,
+        load: &FaultLoad,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<Vec<ExperimentResult>, CoreError> {
+        // Sample the fault list deterministically up front so the result
+        // is independent of thread count.
+        let sites = resolve_targets(
+            self.netlist,
+            &self.implementation.map,
+            &self.implementation.bitstream,
+            &load.target,
+        )?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan: Vec<(ResolvedFault, FaultSchedule, u64)> = Vec::with_capacity(n_faults);
+        let workload_cycles = self.run_cycles - self.config.margin_cycles;
+        for i in 0..n_faults {
+            let fault = sample_fault(load, &sites, &self.implementation.bitstream, &mut rng);
+            let inject_at = rng.gen_range(0..workload_cycles.max(1));
+            let duration = load.duration.sample(&mut rng);
+            plan.push((
+                fault,
+                FaultSchedule {
+                    inject_at,
+                    duration,
+                },
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            ));
+        }
+
+        let sub_cycle = load.duration == DurationRange::SubCycle;
+        let threads = self.config.threads.max(1).min(plan.len().max(1));
+        let chunk = plan.len().div_ceil(threads);
+        let mut results: Vec<Option<ExperimentResult>> = vec![None; plan.len()];
+
+        crossbeam::thread::scope(|scope| -> Result<(), CoreError> {
+            let mut handles = Vec::new();
+            for (t, (chunk_plan, chunk_out)) in plan
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .enumerate()
+            {
+                let mut dev = self.device.clone();
+                let ports = &self.ports;
+                let golden = &self.golden;
+                handles.push(scope.spawn(move |_| -> Result<(), CoreError> {
+                    let _ = t;
+                    for ((fault, schedule, exp_seed), out) in
+                        chunk_plan.iter().zip(chunk_out.iter_mut())
+                    {
+                        let mut rng = StdRng::seed_from_u64(*exp_seed);
+                        let strategy = strategy_for(fault, sub_cycle);
+                        let result = run_experiment(
+                            &mut dev,
+                            golden,
+                            fault.clone(),
+                            strategy,
+                            *schedule,
+                            ports,
+                            &mut rng,
+                        )?;
+                        *out = Some(result);
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join().expect("campaign worker panicked")?;
+            }
+            Ok(())
+        })
+        .expect("campaign scope panicked")?;
+
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all experiments completed"))
+            .collect())
+    }
+
+    /// The paper's screening pass (§6.3): finds the flip-flop sites whose
+    /// bit-flips can cause a Failure, by injecting `per_ff` flips into
+    /// every used FF at random instants. The returned sites are the
+    /// "registers eligible for being targeted by transient faults".
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Campaign::run).
+    pub fn screen_sensitive_ffs(
+        &self,
+        per_ff: usize,
+        seed: u64,
+    ) -> Result<Vec<CbCoord>, CoreError> {
+        let all = self.implementation.bitstream.used_ffs();
+        let mut sensitive = Vec::new();
+        for (i, &cb) in all.iter().enumerate() {
+            let load = FaultLoad::bit_flips(
+                TargetClass::FfSites(vec![cb]),
+                DurationRange::SubCycle,
+            );
+            let results =
+                self.run_detailed(&load, per_ff, seed ^ ((i as u64 + 1) << 20))?;
+            if results
+                .iter()
+                .any(|r| r.outcome == crate::Outcome::Failure)
+            {
+                sensitive.push(cb);
+            }
+        }
+        Ok(sensitive)
+    }
+}

@@ -1,0 +1,131 @@
+//! Failure / Latent / Silent outcome classification (paper §5).
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use fades_netlist::OutputTrace;
+
+use crate::golden::GoldenRun;
+
+/// The effect of one injected fault, classified against the golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The output traces differ.
+    Failure,
+    /// Outputs match but the final sequential state differs.
+    Latent,
+    /// Traces and final state are identical.
+    Silent,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Failure => f.write_str("failure"),
+            Outcome::Latent => f.write_str("latent"),
+            Outcome::Silent => f.write_str("silent"),
+        }
+    }
+}
+
+/// Classifies one experiment.
+pub fn classify(trace: &OutputTrace, final_state: &[u64], golden: &GoldenRun) -> Outcome {
+    if !trace.diff(golden.trace()).identical() {
+        Outcome::Failure
+    } else if final_state != golden.final_state() {
+        Outcome::Latent
+    } else {
+        Outcome::Silent
+    }
+}
+
+/// Aggregated outcome counts of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeStats {
+    /// Experiments classified Failure.
+    pub failures: usize,
+    /// Experiments classified Latent.
+    pub latents: usize,
+    /// Experiments classified Silent.
+    pub silents: usize,
+}
+
+impl OutcomeStats {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Failure => self.failures += 1,
+            Outcome::Latent => self.latents += 1,
+            Outcome::Silent => self.silents += 1,
+        }
+    }
+
+    /// Total experiments recorded.
+    pub fn total(&self) -> usize {
+        self.failures + self.latents + self.silents
+    }
+
+    /// Failure percentage (0–100).
+    pub fn failure_pct(&self) -> f64 {
+        self.pct(self.failures)
+    }
+
+    /// Latent percentage (0–100).
+    pub fn latent_pct(&self) -> f64 {
+        self.pct(self.latents)
+    }
+
+    /// Silent percentage (0–100).
+    pub fn silent_pct(&self) -> f64 {
+        self.pct(self.silents)
+    }
+
+    fn pct(&self, n: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            n as f64 * 100.0 / self.total() as f64
+        }
+    }
+}
+
+impl AddAssign for OutcomeStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.failures += rhs.failures;
+        self.latents += rhs.latents;
+        self.silents += rhs.silents;
+    }
+}
+
+impl fmt::Display for OutcomeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "failure {:.1}% / latent {:.1}% / silent {:.1}% (n={})",
+            self.failure_pct(),
+            self.latent_pct(),
+            self.silent_pct(),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_percentages_sum_to_100() {
+        let mut s = OutcomeStats::default();
+        for _ in 0..3 {
+            s.record(Outcome::Failure);
+        }
+        s.record(Outcome::Latent);
+        for _ in 0..6 {
+            s.record(Outcome::Silent);
+        }
+        assert_eq!(s.total(), 10);
+        let sum = s.failure_pct() + s.latent_pct() + s.silent_pct();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the fault-emulation framework.
+
+use std::error::Error;
+use std::fmt;
+
+use fades_fpga::FpgaError;
+use fades_netlist::NetlistError;
+
+/// Errors from campaign setup and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The requested target class resolved to no injectable resources.
+    EmptyTargetSet(String),
+    /// An observed port does not exist on the design.
+    UnknownPort(String),
+    /// The injection window is empty or outside the run length.
+    BadSchedule {
+        /// Requested injection cycle.
+        at: u64,
+        /// Experiment run length.
+        run_cycles: u64,
+    },
+    /// The synthesis/implementation flow failed (wrapped message, since
+    /// `fades-core` does not depend on `fades-pnr`).
+    Implementation(String),
+    /// An error raised by the FPGA model.
+    Fpga(FpgaError),
+    /// An error raised by the netlist layer.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyTargetSet(c) => write!(f, "no injectable resources for {c}"),
+            CoreError::UnknownPort(p) => write!(f, "unknown observed port `{p}`"),
+            CoreError::BadSchedule { at, run_cycles } => {
+                write!(f, "injection at cycle {at} outside run of {run_cycles} cycles")
+            }
+            CoreError::Implementation(msg) => write!(f, "implementation failed: {msg}"),
+            CoreError::Fpga(e) => write!(f, "fpga: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Fpga(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FpgaError> for CoreError {
+    fn from(e: FpgaError) -> Self {
+        CoreError::Fpga(e)
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}

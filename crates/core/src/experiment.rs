@@ -1,0 +1,109 @@
+//! Execution of a single fault-injection experiment (paper Fig. 1).
+
+use fades_fpga::Device;
+use fades_netlist::OutputTrace;
+use rand::rngs::StdRng;
+
+use crate::classify::{classify, Outcome};
+use crate::error::CoreError;
+use crate::golden::GoldenRun;
+use crate::location::ResolvedFault;
+use crate::strategies::InjectionStrategy;
+use crate::timing::LedgerSummary;
+
+/// When a fault is injected and for how long it stays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Injection cycle (the fault is present from this cycle's settle).
+    pub inject_at: u64,
+    /// Duration in cycles; `None` keeps the fault until the end of the
+    /// run (permanent faults).
+    pub duration: Option<u64>,
+}
+
+impl FaultSchedule {
+    fn active(&self, cycle: u64) -> bool {
+        cycle >= self.inject_at
+            && match self.duration {
+                Some(d) => cycle < self.inject_at + d,
+                None => true,
+            }
+    }
+
+    fn expires_after(&self, cycle: u64) -> bool {
+        match self.duration {
+            Some(d) => cycle + 1 == self.inject_at + d,
+            None => false,
+        }
+    }
+}
+
+/// Result of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The injected fault.
+    pub fault: ResolvedFault,
+    /// Its schedule.
+    pub schedule: FaultSchedule,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Configuration-traffic summary (input to the time model).
+    pub traffic: LedgerSummary,
+}
+
+/// Runs one fault-injection experiment: reset, execute the workload,
+/// reconfigure to inject at the scheduled instant, reconfigure to remove
+/// at expiry, observe, classify (paper Fig. 1).
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSchedule`] for an injection instant outside
+/// the run, or propagates strategy errors.
+pub fn run_experiment(
+    dev: &mut Device,
+    golden: &GoldenRun,
+    fault: ResolvedFault,
+    mut strategy: Box<dyn InjectionStrategy>,
+    schedule: FaultSchedule,
+    ports: &[String],
+    rng: &mut StdRng,
+) -> Result<ExperimentResult, CoreError> {
+    let run_cycles = golden.cycles();
+    if schedule.inject_at >= run_cycles {
+        return Err(CoreError::BadSchedule {
+            at: schedule.inject_at,
+            run_cycles,
+        });
+    }
+    dev.reset();
+    dev.clear_ledger();
+    let mut trace = OutputTrace::new(ports.to_vec());
+    for cycle in 0..run_cycles {
+        if cycle == schedule.inject_at {
+            strategy.inject(dev, rng)?;
+        } else if schedule.active(cycle) {
+            strategy.tick(dev, rng)?;
+        }
+        dev.settle();
+        let mut row = Vec::with_capacity(ports.len());
+        for port in ports {
+            row.push(
+                dev.output_u64(port)
+                    .map_err(|_| CoreError::UnknownPort(port.clone()))?,
+            );
+        }
+        trace.push_cycle(row);
+        dev.clock_edge();
+        if schedule.expires_after(cycle) {
+            strategy.remove(dev)?;
+        }
+    }
+    let final_state = dev.state_snapshot();
+    let outcome = classify(&trace, &final_state, golden);
+    Ok(ExperimentResult {
+        fault,
+        schedule,
+        outcome,
+        traffic: LedgerSummary::from(dev.ledger()),
+    })
+}

@@ -1,0 +1,70 @@
+//! Golden (fault-free) runs.
+
+use fades_fpga::Device;
+use fades_netlist::OutputTrace;
+
+use crate::error::CoreError;
+
+/// A fault-free reference execution of the configured design.
+///
+/// Campaigns capture one golden run up front: the cycle-by-cycle values of
+/// the observed output ports, plus the final sequential state (flip-flops
+/// and memory contents). Every experiment's classification compares
+/// against it (paper §5, "results analysis module").
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    trace: OutputTrace,
+    final_state: Vec<u64>,
+    cycles: u64,
+}
+
+impl GoldenRun {
+    /// Runs the device for `cycles` cycles from reset, recording the
+    /// observed ports each cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownPort`] if an observed port does not
+    /// exist.
+    pub fn capture(
+        dev: &mut Device,
+        ports: &[String],
+        cycles: u64,
+    ) -> Result<Self, CoreError> {
+        dev.reset();
+        let mut trace = OutputTrace::new(ports.to_vec());
+        for _ in 0..cycles {
+            dev.settle();
+            let mut row = Vec::with_capacity(ports.len());
+            for port in ports {
+                row.push(
+                    dev.output_u64(port)
+                        .map_err(|_| CoreError::UnknownPort(port.clone()))?,
+                );
+            }
+            trace.push_cycle(row);
+            dev.clock_edge();
+        }
+        let final_state = dev.state_snapshot();
+        Ok(GoldenRun {
+            trace,
+            final_state,
+            cycles,
+        })
+    }
+
+    /// The golden output trace.
+    pub fn trace(&self) -> &OutputTrace {
+        &self.trace
+    }
+
+    /// The golden final sequential state.
+    pub fn final_state(&self) -> &[u64] {
+        &self.final_state
+    }
+
+    /// Run length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}

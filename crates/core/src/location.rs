@@ -1,0 +1,504 @@
+//! The fault-location process: from abstract fault loads to concrete
+//! physical injection targets.
+//!
+//! Model elements (registers, signals, memories) can be renamed, merged or
+//! moved by synthesis, so the paper's fault-location process resolves them
+//! to FPGA resources through the implementation's resource map. This
+//! module enumerates the injectable resource pool for a [`TargetClass`]
+//! and samples concrete [`ResolvedFault`]s from it.
+
+use fades_fpga::{Bitstream, BramId, CbCoord, WireId};
+use fades_netlist::{Netlist, UnitTag};
+use fades_pnr::ResourceMap;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::CoreError;
+use crate::models::{FaultModel, PermanentFault};
+
+/// Which model elements a campaign injects into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetClass {
+    /// Every flip-flop of the design.
+    AllFfs,
+    /// Flip-flops of one functional unit.
+    FfsOfUnit(UnitTag),
+    /// Flip-flops of named registers (name prefixes, e.g. `"acc"`).
+    FfsNamed(Vec<String>),
+    /// A pre-screened list of flip-flop sites (the paper first screens for
+    /// the registers "eligible for being targeted by transient faults").
+    FfSites(Vec<CbCoord>),
+    /// Bits of a named memory within an address range (inclusive). The
+    /// paper injects into the RAM words its workload actually uses.
+    MemoryBits {
+        /// Memory name (e.g. `"iram"`).
+        name: String,
+        /// First word address.
+        lo: usize,
+        /// Last word address (inclusive).
+        hi: usize,
+    },
+    /// Every LUT of the design.
+    AllLuts,
+    /// LUTs of one functional unit (the paper's ALU / MEM / FSM split).
+    LutsOfUnit(UnitTag),
+    /// CB input paths (the `InvertFFinMux` pulse targets).
+    CbInputs,
+    /// Wires driven by flip-flops (delay faults in sequential logic).
+    SequentialWires,
+    /// Wires driven by LUTs (delay faults in combinational logic).
+    CombinationalWires,
+    /// Wires driven by cells of one functional unit.
+    WiresOfUnit(UnitTag),
+}
+
+impl std::fmt::Display for TargetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetClass::AllFfs => f.write_str("all FFs"),
+            TargetClass::FfsOfUnit(u) => write!(f, "FFs of {u}"),
+            TargetClass::FfsNamed(names) => write!(f, "registers {names:?}"),
+            TargetClass::FfSites(s) => write!(f, "{} screened FF sites", s.len()),
+            TargetClass::MemoryBits { name, lo, hi } => {
+                write!(f, "memory `{name}`[{lo}..={hi}]")
+            }
+            TargetClass::AllLuts => f.write_str("all LUTs"),
+            TargetClass::LutsOfUnit(u) => write!(f, "LUTs of {u}"),
+            TargetClass::CbInputs => f.write_str("CB inputs"),
+            TargetClass::SequentialWires => f.write_str("sequential wires"),
+            TargetClass::CombinationalWires => f.write_str("combinational wires"),
+            TargetClass::WiresOfUnit(u) => write!(f, "wires of {u}"),
+        }
+    }
+}
+
+/// Fault duration, in the paper's three experimental ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurationRange {
+    /// Less than one clock cycle (the fault is visible to exactly one
+    /// capture edge; the emulation resolution is one cycle, as the paper
+    /// discusses in §7.3).
+    SubCycle,
+    /// Uniform over `lo..=hi` clock cycles.
+    Cycles(u64, u64),
+    /// From injection to the end of the run (permanent faults).
+    Permanent,
+}
+
+impl DurationRange {
+    /// The paper's "1 to 10 cycles" range.
+    pub const SHORT: DurationRange = DurationRange::Cycles(1, 10);
+    /// The paper's "11 to 20 cycles" range.
+    pub const MEDIUM: DurationRange = DurationRange::Cycles(11, 20);
+
+    /// Samples a duration in cycles (`None` = permanent).
+    pub fn sample(self, rng: &mut StdRng) -> Option<u64> {
+        match self {
+            DurationRange::SubCycle => Some(1),
+            DurationRange::Cycles(lo, hi) => Some(rng.gen_range(lo..=hi)),
+            DurationRange::Permanent => None,
+        }
+    }
+
+    /// Display label used in experiment tables.
+    pub fn label(self) -> String {
+        match self {
+            DurationRange::SubCycle => "<1".to_string(),
+            DurationRange::Cycles(lo, hi) => format!("{lo}-{hi}"),
+            DurationRange::Permanent => "permanent".to_string(),
+        }
+    }
+}
+
+/// A complete fault-load description: what to inject, where, for how long.
+#[derive(Debug, Clone)]
+pub struct FaultLoad {
+    /// The fault model.
+    pub model: FaultModel,
+    /// The targeted model elements.
+    pub target: TargetClass,
+    /// Fault duration range.
+    pub duration: DurationRange,
+    /// Bit-flips only: use the slow whole-device GSR mechanism instead of
+    /// the per-FF LSR mechanism (paper §4.1; ablation).
+    pub use_gsr: bool,
+    /// Indeterminations only: re-randomise the value every cycle of the
+    /// fault duration (paper §6.2's expensive variant).
+    pub oscillating: bool,
+    /// Delays only: ship each reconfiguration as a full configuration
+    /// download, reproducing the paper's driver limitation (§6.2). Set to
+    /// `false` to measure the partial-reconfiguration cost instead
+    /// (ablation).
+    pub delay_full_download: bool,
+}
+
+impl FaultLoad {
+    /// Bit-flip fault load (LSR mechanism).
+    pub fn bit_flips(target: TargetClass, duration: DurationRange) -> Self {
+        FaultLoad {
+            model: FaultModel::BitFlip,
+            target,
+            duration,
+            use_gsr: false,
+            oscillating: false,
+            delay_full_download: true,
+        }
+    }
+
+    /// Pulse fault load.
+    pub fn pulses(target: TargetClass, duration: DurationRange) -> Self {
+        FaultLoad {
+            model: FaultModel::Pulse,
+            target,
+            duration,
+            use_gsr: false,
+            oscillating: false,
+            delay_full_download: true,
+        }
+    }
+
+    /// Delay fault load.
+    pub fn delays(target: TargetClass, duration: DurationRange) -> Self {
+        FaultLoad {
+            model: FaultModel::Delay,
+            target,
+            duration,
+            use_gsr: false,
+            oscillating: false,
+            delay_full_download: true,
+        }
+    }
+
+    /// Indetermination fault load.
+    pub fn indeterminations(
+        target: TargetClass,
+        duration: DurationRange,
+        oscillating: bool,
+    ) -> Self {
+        FaultLoad {
+            model: FaultModel::Indetermination,
+            target,
+            duration,
+            use_gsr: false,
+            oscillating,
+            delay_full_download: true,
+        }
+    }
+
+    /// Multiple-bit-flip fault load: `n` simultaneous flips (paper §7.2).
+    pub fn multiple_bit_flips(target: TargetClass, n: u8) -> Self {
+        FaultLoad {
+            model: FaultModel::MultipleBitFlip(n.max(1)),
+            target,
+            duration: DurationRange::SubCycle,
+            use_gsr: false,
+            oscillating: false,
+            delay_full_download: true,
+        }
+    }
+
+    /// Permanent fault load (always [`DurationRange::Permanent`]).
+    pub fn permanent(kind: PermanentFault, target: TargetClass) -> Self {
+        FaultLoad {
+            model: FaultModel::Permanent(kind),
+            target,
+            duration: DurationRange::Permanent,
+            use_gsr: false,
+            oscillating: false,
+            delay_full_download: true,
+        }
+    }
+}
+
+/// An injectable physical resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetSite {
+    /// A used flip-flop.
+    Ff(CbCoord),
+    /// A used LUT.
+    Lut(CbCoord),
+    /// A routed wire.
+    Wire(WireId),
+    /// One stored bit of a memory block.
+    MemBit {
+        /// Block.
+        bram: BramId,
+        /// Word address.
+        addr: usize,
+        /// Bit within the word.
+        bit: u32,
+    },
+}
+
+/// The line of a LUT a pulse fault hits (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LutLine {
+    /// The output line: every truth-table entry inverts.
+    Output,
+    /// An input line: the table is re-addressed with that pin inverted.
+    Input(u8),
+    /// An internal line of the extracted circuit: the output inverts for a
+    /// subset of input patterns (sampled mask).
+    Internal(u16),
+}
+
+/// The delay-injection mechanism (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayMech {
+    /// Turn on `n` unused pass transistors (small delays, Fig. 8).
+    Fanout(u32),
+    /// Reroute through `n` spare LUTs (large delays, Fig. 7).
+    Reroute(u32),
+}
+
+/// A concrete fault ready for injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedFault {
+    /// Bit-flip of a flip-flop.
+    FfBitFlip {
+        /// Target block.
+        cb: CbCoord,
+        /// Use the whole-device GSR mechanism.
+        via_gsr: bool,
+    },
+    /// Bit-flip of a memory bit.
+    MemBitFlip {
+        /// Block.
+        bram: BramId,
+        /// Word address.
+        addr: usize,
+        /// Bit within the word.
+        bit: u32,
+    },
+    /// Simultaneous bit-flip of several flip-flops.
+    MultiFfBitFlip {
+        /// Target blocks (distinct).
+        cbs: Vec<CbCoord>,
+    },
+    /// Pulse in a LUT.
+    LutPulse {
+        /// Target block.
+        cb: CbCoord,
+        /// Affected line.
+        line: LutLine,
+    },
+    /// Pulse on a CB input path.
+    CbInputPulse {
+        /// Target block.
+        cb: CbCoord,
+    },
+    /// Delay on a routed wire.
+    WireDelay {
+        /// Target wire.
+        wire: WireId,
+        /// Mechanism.
+        mech: DelayMech,
+        /// Ship full configuration files (paper's driver limitation).
+        full_download: bool,
+    },
+    /// Indetermination in a flip-flop.
+    FfIndet {
+        /// Target block.
+        cb: CbCoord,
+        /// Re-randomise every cycle.
+        oscillating: bool,
+    },
+    /// Indetermination in a LUT.
+    LutIndet {
+        /// Target block.
+        cb: CbCoord,
+        /// Re-randomise every cycle.
+        oscillating: bool,
+    },
+    /// A permanent fault in a LUT or FF.
+    Permanent {
+        /// Model.
+        kind: PermanentFault,
+        /// Target block.
+        cb: CbCoord,
+        /// Input pins involved (open-line uses `[pin, _]`, bridging both).
+        pins: [u8; 2],
+        /// Stuck level / flipped entry parameter.
+        param: u16,
+        /// True when the target is the block's FF rather than its LUT.
+        on_ff: bool,
+    },
+}
+
+/// Enumerates the injectable resource pool for a target class.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyTargetSet`] if nothing matches (e.g. a unit
+/// with no logic), and propagates lookup errors for unknown memory names.
+pub fn resolve_targets(
+    netlist: &Netlist,
+    map: &ResourceMap,
+    bitstream: &Bitstream,
+    class: &TargetClass,
+) -> Result<Vec<TargetSite>, CoreError> {
+    let sites: Vec<TargetSite> = match class {
+        TargetClass::AllFfs => bitstream.used_ffs().into_iter().map(TargetSite::Ff).collect(),
+        TargetClass::FfsOfUnit(unit) => map
+            .ff_sites_of_unit(netlist, *unit)
+            .into_iter()
+            .map(TargetSite::Ff)
+            .collect(),
+        TargetClass::FfsNamed(names) => {
+            let mut v = Vec::new();
+            for name in names {
+                v.extend(
+                    map.ff_sites_of_register(netlist, name)
+                        .into_iter()
+                        .map(TargetSite::Ff),
+                );
+            }
+            v
+        }
+        TargetClass::FfSites(sites) => sites.iter().copied().map(TargetSite::Ff).collect(),
+        TargetClass::MemoryBits { name, lo, hi } => {
+            let cell = netlist.ram_by_name(name)?;
+            let bram = map.ram_site(cell).ok_or_else(|| {
+                CoreError::EmptyTargetSet(format!("memory `{name}` not implemented"))
+            })?;
+            let width = bitstream.bram(bram)?.width;
+            let mut v = Vec::new();
+            for addr in *lo..=*hi {
+                for bit in 0..width {
+                    v.push(TargetSite::MemBit { bram, addr, bit });
+                }
+            }
+            v
+        }
+        TargetClass::AllLuts => bitstream
+            .used_luts()
+            .into_iter()
+            .map(TargetSite::Lut)
+            .collect(),
+        TargetClass::LutsOfUnit(unit) => map
+            .lut_sites_of_unit(netlist, *unit)
+            .into_iter()
+            .map(TargetSite::Lut)
+            .collect(),
+        TargetClass::CbInputs => bitstream.used_ffs().into_iter().map(TargetSite::Ff).collect(),
+        TargetClass::SequentialWires => map
+            .sequential_wires(netlist)
+            .into_iter()
+            .map(TargetSite::Wire)
+            .collect(),
+        TargetClass::CombinationalWires => map
+            .combinational_wires(netlist)
+            .into_iter()
+            .map(TargetSite::Wire)
+            .collect(),
+        TargetClass::WiresOfUnit(unit) => map
+            .wires_of_unit(netlist, *unit)
+            .into_iter()
+            .map(TargetSite::Wire)
+            .collect(),
+    };
+    if sites.is_empty() {
+        return Err(CoreError::EmptyTargetSet(class.to_string()));
+    }
+    Ok(sites)
+}
+
+/// Samples a concrete fault from the resource pool.
+///
+/// # Panics
+///
+/// Panics if `sites` is empty (callers obtain it from
+/// [`resolve_targets`], which never returns an empty pool).
+pub fn sample_fault(
+    load: &FaultLoad,
+    sites: &[TargetSite],
+    bitstream: &Bitstream,
+    rng: &mut StdRng,
+) -> ResolvedFault {
+    let site = &sites[rng.gen_range(0..sites.len())];
+    match (&load.model, site) {
+        (FaultModel::BitFlip, TargetSite::Ff(cb)) => ResolvedFault::FfBitFlip {
+            cb: *cb,
+            via_gsr: load.use_gsr,
+        },
+        (FaultModel::BitFlip, TargetSite::MemBit { bram, addr, bit }) => {
+            ResolvedFault::MemBitFlip {
+                bram: *bram,
+                addr: *addr,
+                bit: *bit,
+            }
+        }
+        (FaultModel::MultipleBitFlip(n), TargetSite::Ff(first)) => {
+            // Draw n distinct FF sites (including the already-sampled one).
+            let mut cbs = vec![*first];
+            let mut guard = 0;
+            while cbs.len() < *n as usize && guard < 10_000 {
+                guard += 1;
+                if let TargetSite::Ff(cb) = &sites[rng.gen_range(0..sites.len())] {
+                    if !cbs.contains(cb) {
+                        cbs.push(*cb);
+                    }
+                }
+            }
+            ResolvedFault::MultiFfBitFlip { cbs }
+        }
+        (FaultModel::Pulse, TargetSite::Lut(cb)) => {
+            let arity = bitstream
+                .cb(*cb)
+                .map(|c| c.lut_pins.iter().filter(|p| p.is_some()).count())
+                .unwrap_or(0);
+            let line = match rng.gen_range(0..3) {
+                0 => LutLine::Output,
+                1 if arity > 0 => LutLine::Input(rng.gen_range(0..arity) as u8),
+                _ => {
+                    // Invert an internal node: a random, non-trivial subset
+                    // of the truth table flips.
+                    let mut mask = 0u16;
+                    while mask == 0 || mask == u16::MAX {
+                        mask = rng.gen();
+                    }
+                    LutLine::Internal(mask)
+                }
+            };
+            ResolvedFault::LutPulse { cb: *cb, line }
+        }
+        (FaultModel::Pulse, TargetSite::Ff(cb)) => ResolvedFault::CbInputPulse { cb: *cb },
+        (FaultModel::Delay, TargetSite::Wire(wire)) => {
+            let mech = if rng.gen_bool(0.5) {
+                DelayMech::Fanout(rng.gen_range(1..=64))
+            } else {
+                DelayMech::Reroute(rng.gen_range(1..=40))
+            };
+            ResolvedFault::WireDelay {
+                wire: *wire,
+                mech,
+                full_download: load.delay_full_download,
+            }
+        }
+        (FaultModel::Indetermination, TargetSite::Ff(cb)) => ResolvedFault::FfIndet {
+            cb: *cb,
+            oscillating: load.oscillating,
+        },
+        (FaultModel::Indetermination, TargetSite::Lut(cb)) => ResolvedFault::LutIndet {
+            cb: *cb,
+            oscillating: load.oscillating,
+        },
+        (FaultModel::Permanent(kind), TargetSite::Lut(cb)) => ResolvedFault::Permanent {
+            kind: *kind,
+            cb: *cb,
+            pins: [rng.gen_range(0..4), rng.gen_range(0..4)],
+            param: rng.gen(),
+            on_ff: false,
+        },
+        (FaultModel::Permanent(kind), TargetSite::Ff(cb)) => ResolvedFault::Permanent {
+            kind: *kind,
+            cb: *cb,
+            pins: [0, 0],
+            param: rng.gen::<u16>() & 1,
+            on_ff: true,
+        },
+        (model, site) => unreachable!(
+            "target class produced site {site:?} incompatible with model {model}"
+        ),
+    }
+}

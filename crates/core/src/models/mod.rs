@@ -1,0 +1,160 @@
+//! Fault models and the Table 1 capability matrix.
+
+pub mod permanent;
+
+pub use permanent::PermanentFault;
+
+use std::fmt;
+
+/// The transient fault models of the paper (§4), plus the permanent models
+/// it names as future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Reversal of the state of a memory element; persists until
+    /// rewritten.
+    BitFlip,
+    /// Temporary reversal of a combinational value (SET).
+    Pulse,
+    /// Increased propagation delay of a line.
+    Delay,
+    /// Undetermined voltage level, resolved by downstream buffers to an
+    /// unpredictable but well-defined logic value.
+    Indetermination,
+    /// Simultaneous reversal of `n` memory elements (paper §7.2: the
+    /// manifestation of a combinational fault captured by several
+    /// registers; §8 names multiple bit-flips as future work).
+    MultipleBitFlip(u8),
+    /// A permanent fault model (paper §8 future work, implemented here).
+    Permanent(PermanentFault),
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::BitFlip => f.write_str("bit-flip"),
+            FaultModel::Pulse => f.write_str("pulse"),
+            FaultModel::Delay => f.write_str("delay"),
+            FaultModel::Indetermination => f.write_str("indetermination"),
+            FaultModel::MultipleBitFlip(n) => write!(f, "{n}-bit-flip"),
+            FaultModel::Permanent(p) => write!(f, "permanent/{p}"),
+        }
+    }
+}
+
+/// One row of the paper's Table 1: which FPGA resource a fault model
+/// targets, through which mechanism, and the observation the paper makes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapabilityRow {
+    /// Fault model.
+    pub model: FaultModel,
+    /// FPGA resource targeted.
+    pub fpga_target: &'static str,
+    /// Reconfiguration mechanism.
+    pub description: &'static str,
+    /// Qualitative observation.
+    pub observations: &'static str,
+}
+
+/// The emulation-capability matrix (paper Table 1), extended with the
+/// permanent fault models this reproduction adds.
+pub fn capability_matrix() -> Vec<CapabilityRow> {
+    use FaultModel::*;
+    vec![
+        CapabilityRow {
+            model: BitFlip,
+            fpga_target: "FFs",
+            description: "Pulse GSR line",
+            observations: "Slower than LSR",
+        },
+        CapabilityRow {
+            model: BitFlip,
+            fpga_target: "FFs",
+            description: "Pulse LSR line",
+            observations: "Faster than GSR",
+        },
+        CapabilityRow {
+            model: BitFlip,
+            fpga_target: "Memory blocks",
+            description: "Modify memory bit",
+            observations: "No removal reconfiguration needed",
+        },
+        CapabilityRow {
+            model: Pulse,
+            fpga_target: "CB inputs",
+            description: "Use the input inverter mux",
+            observations: "Not applicable to LUT inputs",
+        },
+        CapabilityRow {
+            model: Pulse,
+            fpga_target: "LUTs",
+            description: "Modify LUT contents",
+            observations: "Covers output, input and internal lines",
+        },
+        CapabilityRow {
+            model: Delay,
+            fpga_target: "PMs",
+            description: "Increase fan-out",
+            observations: "Good for small delays",
+        },
+        CapabilityRow {
+            model: Delay,
+            fpga_target: "PMs",
+            description: "Increase routing path",
+            observations: "Good for large delays",
+        },
+        CapabilityRow {
+            model: Indetermination,
+            fpga_target: "FFs",
+            description: "See bit-flip",
+            observations: "Randomly generate the final value",
+        },
+        CapabilityRow {
+            model: Indetermination,
+            fpga_target: "LUTs",
+            description: "See pulse",
+            observations: "Randomly generate the final value",
+        },
+        CapabilityRow {
+            model: Permanent(PermanentFault::StuckAt),
+            fpga_target: "LUTs / FFs",
+            description: "Constant truth table or repeated set/reset",
+            observations: "Extension beyond the paper",
+        },
+        CapabilityRow {
+            model: Permanent(PermanentFault::OpenLine),
+            fpga_target: "LUT inputs",
+            description: "Rewrite table to ignore the floating pin",
+            observations: "Extension beyond the paper",
+        },
+        CapabilityRow {
+            model: Permanent(PermanentFault::Bridging),
+            fpga_target: "LUT inputs",
+            description: "Rewrite table as wired-AND of two pins",
+            observations: "Extension beyond the paper",
+        },
+        CapabilityRow {
+            model: Permanent(PermanentFault::StuckOpen),
+            fpga_target: "LUTs",
+            description: "Flip one truth-table entry",
+            observations: "Extension beyond the paper",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_four_transient_models() {
+        let m = capability_matrix();
+        for model in [
+            FaultModel::BitFlip,
+            FaultModel::Pulse,
+            FaultModel::Delay,
+            FaultModel::Indetermination,
+        ] {
+            assert!(m.iter().any(|row| row.model == model), "{model} missing");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Permanent fault models (the paper's §8 future work, implemented).
+
+use std::fmt;
+
+/// Permanent fault models emulated through run-time reconfiguration.
+///
+/// The paper closes by announcing "the extension of this framework to
+/// cover a set of typical permanent faults ... such as short, open-line,
+/// bridging and stuck-open faults". All four are implemented here with
+/// mechanisms that — like the transient models — only touch configuration
+/// memory:
+///
+/// * **Stuck-at** (short to a rail): the targeted LUT's truth table is
+///   overwritten with a constant, or the targeted FF is driven through its
+///   set/reset logic every cycle.
+/// * **Open line**: a floating LUT input reads as a weak constant, so the
+///   table is rewritten to be independent of that pin (pin tied high, the
+///   usual behaviour of an open input on antifuse/SRAM parts).
+/// * **Bridging**: two input lines of a LUT short together; the table is
+///   rewritten so both pins observe the wired-AND of the pair.
+/// * **Stuck-open**: one pass transistor inside the LUT's read tree stays
+///   open, so a single truth-table entry produces the complemented value
+///   (the classic CMOS stuck-open manifests sequentially; the
+///   single-entry corruption is the standard combinational approximation).
+///
+/// Permanent faults are injected at experiment start and never removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PermanentFault {
+    /// Line shorted to power or ground.
+    StuckAt,
+    /// Broken (floating) line.
+    OpenLine,
+    /// Two lines shorted together (wired-AND).
+    Bridging,
+    /// Transistor permanently open inside a function generator.
+    StuckOpen,
+}
+
+impl fmt::Display for PermanentFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermanentFault::StuckAt => f.write_str("stuck-at"),
+            PermanentFault::OpenLine => f.write_str("open-line"),
+            PermanentFault::Bridging => f.write_str("bridging"),
+            PermanentFault::StuckOpen => f.write_str("stuck-open"),
+        }
+    }
+}
+
+/// Truth-table transformations used by the permanent (and pulse) fault
+/// mechanisms. Pure functions so they can be property-tested.
+pub mod table_ops {
+    /// Inverts the output line: every entry complemented.
+    pub fn invert_output(table: u16) -> u16 {
+        !table
+    }
+
+    /// Inverts input `pin`: entry `i` takes the value of entry
+    /// `i ^ (1 << pin)`.
+    pub fn invert_input(table: u16, pin: u8) -> u16 {
+        let mut out = 0u16;
+        for i in 0..16u16 {
+            if (table >> (i ^ (1 << pin))) & 1 == 1 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Ties input `pin` to a constant (open-line model: floating input
+    /// reads as `level`).
+    pub fn tie_input(table: u16, pin: u8, level: bool) -> u16 {
+        let mut out = 0u16;
+        for i in 0..16u16 {
+            let src = if level { i | (1 << pin) } else { i & !(1 << pin) };
+            if (table >> src) & 1 == 1 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Shorts inputs `pin_a` and `pin_b` together as a wired-AND: both
+    /// pins observe `a & b`.
+    pub fn bridge_inputs(table: u16, pin_a: u8, pin_b: u8) -> u16 {
+        let mut out = 0u16;
+        for i in 0..16u16 {
+            let a = (i >> pin_a) & 1;
+            let b = (i >> pin_b) & 1;
+            let v = a & b;
+            let src = (i & !(1 << pin_a) & !(1 << pin_b))
+                | (v << pin_a)
+                | (v << pin_b);
+            if (table >> src) & 1 == 1 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Flips a single truth-table entry (stuck-open approximation).
+    pub fn flip_entry(table: u16, entry: u8) -> u16 {
+        table ^ (1 << (entry & 0x0F))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn invert_input_is_involutive() {
+            for pin in 0..4 {
+                for table in [0x1234u16, 0xFFFF, 0x0001, 0xCAFE] {
+                    assert_eq!(invert_input(invert_input(table, pin), pin), table);
+                }
+            }
+        }
+
+        #[test]
+        fn tie_input_removes_dependence() {
+            let table = 0b1010_0101_1100_0011;
+            for pin in 0..4u8 {
+                let tied = tie_input(table, pin, true);
+                // Output must be identical whether the pin is 0 or 1.
+                for i in 0..16u16 {
+                    let a = (tied >> i) & 1;
+                    let b = (tied >> (i ^ (1 << pin))) & 1;
+                    assert_eq!(a, b);
+                }
+            }
+        }
+
+        #[test]
+        fn bridge_is_symmetric() {
+            let table = 0x9B3D;
+            assert_eq!(bridge_inputs(table, 0, 2), bridge_inputs(table, 2, 0));
+        }
+
+        #[test]
+        fn flip_entry_touches_one_bit() {
+            let t = 0x0F0F;
+            let f = flip_entry(t, 5);
+            assert_eq!((t ^ f).count_ones(), 1);
+        }
+    }
+}

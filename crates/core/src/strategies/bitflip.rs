@@ -1,0 +1,158 @@
+//! Bit-flip strategies (paper §4.1).
+
+use fades_fpga::{BramId, CbCoord, Device, Mutation, SetReset};
+use rand::rngs::StdRng;
+
+use crate::error::CoreError;
+use crate::strategies::InjectionStrategy;
+
+/// Bit-flip of a flip-flop through its **local** set/reset line: the fast
+/// mechanism the paper proposed in its earlier work and uses throughout.
+///
+/// Choreography: read back the FF's current state (one capture frame),
+/// reconfigure its `CLRMux`/`PRMux` so the set/reset line drives the
+/// *inverted* value (one frame), then pulse the line by toggling and
+/// restoring `InvertLSRMux` (the same frame written twice). The flipped
+/// state persists until the application rewrites it, so no removal
+/// reconfiguration is performed.
+#[derive(Debug, Clone)]
+pub struct LsrBitFlip {
+    cb: CbCoord,
+}
+
+impl LsrBitFlip {
+    /// Targets the flip-flop of the given block.
+    pub fn new(cb: CbCoord) -> Self {
+        LsrBitFlip { cb }
+    }
+}
+
+impl InjectionStrategy for LsrBitFlip {
+    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        let current = dev.readback_ff(self.cb)?;
+        dev.apply(&Mutation::SetLsrDrive {
+            cb: self.cb,
+            drive: SetReset::driving(!current),
+        })?;
+        dev.apply(&Mutation::PulseLsr { cb: self.cb })?;
+        Ok(())
+    }
+
+    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+        Ok(()) // A bit-flip remains until rewritten (paper §4.1).
+    }
+}
+
+/// Bit-flip of a flip-flop through the **global** set/reset line: the slow
+/// alternative the paper describes for completeness.
+///
+/// Because GSR touches *every* flip-flop, the strategy must read back the
+/// whole device's FF state (one capture frame per used column), then
+/// reconfigure every FF's `CLRMux`/`PRMux` so the pulse restores each
+/// current value — except the target, which gets the inverted value —
+/// before pulsing GSR. The large readback and mux-rewrite traffic is
+/// exactly why the paper prefers the LSR mechanism.
+#[derive(Debug, Clone)]
+pub struct GsrBitFlip {
+    cb: CbCoord,
+}
+
+impl GsrBitFlip {
+    /// Targets the flip-flop of the given block.
+    pub fn new(cb: CbCoord) -> Self {
+        GsrBitFlip { cb }
+    }
+}
+
+impl InjectionStrategy for GsrBitFlip {
+    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        let states = dev.readback_all_ffs();
+        let drives: Vec<(CbCoord, SetReset)> = states
+            .into_iter()
+            .map(|(cb, value)| {
+                let keep = if cb == self.cb { !value } else { value };
+                (cb, SetReset::driving(keep))
+            })
+            .collect();
+        dev.bulk_set_lsr_drives(&drives)?;
+        dev.apply(&Mutation::PulseGsr)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+/// Simultaneous bit-flip of several flip-flops (paper §7.2): the GSR
+/// choreography generalises naturally — one whole-device state readback,
+/// one bulk `CLRMux`/`PRMux` rewrite that inverts every *targeted* FF
+/// while preserving the rest, one global pulse. This is how a
+/// combinational fault's multi-register manifestation is emulated
+/// directly in sequential logic.
+#[derive(Debug, Clone)]
+pub struct MultiBitFlip {
+    cbs: Vec<CbCoord>,
+}
+
+impl MultiBitFlip {
+    /// Targets the flip-flops of the given blocks.
+    pub fn new(cbs: Vec<CbCoord>) -> Self {
+        MultiBitFlip { cbs }
+    }
+}
+
+impl InjectionStrategy for MultiBitFlip {
+    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        let states = dev.readback_all_ffs();
+        let drives: Vec<(CbCoord, SetReset)> = states
+            .into_iter()
+            .map(|(cb, value)| {
+                let target = self.cbs.contains(&cb);
+                (cb, SetReset::driving(value ^ target))
+            })
+            .collect();
+        dev.bulk_set_lsr_drives(&drives)?;
+        dev.apply(&Mutation::PulseGsr)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+/// Bit-flip of a stored memory bit (paper §4.1, Fig. 4): read the content
+/// frame back, flip the bit, write the frame. No removal is needed — the
+/// fault persists until the application rewrites the word.
+#[derive(Debug, Clone)]
+pub struct MemBitFlip {
+    bram: BramId,
+    addr: usize,
+    bit: u32,
+}
+
+impl MemBitFlip {
+    /// Targets one stored bit.
+    pub fn new(bram: BramId, addr: usize, bit: u32) -> Self {
+        MemBitFlip { bram, addr, bit }
+    }
+}
+
+impl InjectionStrategy for MemBitFlip {
+    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        let word = dev.readback_bram_word(self.bram, self.addr)?;
+        let flipped = (word >> self.bit) & 1 == 0;
+        dev.apply(&Mutation::SetBramBit {
+            bram: self.bram,
+            addr: self.addr,
+            bit: self.bit,
+            value: flipped,
+        })?;
+        Ok(())
+    }
+
+    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+        Ok(())
+    }
+}

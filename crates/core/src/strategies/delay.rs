@@ -1,0 +1,81 @@
+//! Delay strategies (paper §4.3).
+
+use fades_fpga::{Device, Mutation, WireId};
+use rand::rngs::StdRng;
+
+use crate::error::CoreError;
+use crate::location::DelayMech;
+use crate::strategies::InjectionStrategy;
+
+/// Delay fault on a routed wire.
+///
+/// Two mechanisms, as in the paper:
+///
+/// * **fan-out** (Fig. 8): turn on unused pass transistors along the line;
+///   each adds a small capacitive load (fractions of a nanosecond) — good
+///   for small delays;
+/// * **reroute** (Fig. 7): break the line and route it through spare LUTs
+///   configured as buffers; each contributes a whole LUT delay — good for
+///   large delays.
+///
+/// The injected delay becomes a setup violation when it pushes a
+/// register's data-arrival time past the clock period, at which point the
+/// register captures the previous cycle's data (see
+/// [`fades_fpga::TimingReport`]).
+///
+/// With `full_download` set (the default, reproducing the paper's §6.2
+/// driver limitation), each phase ships a full configuration file instead
+/// of the touched frames — which is why delays were the paper's most
+/// expensive model to emulate.
+#[derive(Debug, Clone)]
+pub struct WireDelayFault {
+    wire: WireId,
+    mech: DelayMech,
+    full_download: bool,
+}
+
+impl WireDelayFault {
+    /// Targets the given wire.
+    pub fn new(wire: WireId, mech: DelayMech, full_download: bool) -> Self {
+        WireDelayFault {
+            wire,
+            mech,
+            full_download,
+        }
+    }
+
+    fn mutation(&self, restore: bool) -> Mutation {
+        match self.mech {
+            DelayMech::Fanout(extra) => Mutation::SetWireFanout {
+                wire: self.wire,
+                extra: if restore { 0 } else { extra },
+            },
+            DelayMech::Reroute(luts) => Mutation::SetWireDetour {
+                wire: self.wire,
+                luts: if restore { 0 } else { luts },
+            },
+        }
+    }
+}
+
+impl WireDelayFault {
+    fn reconfigure(&self, dev: &mut Device, restore: bool) -> Result<(), CoreError> {
+        let mutation = self.mutation(restore);
+        if self.full_download {
+            dev.apply_via_full_download(&mutation)?;
+        } else {
+            dev.apply(&mutation)?;
+        }
+        Ok(())
+    }
+}
+
+impl InjectionStrategy for WireDelayFault {
+    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        self.reconfigure(dev, false)
+    }
+
+    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+        self.reconfigure(dev, true)
+    }
+}

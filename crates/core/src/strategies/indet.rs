@@ -1,0 +1,141 @@
+//! Indetermination strategies (paper §4.4).
+//!
+//! An indetermination leaves the target at a voltage between the logic
+//! thresholds; downstream buffers resolve it to a well-defined but
+//! unpredictable level. The paper therefore emulates it with a
+//! *randomiser*: the final logic level is drawn at random and installed
+//! with the bit-flip (sequential) or pulse (combinational) mechanism.
+//! Optionally the level oscillates, forcing one reconfiguration per clock
+//! cycle of fault duration — the expensive case §6.2 measures at 4605 s.
+
+use fades_fpga::{CbCoord, Device, Mutation, SetReset};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::CoreError;
+use crate::strategies::InjectionStrategy;
+
+/// Indetermination in a flip-flop: the stored value resolves to a random
+/// level which is *held* for the fault duration.
+///
+/// The injection mirrors the LSR bit-flip (capture readback, `CLRMux`/
+/// `PRMux` reconfiguration) but leaves the local set/reset line asserted
+/// at a random level for the whole window — the node is physically
+/// undetermined for the fault duration, so its digital resolution must be
+/// imposed for as long as the fault lasts. Holding the line costs nothing;
+/// the assert and the release are each one reconfiguration. In the
+/// oscillating variant the level is re-randomised with one merged frame
+/// write per cycle (the expensive case of paper §6.2).
+#[derive(Debug, Clone)]
+pub struct FfIndetFault {
+    cb: CbCoord,
+    oscillating: bool,
+    drive: SetReset,
+}
+
+impl FfIndetFault {
+    /// Targets the flip-flop of the given block.
+    pub fn new(cb: CbCoord, oscillating: bool) -> Self {
+        FfIndetFault {
+            cb,
+            oscillating,
+            drive: SetReset::Reset,
+        }
+    }
+}
+
+impl InjectionStrategy for FfIndetFault {
+    fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+        // The tool logs the pre-fault state for the experiment record.
+        let _pre = dev.readback_ff(self.cb)?;
+        self.drive = SetReset::driving(rng.gen());
+        dev.apply(&Mutation::SetLsrDrive {
+            cb: self.cb,
+            drive: self.drive,
+        })?;
+        dev.apply(&Mutation::PulseLsr { cb: self.cb })?;
+        Ok(())
+    }
+
+    fn tick(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+        if self.oscillating {
+            // One merged frame write per cycle: new CLR/PR selection plus
+            // the set/reset assertion land in the same reconfiguration.
+            self.drive = SetReset::driving(rng.gen());
+            dev.apply(&Mutation::ReRandomiseFf {
+                cb: self.cb,
+                drive: self.drive,
+            })?;
+        } else {
+            // The line simply stays asserted: no configuration traffic.
+            dev.hold_lsr(self.cb)?;
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+        // De-assert the set/reset line (restore the InvertLSRMux bit); the
+        // last random level stays in the flip-flop until rewritten.
+        dev.apply(&Mutation::SetLsrDrive {
+            cb: self.cb,
+            drive: self.drive,
+        })?;
+        Ok(())
+    }
+}
+
+/// Indetermination in a function generator: the LUT output resolves to a
+/// random constant level for the fault duration (paper: "any procedure
+/// capable of modifying the logical value ... is eligible"; the mechanism
+/// is the pulse scheme of §4.2 with a randomised table).
+#[derive(Debug, Clone)]
+pub struct LutIndetFault {
+    cb: CbCoord,
+    oscillating: bool,
+    original: Option<u16>,
+}
+
+impl LutIndetFault {
+    /// Targets the LUT of the given block.
+    pub fn new(cb: CbCoord, oscillating: bool) -> Self {
+        LutIndetFault {
+            cb,
+            oscillating,
+            original: None,
+        }
+    }
+}
+
+impl InjectionStrategy for LutIndetFault {
+    fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+        let original = dev.readback_lut_table(self.cb)?;
+        self.original = Some(original);
+        let level = if rng.gen() { 0xFFFFu16 } else { 0x0000 };
+        dev.apply(&Mutation::SetLutTable {
+            cb: self.cb,
+            table: level,
+        })?;
+        Ok(())
+    }
+
+    fn tick(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+        if !self.oscillating {
+            return Ok(());
+        }
+        let level = if rng.gen() { 0xFFFFu16 } else { 0x0000 };
+        dev.apply(&Mutation::SetLutTable {
+            cb: self.cb,
+            table: level,
+        })?;
+        Ok(())
+    }
+
+    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+        let original = self.original.take().expect("remove follows inject");
+        dev.apply(&Mutation::SetLutTable {
+            cb: self.cb,
+            table: original,
+        })?;
+        Ok(())
+    }
+}

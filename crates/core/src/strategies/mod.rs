@@ -1,0 +1,103 @@
+//! Run-time-reconfiguration injection strategies, one per fault mechanism.
+//!
+//! A strategy turns a [`ResolvedFault`](crate::location::ResolvedFault) into the
+//! sequence of configuration-memory operations (readbacks, partial
+//! reconfigurations, global pulses) the paper's Section 4 describes. Every
+//! operation goes through the device's configuration port and is charged
+//! to its transfer ledger — strategies never touch simulator state
+//! directly, which is what keeps the emulation-time results honest.
+
+mod bitflip;
+mod delay;
+mod indet;
+mod permanent;
+mod pulse;
+
+pub use bitflip::{GsrBitFlip, LsrBitFlip, MemBitFlip, MultiBitFlip};
+pub use delay::WireDelayFault;
+pub use indet::{FfIndetFault, LutIndetFault};
+pub use permanent::PermanentLutFault;
+pub use pulse::{CbInputPulse, LutPulseFault};
+
+use fades_fpga::Device;
+use rand::rngs::StdRng;
+
+use crate::error::CoreError;
+use crate::location::ResolvedFault;
+use crate::models::PermanentFault;
+
+/// A fault-injection strategy: the reconfiguration choreography of one
+/// fault instance (paper Fig. 1).
+pub trait InjectionStrategy: std::fmt::Debug + Send {
+    /// Applies the fault. The device is paused between two clock edges at
+    /// the injection instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the targeted resource is not configured.
+    fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError>;
+
+    /// Called once per clock cycle while the fault is active (after the
+    /// injection cycle). Only oscillating indeterminations and held
+    /// stuck-at faults reconfigure here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if reconfiguration fails.
+    fn tick(&mut self, _dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        Ok(())
+    }
+
+    /// Removes the fault when its duration expires. Bit-flips and
+    /// permanent faults do nothing here: a flipped state persists until
+    /// rewritten (paper §4.1) and permanent faults never expire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if reconfiguration fails.
+    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError>;
+}
+
+/// Builds the strategy implementing a resolved fault.
+///
+/// `sub_cycle` selects the cheaper combined inject+remove reconfiguration
+/// path for faults shorter than one clock cycle (paper §6.2 measures the
+/// two pulse variants separately).
+pub fn strategy_for(fault: &ResolvedFault, sub_cycle: bool) -> Box<dyn InjectionStrategy> {
+    match fault.clone() {
+        ResolvedFault::FfBitFlip { cb, via_gsr: false } => Box::new(LsrBitFlip::new(cb)),
+        ResolvedFault::FfBitFlip { cb, via_gsr: true } => Box::new(GsrBitFlip::new(cb)),
+        ResolvedFault::MemBitFlip { bram, addr, bit } => {
+            Box::new(MemBitFlip::new(bram, addr, bit))
+        }
+        ResolvedFault::MultiFfBitFlip { cbs } => Box::new(MultiBitFlip::new(cbs)),
+        ResolvedFault::LutPulse { cb, line } => {
+            Box::new(LutPulseFault::new(cb, line, sub_cycle))
+        }
+        ResolvedFault::CbInputPulse { cb } => Box::new(CbInputPulse::new(cb)),
+        ResolvedFault::WireDelay {
+            wire,
+            mech,
+            full_download,
+        } => Box::new(WireDelayFault::new(wire, mech, full_download)),
+        ResolvedFault::FfIndet { cb, oscillating } => {
+            Box::new(FfIndetFault::new(cb, oscillating))
+        }
+        ResolvedFault::LutIndet { cb, oscillating } => {
+            Box::new(LutIndetFault::new(cb, oscillating))
+        }
+        ResolvedFault::Permanent {
+            kind,
+            cb,
+            pins,
+            param,
+            on_ff,
+        } => {
+            if on_ff && kind == PermanentFault::StuckAt {
+                Box::new(permanent::StuckFf::new(cb, param & 1 == 1))
+            } else {
+                Box::new(PermanentLutFault::new(kind, cb, pins, param))
+            }
+        }
+    }
+}

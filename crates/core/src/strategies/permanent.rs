@@ -1,0 +1,109 @@
+//! Permanent fault strategies (the paper's §8 future work, implemented).
+
+use fades_fpga::{CbCoord, Device, Mutation, SetReset};
+use rand::rngs::StdRng;
+
+use crate::error::CoreError;
+use crate::models::permanent::table_ops;
+use crate::models::PermanentFault;
+use crate::strategies::InjectionStrategy;
+
+/// A permanent fault in a function generator, emulated by a one-shot
+/// truth-table rewrite that is never undone (see
+/// [`PermanentFault`] for the per-model mechanisms).
+#[derive(Debug, Clone)]
+pub struct PermanentLutFault {
+    kind: PermanentFault,
+    cb: CbCoord,
+    pins: [u8; 2],
+    param: u16,
+}
+
+impl PermanentLutFault {
+    /// Targets the LUT of the given block.
+    ///
+    /// `pins` selects the affected input line(s) (open-line uses the
+    /// first, bridging both); `param` carries the stuck level or the
+    /// stuck-open entry index.
+    pub fn new(kind: PermanentFault, cb: CbCoord, pins: [u8; 2], param: u16) -> Self {
+        PermanentLutFault {
+            kind,
+            cb,
+            pins,
+            param,
+        }
+    }
+}
+
+impl InjectionStrategy for PermanentLutFault {
+    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        let original = dev.readback_lut_table(self.cb)?;
+        let faulty = match self.kind {
+            PermanentFault::StuckAt => {
+                if self.param & 1 == 1 {
+                    0xFFFF
+                } else {
+                    0x0000
+                }
+            }
+            PermanentFault::OpenLine => {
+                // A floating SRAM-FPGA input reads as a weak high.
+                table_ops::tie_input(original, self.pins[0] & 3, true)
+            }
+            PermanentFault::Bridging => {
+                let a = self.pins[0] & 3;
+                let mut b = self.pins[1] & 3;
+                if a == b {
+                    b = (a + 1) & 3;
+                }
+                table_ops::bridge_inputs(original, a, b)
+            }
+            PermanentFault::StuckOpen => table_ops::flip_entry(original, self.param as u8),
+        };
+        dev.apply(&Mutation::SetLutTable {
+            cb: self.cb,
+            table: faulty,
+        })?;
+        Ok(())
+    }
+
+    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+        Ok(()) // Permanent faults are never removed.
+    }
+}
+
+/// A flip-flop permanently stuck at a level: its set/reset logic is
+/// reconfigured once, then the local set/reset line is pulsed on every
+/// cycle to hold the value against the application's writes.
+#[derive(Debug, Clone)]
+pub struct StuckFf {
+    cb: CbCoord,
+    level: bool,
+}
+
+impl StuckFf {
+    /// Targets the flip-flop of the given block.
+    pub fn new(cb: CbCoord, level: bool) -> Self {
+        StuckFf { cb, level }
+    }
+}
+
+impl InjectionStrategy for StuckFf {
+    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        dev.apply(&Mutation::SetLsrDrive {
+            cb: self.cb,
+            drive: SetReset::driving(self.level),
+        })?;
+        dev.apply(&Mutation::PulseLsr { cb: self.cb })?;
+        Ok(())
+    }
+
+    fn tick(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+        dev.apply(&Mutation::PulseLsr { cb: self.cb })?;
+        Ok(())
+    }
+
+    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,272 @@
+//! Campaign-level behaviour of the fault-emulation framework.
+
+use fades_core::{
+    Campaign, DurationRange, FaultLoad, FaultModel, Outcome, PermanentFault, TargetClass,
+};
+use fades_fpga::ArchParams;
+use fades_netlist::UnitTag;
+use fades_pnr::implement;
+use fades_rtl::RtlBuilder;
+
+/// A small sequential design for fast campaign tests: an 8-bit LFSR
+/// (Registers unit) XOR-folded into a parity flag (Alu unit), with the
+/// LFSR value observed.
+fn lfsr_campaign() -> (fades_netlist::Netlist, fades_pnr::Implementation) {
+    let mut b = RtlBuilder::new("lfsr");
+    b.set_unit(UnitTag::Registers);
+    let r = b.reg("lfsr", 8, 1);
+    let q = r.q().clone();
+    b.set_unit(UnitTag::Alu);
+    let t1 = b.xor_bit(q.bit(7), q.bit(5));
+    let t2 = b.xor_bit(q.bit(4), q.bit(3));
+    let tap = b.xor_bit(t1, t2);
+    // Build the shifted vector by hand so no orphan constant LUT exists
+    // (every LUT in this design is live and observable).
+    let mut bits = vec![tap];
+    bits.extend((0..7).map(|i| q.bit(i)));
+    b.set_unit(UnitTag::Registers);
+    let next = fades_rtl::Signal::from_bits(bits);
+    b.connect(r, &next);
+    b.output("q", &q);
+    let netlist = b.finish().unwrap();
+    let imp = implement(&netlist, ArchParams::small()).unwrap();
+    (netlist, imp)
+}
+
+#[test]
+fn bit_flip_into_lfsr_always_fails() {
+    // Every LFSR bit feeds the observed output within a few cycles, so a
+    // flipped state must diverge the trace.
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 200).unwrap();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let stats = campaign.run(&load, 24, 7).unwrap();
+    assert_eq!(stats.outcomes.failures, 24);
+}
+
+#[test]
+fn campaigns_are_deterministic_per_seed() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SHORT);
+    let a = campaign.run_detailed(&load, 16, 42).unwrap();
+    let b = campaign.run_detailed(&load, 16, 42).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.fault, y.fault);
+        assert_eq!(x.outcome, y.outcome);
+    }
+    let c = campaign.run_detailed(&load, 16, 43).unwrap();
+    assert!(
+        a.iter().zip(&c).any(|(x, y)| x.fault != y.fault),
+        "different seeds draw different fault lists"
+    );
+}
+
+#[test]
+fn pulse_removal_restores_original_configuration() {
+    // After a pulse campaign the per-experiment device must have been
+    // restored each time: a fresh run with zero faults must match golden,
+    // i.e. running the same campaign twice gives identical outcomes.
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 100).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let first = campaign.run(&load, 12, 5).unwrap();
+    let second = campaign.run(&load, 12, 5).unwrap();
+    assert_eq!(first.outcomes, second.outcomes);
+}
+
+#[test]
+fn gsr_mechanism_moves_more_configuration_data_than_lsr() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 100).unwrap();
+    let mut lsr = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let mut gsr = lsr.clone();
+    lsr.use_gsr = false;
+    gsr.use_gsr = true;
+    let lsr_res = campaign.run_detailed(&lsr, 8, 11).unwrap();
+    let gsr_res = campaign.run_detailed(&gsr, 8, 11).unwrap();
+    let bytes = |rs: &[fades_core::ExperimentResult]| -> u64 {
+        rs.iter()
+            .map(|r| r.traffic.readback_bytes + r.traffic.write_bytes)
+            .sum()
+    };
+    // On this one-column design GSR costs exactly twice LSR; on real
+    // multi-column designs the gap is much larger (see the
+    // `ablation_gsr_vs_lsr` bench on the 8051).
+    assert!(
+        bytes(&gsr_res) >= 2 * bytes(&lsr_res),
+        "GSR must be more expensive: {} vs {}",
+        bytes(&gsr_res),
+        bytes(&lsr_res)
+    );
+    // Same seeds target the same FFs, so functional outcomes agree.
+    for (a, b) in lsr_res.iter().zip(&gsr_res) {
+        assert_eq!(a.outcome, b.outcome, "GSR and LSR flips are equivalent");
+    }
+}
+
+#[test]
+fn oscillating_indetermination_reconfigures_every_cycle() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 100).unwrap();
+    let fixed = FaultLoad::indeterminations(
+        TargetClass::AllFfs,
+        DurationRange::Cycles(15, 15),
+        false,
+    );
+    let osc = FaultLoad::indeterminations(
+        TargetClass::AllFfs,
+        DurationRange::Cycles(15, 15),
+        true,
+    );
+    let f = campaign.run(&fixed, 8, 3).unwrap();
+    let o = campaign.run(&osc, 8, 3).unwrap();
+    assert!(
+        o.mean_seconds_per_fault() > 2.0 * f.mean_seconds_per_fault(),
+        "oscillating {} vs fixed {}",
+        o.mean_seconds_per_fault(),
+        f.mean_seconds_per_fault()
+    );
+}
+
+#[test]
+fn delay_full_download_dominates_partial_cost() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 100).unwrap();
+    let mut full = FaultLoad::delays(TargetClass::SequentialWires, DurationRange::SHORT);
+    let mut partial = full.clone();
+    full.delay_full_download = true;
+    partial.delay_full_download = false;
+    let f = campaign.run_detailed(&full, 8, 9).unwrap();
+    let p = campaign.run_detailed(&partial, 8, 9).unwrap();
+    let bulk = |rs: &[fades_core::ExperimentResult]| -> u64 {
+        rs.iter().map(|r| r.traffic.bulk_bytes).sum()
+    };
+    let total = |rs: &[fades_core::ExperimentResult]| -> u64 {
+        rs.iter()
+            .map(|r| r.traffic.bulk_bytes + r.traffic.write_bytes + r.traffic.readback_bytes)
+            .sum()
+    };
+    assert!(bulk(&p) == 0, "partial mode ships no full configurations");
+    assert!(bulk(&f) > 0, "full-download mode ships full configurations");
+    assert!(total(&f) > total(&p), "full downloads move more bytes");
+}
+
+#[test]
+fn permanent_stuck_at_in_lfsr_feedback_fails() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 200).unwrap();
+    let load = FaultLoad::permanent(PermanentFault::StuckAt, TargetClass::AllLuts);
+    assert_eq!(load.model, FaultModel::Permanent(PermanentFault::StuckAt));
+    let stats = campaign.run(&load, 16, 21).unwrap();
+    // Every LUT of this design feeds the observed LFSR feedback, so a
+    // permanently stuck function generator must corrupt the sequence.
+    assert!(stats.outcomes.failures >= 14, "{:?}", stats.outcomes);
+}
+
+#[test]
+fn silent_faults_exist_when_targeting_dead_logic() {
+    // A LUT whose output feeds nothing observable: pulses there are
+    // silent.
+    let mut b = RtlBuilder::new("dead");
+    let r = b.reg("cnt", 4, 0);
+    let q = r.q().clone();
+    let next = b.add_const(&q, 1);
+    b.connect(r, &next);
+    b.output("q", &q);
+    // Dead logic: parity of the counter, unobserved but kept alive by an
+    // unused output port.
+    let mut dead = Vec::new();
+    for i in 0..4 {
+        dead.push(b.not_bit(q.bit(i)));
+    }
+    let dead_sig = fades_rtl::Signal::from_bits(dead);
+    b.output("unused_dbg", &dead_sig);
+    let nl = b.finish().unwrap();
+    let imp = implement(&nl, ArchParams::small()).unwrap();
+    // Observe only `q`: pulses into the inverters cannot reach it.
+    let campaign = Campaign::new(&nl, imp, &["q"], 64).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let results = campaign.run_detailed(&load, 20, 17).unwrap();
+    assert!(results.iter().any(|r| r.outcome == Outcome::Silent));
+}
+
+#[test]
+fn screening_finds_sensitive_ffs() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let sensitive = campaign.screen_sensitive_ffs(2, 99).unwrap();
+    // Every LFSR bit is observable, so all 8 FFs are eligible.
+    assert_eq!(sensitive.len(), 8);
+}
+
+#[test]
+fn memory_bit_flip_campaign_on_8051_data_mostly_fails() {
+    use fades_mcu8051::{build_soc, workloads, OBSERVED_PORTS};
+    let w = workloads::bubblesort();
+    let soc = build_soc(&w.rom).unwrap();
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).unwrap();
+    let campaign = Campaign::new(&soc.netlist, imp, &OBSERVED_PORTS, 1330).unwrap();
+    let load = FaultLoad::bit_flips(
+        TargetClass::MemoryBits {
+            name: "iram".into(),
+            lo: w.data_range.0 as usize,
+            hi: w.data_range.1 as usize,
+        },
+        DurationRange::SubCycle,
+    );
+    let stats = campaign.run(&load, 12, 2024).unwrap();
+    // Paper Fig. 11: bit-flips in the used memory positions very likely
+    // cause failures (81% there). Require a clear majority.
+    assert!(
+        stats.outcomes.failures * 2 > stats.total(),
+        "{:?}",
+        stats.outcomes
+    );
+}
+
+#[test]
+fn multiple_bit_flips_fail_at_least_as_often_as_single() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let single = campaign
+        .run(
+            &FaultLoad::multiple_bit_flips(TargetClass::AllFfs, 1),
+            16,
+            31,
+        )
+        .unwrap();
+    let triple = campaign
+        .run(
+            &FaultLoad::multiple_bit_flips(TargetClass::AllFfs, 3),
+            16,
+            31,
+        )
+        .unwrap();
+    assert!(triple.outcomes.failures >= single.outcomes.failures.saturating_sub(1));
+    assert_eq!(triple.total(), 16);
+}
+
+#[test]
+fn multi_flip_flips_exactly_the_targeted_ffs() {
+    use fades_core::strategies::{InjectionStrategy, MultiBitFlip};
+    use fades_fpga::Device;
+    use rand::SeedableRng;
+    let (_nl, imp) = lfsr_campaign();
+    let mut dev = Device::configure(imp.bitstream.clone()).unwrap();
+    dev.run(13);
+    let before: Vec<_> = imp
+        .bitstream
+        .used_ffs()
+        .iter()
+        .map(|&cb| (cb, dev.peek_ff(cb).unwrap()))
+        .collect();
+    let targets: Vec<_> = before.iter().take(3).map(|(cb, _)| *cb).collect();
+    let mut strategy = MultiBitFlip::new(targets.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    strategy.inject(&mut dev, &mut rng).unwrap();
+    for (cb, value) in before {
+        let expect = value ^ targets.contains(&cb);
+        assert_eq!(dev.peek_ff(cb).unwrap(), expect, "{cb}");
+    }
+}

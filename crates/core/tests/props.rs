@@ -1,0 +1,65 @@
+//! Property-based tests for the truth-table fault transformations.
+
+use fades_core::models::permanent::table_ops;
+use proptest::prelude::*;
+
+fn bit(table: u16, idx: u16) -> bool {
+    (table >> idx) & 1 == 1
+}
+
+proptest! {
+    /// Output inversion is an involution and flips every entry.
+    #[test]
+    fn invert_output_flips_all(table in any::<u16>()) {
+        let inv = table_ops::invert_output(table);
+        prop_assert_eq!(table_ops::invert_output(inv), table);
+        prop_assert_eq!(table ^ inv, u16::MAX);
+    }
+
+    /// Input inversion is an involution, and the function with the pin
+    /// inverted equals the original with that pin's value complemented.
+    #[test]
+    fn invert_input_reindexes(table in any::<u16>(), pin in 0u8..4, idx in 0u16..16) {
+        let inv = table_ops::invert_input(table, pin);
+        prop_assert_eq!(table_ops::invert_input(inv, pin), table);
+        prop_assert_eq!(bit(inv, idx), bit(table, idx ^ (1 << pin)));
+    }
+
+    /// Tying an input makes the table independent of it, and is
+    /// idempotent.
+    #[test]
+    fn tie_input_is_idempotent(table in any::<u16>(), pin in 0u8..4, level in any::<bool>()) {
+        let tied = table_ops::tie_input(table, pin, level);
+        prop_assert_eq!(table_ops::tie_input(tied, pin, level), tied);
+        for idx in 0u16..16 {
+            prop_assert_eq!(bit(tied, idx), bit(tied, idx ^ (1 << pin)));
+        }
+    }
+
+    /// Bridged inputs observe the wired-AND: the result is symmetric in
+    /// the pins and idempotent.
+    #[test]
+    fn bridge_inputs_properties(table in any::<u16>(), a in 0u8..4, b in 0u8..4) {
+        prop_assume!(a != b);
+        let ab = table_ops::bridge_inputs(table, a, b);
+        let ba = table_ops::bridge_inputs(table, b, a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(table_ops::bridge_inputs(ab, a, b), ab);
+        // Patterns where both pins agree are untouched.
+        for idx in 0u16..16 {
+            let va = (idx >> a) & 1;
+            let vb = (idx >> b) & 1;
+            if va == vb {
+                prop_assert_eq!(bit(ab, idx), bit(table, idx));
+            }
+        }
+    }
+
+    /// Flipping one entry changes exactly one bit and is an involution.
+    #[test]
+    fn flip_entry_is_single_bit(table in any::<u16>(), entry in 0u8..16) {
+        let f = table_ops::flip_entry(table, entry);
+        prop_assert_eq!((table ^ f).count_ones(), 1);
+        prop_assert_eq!(table_ops::flip_entry(f, entry), table);
+    }
+}

@@ -1,0 +1,55 @@
+//! Compile-time-reconfiguration (CTR) baseline.
+//!
+//! The paper's §7.3 contrasts two FPGA-based fault-emulation techniques:
+//!
+//! * **RTR** (the paper's contribution, `fades-core`): one implementation
+//!   of the model; each fault is injected by reconfiguring the running
+//!   device. Reconfiguration is comparatively slow, implementation happens
+//!   once.
+//! * **CTR** (Civera et al.): the HDL model is *instrumented* with
+//!   saboteur logic that can produce the fault, then synthesised and
+//!   implemented. On-the-fly activation is nearly free — but every change
+//!   of the instrumented fault set costs a full implementation run, "a
+//!   great amount of time to implement instrumented versions".
+//!
+//! This crate implements the CTR technique honestly: [`instrument`]
+//! splices an inversion saboteur into the netlist (a LUT XOR-ing the
+//! target net with an enable port), [`CtrCampaign`] re-instruments,
+//! re-implements and re-configures per target, and [`CtrTimeModel`]
+//! accounts the per-variant implementation cost that dominates CTR. The
+//! `ablation_rtr_vs_ctr` bench and the Table 2 discussion reproduce the
+//! paper's conclusion: for fault emulation in large systems, RTR wins by
+//! requiring only one implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use fades_ctr::{instrument, SABOTEUR_PORT};
+//! use fades_netlist::{NetlistBuilder, Simulator};
+//!
+//! let mut b = NetlistBuilder::new("buf");
+//! let a = b.input("a", 1)[0];
+//! let n = b.not(a);
+//! b.output("y", &[n]);
+//! let netlist = b.finish()?;
+//!
+//! // Instrument the inverter's output with a saboteur.
+//! let faulty = instrument(&netlist, n)?;
+//! let mut sim = Simulator::new(&faulty)?;
+//! sim.set_input("a", &[false])?;
+//! sim.set_input(SABOTEUR_PORT, &[true])?; // activate the fault
+//! sim.settle();
+//! assert_eq!(sim.output_u64("y")?, 0); // inverted by the saboteur
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod saboteur;
+mod time_model;
+
+pub use campaign::{CtrCampaign, CtrStats};
+pub use saboteur::{instrument, SABOTEUR_PORT};
+pub use time_model::CtrTimeModel;

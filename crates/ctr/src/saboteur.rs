@@ -1,0 +1,76 @@
+//! Saboteur instrumentation of netlists.
+
+use fades_netlist::{NetId, Netlist, NetlistBuilder, NetlistError};
+
+/// Name of the input port controlling the saboteur.
+pub const SABOTEUR_PORT: &str = "ctr_saboteur_en";
+
+/// Instruments a netlist with an inversion saboteur on `target`.
+///
+/// All readers of the target net are rewired to a new net computed as
+/// `target XOR enable`, where `enable` is a fresh primary input named
+/// [`SABOTEUR_PORT`]. While the enable is low the instrumented model is
+/// functionally identical to the original (modulo one extra LUT delay on
+/// the target path); raising it for the fault window emulates a pulse,
+/// keeping it raised a stuck-at inversion.
+///
+/// # Errors
+///
+/// Propagates netlist reconstruction errors.
+pub fn instrument(netlist: &Netlist, target: NetId) -> Result<Netlist, NetlistError> {
+    let mut b = NetlistBuilder::from_netlist(netlist);
+    let spliced = b.fresh_net();
+    b.rewire_readers(target, spliced);
+    let enable = b.input(SABOTEUR_PORT, 1)[0];
+    // spliced = target XOR enable.
+    b.lut_raw_into([Some(target), Some(enable), None, None], 0x6666, spliced);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fades_netlist::Simulator;
+
+    #[test]
+    fn disabled_saboteur_preserves_behaviour() {
+        let mut b = NetlistBuilder::new("cnt");
+        let (q0, h0) = b.dff_placeholder("c[0]", false);
+        let d0 = b.not(q0);
+        b.dff_connect(h0, d0);
+        b.output("q", &[q0]);
+        let nl = b.finish().unwrap();
+        let faulty = instrument(&nl, d0).unwrap();
+
+        let mut clean = Simulator::new(&nl).unwrap();
+        let mut inst = Simulator::new(&faulty).unwrap();
+        inst.set_input(SABOTEUR_PORT, &[false]).unwrap();
+        for _ in 0..10 {
+            clean.settle();
+            inst.settle();
+            assert_eq!(
+                clean.output_u64("q").unwrap(),
+                inst.output_u64("q").unwrap()
+            );
+            clean.clock_edge();
+            inst.clock_edge();
+        }
+    }
+
+    #[test]
+    fn enabled_saboteur_inverts_the_target() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a", 1)[0];
+        let n = b.not(a);
+        let m = b.not(n);
+        b.output("y", &[m]);
+        let nl = b.finish().unwrap();
+        let faulty = instrument(&nl, n).unwrap();
+        let mut sim = Simulator::new(&faulty).unwrap();
+        sim.set_input("a", &[true]).unwrap();
+        sim.set_input(SABOTEUR_PORT, &[true]).unwrap();
+        sim.settle();
+        // y = !!a normally (=1); with n inverted, y = 0.
+        assert_eq!(sim.output_u64("y").unwrap(), 0);
+    }
+}

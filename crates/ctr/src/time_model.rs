@@ -1,0 +1,45 @@
+//! CTR execution-time model.
+
+use fades_netlist::Netlist;
+
+/// Models the wall-clock cost of compile-time-reconfiguration fault
+/// emulation.
+///
+/// The on-the-fly part of CTR is nearly free (activating a saboteur is a
+/// pin wiggle); the cost is the synthesis-and-implementation run required
+/// for every instrumented model version (paper §7.3). Vendor
+/// implementation time scales with design size; the default constant
+/// models the several minutes a 2006-era flow took for a design of the
+/// 8051's size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtrTimeModel {
+    /// Implementation (synthesis + map + place-and-route) seconds per
+    /// netlist cell.
+    pub implement_s_per_cell: f64,
+    /// Bitstream download seconds per instrumented version.
+    pub download_s: f64,
+    /// FPGA clock period in seconds (workload execution).
+    pub clock_period_s: f64,
+}
+
+impl CtrTimeModel {
+    /// Default calibration: a ~1850-cell model implements in roughly two
+    /// minutes, as 2006-era vendor flows did.
+    pub fn paper_era() -> Self {
+        CtrTimeModel {
+            implement_s_per_cell: 0.065,
+            download_s: 0.4,
+            clock_period_s: 80e-9,
+        }
+    }
+
+    /// Seconds to produce one instrumented implementation.
+    pub fn implementation_seconds(&self, netlist: &Netlist) -> f64 {
+        netlist.cell_count() as f64 * self.implement_s_per_cell + self.download_s
+    }
+
+    /// Seconds to execute one experiment once the version is implemented.
+    pub fn execution_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.clock_period_s
+    }
+}

@@ -1,0 +1,63 @@
+//! Integration tests for the CTR baseline.
+
+use fades_core::DurationRange;
+use fades_ctr::{CtrCampaign, CtrTimeModel};
+use fades_fpga::ArchParams;
+use fades_rtl::RtlBuilder;
+
+fn lfsr() -> fades_netlist::Netlist {
+    let mut b = RtlBuilder::new("lfsr");
+    let r = b.reg("lfsr", 8, 1);
+    let q = r.q().clone();
+    let t1 = b.xor_bit(q.bit(7), q.bit(5));
+    let t2 = b.xor_bit(q.bit(4), q.bit(3));
+    let tap = b.xor_bit(t1, t2);
+    let mut bits = vec![tap];
+    bits.extend((0..7).map(|i| q.bit(i)));
+    let next = fades_rtl::Signal::from_bits(bits);
+    b.connect(r, &next);
+    b.output("q", &q);
+    b.finish().unwrap()
+}
+
+#[test]
+fn ctr_pulses_cause_failures_like_rtr_pulses() {
+    let nl = lfsr();
+    let campaign = CtrCampaign::new(&nl, ArchParams::small(), &["q"], 150).unwrap();
+    let stats = campaign.run(DurationRange::SHORT, 12, 5).unwrap();
+    assert_eq!(stats.n, 12);
+    assert!(
+        stats.outcomes.failures > 0,
+        "pulses into LFSR feedback must cause failures: {:?}",
+        stats.outcomes
+    );
+}
+
+#[test]
+fn ctr_implementation_time_dominates_and_scales_with_versions() {
+    let nl = lfsr();
+    let campaign = CtrCampaign::new(&nl, ArchParams::small(), &["q"], 100).unwrap();
+    let stats = campaign.run(DurationRange::SubCycle, 10, 3).unwrap();
+    assert!(stats.versions >= 2, "several distinct targets get hit");
+    assert!(
+        stats.implementation_seconds > 10.0 * stats.execution_seconds,
+        "implementation dominates: {} vs {}",
+        stats.implementation_seconds,
+        stats.execution_seconds
+    );
+    // Repeated targets reuse versions: never more versions than faults.
+    assert!(stats.versions <= stats.n);
+}
+
+#[test]
+fn ctr_is_slower_than_rtr_for_this_model_size() {
+    // The paper's §7.3 conclusion, quantified: per-fault CTR cost (an
+    // implementation run for most faults) exceeds the per-fault RTR
+    // reconfiguration cost by orders of magnitude.
+    let nl = lfsr();
+    let ctr_model = CtrTimeModel::paper_era();
+    let per_version = ctr_model.implementation_seconds(&nl);
+    // RTR pulse on the same model: about 3 operations at ~0.08 s plus a
+    // few frames — well under a second (see fades-core's time model).
+    assert!(per_version > 1.0, "implementation costs seconds: {per_version}");
+}

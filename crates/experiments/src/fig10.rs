@@ -1,0 +1,123 @@
+//! Figure 10: mean emulation time of experiments performed via FADES.
+
+use fades_core::{CampaignStats, CoreError, DurationRange, FaultLoad, TargetClass};
+use crate::context::ExperimentContext;
+use crate::tablefmt::TextTable;
+
+/// One bar of Figure 10.
+#[derive(Debug, Clone)]
+pub struct EmulationTimeRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Measured campaign statistics.
+    pub stats: CampaignStats,
+    /// The paper's mean seconds per fault (its 3000-fault campaign total
+    /// divided by 3000), for side-by-side reporting.
+    pub paper_seconds_per_fault: f64,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// One row per fault-model/target configuration.
+    pub rows: Vec<EmulationTimeRow>,
+    /// Faults per campaign.
+    pub n_faults: usize,
+}
+
+/// The standard FADES campaign configurations of the paper's §6.2, with
+/// the paper's measured per-fault times.
+pub fn standard_loads(ctx: &ExperimentContext) -> Vec<(&'static str, f64, FaultLoad)> {
+    vec![
+        (
+            "bit-flip FFs",
+            916.0 / 3000.0,
+            FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle),
+        ),
+        (
+            "bit-flip memory blocks",
+            536.0 / 3000.0,
+            FaultLoad::bit_flips(ctx.memory_data_targets(), DurationRange::SubCycle),
+        ),
+        (
+            "pulse combinational (<1cc)",
+            755.0 / 3000.0,
+            FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle),
+        ),
+        (
+            "pulse combinational (1-20cc)",
+            1520.0 / 3000.0,
+            FaultLoad::pulses(TargetClass::AllLuts, DurationRange::Cycles(1, 20)),
+        ),
+        (
+            "delay sequential",
+            2487.0 / 3000.0,
+            FaultLoad::delays(TargetClass::SequentialWires, DurationRange::SHORT),
+        ),
+        (
+            "delay combinational",
+            2778.0 / 3000.0,
+            FaultLoad::delays(TargetClass::CombinationalWires, DurationRange::SHORT),
+        ),
+        (
+            "indetermination sequential",
+            1065.0 / 3000.0,
+            FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::SHORT, false),
+        ),
+        (
+            "indetermination combinational",
+            805.0 / 3000.0,
+            FaultLoad::indeterminations(TargetClass::AllLuts, DurationRange::SHORT, false),
+        ),
+        (
+            "indetermination seq oscillating (11-20cc)",
+            4605.0 / 3000.0,
+            FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::MEDIUM, true),
+        ),
+    ]
+}
+
+/// Runs the figure's campaigns.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<Fig10Result, CoreError> {
+    let campaign = ctx.fades_campaign()?;
+    let mut rows = Vec::new();
+    for (label, paper, load) in standard_loads(ctx) {
+        let stats = campaign.run(&load, n_faults, seed)?;
+        rows.push(EmulationTimeRow {
+            label,
+            stats,
+            paper_seconds_per_fault: paper,
+        });
+    }
+    Ok(Fig10Result { rows, n_faults })
+}
+
+impl Fig10Result {
+    /// Renders the figure as a table (mean seconds per fault, measured vs
+    /// paper).
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "configuration",
+            "mean s/fault (model)",
+            "mean s/fault (paper)",
+            "campaign s (3000 faults, model)",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.label.to_string(),
+                format!("{:.3}", r.stats.mean_seconds_per_fault()),
+                format!("{:.3}", r.paper_seconds_per_fault),
+                format!("{:.0}", r.stats.mean_seconds_per_fault() * 3000.0),
+            ]);
+        }
+        t
+    }
+}

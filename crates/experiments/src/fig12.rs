@@ -1,0 +1,106 @@
+//! Figure 12: delay and indetermination emulation into sequential logic.
+//!
+//! Both models are injected into the sequential fabric for the paper's
+//! three duration ranges; the percentage of failures grows with duration
+//! and indeterminations are consistently more dangerous than delays
+//! (delayed lines still propagate the *correct* value, just late).
+
+use fades_core::{CoreError, DurationRange, FaultLoad, OutcomeStats, TargetClass};
+
+use crate::context::ExperimentContext;
+use crate::tablefmt::TextTable;
+
+/// The paper's three duration ranges.
+pub const DURATIONS: [DurationRange; 3] = [
+    DurationRange::SubCycle,
+    DurationRange::SHORT,
+    DurationRange::MEDIUM,
+];
+
+/// One (model, duration) cell.
+#[derive(Debug, Clone)]
+pub struct SequentialRow {
+    /// "delay" or "indetermination".
+    pub model: &'static str,
+    /// Duration range label.
+    pub duration: String,
+    /// Outcome percentages.
+    pub outcomes: OutcomeStats,
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// All (model, duration) cells.
+    pub rows: Vec<SequentialRow>,
+}
+
+/// Runs the six campaigns.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<Fig12Result, CoreError> {
+    let campaign = ctx.fades_campaign()?;
+    let mut rows = Vec::new();
+    for (mi, duration) in DURATIONS.iter().enumerate() {
+        let load = FaultLoad::delays(TargetClass::SequentialWires, *duration);
+        let outcomes = campaign
+            .run(&load, n_faults, seed ^ (mi as u64))?
+            .outcomes;
+        rows.push(SequentialRow {
+            model: "delay",
+            duration: duration.label(),
+            outcomes,
+        });
+    }
+    for (mi, duration) in DURATIONS.iter().enumerate() {
+        let load = FaultLoad::indeterminations(TargetClass::AllFfs, *duration, false);
+        let outcomes = campaign
+            .run(&load, n_faults, seed ^ ((mi as u64) << 8))?
+            .outcomes;
+        rows.push(SequentialRow {
+            model: "indetermination",
+            duration: duration.label(),
+            outcomes,
+        });
+    }
+    Ok(Fig12Result { rows })
+}
+
+impl Fig12Result {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "model",
+            "duration (cc)",
+            "failure %",
+            "latent %",
+            "silent %",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.model.to_string(),
+                r.duration.clone(),
+                format!("{:.1}", r.outcomes.failure_pct()),
+                format!("{:.1}", r.outcomes.latent_pct()),
+                format!("{:.1}", r.outcomes.silent_pct()),
+            ]);
+        }
+        t
+    }
+
+    /// Failure percentages of one model in duration order (for shape
+    /// assertions).
+    pub fn failure_series(&self, model: &str) -> Vec<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.model == model)
+            .map(|r| r.outcomes.failure_pct())
+            .collect()
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 13: results from pulse emulation into combinational logic,
+//! split by functional unit (ALU / MEM / FSM).
+
+use fades_core::{CoreError, FaultLoad};
+
+use crate::context::ExperimentContext;
+use crate::per_unit::{self, PerUnitResult};
+
+/// Runs pulse campaigns for every unit and duration range.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<PerUnitResult, CoreError> {
+    per_unit::run(
+        ctx,
+        "fig13-pulse",
+        |unit, duration| FaultLoad::pulses(per_unit::luts_of(unit), duration),
+        n_faults,
+        seed,
+    )
+}

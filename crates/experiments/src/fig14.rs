@@ -1,0 +1,28 @@
+//! Figure 14: results from indetermination emulation into combinational
+//! logic, split by functional unit (ALU / MEM / FSM).
+
+use fades_core::{CoreError, FaultLoad};
+
+use crate::context::ExperimentContext;
+use crate::per_unit::{self, PerUnitResult};
+
+/// Runs indetermination campaigns for every unit and duration range.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<PerUnitResult, CoreError> {
+    per_unit::run(
+        ctx,
+        "fig14-indetermination",
+        |unit, duration| {
+            FaultLoad::indeterminations(per_unit::luts_of(unit), duration, false)
+        },
+        n_faults,
+        seed,
+    )
+}

@@ -1,0 +1,26 @@
+//! Figure 15: results from delay emulation into combinational logic,
+//! split by functional unit (ALU / MEM / FSM).
+
+use fades_core::{CoreError, FaultLoad};
+
+use crate::context::ExperimentContext;
+use crate::per_unit::{self, PerUnitResult};
+
+/// Runs delay campaigns for every unit and duration range.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<PerUnitResult, CoreError> {
+    per_unit::run(
+        ctx,
+        "fig15-delay",
+        |unit, duration| FaultLoad::delays(per_unit::wires_of(unit), duration),
+        n_faults,
+        seed,
+    )
+}

@@ -1,0 +1,131 @@
+//! Command-line regenerator for every table and figure of the paper.
+//!
+//! ```text
+//! fades-experiments [table1|fig10|table2|fig11|fig12|fig13|fig14|fig15|table3|table4|permanent|techniques|scaling|setup|all]
+//! ```
+//!
+//! Environment:
+//! * `FADES_FAULTS` — faults per campaign (default 300; the paper uses 3000)
+//! * `FADES_SEED`   — campaign seed (default 20060625)
+
+use std::error::Error;
+use std::time::Instant;
+
+use fades_experiments::{
+    fault_count_from_env, fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling, seed_from_env,
+    table1, table2, table3, table4, techniques, ExperimentContext,
+};
+
+const KNOWN: [&str; 14] = [
+    "table1", "fig10", "table2", "fig11", "fig12", "fig13", "fig14", "fig15", "table3",
+    "table4", "permanent", "techniques", "scaling", "all",
+];
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!("unknown experiment `{which}`");
+        eprintln!("usage: fades-experiments [{}]", KNOWN.join("|"));
+        std::process::exit(2);
+    }
+    let n = fault_count_from_env();
+    let seed = seed_from_env();
+
+    if which == "table1" {
+        println!("Table 1 — emulation of transient fault models with FPGAs\n");
+        print!("{}", table1::table());
+        return Ok(());
+    }
+
+    let t0 = Instant::now();
+    let ctx = ExperimentContext::new()?;
+    print_setup(&ctx, n, seed);
+    let all = which == "all";
+
+    if all || which == "setup" {
+        // Setup summary already printed.
+    }
+    if all || which == "table1" {
+        section("Table 1 — emulation of transient fault models with FPGAs");
+        print!("{}", table1::table());
+    }
+    let fig10_result = if all || which == "fig10" || which == "table2" {
+        let r = fig10::run(&ctx, n, seed)?;
+        if all || which == "fig10" {
+            section("Figure 10 — mean emulation time of experiments via FADES");
+            print!("{}", r.table());
+        }
+        Some(r)
+    } else {
+        None
+    };
+    if all || which == "table2" {
+        section("Table 2 — speed-up obtained via FADES over VFIT");
+        let r = table2::from_fig10(&ctx, fig10_result.as_ref().expect("fig10 computed"));
+        print!("{}", r.table());
+    }
+    if all || which == "fig11" {
+        section("Figure 11 — results from the bit-flip emulation");
+        print!("{}", fig11::run(&ctx, n, seed)?.table());
+    }
+    if all || which == "fig12" {
+        section("Figure 12 — delay and indetermination into sequential logic");
+        print!("{}", fig12::run(&ctx, n, seed)?.table());
+    }
+    if all || which == "fig13" {
+        section("Figure 13 — pulse emulation into combinational logic");
+        print!("{}", fig13::run(&ctx, n, seed)?.table());
+    }
+    if all || which == "fig14" {
+        section("Figure 14 — indetermination into combinational logic");
+        print!("{}", fig14::run(&ctx, n, seed)?.table());
+    }
+    if all || which == "fig15" {
+        section("Figure 15 — delay emulation into combinational logic");
+        print!("{}", fig15::run(&ctx, n, seed)?.table());
+    }
+    if all || which == "table3" {
+        section("Table 3 — comparison of the results obtained via FADES and VFIT");
+        print!("{}", table3::run(&ctx, n, seed)?.table());
+    }
+    if all || which == "table4" {
+        section("Table 4 — pulses in combinational logic as multiple bit-flips");
+        print!("{}", table4::run(&ctx, seed)?.table());
+    }
+    if all || which == "permanent" {
+        section("§8 extension — permanent fault models via RTR");
+        print!("{}", permanent::run(&ctx, n, seed)?.table());
+    }
+    if all || which == "techniques" {
+        section("§7.3 — RTR vs CTR vs simulation on the same fault load");
+        print!("{}", techniques::run(&ctx, n.min(100), seed)?.table());
+    }
+    if all || which == "scaling" {
+        section("§7.1 — speed-up vs workload length");
+        print!("{}", scaling::run(n, seed)?.table());
+    }
+
+    eprintln!("\n[{} completed in {:.1?}]", which, t0.elapsed());
+    Ok(())
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn print_setup(ctx: &ExperimentContext, n: usize, seed: u64) {
+    let stats = ctx.soc().netlist.stats();
+    let (luts, ffs, brams) = ctx.implementation().bitstream.utilisation();
+    println!("Experimental setup (paper §6.1):");
+    println!(
+        "  model: 8051 subset, {} LUTs / {} FFs / {} memory blocks implemented",
+        luts, ffs, brams
+    );
+    println!("  netlist: {}", stats.to_string().trim_end().replace('\n', "\n  "));
+    println!(
+        "  workload: {} ({} cycles; paper's Bubblesort took 1303)",
+        ctx.workload().name,
+        ctx.workload_cycles()
+    );
+    println!("  faults per campaign: {n} (paper: 3000), seed {seed}");
+}

@@ -1,0 +1,105 @@
+//! Shared runner for the per-unit combinational-logic figures (13–15).
+
+use fades_core::{CoreError, DurationRange, FaultLoad, OutcomeStats, TargetClass};
+use fades_netlist::UnitTag;
+
+use crate::context::ExperimentContext;
+use crate::fig12::DURATIONS;
+use crate::tablefmt::TextTable;
+
+/// The three functional units the paper splits its combinational
+/// experiments into.
+pub const UNITS: [UnitTag; 3] = [UnitTag::Alu, UnitTag::MemCtl, UnitTag::Fsm];
+
+/// One (unit, duration) cell of a per-unit figure.
+#[derive(Debug, Clone)]
+pub struct UnitRow {
+    /// Functional unit.
+    pub unit: UnitTag,
+    /// Duration range label.
+    pub duration: String,
+    /// Outcome percentages.
+    pub outcomes: OutcomeStats,
+}
+
+/// A regenerated per-unit figure.
+#[derive(Debug, Clone)]
+pub struct PerUnitResult {
+    /// Figure name.
+    pub name: &'static str,
+    /// All (unit, duration) cells.
+    pub rows: Vec<UnitRow>,
+}
+
+pub(crate) fn run(
+    ctx: &ExperimentContext,
+    name: &'static str,
+    make_load: impl Fn(UnitTag, DurationRange) -> FaultLoad,
+    n_faults: usize,
+    seed: u64,
+) -> Result<PerUnitResult, CoreError> {
+    let campaign = ctx.fades_campaign()?;
+    let mut rows = Vec::new();
+    for (ui, unit) in UNITS.iter().enumerate() {
+        for (di, duration) in DURATIONS.iter().enumerate() {
+            let load = make_load(*unit, *duration);
+            let outcomes = campaign
+                .run(&load, n_faults, seed ^ ((ui as u64) << 16) ^ (di as u64))?
+                .outcomes;
+            rows.push(UnitRow {
+                unit: *unit,
+                duration: duration.label(),
+                outcomes,
+            });
+        }
+    }
+    Ok(PerUnitResult { name, rows })
+}
+
+/// LUT targets of a unit.
+pub(crate) fn luts_of(unit: UnitTag) -> TargetClass {
+    TargetClass::LutsOfUnit(unit)
+}
+
+/// Wire targets of a unit.
+pub(crate) fn wires_of(unit: UnitTag) -> TargetClass {
+    TargetClass::WiresOfUnit(unit)
+}
+
+impl PerUnitResult {
+    /// Renders the figure.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "unit",
+            "duration (cc)",
+            "failure %",
+            "latent %",
+            "silent %",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.unit.to_string(),
+                r.duration.clone(),
+                format!("{:.1}", r.outcomes.failure_pct()),
+                format!("{:.1}", r.outcomes.latent_pct()),
+                format!("{:.1}", r.outcomes.silent_pct()),
+            ]);
+        }
+        t
+    }
+
+    /// Failure percentages of one unit in duration order.
+    pub fn failure_series(&self, unit: UnitTag) -> Vec<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.unit == unit)
+            .map(|r| r.outcomes.failure_pct())
+            .collect()
+    }
+
+    /// Mean failure percentage of one unit across durations.
+    pub fn mean_failure(&self, unit: UnitTag) -> f64 {
+        let series = self.failure_series(unit);
+        series.iter().sum::<f64>() / series.len().max(1) as f64
+    }
+}

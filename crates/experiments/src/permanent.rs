@@ -1,0 +1,97 @@
+//! Permanent-fault campaigns (the paper's §8 future work, implemented).
+//!
+//! One campaign per permanent model over the 8051's combinational logic,
+//! plus stuck-at over the registers. No paper reference values exist —
+//! the paper only announces these models — so the table stands alone as
+//! the extension's result.
+
+use fades_core::{CoreError, FaultLoad, OutcomeStats, PermanentFault, TargetClass};
+
+use crate::context::ExperimentContext;
+use crate::tablefmt::TextTable;
+
+/// One permanent-model campaign.
+#[derive(Debug, Clone)]
+pub struct PermanentRow {
+    /// Fault model.
+    pub kind: PermanentFault,
+    /// Target description.
+    pub target: &'static str,
+    /// Outcomes.
+    pub outcomes: OutcomeStats,
+}
+
+/// The extension's results.
+#[derive(Debug, Clone)]
+pub struct PermanentResult {
+    /// One row per (model, target).
+    pub rows: Vec<PermanentRow>,
+}
+
+/// Runs every permanent model.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<PermanentResult, CoreError> {
+    let campaign = ctx.fades_campaign()?;
+    let mut rows = Vec::new();
+    for (i, kind) in [
+        PermanentFault::StuckAt,
+        PermanentFault::OpenLine,
+        PermanentFault::Bridging,
+        PermanentFault::StuckOpen,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let stats = campaign.run(
+            &FaultLoad::permanent(kind, TargetClass::AllLuts),
+            n_faults,
+            seed ^ ((i as u64) << 24),
+        )?;
+        rows.push(PermanentRow {
+            kind,
+            target: "combinational (all LUTs)",
+            outcomes: stats.outcomes,
+        });
+    }
+    let stats = campaign.run(
+        &FaultLoad::permanent(PermanentFault::StuckAt, TargetClass::AllFfs),
+        n_faults,
+        seed ^ (7 << 24),
+    )?;
+    rows.push(PermanentRow {
+        kind: PermanentFault::StuckAt,
+        target: "sequential (all FFs)",
+        outcomes: stats.outcomes,
+    });
+    Ok(PermanentResult { rows })
+}
+
+impl PermanentResult {
+    /// Renders the extension's table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "model",
+            "target",
+            "failure %",
+            "latent %",
+            "silent %",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.kind.to_string(),
+                r.target.to_string(),
+                format!("{:.1}", r.outcomes.failure_pct()),
+                format!("{:.1}", r.outcomes.latent_pct()),
+                format!("{:.1}", r.outcomes.silent_pct()),
+            ]);
+        }
+        t
+    }
+}

@@ -1,0 +1,101 @@
+//! Workload scaling (paper §7.1): the speed-up of fault emulation grows
+//! with workload length.
+//!
+//! VFIT-style simulation pays `cells × cycles` per experiment, while the
+//! FADES reconfiguration cost is independent of the workload — so longer
+//! workloads widen the gap. The paper makes this argument qualitatively
+//! ("considering more complex models and larger workloads would cause our
+//! approach to be more effective"); this experiment quantifies it across
+//! the three bundled workloads.
+
+use fades_core::{CoreError, DurationRange, FaultLoad, TargetClass};
+use fades_mcu8051::workloads;
+
+use crate::context::ExperimentContext;
+use crate::tablefmt::TextTable;
+
+/// One workload's scaling measurement.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Workload length in cycles.
+    pub cycles: u64,
+    /// FADES mean seconds per fault (bit-flip campaign).
+    pub fades_seconds: f64,
+    /// VFIT mean seconds per fault.
+    pub vfit_seconds: f64,
+    /// Speed-up.
+    pub speedup: f64,
+}
+
+/// The regenerated experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// One row per workload, ordered by cycle count.
+    pub rows: Vec<ScalingRow>,
+}
+
+/// Runs a bit-flip campaign per workload under both tools.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(n_faults: usize, seed: u64) -> Result<ScalingResult, CoreError> {
+    let mut rows = Vec::new();
+    for workload in workloads::all() {
+        let name = workload.name;
+        let ctx = ExperimentContext::with_workload(workload)
+            .map_err(|e| CoreError::Implementation(e.to_string()))?;
+        let campaign = ctx.fades_campaign()?;
+        let stats = campaign.run(
+            &FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle),
+            n_faults,
+            seed,
+        )?;
+        let vfit_model = fades_vfit::VfitTimeModel::paper_calibrated();
+        let vfit_seconds = vfit_model.experiment_seconds(
+            &ctx.soc().netlist,
+            ctx.workload_cycles() + 64,
+            1,
+        );
+        let fades_seconds = stats.mean_seconds_per_fault();
+        rows.push(ScalingRow {
+            workload: name,
+            cycles: ctx.workload_cycles(),
+            fades_seconds,
+            vfit_seconds,
+            speedup: vfit_seconds / fades_seconds,
+        });
+    }
+    rows.sort_by_key(|r| r.cycles);
+    Ok(ScalingResult { rows })
+}
+
+impl ScalingResult {
+    /// Renders the experiment.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "workload",
+            "cycles",
+            "FADES s/fault",
+            "VFIT s/fault",
+            "speed-up",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.to_string(),
+                r.cycles.to_string(),
+                format!("{:.3}", r.fades_seconds),
+                format!("{:.2}", r.vfit_seconds),
+                format!("{:.1}", r.speedup),
+            ]);
+        }
+        t
+    }
+
+    /// True if the speed-up grows monotonically with workload length.
+    pub fn speedup_grows_with_cycles(&self) -> bool {
+        self.rows.windows(2).all(|w| w[1].speedup >= w[0].speedup)
+    }
+}

@@ -1,0 +1,29 @@
+//! Table 1: emulation of transient fault models with FPGAs.
+
+use fades_core::models::capability_matrix;
+
+use crate::tablefmt::TextTable;
+
+/// Renders the capability matrix (the paper's Table 1, extended with the
+/// permanent fault models this reproduction adds).
+pub fn table() -> TextTable {
+    let mut t = TextTable::new(&["fault model", "FPGA target", "description", "observations"]);
+    for row in capability_matrix() {
+        t.row(vec![
+            row.model.to_string(),
+            row.fpga_target.to_string(),
+            row.description.to_string(),
+            row.observations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matrix_has_paper_rows_plus_extensions() {
+        let t = super::table();
+        assert!(t.len() >= 9, "paper's Table 1 has 9 mechanism rows");
+    }
+}

@@ -1,0 +1,114 @@
+//! Table 2: speed-up obtained when performing the experiments via FADES.
+
+use fades_core::CoreError;
+
+use crate::context::ExperimentContext;
+use crate::fig10::{self, Fig10Result};
+use crate::tablefmt::TextTable;
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Modelled FADES mean seconds per fault.
+    pub fades_seconds: f64,
+    /// Modelled VFIT mean seconds per fault.
+    pub vfit_seconds: f64,
+    /// Speed-up factor.
+    pub speedup: f64,
+    /// The paper's reported speed-up for this configuration.
+    pub paper_speedup: f64,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// Per-configuration rows.
+    pub rows: Vec<SpeedupRow>,
+    /// Mean speed-up over all configurations (the paper reports 15.66).
+    pub combined_speedup: f64,
+    /// Faults per campaign.
+    pub n_faults: usize,
+}
+
+/// The paper's speed-up figures, in [`fig10::standard_loads`] order.
+const PAPER_SPEEDUPS: [f64; 9] = [
+    23.60, 40.30, 28.60, 14.21, 8.68, 7.77, 20.28, 26.83, 21600.0 / 4605.0,
+];
+
+/// Runs the FADES campaigns of Figure 10 and compares each against the
+/// VFIT time model.
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<Table2Result, CoreError> {
+    let fig10 = fig10::run(ctx, n_faults, seed)?;
+    Ok(from_fig10(ctx, &fig10))
+}
+
+/// Derives Table 2 from an already-computed Figure 10 result.
+pub fn from_fig10(ctx: &ExperimentContext, fig10: &Fig10Result) -> Table2Result {
+    // VFIT's per-experiment cost is simulation-dominated and flat across
+    // fault models (paper §6.2: 21600 s / 3000 faults).
+    let vfit_model = fades_vfit::VfitTimeModel::paper_calibrated();
+    let vfit_seconds = vfit_model.experiment_seconds(
+        &ctx.soc().netlist,
+        ctx.workload_cycles() + 64,
+        2,
+    );
+    let mut rows = Vec::new();
+    let mut fades_total = 0.0;
+    for (row, paper_speedup) in fig10.rows.iter().zip(PAPER_SPEEDUPS) {
+        let fades_seconds = row.stats.mean_seconds_per_fault();
+        fades_total += fades_seconds;
+        rows.push(SpeedupRow {
+            label: row.label,
+            fades_seconds,
+            vfit_seconds,
+            speedup: vfit_seconds / fades_seconds,
+            paper_speedup,
+        });
+    }
+    let combined = vfit_seconds / (fades_total / fig10.rows.len() as f64);
+    Table2Result {
+        rows,
+        combined_speedup: combined,
+        n_faults: fig10.n_faults,
+    }
+}
+
+impl Table2Result {
+    /// Renders the table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "configuration",
+            "FADES s/fault",
+            "VFIT s/fault",
+            "speed-up",
+            "paper speed-up",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.label.to_string(),
+                format!("{:.3}", r.fades_seconds),
+                format!("{:.2}", r.vfit_seconds),
+                format!("{:.2}", r.speedup),
+                format!("{:.2}", r.paper_speedup),
+            ]);
+        }
+        t.row(vec![
+            "combined mean (paper: 15.66)".into(),
+            String::new(),
+            String::new(),
+            format!("{:.2}", self.combined_speedup),
+            "15.66".into(),
+        ]);
+        t
+    }
+}

@@ -1,0 +1,155 @@
+//! Table 4: effects of the occurrence of pulses in combinational logic.
+//!
+//! The paper shows that one pulse in a single LUT can manifest as a
+//! *multiple* bit-flip across several registers at the next capture edge —
+//! the argument of §7.2 for why combinational injections cannot simply be
+//! replaced by single bit-flips. This regenerator searches for LUTs whose
+//! pulse corrupts two or more registers and reports the golden vs faulty
+//! register values, like the paper's two CLB examples.
+
+use fades_core::CoreError;
+use fades_fpga::{CbCoord, Device, Mutation};
+use fades_netlist::UnitTag;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+use crate::context::ExperimentContext;
+use crate::tablefmt::TextTable;
+
+/// Registers observed by the table (the 8051 model's architectural and
+/// micro-architectural state).
+const REGISTERS: [&str; 13] = [
+    "acc", "b", "sp", "dph", "dpl", "p1", "p2", "pc", "ir", "t1", "t2", "state", "psw_cy",
+];
+
+/// One affected register of one example pulse.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// The LUT whose pulse caused the corruption.
+    pub lut_site: CbCoord,
+    /// Affected register.
+    pub register: String,
+    /// Fault-free value at the observation edge.
+    pub golden_hex: u64,
+    /// Faulty value at the observation edge.
+    pub faulty_hex: u64,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone)]
+pub struct Table4Result {
+    /// Rows, grouped by LUT site.
+    pub rows: Vec<Table4Row>,
+    /// Number of distinct example LUTs found.
+    pub examples: usize,
+}
+
+fn read_registers(
+    ctx: &ExperimentContext,
+    dev: &Device,
+) -> Vec<(String, u64)> {
+    let netlist = &ctx.soc().netlist;
+    let map = &ctx.implementation().map;
+    let mut out = Vec::new();
+    for name in REGISTERS {
+        let cells = netlist.dffs_with_prefix(&format!("{name}["));
+        let mut value = 0u64;
+        for (bit, cell) in cells.iter().enumerate() {
+            let site = map.ff_site(*cell).expect("register FF is placed");
+            if dev.peek_ff(site).expect("placed FF is readable") {
+                value |= 1 << bit;
+            }
+        }
+        out.push((name.to_string(), value));
+    }
+    out
+}
+
+/// Searches for example pulses that flip multiple registers at once.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn run(ctx: &ExperimentContext, seed: u64) -> Result<Table4Result, CoreError> {
+    let imp = ctx.implementation();
+    let netlist = &ctx.soc().netlist;
+    let mut dev = Device::configure(imp.bitstream.clone())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Candidate LUTs from the memory-control and ALU units, whose outputs
+    // fan out to many registers.
+    let mut candidates: Vec<CbCoord> = imp
+        .map
+        .lut_sites_of_unit(netlist, UnitTag::MemCtl)
+        .into_iter()
+        .chain(imp.map.lut_sites_of_unit(netlist, UnitTag::Alu))
+        .collect();
+    candidates.shuffle(&mut rng);
+
+    let mut rows = Vec::new();
+    let mut examples = 0;
+    let observe_after = 2u64; // capture edges after the pulse
+    for site in candidates {
+        if examples == 2 {
+            break;
+        }
+        let at = rng.gen_range(100..ctx.workload_cycles() - 10);
+        // Golden register state at the observation edge.
+        dev.reset();
+        dev.run(at + observe_after);
+        let golden = read_registers(ctx, &dev);
+        // Faulty: pulse the LUT (output inversion) for one cycle at `at`.
+        dev.reset();
+        dev.run(at);
+        let original = dev.readback_lut_table(site)?;
+        dev.apply(&Mutation::SetLutTable {
+            cb: site,
+            table: !original,
+        })?;
+        dev.run(1);
+        dev.apply(&Mutation::SetLutTable {
+            cb: site,
+            table: original,
+        })?;
+        dev.run(observe_after - 1);
+        let faulty = read_registers(ctx, &dev);
+
+        let diffs: Vec<Table4Row> = golden
+            .iter()
+            .zip(&faulty)
+            .filter(|((_, g), (_, f))| g != f)
+            .map(|((name, g), (_, f))| Table4Row {
+                lut_site: site,
+                register: name.clone(),
+                golden_hex: *g,
+                faulty_hex: *f,
+            })
+            .collect();
+        if diffs.len() >= 2 {
+            examples += 1;
+            rows.extend(diffs);
+        }
+    }
+    Ok(Table4Result { rows, examples })
+}
+
+impl Table4Result {
+    /// Renders the table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "injection point",
+            "affected register",
+            "fault-free hex",
+            "faulty hex",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.lut_site.to_string(),
+                r.register.clone(),
+                format!("{:02X}", r.golden_hex),
+                format!("{:02X}", r.faulty_hex),
+            ]);
+        }
+        t
+    }
+}

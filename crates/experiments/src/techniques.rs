@@ -1,0 +1,114 @@
+//! Technique comparison (paper §7.3): run-time reconfiguration vs
+//! compile-time reconfiguration vs simulator commands, on the same model
+//! and fault load.
+//!
+//! The paper argues RTR "outperforms \[CTR\] by requiring only one
+//! implementation" and beats simulation by an order of magnitude. This
+//! experiment runs pulse campaigns under all three techniques and reports
+//! their modelled per-fault cost side by side.
+
+use fades_core::{CoreError, DurationRange, FaultLoad, TargetClass};
+use fades_ctr::CtrCampaign;
+use fades_fpga::ArchParams;
+use fades_vfit::{VfitFaultLoad, VfitTargetClass};
+
+use crate::context::ExperimentContext;
+use crate::tablefmt::TextTable;
+
+/// One technique's measurement.
+#[derive(Debug, Clone)]
+pub struct TechniqueRow {
+    /// Technique name.
+    pub technique: &'static str,
+    /// Mean modelled seconds per fault.
+    pub seconds_per_fault: f64,
+    /// Failure percentage observed (sanity: all techniques inject real
+    /// faults).
+    pub failure_pct: f64,
+    /// What dominates the cost.
+    pub dominated_by: &'static str,
+}
+
+/// The regenerated comparison.
+#[derive(Debug, Clone)]
+pub struct TechniquesResult {
+    /// One row per technique.
+    pub rows: Vec<TechniqueRow>,
+}
+
+/// Runs pulse campaigns under RTR (FADES), CTR and simulation (VFIT).
+///
+/// # Errors
+///
+/// Propagates campaign errors.
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<TechniquesResult, CoreError> {
+    let duration = DurationRange::SHORT;
+    let mut rows = Vec::new();
+
+    let fades = ctx.fades_campaign()?;
+    let f = fades.run(
+        &FaultLoad::pulses(TargetClass::AllLuts, duration),
+        n_faults,
+        seed,
+    )?;
+    rows.push(TechniqueRow {
+        technique: "RTR (FADES)",
+        seconds_per_fault: f.mean_seconds_per_fault(),
+        failure_pct: f.outcomes.failure_pct(),
+        dominated_by: "partial reconfiguration",
+    });
+
+    let ctr = CtrCampaign::new(
+        &ctx.soc().netlist,
+        ArchParams::virtex1000_like(),
+        &fades_mcu8051::OBSERVED_PORTS,
+        ctx.workload_cycles(),
+    )?;
+    let c = ctr.run(duration, n_faults, seed)?;
+    rows.push(TechniqueRow {
+        technique: "CTR (instrumented)",
+        seconds_per_fault: c.mean_seconds_per_fault(),
+        failure_pct: c.outcomes.failure_pct(),
+        dominated_by: "per-version implementation",
+    });
+
+    let vfit = ctx.vfit_campaign()?;
+    let v = vfit.run(
+        &VfitFaultLoad::pulses(VfitTargetClass::CombinationalSignals, duration),
+        n_faults,
+        seed,
+    )?;
+    rows.push(TechniqueRow {
+        technique: "Simulation (VFIT)",
+        seconds_per_fault: v.mean_seconds_per_fault(),
+        failure_pct: v.outcomes.failure_pct(),
+        dominated_by: "model execution on CPU",
+    });
+
+    Ok(TechniquesResult { rows })
+}
+
+impl TechniquesResult {
+    /// Renders the comparison.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "technique",
+            "s/fault (model)",
+            "failure %",
+            "dominated by",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.technique.to_string(),
+                format!("{:.2}", r.seconds_per_fault),
+                format!("{:.1}", r.failure_pct),
+                r.dominated_by.to_string(),
+            ]);
+        }
+        t
+    }
+}

@@ -1,0 +1,132 @@
+//! Architecture parameters of the generic FPGA.
+
+/// Geometry, configuration-frame layout and timing of a device family
+/// member.
+///
+/// The defaults in [`ArchParams::virtex1000_like`] model the Virtex 1000
+/// used by the paper's prototype: 24 576 configurable blocks, column-major
+/// configuration frames, and per-element delays in the ranges the paper
+/// quotes (a Virtex LUT contributes 0.29–0.8 ns, an extra fan-out load
+/// 0.001–0.018 ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchParams {
+    /// Configurable-block rows.
+    pub rows: u16,
+    /// Configurable-block columns.
+    pub cols: u16,
+    /// Configuration frames per CB column (Virtex: 48).
+    pub frames_per_col: u16,
+    /// Bytes per configuration frame.
+    pub frame_bytes: u32,
+    /// Number of embedded memory blocks available.
+    pub bram_blocks: u16,
+    /// Capacity of one memory block in bits.
+    pub bram_bits: u32,
+    /// Configuration frames per memory block.
+    pub frames_per_bram: u16,
+    /// System clock period in nanoseconds (workload execution speed).
+    pub clock_period_ns: f64,
+    /// Propagation delay through a LUT in nanoseconds.
+    pub lut_delay_ns: f64,
+    /// Base delay of a routed wire in nanoseconds.
+    pub wire_base_ns: f64,
+    /// Delay added per routing segment in nanoseconds.
+    pub per_segment_ns: f64,
+    /// Delay added per pass-transistor load (fan-out) in nanoseconds.
+    pub per_fanout_ns: f64,
+    /// Asynchronous read delay of a memory block in nanoseconds.
+    pub bram_read_ns: f64,
+    /// Flip-flop setup time in nanoseconds.
+    pub ff_setup_ns: f64,
+    /// Input-dependent spread of combinational arrival times in
+    /// nanoseconds: a path whose *worst-case* arrival exceeds the usable
+    /// period by `o` nanoseconds actually misses the capture edge on a
+    /// given cycle with probability `min(1, o / arrival_spread_ns)`,
+    /// because the exercised path depends on the cycle's data.
+    pub arrival_spread_ns: f64,
+}
+
+impl ArchParams {
+    /// Parameters modelled on the Xilinx Virtex 1000 of the paper's
+    /// prototype (64×96 CLBs with four logic elements each → a 128×192 grid
+    /// of configurable blocks; 24 576 LUTs and FFs).
+    pub fn virtex1000_like() -> Self {
+        ArchParams {
+            rows: 128,
+            cols: 192,
+            frames_per_col: 48,
+            frame_bytes: 288,
+            bram_blocks: 32,
+            bram_bits: 4096,
+            frames_per_bram: 64,
+            clock_period_ns: 80.0,
+            lut_delay_ns: 0.5,
+            wire_base_ns: 0.35,
+            per_segment_ns: 0.05,
+            per_fanout_ns: 0.010,
+            bram_read_ns: 1.6,
+            ff_setup_ns: 0.2,
+            arrival_spread_ns: 14.0,
+        }
+    }
+
+    /// A small device for unit tests and examples (16×16 CBs).
+    pub fn small() -> Self {
+        ArchParams {
+            rows: 16,
+            cols: 16,
+            frames_per_col: 8,
+            frame_bytes: 36,
+            bram_blocks: 4,
+            bram_bits: 4096,
+            frames_per_bram: 8,
+            ..Self::virtex1000_like()
+        }
+    }
+
+    /// Total number of configurable blocks.
+    pub fn cb_count(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Total number of configuration frames (CB columns plus memory
+    /// blocks); a full-device configuration download transfers all of them.
+    pub fn total_frames(&self) -> u32 {
+        self.cols as u32 * self.frames_per_col as u32
+            + self.bram_blocks as u32 * self.frames_per_bram as u32
+    }
+
+    /// Size of a full configuration file in bytes.
+    pub fn full_config_bytes(&self) -> u64 {
+        self.total_frames() as u64 * self.frame_bytes as u64
+    }
+
+    /// Timing slack available for combinational paths, in nanoseconds.
+    pub fn usable_period_ns(&self) -> f64 {
+        self.clock_period_ns - self.ff_setup_ns
+    }
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        Self::virtex1000_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex1000_geometry_matches_paper() {
+        let a = ArchParams::virtex1000_like();
+        // The paper: 24576 FFs and 24576 LUTs available on the Virtex 1000.
+        assert_eq!(a.cb_count(), 24_576);
+    }
+
+    #[test]
+    fn full_config_is_megabytes() {
+        let a = ArchParams::virtex1000_like();
+        assert!(a.full_config_bytes() > 1_000_000);
+    }
+}

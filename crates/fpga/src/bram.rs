@@ -1,0 +1,70 @@
+//! Embedded memory block configuration.
+
+use crate::coords::WireId;
+
+/// Configuration of one embedded memory block.
+///
+/// The contents live in the configuration memory (`init`), which is exactly
+/// what makes the paper's memory-block bit-flip mechanism work: reading the
+/// corresponding frame back, flipping one bit and writing the frame again
+/// changes the stored word — and, since the fault persists until the
+/// application rewrites the word, no removal reconfiguration is needed
+/// (paper §4.1, Fig. 4).
+///
+/// Reads are asynchronous; writes are synchronous on the global clock when
+/// the write-enable wire is high.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BramConfig {
+    /// Human-readable name (from the HDL model).
+    pub name: String,
+    /// Wires feeding the address pins (LSB first); depth is
+    /// `2^addr_pins.len()`.
+    pub addr_pins: Vec<WireId>,
+    /// Wires feeding the data-input pins (empty for ROMs).
+    pub din_pins: Vec<WireId>,
+    /// Wires driven by the data-output pins; `None` for unconnected bits.
+    pub dout_wires: Vec<Option<WireId>>,
+    /// Wire feeding the write-enable pin; `None` for ROMs.
+    pub we_pin: Option<WireId>,
+    /// Word width in bits (<= 64).
+    pub width: u32,
+    /// Contents, one word per address. Part of the configuration memory.
+    pub contents: Vec<u64>,
+}
+
+impl BramConfig {
+    /// Number of addressable words.
+    pub fn depth(&self) -> usize {
+        1usize << self.addr_pins.len()
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> usize {
+        self.depth() * self.width as usize
+    }
+
+    /// True if the block has no write port.
+    pub fn is_rom(&self) -> bool {
+        self.we_pin.is_none()
+    }
+
+    /// Reads one stored bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `bit` is out of range.
+    pub fn bit(&self, addr: usize, bit: u32) -> bool {
+        assert!(bit < self.width, "bit {bit} out of width {}", self.width);
+        (self.contents[addr] >> bit) & 1 == 1
+    }
+
+    /// Flips one stored bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `bit` is out of range.
+    pub fn flip_bit(&mut self, addr: usize, bit: u32) {
+        assert!(bit < self.width, "bit {bit} out of width {}", self.width);
+        self.contents[addr] ^= 1 << bit;
+    }
+}

@@ -1,0 +1,109 @@
+//! Configurable-block configuration.
+
+use crate::coords::WireId;
+
+/// Value driven into a flip-flop when its set/reset line fires.
+///
+/// This models the `CLRMux` / `PRMux` pair of the generic CB: selecting
+/// `Reset` routes the set/reset pulse to the clear input (FF becomes 0),
+/// selecting `Set` routes it to the preset input (FF becomes 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetReset {
+    /// Clear the flip-flop to 0.
+    #[default]
+    Reset,
+    /// Preset the flip-flop to 1.
+    Set,
+}
+
+impl SetReset {
+    /// The value the flip-flop takes when the line fires.
+    pub fn value(self) -> bool {
+        matches!(self, SetReset::Set)
+    }
+
+    /// The selection that drives the given value.
+    pub fn driving(value: bool) -> Self {
+        if value {
+            SetReset::Set
+        } else {
+            SetReset::Reset
+        }
+    }
+}
+
+/// Source of a flip-flop's data input (the `LUTorFFMux` of the generic CB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FfDSrc {
+    /// The FF registers the output of the block's own LUT.
+    #[default]
+    LutOut,
+    /// The FF registers a routed wire directly (LUT bypassed).
+    Direct(WireId),
+}
+
+/// Configuration of one configurable block, as stored in the configuration
+/// memory.
+///
+/// Matches the generic CB of the paper's Figure 2: a 4-input LUT, a D-type
+/// flip-flop, and the multiplexers that define their interconnection and
+/// set/reset behaviour. Every field corresponds to configuration-memory
+/// bits and may be changed at run time through [`crate::Mutation`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbConfig {
+    /// True if the LUT implements logic.
+    pub lut_used: bool,
+    /// LUT truth table (LSB-first, 16 entries).
+    pub lut_table: u16,
+    /// Wires feeding the LUT's input pins.
+    pub lut_pins: [Option<WireId>; 4],
+    /// True if the flip-flop stores state.
+    pub ff_used: bool,
+    /// Power-on value of the flip-flop.
+    pub ff_init: bool,
+    /// Data source of the flip-flop.
+    pub ff_d_src: FfDSrc,
+    /// `InvertFFinMux`: invert the FF data input. Pulse faults on the CB
+    /// input path are emulated by toggling this bit (paper §4.2, Fig. 6).
+    pub invert_ff_in: bool,
+    /// `InvertLSRMux`: inverting this bit produces a pulse on the local
+    /// set/reset line, which is how asynchronous bit-flips are injected
+    /// into a single FF (paper §4.1).
+    pub invert_lsr: bool,
+    /// `CLRMux`/`PRMux` selection: value driven by LSR *and* GSR pulses.
+    pub lsr_drive: SetReset,
+}
+
+impl Default for CbConfig {
+    fn default() -> Self {
+        CbConfig {
+            lut_used: false,
+            lut_table: 0,
+            lut_pins: [None; 4],
+            ff_used: false,
+            ff_init: false,
+            ff_d_src: FfDSrc::LutOut,
+            invert_ff_in: false,
+            invert_lsr: false,
+            lsr_drive: SetReset::Reset,
+        }
+    }
+}
+
+impl CbConfig {
+    /// True if neither the LUT nor the FF is in use.
+    pub fn is_unused(&self) -> bool {
+        !self.lut_used && !self.ff_used
+    }
+
+    /// Evaluates the LUT for the given pin values.
+    pub fn eval_lut(&self, pins: [bool; 4]) -> bool {
+        let mut idx = 0usize;
+        for (bit, v) in pins.iter().enumerate() {
+            if *v {
+                idx |= 1 << bit;
+            }
+        }
+        (self.lut_table >> idx) & 1 == 1
+    }
+}

@@ -1,0 +1,87 @@
+//! Coordinates of FPGA resources.
+
+use std::fmt;
+
+/// Position of a configurable block on the device grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CbCoord {
+    /// Column (0-based, left to right).
+    pub col: u16,
+    /// Row (0-based, top to bottom).
+    pub row: u16,
+}
+
+impl CbCoord {
+    /// Creates a coordinate.
+    pub fn new(col: u16, row: u16) -> Self {
+        CbCoord { col, row }
+    }
+
+    /// Flat index into a column-major CB array with `rows` rows per column.
+    pub fn flat_index(self, rows: u16) -> usize {
+        self.col as usize * rows as usize + self.row as usize
+    }
+
+    /// Inverse of [`flat_index`](Self::flat_index).
+    pub fn from_flat_index(index: usize, rows: u16) -> Self {
+        CbCoord {
+            col: (index / rows as usize) as u16,
+            row: (index % rows as usize) as u16,
+        }
+    }
+
+    /// Manhattan distance to another CB, in grid units.
+    pub fn manhattan(self, other: CbCoord) -> u32 {
+        self.col.abs_diff(other.col) as u32 + self.row.abs_diff(other.row) as u32
+    }
+}
+
+impl fmt::Display for CbCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CB({},{})", self.col, self.row)
+    }
+}
+
+/// Identifier of a routed wire (one per logical net after implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireId(pub(crate) u32);
+
+impl WireId {
+    /// Raw dense index (see [`crate::Bitstream::wires`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `WireId` from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        WireId(index as u32)
+    }
+}
+
+impl fmt::Display for WireId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Identifier of an embedded memory block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BramId(pub(crate) u16);
+
+impl BramId {
+    /// Raw dense index (see [`crate::Bitstream::brams`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `BramId` from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        BramId(index as u16)
+    }
+}
+
+impl fmt::Display for BramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BRAM{}", self.0)
+    }
+}

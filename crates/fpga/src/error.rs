@@ -1,0 +1,99 @@
+//! Error type for the FPGA model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::coords::{BramId, CbCoord, WireId};
+
+/// Errors produced when building bitstreams or operating a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// A CB coordinate is outside the device grid.
+    CoordOutOfRange(CbCoord),
+    /// A CB is already occupied by another cell.
+    CbOccupied(CbCoord),
+    /// No memory block is available.
+    NoBramAvailable,
+    /// A memory is too large for one block.
+    BramTooLarge {
+        /// Requested capacity in bits.
+        requested: usize,
+        /// Block capacity in bits.
+        capacity: u32,
+    },
+    /// A wire id is out of range.
+    BadWire(WireId),
+    /// A memory block id is out of range.
+    BadBram(BramId),
+    /// A memory address or bit is out of range for the block.
+    BadBramLocation {
+        /// Block.
+        bram: BramId,
+        /// Word address.
+        addr: usize,
+        /// Bit within the word.
+        bit: u32,
+    },
+    /// A port name was not found.
+    UnknownPort(String),
+    /// A port was accessed with the wrong width.
+    WidthMismatch {
+        /// Port name.
+        name: String,
+        /// Declared width.
+        expected: usize,
+        /// Supplied width.
+        actual: usize,
+    },
+    /// The configured circuit contains a combinational loop.
+    CombinationalLoop(WireId),
+    /// A mutation targeted a CB whose relevant resource is unused.
+    ResourceUnused(CbCoord),
+    /// There are not enough unused resources for a delay detour.
+    InsufficientSpareResources {
+        /// What was requested.
+        what: &'static str,
+    },
+    /// A configuration file could not be parsed.
+    BadConfigFile(String),
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::CoordOutOfRange(cb) => write!(f, "{cb} outside device grid"),
+            FpgaError::CbOccupied(cb) => write!(f, "{cb} already occupied"),
+            FpgaError::NoBramAvailable => f.write_str("no memory block available"),
+            FpgaError::BramTooLarge {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "memory of {requested} bits exceeds block capacity of {capacity} bits"
+            ),
+            FpgaError::BadWire(w) => write!(f, "wire {w} out of range"),
+            FpgaError::BadBram(b) => write!(f, "memory block {b} out of range"),
+            FpgaError::BadBramLocation { bram, addr, bit } => {
+                write!(f, "location addr={addr} bit={bit} out of range for {bram}")
+            }
+            FpgaError::UnknownPort(n) => write!(f, "unknown port `{n}`"),
+            FpgaError::WidthMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(f, "port `{name}` has width {expected}, got {actual} bits"),
+            FpgaError::CombinationalLoop(w) => {
+                write!(f, "configured circuit has a combinational loop through {w}")
+            }
+            FpgaError::ResourceUnused(cb) => {
+                write!(f, "mutation targets unused resource at {cb}")
+            }
+            FpgaError::InsufficientSpareResources { what } => {
+                write!(f, "not enough spare {what} for delay detour")
+            }
+            FpgaError::BadConfigFile(msg) => write!(f, "bad configuration file: {msg}"),
+        }
+    }
+}
+
+impl Error for FpgaError {}

@@ -1,0 +1,492 @@
+//! Configuration-file serialization.
+//!
+//! The paper's Figure 1 flow produces a *configuration file* from
+//! synthesis and implementation and downloads it into the device. This
+//! module gives the [`Bitstream`] that concrete form: a self-describing
+//! little-endian binary encoding that round-trips exactly, so
+//! configurations can be stored, diffed and shipped like real `.bit`
+//! files.
+
+use crate::arch::ArchParams;
+use crate::bitstream::Bitstream;
+use crate::cb::{CbConfig, FfDSrc, SetReset};
+use crate::coords::{CbCoord, WireId};
+use crate::error::FpgaError;
+use crate::routing::{WireConfig, WireDriver, WireSink};
+
+const MAGIC: &[u8; 8] = b"FADESCFG";
+const VERSION: u16 = 1;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn opt_wire(&mut self, w: Option<WireId>) {
+        match w {
+            Some(w) => self.u32(w.index() as u32 + 1),
+            None => self.u32(0),
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FpgaError> {
+        if self.pos + n > self.buf.len() {
+            return Err(bad("unexpected end of file"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, FpgaError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, FpgaError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, FpgaError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, FpgaError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, FpgaError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, FpgaError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("invalid string"))
+    }
+    fn opt_wire(&mut self) -> Result<Option<WireId>, FpgaError> {
+        let v = self.u32()?;
+        Ok(if v == 0 {
+            None
+        } else {
+            Some(WireId::from_index(v as usize - 1))
+        })
+    }
+}
+
+fn bad(msg: &str) -> FpgaError {
+    FpgaError::BadConfigFile(msg.to_string())
+}
+
+impl Bitstream {
+    /// Serialises the configuration to its file form.
+    pub fn to_config_file(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(MAGIC);
+        w.u16(VERSION);
+        let a = self.arch();
+        w.u16(a.rows);
+        w.u16(a.cols);
+        w.u16(a.frames_per_col);
+        w.u32(a.frame_bytes);
+        w.u16(a.bram_blocks);
+        w.u32(a.bram_bits);
+        w.u16(a.frames_per_bram);
+        for v in [
+            a.clock_period_ns,
+            a.lut_delay_ns,
+            a.wire_base_ns,
+            a.per_segment_ns,
+            a.per_fanout_ns,
+            a.bram_read_ns,
+            a.ff_setup_ns,
+            a.arrival_spread_ns,
+        ] {
+            w.f64(v);
+        }
+        // Used CBs only (sparse encoding: the grid is mostly empty).
+        let used: Vec<(usize, &CbConfig)> = self
+            .cbs()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_unused())
+            .collect();
+        w.u32(used.len() as u32);
+        for (flat, cb) in used {
+            w.u32(flat as u32);
+            w.u8(cb.lut_used as u8);
+            w.u16(cb.lut_table);
+            for pin in cb.lut_pins {
+                w.opt_wire(pin);
+            }
+            w.u8(cb.ff_used as u8);
+            w.u8(cb.ff_init as u8);
+            match cb.ff_d_src {
+                FfDSrc::LutOut => w.u32(0),
+                FfDSrc::Direct(wire) => w.u32(wire.index() as u32 + 1),
+            }
+            w.u8(cb.invert_ff_in as u8);
+            w.u8(cb.invert_lsr as u8);
+            w.u8(matches!(cb.lsr_drive, SetReset::Set) as u8);
+        }
+        // Wires.
+        w.u32(self.wires().len() as u32);
+        for wire in self.wires() {
+            match &wire.driver {
+                WireDriver::CbLut(cb) => {
+                    w.u8(0);
+                    w.u16(cb.col);
+                    w.u16(cb.row);
+                }
+                WireDriver::CbFf(cb) => {
+                    w.u8(1);
+                    w.u16(cb.col);
+                    w.u16(cb.row);
+                }
+                WireDriver::PrimaryInput { port, bit } => {
+                    w.u8(2);
+                    w.u32(*port);
+                    w.u32(*bit);
+                }
+                WireDriver::BramDout { bram, bit } => {
+                    w.u8(3);
+                    w.u16(bram.index() as u16);
+                    w.u32(*bit);
+                }
+            }
+            w.u32(wire.sinks.len() as u32);
+            for sink in &wire.sinks {
+                match sink {
+                    WireSink::LutPin { cb, pin } => {
+                        w.u8(0);
+                        w.u16(cb.col);
+                        w.u16(cb.row);
+                        w.u8(*pin);
+                    }
+                    WireSink::FfDirect { cb } => {
+                        w.u8(1);
+                        w.u16(cb.col);
+                        w.u16(cb.row);
+                    }
+                    WireSink::BramAddr { bram, bit } => {
+                        w.u8(2);
+                        w.u16(bram.index() as u16);
+                        w.u32(*bit);
+                    }
+                    WireSink::BramDin { bram, bit } => {
+                        w.u8(3);
+                        w.u16(bram.index() as u16);
+                        w.u32(*bit);
+                    }
+                    WireSink::BramWe { bram } => {
+                        w.u8(4);
+                        w.u16(bram.index() as u16);
+                    }
+                    WireSink::PrimaryOutput { port, bit } => {
+                        w.u8(5);
+                        w.u32(*port);
+                        w.u32(*bit);
+                    }
+                }
+            }
+            w.u32(wire.segments);
+            w.u32(wire.pass_transistors);
+            w.u32(wire.extra_fanout);
+            w.u32(wire.detour_luts);
+            w.u16(wire.col_span.0);
+            w.u16(wire.col_span.1);
+        }
+        // Memory blocks.
+        w.u32(self.brams().len() as u32);
+        for b in self.brams() {
+            w.str(&b.name);
+            w.u32(b.addr_pins.len() as u32);
+            for p in &b.addr_pins {
+                w.u32(p.index() as u32);
+            }
+            w.u32(b.din_pins.len() as u32);
+            for p in &b.din_pins {
+                w.u32(p.index() as u32);
+            }
+            w.u32(b.dout_wires.len() as u32);
+            for p in &b.dout_wires {
+                w.opt_wire(*p);
+            }
+            w.opt_wire(b.we_pin);
+            w.u32(b.width);
+            w.u32(b.contents.len() as u32);
+            for word in &b.contents {
+                w.u64(*word);
+            }
+        }
+        // Ports.
+        for ports in [self.inputs(), self.outputs()] {
+            w.u32(ports.len() as u32);
+            for p in ports {
+                w.str(&p.name);
+                w.u32(p.wires.len() as u32);
+                for wire in &p.wires {
+                    w.u32(wire.index() as u32);
+                }
+            }
+        }
+        w.buf
+    }
+
+    /// Parses a configuration file produced by
+    /// [`to_config_file`](Self::to_config_file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FpgaError::BadConfigFile`] for truncated, corrupt or
+    /// unsupported files.
+    #[allow(clippy::too_many_lines)]
+    pub fn from_config_file(bytes: &[u8]) -> Result<Self, FpgaError> {
+        let mut r = Reader::new(bytes);
+        if r.take(8)? != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if r.u16()? != VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let arch = ArchParams {
+            rows: r.u16()?,
+            cols: r.u16()?,
+            frames_per_col: r.u16()?,
+            frame_bytes: r.u32()?,
+            bram_blocks: r.u16()?,
+            bram_bits: r.u32()?,
+            frames_per_bram: r.u16()?,
+            clock_period_ns: r.f64()?,
+            lut_delay_ns: r.f64()?,
+            wire_base_ns: r.f64()?,
+            per_segment_ns: r.f64()?,
+            per_fanout_ns: r.f64()?,
+            bram_read_ns: r.f64()?,
+            ff_setup_ns: r.f64()?,
+            arrival_spread_ns: r.f64()?,
+        };
+        let mut bs = Bitstream::new(arch);
+        let n_used = r.u32()? as usize;
+        for _ in 0..n_used {
+            let flat = r.u32()? as usize;
+            if flat >= arch.cb_count() {
+                return Err(bad("CB index out of range"));
+            }
+            let lut_used = r.u8()? != 0;
+            let lut_table = r.u16()?;
+            let mut lut_pins = [None; 4];
+            for pin in &mut lut_pins {
+                *pin = r.opt_wire()?;
+            }
+            let ff_used = r.u8()? != 0;
+            let ff_init = r.u8()? != 0;
+            let d_src = r.u32()?;
+            let invert_ff_in = r.u8()? != 0;
+            let invert_lsr = r.u8()? != 0;
+            let lsr_drive = if r.u8()? != 0 {
+                SetReset::Set
+            } else {
+                SetReset::Reset
+            };
+            let cb = CbCoord::from_flat_index(flat, arch.rows);
+            *bs.cb_mut(cb)? = CbConfig {
+                lut_used,
+                lut_table,
+                lut_pins,
+                ff_used,
+                ff_init,
+                ff_d_src: if d_src == 0 {
+                    FfDSrc::LutOut
+                } else {
+                    FfDSrc::Direct(WireId::from_index(d_src as usize - 1))
+                },
+                invert_ff_in,
+                invert_lsr,
+                lsr_drive,
+            };
+        }
+        let n_wires = r.u32()? as usize;
+        for _ in 0..n_wires {
+            let driver = match r.u8()? {
+                0 => WireDriver::CbLut(CbCoord::new(r.u16()?, r.u16()?)),
+                1 => WireDriver::CbFf(CbCoord::new(r.u16()?, r.u16()?)),
+                2 => WireDriver::PrimaryInput {
+                    port: r.u32()?,
+                    bit: r.u32()?,
+                },
+                3 => WireDriver::BramDout {
+                    bram: crate::coords::BramId::from_index(r.u16()? as usize),
+                    bit: r.u32()?,
+                },
+                _ => return Err(bad("unknown wire driver")),
+            };
+            let mut wire = WireConfig::new(driver);
+            let n_sinks = r.u32()? as usize;
+            for _ in 0..n_sinks {
+                let sink = match r.u8()? {
+                    0 => WireSink::LutPin {
+                        cb: CbCoord::new(r.u16()?, r.u16()?),
+                        pin: r.u8()?,
+                    },
+                    1 => WireSink::FfDirect {
+                        cb: CbCoord::new(r.u16()?, r.u16()?),
+                    },
+                    2 => WireSink::BramAddr {
+                        bram: crate::coords::BramId::from_index(r.u16()? as usize),
+                        bit: r.u32()?,
+                    },
+                    3 => WireSink::BramDin {
+                        bram: crate::coords::BramId::from_index(r.u16()? as usize),
+                        bit: r.u32()?,
+                    },
+                    4 => WireSink::BramWe {
+                        bram: crate::coords::BramId::from_index(r.u16()? as usize),
+                    },
+                    5 => WireSink::PrimaryOutput {
+                        port: r.u32()?,
+                        bit: r.u32()?,
+                    },
+                    _ => return Err(bad("unknown wire sink")),
+                };
+                wire.sinks.push(sink);
+            }
+            wire.segments = r.u32()?;
+            wire.pass_transistors = r.u32()?;
+            wire.extra_fanout = r.u32()?;
+            wire.detour_luts = r.u32()?;
+            wire.col_span = (r.u16()?, r.u16()?);
+            bs.push_raw_wire(wire);
+        }
+        let n_brams = r.u32()? as usize;
+        for _ in 0..n_brams {
+            let name = r.str()?;
+            let mut addr_pins = Vec::new();
+            for _ in 0..r.u32()? {
+                addr_pins.push(WireId::from_index(r.u32()? as usize));
+            }
+            let mut din_pins = Vec::new();
+            for _ in 0..r.u32()? {
+                din_pins.push(WireId::from_index(r.u32()? as usize));
+            }
+            let mut dout_wires = Vec::new();
+            for _ in 0..r.u32()? {
+                dout_wires.push(r.opt_wire()?);
+            }
+            let we_pin = r.opt_wire()?;
+            let width = r.u32()?;
+            let mut contents = Vec::new();
+            for _ in 0..r.u32()? {
+                contents.push(r.u64()?);
+            }
+            bs.push_raw_bram(crate::bram::BramConfig {
+                name,
+                addr_pins,
+                din_pins,
+                dout_wires,
+                we_pin,
+                width,
+                contents,
+            });
+        }
+        for is_input in [true, false] {
+            let n = r.u32()? as usize;
+            for _ in 0..n {
+                let name = r.str()?;
+                let mut wires = Vec::new();
+                for _ in 0..r.u32()? {
+                    wires.push(WireId::from_index(r.u32()? as usize));
+                }
+                bs.push_raw_port(name, wires, is_input);
+            }
+        }
+        if r.pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(bs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    fn sample_bitstream() -> Bitstream {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let a = bs.add_input("a", 2);
+        let cb = CbCoord::new(2, 3);
+        let lut = bs
+            .add_lut(cb, 0x8778, [Some(a[0]), Some(a[1]), None, None])
+            .unwrap();
+        let ff = bs.add_ff(cb, true, FfDSrc::LutOut).unwrap();
+        let dout = bs
+            .add_bram("m", &[a[0], a[1]], &[], None, 8, &[1, 2, 3, 4])
+            .unwrap();
+        let mut outs = vec![lut, ff];
+        outs.extend(dout);
+        bs.add_output("y", &outs).unwrap();
+        bs.set_routing(lut, 3, 5, (2, 4)).unwrap();
+        bs
+    }
+
+    #[test]
+    fn config_file_roundtrips_exactly() {
+        let bs = sample_bitstream();
+        let bytes = bs.to_config_file();
+        let parsed = Bitstream::from_config_file(&bytes).unwrap();
+        assert_eq!(bs, parsed);
+    }
+
+    #[test]
+    fn parsed_configuration_behaves_identically() {
+        let bs = sample_bitstream();
+        let parsed = Bitstream::from_config_file(&bs.to_config_file()).unwrap();
+        let mut d1 = Device::configure(bs).unwrap();
+        let mut d2 = Device::configure(parsed).unwrap();
+        for v in [[false, false], [true, false], [true, true]] {
+            d1.set_input("a", &v).unwrap();
+            d2.set_input("a", &v).unwrap();
+            d1.step();
+            d2.step();
+            d1.settle();
+            d2.settle();
+            assert_eq!(d1.output_u64("y").unwrap(), d2.output_u64("y").unwrap());
+        }
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let bs = sample_bitstream();
+        let mut bytes = bs.to_config_file();
+        assert!(Bitstream::from_config_file(&bytes[..10]).is_err());
+        bytes[0] = b'X';
+        assert!(Bitstream::from_config_file(&bytes).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Accounting of configuration-memory traffic.
+
+use std::fmt;
+
+/// The kind of a configuration-port operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// Frame readback through the configuration port.
+    Readback,
+    /// Partial reconfiguration: writing selected frames.
+    Write,
+    /// Bulk download of a full configuration file.
+    FullDownload,
+    /// Pulsing a global line (GSR); no frame traffic but one port command.
+    GlobalPulse,
+}
+
+impl fmt::Display for TransferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransferKind::Readback => "readback",
+            TransferKind::Write => "write",
+            TransferKind::FullDownload => "full-download",
+            TransferKind::GlobalPulse => "global-pulse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded configuration-port operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferOp {
+    /// Operation kind.
+    pub kind: TransferKind,
+    /// Frames moved.
+    pub frames: u32,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// Ledger of all configuration-memory traffic performed on a
+/// [`crate::Device`].
+///
+/// The fault-emulation time model (Fig. 10 / Table 2 of the paper) is a
+/// function of this ledger: each operation pays a fixed software latency
+/// (the JBits/driver overhead that dominated the paper's measurements) plus
+/// the transfer time of its bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransferLedger {
+    ops: Vec<TransferOp>,
+}
+
+impl TransferLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an operation.
+    pub fn record(&mut self, op: TransferOp) {
+        self.ops.push(op);
+    }
+
+    /// All recorded operations, in order.
+    pub fn ops(&self) -> &[TransferOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of operations of a given kind.
+    pub fn count_of(&self, kind: TransferKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Total frames moved.
+    pub fn total_frames(&self) -> u64 {
+        self.ops.iter().map(|o| o.frames as u64).sum()
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.bytes).sum()
+    }
+
+    /// Bytes moved by operations of a given kind.
+    pub fn bytes_of(&self, kind: TransferKind) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.bytes)
+            .sum()
+    }
+
+    /// Clears the ledger (e.g. between experiments).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Merges another ledger's operations into this one.
+    pub fn merge(&mut self, other: &TransferLedger) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+}
+
+impl fmt::Display for TransferLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops, {} frames, {} bytes",
+            self.op_count(),
+            self.total_frames(),
+            self.total_bytes()
+        )
+    }
+}

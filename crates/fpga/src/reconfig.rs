@@ -1,0 +1,141 @@
+//! Run-time reconfiguration operations.
+
+use crate::arch::ArchParams;
+use crate::cb::SetReset;
+use crate::coords::{BramId, CbCoord, WireId};
+use crate::frames::{CbField, FrameSet};
+
+/// A partial reconfiguration of the device's configuration memory.
+///
+/// Mutations are the *only* way fault-emulation strategies alter a running
+/// [`crate::Device`]; each one corresponds to writing specific
+/// configuration frames, and [`Mutation::frames`] reports exactly which.
+/// This keeps the emulation honest (no simulator back-doors) and makes the
+/// reconfiguration cost of every fault model measurable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Rewrite a LUT truth table (pulse / indetermination faults in
+    /// combinational logic, paper §4.2 Fig. 5).
+    SetLutTable {
+        /// Target block.
+        cb: CbCoord,
+        /// New truth table.
+        table: u16,
+    },
+    /// Toggle the `InvertFFinMux` control bit (pulse faults on CB input
+    /// paths, paper §4.2 Fig. 6).
+    SetInvertFfIn {
+        /// Target block.
+        cb: CbCoord,
+        /// New control-bit value.
+        invert: bool,
+    },
+    /// Select what value the local/global set-reset drives into the FF
+    /// (`CLRMux`/`PRMux`).
+    SetLsrDrive {
+        /// Target block.
+        cb: CbCoord,
+        /// Set or reset.
+        drive: SetReset,
+    },
+    /// Pulse the local set/reset line of one block by toggling its
+    /// `InvertLSRMux` bit and restoring it (asynchronous single-FF
+    /// bit-flip, paper §4.1).
+    PulseLsr {
+        /// Target block.
+        cb: CbCoord,
+    },
+    /// Pulse the global set/reset line: *every* used flip-flop takes the
+    /// value its `CLRMux`/`PRMux` selects.
+    PulseGsr,
+    /// Overwrite one bit of a memory block through its content frames
+    /// (memory bit-flips, paper §4.1 Fig. 4).
+    SetBramBit {
+        /// Target block.
+        bram: BramId,
+        /// Word address.
+        addr: usize,
+        /// Bit within the word.
+        bit: u32,
+        /// New value.
+        value: bool,
+    },
+    /// Turn on `extra` unused pass transistors along a wire, loading it
+    /// (small delay faults, paper §4.3 Fig. 8). `extra = 0` restores the
+    /// original routing.
+    SetWireFanout {
+        /// Target wire.
+        wire: WireId,
+        /// Extra pass transistors to enable.
+        extra: u32,
+    },
+    /// Reroute a wire through `luts` unused pass-through LUTs (large delay
+    /// faults, paper §4.3 Fig. 7). `luts = 0` restores the original route.
+    SetWireDetour {
+        /// Target wire.
+        wire: WireId,
+        /// Pass-through LUTs inserted.
+        luts: u32,
+    },
+    /// Re-randomise an indeterminate flip-flop: rewrite its `CLRMux`/
+    /// `PRMux` selection and pulse its local set/reset line in one merged
+    /// frame write (the per-cycle operation of oscillating
+    /// indeterminations, paper §6.2).
+    ReRandomiseFf {
+        /// Target block.
+        cb: CbCoord,
+        /// New random level.
+        drive: SetReset,
+    },
+}
+
+impl Mutation {
+    /// The set of configuration frames this mutation writes.
+    ///
+    /// `ff_columns` is needed only by [`Mutation::PulseGsr`] (which itself
+    /// writes nothing — the surrounding strategy pays for the mux
+    /// reconfiguration of every FF column; the pulse is a port command).
+    pub fn frames(&self, arch: &ArchParams, bitstream: &crate::Bitstream) -> FrameSet {
+        let mut set = FrameSet::new();
+        match self {
+            Mutation::SetLutTable { cb, .. } => {
+                set.add_cb_field(arch, *cb, CbField::LutTable);
+            }
+            Mutation::SetInvertFfIn { cb, .. } => {
+                set.add_cb_field(arch, *cb, CbField::InvertFfIn);
+            }
+            Mutation::SetLsrDrive { cb, .. } | Mutation::ReRandomiseFf { cb, .. } => {
+                set.add_cb_field(arch, *cb, CbField::LsrDrive);
+            }
+            Mutation::PulseLsr { cb } => {
+                // Toggle and restore: the same frame is written twice, but
+                // it is still one distinct frame; the double write is
+                // reflected in the op's byte count by the device.
+                set.add_cb_field(arch, *cb, CbField::InvertLsr);
+            }
+            Mutation::PulseGsr => {}
+            Mutation::SetBramBit {
+                bram, addr, ..
+            } => {
+                if let Ok(b) = bitstream.bram(*bram) {
+                    set.add_bram_word(arch, *bram, *addr, b.width);
+                }
+            }
+            Mutation::SetWireFanout { wire, .. } | Mutation::SetWireDetour { wire, .. } => {
+                if let Ok(w) = bitstream.wire(*wire) {
+                    set.add_wire_span(arch, w.col_span);
+                }
+            }
+        }
+        set
+    }
+
+    /// True if this mutation can alter circuit timing (and therefore
+    /// requires a timing re-analysis).
+    pub fn affects_timing(&self) -> bool {
+        matches!(
+            self,
+            Mutation::SetWireFanout { .. } | Mutation::SetWireDetour { .. }
+        )
+    }
+}

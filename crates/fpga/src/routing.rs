@@ -1,0 +1,164 @@
+//! Programmable interconnect configuration.
+
+use crate::coords::{BramId, CbCoord};
+
+/// The resource driving a wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDriver {
+    /// LUT output of a configurable block.
+    CbLut(CbCoord),
+    /// Flip-flop output of a configurable block.
+    CbFf(CbCoord),
+    /// A primary input port bit.
+    PrimaryInput {
+        /// Index into [`crate::Bitstream::inputs`].
+        port: u32,
+        /// Bit within the port (LSB first).
+        bit: u32,
+    },
+    /// A memory block's data-output bit.
+    BramDout {
+        /// Memory block.
+        bram: BramId,
+        /// Bit within the read port.
+        bit: u32,
+    },
+}
+
+/// A resource a wire feeds into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireSink {
+    /// A LUT input pin of a configurable block.
+    LutPin {
+        /// The block.
+        cb: CbCoord,
+        /// Pin index 0..4.
+        pin: u8,
+    },
+    /// The direct (LUT-bypassing) flip-flop data input of a block.
+    FfDirect {
+        /// The block.
+        cb: CbCoord,
+    },
+    /// A memory block address pin.
+    BramAddr {
+        /// Memory block.
+        bram: BramId,
+        /// Address bit.
+        bit: u32,
+    },
+    /// A memory block data-input pin.
+    BramDin {
+        /// Memory block.
+        bram: BramId,
+        /// Data bit.
+        bit: u32,
+    },
+    /// A memory block write-enable pin.
+    BramWe {
+        /// Memory block.
+        bram: BramId,
+    },
+    /// A primary output port bit.
+    PrimaryOutput {
+        /// Index into [`crate::Bitstream::outputs`].
+        port: u32,
+        /// Bit within the port.
+        bit: u32,
+    },
+}
+
+/// Routing configuration of one wire (one logical net after
+/// implementation).
+///
+/// `segments` and `pass_transistors` describe the programmable-matrix
+/// resources the router committed; `extra_fanout` and `detour_luts` are
+/// normally zero and are raised *at run time* by the delay-fault injection
+/// strategies:
+///
+/// * turning on unused pass transistors loads the line and adds
+///   [`crate::ArchParams::per_fanout_ns`] each (small delays, paper Fig. 8);
+/// * rerouting through unused CBs adds a LUT delay each (large delays,
+///   paper Fig. 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Driving resource.
+    pub driver: WireDriver,
+    /// Sinks fed by this wire.
+    pub sinks: Vec<WireSink>,
+    /// Routing segments committed by the router.
+    pub segments: u32,
+    /// Pass transistors turned on by the router.
+    pub pass_transistors: u32,
+    /// Extra pass transistors turned on by fault injection.
+    pub extra_fanout: u32,
+    /// Pass-through LUTs inserted into the route by fault injection.
+    pub detour_luts: u32,
+    /// Inclusive CB-column span of the route, for frame accounting.
+    pub col_span: (u16, u16),
+}
+
+impl WireConfig {
+    /// Creates a wire with the given driver and no sinks; the router fills
+    /// in sinks and resource counts.
+    pub fn new(driver: WireDriver) -> Self {
+        WireConfig {
+            driver,
+            sinks: Vec::new(),
+            segments: 0,
+            pass_transistors: 0,
+            extra_fanout: 0,
+            detour_luts: 0,
+            col_span: (0, 0),
+        }
+    }
+
+    /// Effective fan-out (sinks plus injected extra loads).
+    pub fn fanout(&self) -> u32 {
+        self.sinks.len() as u32 + self.extra_fanout
+    }
+
+    /// Number of columns the route crosses.
+    pub fn cols_crossed(&self) -> u32 {
+        (self.col_span.1 - self.col_span.0) as u32 + 1
+    }
+
+    /// Propagation delay of this wire in nanoseconds under the given
+    /// architecture timing parameters.
+    pub fn delay_ns(&self, arch: &crate::ArchParams) -> f64 {
+        arch.wire_base_ns
+            + self.segments as f64 * arch.per_segment_ns
+            + (self.pass_transistors + self.extra_fanout) as f64 * arch.per_fanout_ns
+            + self.detour_luts as f64 * (arch.lut_delay_ns + arch.wire_base_ns)
+    }
+
+    /// True if any delay fault is currently injected on this wire.
+    pub fn has_delay_fault(&self) -> bool {
+        self.extra_fanout > 0 || self.detour_luts > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchParams;
+
+    #[test]
+    fn fanout_increases_delay_slightly_detour_greatly() {
+        let arch = ArchParams::virtex1000_like();
+        let mut w = WireConfig::new(WireDriver::CbLut(CbCoord::new(0, 0)));
+        w.segments = 4;
+        w.pass_transistors = 5;
+        let base = w.delay_ns(&arch);
+        w.extra_fanout = 10;
+        let with_fanout = w.delay_ns(&arch);
+        w.extra_fanout = 0;
+        w.detour_luts = 2;
+        let with_detour = w.delay_ns(&arch);
+        assert!(with_fanout > base);
+        // Paper §4.3: fan-out adds fractions of a nanosecond, a LUT adds
+        // roughly half a nanosecond, so detours dominate.
+        assert!(with_fanout - base < 0.5);
+        assert!(with_detour - base > 1.0);
+    }
+}

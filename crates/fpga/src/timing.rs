@@ -1,0 +1,40 @@
+//! Static timing results for a configured device.
+
+/// Static timing analysis of the configured circuit.
+///
+/// Recomputed after every reconfiguration that touches routing. Delay
+/// faults work through this report: when an injected detour or fan-out
+/// load pushes a flip-flop's data-arrival time past the usable clock
+/// period, the flip-flop captures the *previous* cycle's data value — the
+/// digital-level manifestation of a setup violation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimingReport {
+    /// Data arrival time (ns) at each wire, indexed by wire index.
+    pub wire_arrival_ns: Vec<f64>,
+    /// Per flip-flop node: true if its data input violates setup.
+    pub ff_violated: Vec<bool>,
+    /// Per flip-flop node: nanoseconds by which the worst-case arrival
+    /// exceeds the usable period (0 when timing is met). The capture
+    /// corruption probability scales with this overshoot (see
+    /// [`crate::ArchParams::arrival_spread_ns`]).
+    pub ff_overshoot_ns: Vec<f64>,
+    /// Per memory block: true if its write port (address, data or enable)
+    /// violates setup.
+    pub bram_write_violated: Vec<bool>,
+    /// Per memory block: write-port overshoot in nanoseconds.
+    pub bram_overshoot_ns: Vec<f64>,
+    /// Longest register-to-register path in nanoseconds.
+    pub critical_path_ns: f64,
+}
+
+impl TimingReport {
+    /// Number of flip-flops currently violating setup.
+    pub fn violated_ff_count(&self) -> usize {
+        self.ff_violated.iter().filter(|v| **v).count()
+    }
+
+    /// True if any sequential element is in violation.
+    pub fn any_violation(&self) -> bool {
+        self.ff_violated.iter().any(|v| *v) || self.bram_write_violated.iter().any(|v| *v)
+    }
+}

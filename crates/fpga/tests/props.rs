@@ -1,0 +1,111 @@
+//! Property-based tests for the FPGA substrate.
+
+use fades_fpga::{
+    ArchParams, Bitstream, CbConfig, CbCoord, Device, Mutation, WireConfig, WireDriver,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A CB's LUT evaluation is exactly the configured truth table.
+    #[test]
+    fn cb_lut_eval_matches_table(table in any::<u16>(), pins in any::<[bool; 4]>()) {
+        let cfg = CbConfig {
+            lut_used: true,
+            lut_table: table,
+            ..CbConfig::default()
+        };
+        let mut idx = 0usize;
+        for (i, &p) in pins.iter().enumerate() {
+            if p { idx |= 1 << i; }
+        }
+        prop_assert_eq!(cfg.eval_lut(pins), (table >> idx) & 1 == 1);
+    }
+
+    /// Wire delay grows monotonically with injected fan-out and detours,
+    /// and detours dominate fan-out per unit (paper §4.3).
+    #[test]
+    fn wire_delay_is_monotone(
+        segments in 0u32..64,
+        pts in 0u32..64,
+        fanout in 0u32..64,
+        detour in 0u32..16,
+    ) {
+        let arch = ArchParams::virtex1000_like();
+        let mut w = WireConfig::new(WireDriver::CbLut(CbCoord::new(0, 0)));
+        w.segments = segments;
+        w.pass_transistors = pts;
+        let base = w.delay_ns(&arch);
+        w.extra_fanout = fanout;
+        let with_fanout = w.delay_ns(&arch);
+        w.detour_luts = detour;
+        let with_both = w.delay_ns(&arch);
+        prop_assert!(with_fanout >= base);
+        prop_assert!(with_both >= with_fanout);
+        if detour > 0 {
+            // One detour LUT adds more than one fan-out load.
+            prop_assert!(with_both - with_fanout > detour as f64 * arch.per_fanout_ns);
+        }
+    }
+
+    /// Coordinate flattening round-trips for every grid position.
+    #[test]
+    fn coords_roundtrip(col in 0u16..192, row in 0u16..128) {
+        let arch = ArchParams::virtex1000_like();
+        let cb = CbCoord::new(col, row);
+        let flat = cb.flat_index(arch.rows);
+        prop_assert_eq!(CbCoord::from_flat_index(flat, arch.rows), cb);
+    }
+
+    /// Writing a LUT table through a mutation is exactly reflected in both
+    /// the configuration memory and the readback path, and the ledger
+    /// grows by one write plus one readback.
+    #[test]
+    fn lut_mutation_roundtrips(initial in any::<u16>(), new in any::<u16>()) {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let a = bs.add_input("a", 1);
+        let cb = CbCoord::new(3, 3);
+        let out = bs
+            .add_lut(cb, initial, [Some(a[0]), None, None, None])
+            .unwrap();
+        bs.add_output("y", &[out]).unwrap();
+        let mut dev = Device::configure(bs).unwrap();
+        dev.clear_ledger();
+        dev.apply(&Mutation::SetLutTable { cb, table: new }).unwrap();
+        prop_assert_eq!(dev.readback_lut_table(cb).unwrap(), new);
+        prop_assert_eq!(dev.ledger().op_count(), 2);
+    }
+
+    /// Memory bit mutations flip exactly the addressed bit.
+    #[test]
+    fn bram_bit_mutation_is_precise(word in any::<u8>(), bit in 0u32..8) {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let addr = bs.add_input("addr", 4);
+        let dout = bs
+            .add_bram("m", &addr, &[], None, 8, &[word as u64])
+            .unwrap();
+        bs.add_output("dout", &dout).unwrap();
+        let mut dev = Device::configure(bs).unwrap();
+        let bram = fades_fpga::BramId::from_index(0);
+        let value = (word >> bit) & 1 == 0;
+        dev.apply(&Mutation::SetBramBit { bram, addr: 0, bit, value }).unwrap();
+        dev.set_input("addr", &[false; 4]).unwrap();
+        dev.settle();
+        prop_assert_eq!(dev.output_u64("dout").unwrap(), (word ^ (1 << bit)) as u64);
+    }
+}
+
+#[test]
+fn reset_restores_pristine_configuration_after_any_mutation() {
+    let mut bs = Bitstream::new(ArchParams::small());
+    let a = bs.add_input("a", 1);
+    let cb = CbCoord::new(1, 1);
+    let out = bs
+        .add_lut(cb, 0x5555, [Some(a[0]), None, None, None])
+        .unwrap();
+    bs.add_output("y", &[out]).unwrap();
+    let mut dev = Device::configure(bs).unwrap();
+    dev.apply(&Mutation::SetLutTable { cb, table: 0x0000 })
+        .unwrap();
+    dev.reset();
+    assert_eq!(dev.bitstream().cb(cb).unwrap().lut_table, 0x5555);
+}

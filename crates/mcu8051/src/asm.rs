@@ -1,0 +1,559 @@
+//! A small programmatic 8051 assembler.
+//!
+//! Workload programs are written against this API rather than a text
+//! assembler: each method emits the machine encoding of one instruction,
+//! labels resolve forward references, and [`Asm::assemble`] produces the
+//! ROM image. Only the subset implemented by the core is exposed, so a
+//! program that assembles is guaranteed to execute.
+//!
+//! # Example
+//!
+//! ```
+//! use fades_mcu8051::asm::Asm;
+//!
+//! let mut a = Asm::new();
+//! let loop_top = a.label();
+//! a.mov_a_imm(0x42);
+//! a.bind(loop_top);
+//! a.sjmp(loop_top); // spin forever
+//! let rom = a.assemble().unwrap();
+//! assert_eq!(rom[0], 0x74);
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A code label (forward references allowed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was used but never bound.
+    UnboundLabel(Label),
+    /// A relative branch target is further than -128..=127 bytes away.
+    BranchOutOfRange {
+        /// Instruction location.
+        at: usize,
+        /// Branch displacement that did not fit.
+        displacement: i32,
+    },
+    /// A register index was not 0..=7 (or 0..=1 for indirect).
+    BadRegister(u8),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            AsmError::BranchOutOfRange { at, displacement } => {
+                write!(f, "branch at {at:#x} out of range ({displacement})")
+            }
+            AsmError::BadRegister(r) => write!(f, "bad register index {r}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// One byte: displacement relative to the *end* of the instruction.
+    Rel { label: Label, insn_end: usize },
+    /// Two bytes (hi, lo): absolute 16-bit address.
+    Abs16 { label: Label },
+}
+
+/// Programmatic assembler; see the module documentation.
+#[derive(Debug, Default)]
+pub struct Asm {
+    bytes: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Fixup)>,
+    names: HashMap<String, Label>,
+}
+
+impl Asm {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current location counter.
+    pub fn here(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Allocates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Allocates or retrieves a named label.
+    pub fn named_label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.names.get(name) {
+            return l;
+        }
+        let l = self.label();
+        self.names.insert(name.to_string(), l);
+        l
+    }
+
+    /// Binds a label to the current location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice at {:#x}",
+            self.here()
+        );
+        self.labels[label.0] = Some(self.bytes.len());
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    fn emit_rel(&mut self, label: Label) {
+        let pos = self.bytes.len();
+        self.bytes.push(0);
+        self.fixups.push((
+            pos,
+            Fixup::Rel {
+                label,
+                insn_end: pos + 1,
+            },
+        ));
+    }
+
+    fn emit_abs16(&mut self, label: Label) {
+        let pos = self.bytes.len();
+        self.bytes.push(0);
+        self.bytes.push(0);
+        self.fixups.push((pos, Fixup::Abs16 { label }));
+    }
+
+    fn check_rn(r: u8) -> u8 {
+        assert!(r < 8, "register R{r} out of range");
+        r
+    }
+
+    fn check_ri(r: u8) -> u8 {
+        assert!(r < 2, "indirect register R{r} out of range");
+        r
+    }
+
+    // --- data movement --------------------------------------------------
+
+    /// `NOP`
+    pub fn nop(&mut self) {
+        self.emit(&[0x00]);
+    }
+    /// `MOV A, #imm`
+    pub fn mov_a_imm(&mut self, imm: u8) {
+        self.emit(&[0x74, imm]);
+    }
+    /// `MOV A, dir`
+    pub fn mov_a_dir(&mut self, dir: u8) {
+        self.emit(&[0xE5, dir]);
+    }
+    /// `MOV A, @Ri`
+    pub fn mov_a_ind(&mut self, ri: u8) {
+        self.emit(&[0xE6 + Self::check_ri(ri)]);
+    }
+    /// `MOV A, Rn`
+    pub fn mov_a_rn(&mut self, rn: u8) {
+        self.emit(&[0xE8 + Self::check_rn(rn)]);
+    }
+    /// `MOV dir, A`
+    pub fn mov_dir_a(&mut self, dir: u8) {
+        self.emit(&[0xF5, dir]);
+    }
+    /// `MOV dir, #imm`
+    pub fn mov_dir_imm(&mut self, dir: u8, imm: u8) {
+        self.emit(&[0x75, dir, imm]);
+    }
+    /// `MOV @Ri, A`
+    pub fn mov_ind_a(&mut self, ri: u8) {
+        self.emit(&[0xF6 + Self::check_ri(ri)]);
+    }
+    /// `MOV Rn, A`
+    pub fn mov_rn_a(&mut self, rn: u8) {
+        self.emit(&[0xF8 + Self::check_rn(rn)]);
+    }
+    /// `MOV Rn, #imm`
+    pub fn mov_rn_imm(&mut self, rn: u8, imm: u8) {
+        self.emit(&[0x78 + Self::check_rn(rn), imm]);
+    }
+    /// `MOV @Ri, #imm`
+    pub fn mov_ind_imm(&mut self, ri: u8, imm: u8) {
+        self.emit(&[0x76 + Self::check_ri(ri), imm]);
+    }
+    /// `MOV dir, Rn`
+    pub fn mov_dir_rn(&mut self, dir: u8, rn: u8) {
+        self.emit(&[0x88 + Self::check_rn(rn), dir]);
+    }
+    /// `MOV Rn, dir`
+    pub fn mov_rn_dir(&mut self, rn: u8, dir: u8) {
+        self.emit(&[0xA8 + Self::check_rn(rn), dir]);
+    }
+    /// `MOV DPTR, #imm16`
+    pub fn mov_dptr(&mut self, imm16: u16) {
+        self.emit(&[0x90, (imm16 >> 8) as u8, imm16 as u8]);
+    }
+    /// `MOV DPTR, #label`
+    pub fn mov_dptr_label(&mut self, label: Label) {
+        self.emit(&[0x90]);
+        self.emit_abs16(label);
+    }
+    /// `MOVC A, @A+DPTR`
+    pub fn movc(&mut self) {
+        self.emit(&[0x93]);
+    }
+    /// `INC DPTR`
+    pub fn inc_dptr(&mut self) {
+        self.emit(&[0xA3]);
+    }
+    /// `XCH A, dir`
+    pub fn xch_a_dir(&mut self, dir: u8) {
+        self.emit(&[0xC5, dir]);
+    }
+    /// `XCH A, @Ri`
+    pub fn xch_a_ind(&mut self, ri: u8) {
+        self.emit(&[0xC6 + Self::check_ri(ri)]);
+    }
+    /// `XCH A, Rn`
+    pub fn xch_a_rn(&mut self, rn: u8) {
+        self.emit(&[0xC8 + Self::check_rn(rn)]);
+    }
+    /// `PUSH dir`
+    pub fn push_dir(&mut self, dir: u8) {
+        self.emit(&[0xC0, dir]);
+    }
+    /// `POP dir`
+    pub fn pop_dir(&mut self, dir: u8) {
+        self.emit(&[0xD0, dir]);
+    }
+
+    // --- arithmetic and logic -------------------------------------------
+
+    /// `INC A`
+    pub fn inc_a(&mut self) {
+        self.emit(&[0x04]);
+    }
+    /// `INC dir`
+    pub fn inc_dir(&mut self, dir: u8) {
+        self.emit(&[0x05, dir]);
+    }
+    /// `INC @Ri`
+    pub fn inc_ind(&mut self, ri: u8) {
+        self.emit(&[0x06 + Self::check_ri(ri)]);
+    }
+    /// `INC Rn`
+    pub fn inc_rn(&mut self, rn: u8) {
+        self.emit(&[0x08 + Self::check_rn(rn)]);
+    }
+    /// `DEC A`
+    pub fn dec_a(&mut self) {
+        self.emit(&[0x14]);
+    }
+    /// `DEC dir`
+    pub fn dec_dir(&mut self, dir: u8) {
+        self.emit(&[0x15, dir]);
+    }
+    /// `DEC @Ri`
+    pub fn dec_ind(&mut self, ri: u8) {
+        self.emit(&[0x16 + Self::check_ri(ri)]);
+    }
+    /// `DEC Rn`
+    pub fn dec_rn(&mut self, rn: u8) {
+        self.emit(&[0x18 + Self::check_rn(rn)]);
+    }
+    /// `ADD A, #imm`
+    pub fn add_a_imm(&mut self, imm: u8) {
+        self.emit(&[0x24, imm]);
+    }
+    /// `ADD A, dir`
+    pub fn add_a_dir(&mut self, dir: u8) {
+        self.emit(&[0x25, dir]);
+    }
+    /// `ADD A, @Ri`
+    pub fn add_a_ind(&mut self, ri: u8) {
+        self.emit(&[0x26 + Self::check_ri(ri)]);
+    }
+    /// `ADD A, Rn`
+    pub fn add_a_rn(&mut self, rn: u8) {
+        self.emit(&[0x28 + Self::check_rn(rn)]);
+    }
+    /// `ADDC A, #imm`
+    pub fn addc_a_imm(&mut self, imm: u8) {
+        self.emit(&[0x34, imm]);
+    }
+    /// `ADDC A, dir`
+    pub fn addc_a_dir(&mut self, dir: u8) {
+        self.emit(&[0x35, dir]);
+    }
+    /// `ADDC A, @Ri`
+    pub fn addc_a_ind(&mut self, ri: u8) {
+        self.emit(&[0x36 + Self::check_ri(ri)]);
+    }
+    /// `ADDC A, Rn`
+    pub fn addc_a_rn(&mut self, rn: u8) {
+        self.emit(&[0x38 + Self::check_rn(rn)]);
+    }
+    /// `SUBB A, #imm`
+    pub fn subb_a_imm(&mut self, imm: u8) {
+        self.emit(&[0x94, imm]);
+    }
+    /// `SUBB A, dir`
+    pub fn subb_a_dir(&mut self, dir: u8) {
+        self.emit(&[0x95, dir]);
+    }
+    /// `SUBB A, @Ri`
+    pub fn subb_a_ind(&mut self, ri: u8) {
+        self.emit(&[0x96 + Self::check_ri(ri)]);
+    }
+    /// `SUBB A, Rn`
+    pub fn subb_a_rn(&mut self, rn: u8) {
+        self.emit(&[0x98 + Self::check_rn(rn)]);
+    }
+    /// `ANL A, #imm`
+    pub fn anl_a_imm(&mut self, imm: u8) {
+        self.emit(&[0x54, imm]);
+    }
+    /// `ANL A, dir`
+    pub fn anl_a_dir(&mut self, dir: u8) {
+        self.emit(&[0x55, dir]);
+    }
+    /// `ANL A, Rn`
+    pub fn anl_a_rn(&mut self, rn: u8) {
+        self.emit(&[0x58 + Self::check_rn(rn)]);
+    }
+    /// `ORL A, #imm`
+    pub fn orl_a_imm(&mut self, imm: u8) {
+        self.emit(&[0x44, imm]);
+    }
+    /// `ORL A, dir`
+    pub fn orl_a_dir(&mut self, dir: u8) {
+        self.emit(&[0x45, dir]);
+    }
+    /// `ORL A, Rn`
+    pub fn orl_a_rn(&mut self, rn: u8) {
+        self.emit(&[0x48 + Self::check_rn(rn)]);
+    }
+    /// `XRL A, #imm`
+    pub fn xrl_a_imm(&mut self, imm: u8) {
+        self.emit(&[0x64, imm]);
+    }
+    /// `XRL A, dir`
+    pub fn xrl_a_dir(&mut self, dir: u8) {
+        self.emit(&[0x65, dir]);
+    }
+    /// `XRL A, Rn`
+    pub fn xrl_a_rn(&mut self, rn: u8) {
+        self.emit(&[0x68 + Self::check_rn(rn)]);
+    }
+    /// `CLR A`
+    pub fn clr_a(&mut self) {
+        self.emit(&[0xE4]);
+    }
+    /// `CPL A`
+    pub fn cpl_a(&mut self) {
+        self.emit(&[0xF4]);
+    }
+    /// `RL A`
+    pub fn rl_a(&mut self) {
+        self.emit(&[0x23]);
+    }
+    /// `RR A`
+    pub fn rr_a(&mut self) {
+        self.emit(&[0x03]);
+    }
+    /// `RLC A`
+    pub fn rlc_a(&mut self) {
+        self.emit(&[0x33]);
+    }
+    /// `RRC A`
+    pub fn rrc_a(&mut self) {
+        self.emit(&[0x13]);
+    }
+    /// `SWAP A`
+    pub fn swap_a(&mut self) {
+        self.emit(&[0xC4]);
+    }
+    /// `CLR C`
+    pub fn clr_c(&mut self) {
+        self.emit(&[0xC3]);
+    }
+    /// `SETB C`
+    pub fn setb_c(&mut self) {
+        self.emit(&[0xD3]);
+    }
+    /// `CPL C`
+    pub fn cpl_c(&mut self) {
+        self.emit(&[0xB3]);
+    }
+
+    // --- control flow ----------------------------------------------------
+
+    /// `SJMP label`
+    pub fn sjmp(&mut self, label: Label) {
+        self.emit(&[0x80]);
+        self.emit_rel(label);
+    }
+    /// `LJMP label`
+    pub fn ljmp(&mut self, label: Label) {
+        self.emit(&[0x02]);
+        self.emit_abs16(label);
+    }
+    /// `JZ label`
+    pub fn jz(&mut self, label: Label) {
+        self.emit(&[0x60]);
+        self.emit_rel(label);
+    }
+    /// `JNZ label`
+    pub fn jnz(&mut self, label: Label) {
+        self.emit(&[0x70]);
+        self.emit_rel(label);
+    }
+    /// `JC label`
+    pub fn jc(&mut self, label: Label) {
+        self.emit(&[0x40]);
+        self.emit_rel(label);
+    }
+    /// `JNC label`
+    pub fn jnc(&mut self, label: Label) {
+        self.emit(&[0x50]);
+        self.emit_rel(label);
+    }
+    /// `CJNE A, #imm, label`
+    pub fn cjne_a_imm(&mut self, imm: u8, label: Label) {
+        self.emit(&[0xB4, imm]);
+        self.emit_rel(label);
+    }
+    /// `CJNE A, dir, label`
+    pub fn cjne_a_dir(&mut self, dir: u8, label: Label) {
+        self.emit(&[0xB5, dir]);
+        self.emit_rel(label);
+    }
+    /// `CJNE @Ri, #imm, label`
+    pub fn cjne_ind_imm(&mut self, ri: u8, imm: u8, label: Label) {
+        self.emit(&[0xB6 + Self::check_ri(ri), imm]);
+        self.emit_rel(label);
+    }
+    /// `CJNE Rn, #imm, label`
+    pub fn cjne_rn_imm(&mut self, rn: u8, imm: u8, label: Label) {
+        self.emit(&[0xB8 + Self::check_rn(rn), imm]);
+        self.emit_rel(label);
+    }
+    /// `DJNZ Rn, label`
+    pub fn djnz_rn(&mut self, rn: u8, label: Label) {
+        self.emit(&[0xD8 + Self::check_rn(rn)]);
+        self.emit_rel(label);
+    }
+    /// `DJNZ dir, label`
+    pub fn djnz_dir(&mut self, dir: u8, label: Label) {
+        self.emit(&[0xD5, dir]);
+        self.emit_rel(label);
+    }
+    /// `LCALL label`
+    pub fn lcall(&mut self, label: Label) {
+        self.emit(&[0x12]);
+        self.emit_abs16(label);
+    }
+    /// `RET`
+    pub fn ret(&mut self) {
+        self.emit(&[0x22]);
+    }
+
+    /// Emits a raw data byte (for MOVC tables).
+    pub fn byte(&mut self, b: u8) {
+        self.bytes.push(b);
+    }
+
+    /// Emits raw data bytes.
+    pub fn data(&mut self, bytes: &[u8]) {
+        self.emit(bytes);
+    }
+
+    /// Resolves all fixups and returns the ROM image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unbound labels or out-of-range relative
+    /// branches.
+    pub fn assemble(mut self) -> Result<Vec<u8>, AsmError> {
+        for (pos, fixup) in &self.fixups {
+            match fixup {
+                Fixup::Rel { label, insn_end } => {
+                    let target =
+                        self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
+                    let disp = target as i32 - *insn_end as i32;
+                    if !(-128..=127).contains(&disp) {
+                        return Err(AsmError::BranchOutOfRange {
+                            at: *pos,
+                            displacement: disp,
+                        });
+                    }
+                    self.bytes[*pos] = disp as u8;
+                }
+                Fixup::Abs16 { label } => {
+                    let target =
+                        self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
+                    self.bytes[*pos] = (target >> 8) as u8;
+                    self.bytes[*pos + 1] = target as u8;
+                }
+            }
+        }
+        Ok(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new();
+        let top = a.label();
+        let end = a.label();
+        a.bind(top);
+        a.mov_a_imm(1); // 2 bytes
+        a.jz(end); // 2 bytes, forward
+        a.sjmp(top); // 2 bytes, backward
+        a.bind(end);
+        a.nop();
+        let rom = a.assemble().unwrap();
+        // jz displacement: from byte 4 (end of jz) to byte 6 -> +2.
+        assert_eq!(rom[3], 2);
+        // sjmp displacement: from byte 6 to byte 0 -> -6.
+        assert_eq!(rom[5], 0xFA);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.sjmp(l);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn ljmp_uses_absolute_address() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.ljmp(l);
+        a.nop();
+        a.bind(l);
+        a.nop();
+        let rom = a.assemble().unwrap();
+        assert_eq!((rom[1], rom[2]), (0x00, 0x04));
+    }
+}

@@ -1,0 +1,923 @@
+//! Instruction-set architecture tables: opcode classes and micro-programs.
+//!
+//! The 8051 core is specified here *once* as data: every opcode maps to a
+//! [`Class`], and every class to a sequence of [`Step`]s executed one per
+//! clock after the fetch cycle. The instruction-set simulator interprets
+//! this table directly; the RTL generator compiles it into multiplexer
+//! trees. Keeping a single source of truth makes the two implementations
+//! cycle-identical by construction.
+
+/// Decoded instruction class.
+///
+/// `Rn` variants encode the register in the opcode's low three bits, `Ind`
+/// variants the indirect register (R0/R1) in bit 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Class {
+    Nop,
+    MovAImm,
+    MovADir,
+    MovAInd,
+    MovARn,
+    MovDirA,
+    MovDirImm,
+    MovIndA,
+    MovRnA,
+    MovRnImm,
+    MovIndImm,
+    MovDirRn,
+    MovRnDir,
+    IncA,
+    IncDir,
+    IncInd,
+    IncRn,
+    DecA,
+    DecDir,
+    DecInd,
+    DecRn,
+    AddImm,
+    AddDir,
+    AddInd,
+    AddRn,
+    AddcImm,
+    AddcDir,
+    AddcInd,
+    AddcRn,
+    SubbImm,
+    SubbDir,
+    SubbInd,
+    SubbRn,
+    AnlImm,
+    AnlDir,
+    AnlInd,
+    AnlRn,
+    OrlImm,
+    OrlDir,
+    OrlInd,
+    OrlRn,
+    XrlImm,
+    XrlDir,
+    XrlInd,
+    XrlRn,
+    ClrA,
+    CplA,
+    RlA,
+    RrA,
+    RlcA,
+    RrcA,
+    SwapA,
+    ClrC,
+    SetbC,
+    CplC,
+    XchDir,
+    XchInd,
+    XchRn,
+    Sjmp,
+    Ljmp,
+    Jz,
+    Jnz,
+    Jc,
+    Jnc,
+    CjneAImm,
+    CjneADir,
+    CjneIndImm,
+    CjneRnImm,
+    DjnzRn,
+    DjnzDir,
+    Lcall,
+    Ret,
+    PushDir,
+    PopDir,
+    Movc,
+    MovDptrImm,
+    IncDptr,
+}
+
+/// `(class, mask, value)`: opcode `op` belongs to `class` iff
+/// `op & mask == value`. Patterns are disjoint.
+pub const CLASS_PATTERNS: &[(Class, u8, u8)] = &[
+    (Class::Nop, 0xFF, 0x00),
+    (Class::MovAImm, 0xFF, 0x74),
+    (Class::MovADir, 0xFF, 0xE5),
+    (Class::MovAInd, 0xFE, 0xE6),
+    (Class::MovARn, 0xF8, 0xE8),
+    (Class::MovDirA, 0xFF, 0xF5),
+    (Class::MovDirImm, 0xFF, 0x75),
+    (Class::MovIndA, 0xFE, 0xF6),
+    (Class::MovRnA, 0xF8, 0xF8),
+    (Class::MovRnImm, 0xF8, 0x78),
+    (Class::MovIndImm, 0xFE, 0x76),
+    (Class::MovDirRn, 0xF8, 0x88),
+    (Class::MovRnDir, 0xF8, 0xA8),
+    (Class::IncA, 0xFF, 0x04),
+    (Class::IncDir, 0xFF, 0x05),
+    (Class::IncInd, 0xFE, 0x06),
+    (Class::IncRn, 0xF8, 0x08),
+    (Class::DecA, 0xFF, 0x14),
+    (Class::DecDir, 0xFF, 0x15),
+    (Class::DecInd, 0xFE, 0x16),
+    (Class::DecRn, 0xF8, 0x18),
+    (Class::AddImm, 0xFF, 0x24),
+    (Class::AddDir, 0xFF, 0x25),
+    (Class::AddInd, 0xFE, 0x26),
+    (Class::AddRn, 0xF8, 0x28),
+    (Class::AddcImm, 0xFF, 0x34),
+    (Class::AddcDir, 0xFF, 0x35),
+    (Class::AddcInd, 0xFE, 0x36),
+    (Class::AddcRn, 0xF8, 0x38),
+    (Class::SubbImm, 0xFF, 0x94),
+    (Class::SubbDir, 0xFF, 0x95),
+    (Class::SubbInd, 0xFE, 0x96),
+    (Class::SubbRn, 0xF8, 0x98),
+    (Class::AnlImm, 0xFF, 0x54),
+    (Class::AnlDir, 0xFF, 0x55),
+    (Class::AnlInd, 0xFE, 0x56),
+    (Class::AnlRn, 0xF8, 0x58),
+    (Class::OrlImm, 0xFF, 0x44),
+    (Class::OrlDir, 0xFF, 0x45),
+    (Class::OrlInd, 0xFE, 0x46),
+    (Class::OrlRn, 0xF8, 0x48),
+    (Class::XrlImm, 0xFF, 0x64),
+    (Class::XrlDir, 0xFF, 0x65),
+    (Class::XrlInd, 0xFE, 0x66),
+    (Class::XrlRn, 0xF8, 0x68),
+    (Class::ClrA, 0xFF, 0xE4),
+    (Class::CplA, 0xFF, 0xF4),
+    (Class::RlA, 0xFF, 0x23),
+    (Class::RrA, 0xFF, 0x03),
+    (Class::RlcA, 0xFF, 0x33),
+    (Class::RrcA, 0xFF, 0x13),
+    (Class::SwapA, 0xFF, 0xC4),
+    (Class::ClrC, 0xFF, 0xC3),
+    (Class::SetbC, 0xFF, 0xD3),
+    (Class::CplC, 0xFF, 0xB3),
+    (Class::XchDir, 0xFF, 0xC5),
+    (Class::XchInd, 0xFE, 0xC6),
+    (Class::XchRn, 0xF8, 0xC8),
+    (Class::Sjmp, 0xFF, 0x80),
+    (Class::Ljmp, 0xFF, 0x02),
+    (Class::Jz, 0xFF, 0x60),
+    (Class::Jnz, 0xFF, 0x70),
+    (Class::Jc, 0xFF, 0x40),
+    (Class::Jnc, 0xFF, 0x50),
+    (Class::CjneAImm, 0xFF, 0xB4),
+    (Class::CjneADir, 0xFF, 0xB5),
+    (Class::CjneIndImm, 0xFE, 0xB6),
+    (Class::CjneRnImm, 0xF8, 0xB8),
+    (Class::DjnzRn, 0xF8, 0xD8),
+    (Class::DjnzDir, 0xFF, 0xD5),
+    (Class::Lcall, 0xFF, 0x12),
+    (Class::Ret, 0xFF, 0x22),
+    (Class::PushDir, 0xFF, 0xC0),
+    (Class::PopDir, 0xFF, 0xD0),
+    (Class::Movc, 0xFF, 0x93),
+    (Class::MovDptrImm, 0xFF, 0x90),
+    (Class::IncDptr, 0xFF, 0xA3),
+];
+
+/// Decodes an opcode byte; unknown opcodes execute as `Nop`.
+pub fn classify(op: u8) -> Class {
+    for &(class, mask, value) in CLASS_PATTERNS {
+        if op & mask == value {
+            return class;
+        }
+    }
+    Class::Nop
+}
+
+/// Program-memory action of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RomAction {
+    /// No program-memory access.
+    #[default]
+    No,
+    /// Read `ROM[PC]`, increment PC, and route the byte to a destination
+    /// (the byte is also available to the ALU and branch logic as
+    /// `RomByte`).
+    Byte(RomTo),
+    /// `ACC <- ROM[(DPTR + ACC) & rom_mask]` (MOVC); PC unchanged.
+    Movc,
+}
+
+/// Destination of a fetched operand byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RomTo {
+    /// No register captures it (branch offsets, immediate ALU operands).
+    Rel,
+    /// Temporary register T1.
+    T1,
+    /// Temporary register T2 (holds direct/indirect addresses).
+    T2,
+    /// DPTR high byte.
+    Dph,
+    /// DPTR low byte.
+    Dpl,
+}
+
+/// Data-memory address selection of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemAddr {
+    /// No data-memory access.
+    #[default]
+    No,
+    /// Register `Rn`: current bank base + opcode bits 2..0.
+    Rn,
+    /// Indirect register `Ri`: current bank base + opcode bit 0.
+    Ri,
+    /// The address held in T2 (direct and indirect targets; decodes SFRs
+    /// for addresses >= 0x80).
+    T2,
+    /// The stack pointer.
+    Sp,
+    /// `SP + 1` (push pre-increment; pair with [`SpAction::Inc`]).
+    SpInc,
+}
+
+/// Capture of the data-memory read value into a temporary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Capture {
+    /// No capture.
+    #[default]
+    No,
+    /// `T1 <- MemVal`.
+    T1,
+    /// `T2 <- MemVal`.
+    T2,
+}
+
+/// Value written to data memory this step (at the selected address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemWrite {
+    /// No write.
+    #[default]
+    No,
+    /// The accumulator.
+    Acc,
+    /// Temporary T1.
+    T1,
+    /// The ALU result.
+    AluOut,
+    /// Low byte of PC (LCALL).
+    PcL,
+    /// High byte of PC (LCALL).
+    PcH,
+    /// The operand byte fetched this step.
+    RomByte,
+}
+
+/// ALU `A`-operand selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluA {
+    /// The accumulator.
+    Acc,
+    /// The data-memory read value.
+    MemVal,
+    /// Temporary T1.
+    T1,
+}
+
+/// ALU `B`-operand selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluB {
+    /// Constant zero.
+    Zero,
+    /// The data-memory read value.
+    MemVal,
+    /// Temporary T1.
+    T1,
+    /// The operand byte fetched this step.
+    RomByte,
+}
+
+/// ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// `a + b`, updates CY/AC/OV.
+    Add,
+    /// `a + b + CY`, updates CY/AC/OV.
+    Addc,
+    /// `a - b - CY`, updates CY/AC/OV (8051 SUBB).
+    Subb,
+    /// `a & b`.
+    Anl,
+    /// `a | b`.
+    Orl,
+    /// `a ^ b`.
+    Xrl,
+    /// `b` (data movement).
+    PassB,
+    /// `a + 1` (no flags).
+    Inc,
+    /// `a - 1` (no flags).
+    Dec,
+    /// Rotate `a` left.
+    Rl,
+    /// Rotate `a` right.
+    Rr,
+    /// Rotate `a` left through carry, updates CY.
+    Rlc,
+    /// Rotate `a` right through carry, updates CY.
+    Rrc,
+    /// Swap nibbles of `a`.
+    Swap,
+    /// `!a`.
+    Cpl,
+    /// Constant zero (CLR A).
+    Clr,
+    /// Compare for CJNE: result is `a`, CY set when `a < b`.
+    Cjne,
+}
+
+/// ALU action of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluAction {
+    /// Operation.
+    pub op: AluOp,
+    /// `A` operand.
+    pub a: AluA,
+    /// `B` operand.
+    pub b: AluB,
+    /// Whether the result loads the accumulator (memory destinations go
+    /// through [`MemWrite::AluOut`] instead).
+    pub to_acc: bool,
+}
+
+/// Direct carry manipulation (CLR/SETB/CPL C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CyAction {
+    /// Leave CY to the ALU.
+    #[default]
+    No,
+    /// CY <- 0.
+    Clr,
+    /// CY <- 1.
+    Set,
+    /// CY <- !CY.
+    Cpl,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Unconditional.
+    Always,
+    /// ACC == 0.
+    AccZ,
+    /// ACC != 0.
+    AccNZ,
+    /// CY set.
+    C,
+    /// CY clear.
+    NC,
+    /// ALU result != 0 (DJNZ).
+    AluNZ,
+    /// CJNE operands differ.
+    CjneNe,
+}
+
+/// Program-counter action of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PcAction {
+    /// Sequential (any `RomAction::Byte` still increments PC).
+    #[default]
+    No,
+    /// If the condition holds, `PC <- PC_incremented + sign_extend(RomByte)`.
+    BranchRel(Cond),
+    /// `PC <- {T1, T2}` (LJMP/LCALL target).
+    LoadHiLo,
+    /// `PC <- {T1, RomByte}` (LJMP fast path).
+    LoadHiT1RomLo,
+    /// `PC[15:8] <- MemVal` (RET, first pop).
+    RetHi,
+    /// `PC[7:0] <- MemVal` (RET, second pop).
+    RetLo,
+}
+
+/// Stack-pointer action of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpAction {
+    /// Hold.
+    #[default]
+    No,
+    /// SP <- SP + 1.
+    Inc,
+    /// SP <- SP - 1.
+    Dec,
+}
+
+/// One post-fetch execution cycle of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Step {
+    /// Program-memory action.
+    pub rom: RomAction,
+    /// Data-memory address selection.
+    pub mem_addr: MemAddr,
+    /// Capture of the read value.
+    pub capture: Capture,
+    /// Data-memory write.
+    pub write: MemWrite,
+    /// ALU action.
+    pub alu: Option<AluAction>,
+    /// Carry manipulation.
+    pub cy: CyAction,
+    /// Program-counter action.
+    pub pc: PcAction,
+    /// Stack-pointer action.
+    pub sp: SpAction,
+    /// `DPTR <- DPTR + 1`.
+    pub dptr_inc: bool,
+}
+
+/// Maximum number of execution steps any instruction takes after fetch.
+pub const MAX_STEPS: usize = 4;
+
+fn alu(op: AluOp, a: AluA, b: AluB, to_acc: bool) -> Option<AluAction> {
+    Some(AluAction { op, a, b, to_acc })
+}
+
+/// The micro-program (post-fetch step sequence) of a class.
+///
+/// Every instruction executes `1 + micro_program(class).len()` clock
+/// cycles: one fetch cycle plus one cycle per step.
+pub fn micro_program(class: Class) -> Vec<Step> {
+    use AluA as A;
+    use AluB as B;
+    use AluOp as Op;
+    let s = Step::default;
+    // Helpers for common shapes.
+    let rom_t2 = Step {
+        rom: RomAction::Byte(RomTo::T2),
+        ..s()
+    };
+    let read_ri_to_t2 = Step {
+        mem_addr: MemAddr::Ri,
+        capture: Capture::T2,
+        ..s()
+    };
+    // ALU-with-accumulator families: op A, {#imm | dir | @Ri | Rn}.
+    let acc_family = |op: Op, mode: u8| -> Vec<Step> {
+        match mode {
+            // Immediate: one step, operand straight from ROM.
+            0 => vec![Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                alu: alu(op, A::Acc, B::RomByte, true),
+                ..s()
+            }],
+            // Direct: fetch address, then operate on M[T2].
+            1 => vec![
+                rom_t2,
+                Step {
+                    mem_addr: MemAddr::T2,
+                    alu: alu(op, A::Acc, B::MemVal, true),
+                    ..s()
+                },
+            ],
+            // Indirect: resolve @Ri, then operate on M[T2].
+            2 => vec![
+                read_ri_to_t2,
+                Step {
+                    mem_addr: MemAddr::T2,
+                    alu: alu(op, A::Acc, B::MemVal, true),
+                    ..s()
+                },
+            ],
+            // Register: one step, operand from M[Rn].
+            _ => vec![Step {
+                mem_addr: MemAddr::Rn,
+                alu: alu(op, A::Acc, B::MemVal, true),
+                ..s()
+            }],
+        }
+    };
+    // INC/DEC on a memory operand: read-modify-write in one step.
+    let rmw = |op: Op, addr: MemAddr| Step {
+        mem_addr: addr,
+        alu: alu(op, A::MemVal, B::Zero, false),
+        write: MemWrite::AluOut,
+        ..s()
+    };
+    let acc_unary = |op: Op| {
+        vec![Step {
+            alu: alu(op, A::Acc, B::Zero, true),
+            ..s()
+        }]
+    };
+
+    match class {
+        Class::Nop => vec![s()],
+        Class::MovAImm => acc_family(Op::PassB, 0),
+        Class::MovADir => acc_family(Op::PassB, 1),
+        Class::MovAInd => acc_family(Op::PassB, 2),
+        Class::MovARn => acc_family(Op::PassB, 3),
+        Class::MovDirA => vec![
+            rom_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                write: MemWrite::Acc,
+                ..s()
+            },
+        ],
+        Class::MovDirImm => vec![
+            rom_t2,
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                mem_addr: MemAddr::T2,
+                write: MemWrite::RomByte,
+                ..s()
+            },
+        ],
+        Class::MovIndA => vec![
+            read_ri_to_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                write: MemWrite::Acc,
+                ..s()
+            },
+        ],
+        Class::MovRnA => vec![Step {
+            mem_addr: MemAddr::Rn,
+            write: MemWrite::Acc,
+            ..s()
+        }],
+        Class::MovRnImm => vec![Step {
+            rom: RomAction::Byte(RomTo::Rel),
+            mem_addr: MemAddr::Rn,
+            write: MemWrite::RomByte,
+            ..s()
+        }],
+        Class::MovIndImm => vec![
+            read_ri_to_t2,
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                mem_addr: MemAddr::T2,
+                write: MemWrite::RomByte,
+                ..s()
+            },
+        ],
+        Class::MovDirRn => vec![
+            Step {
+                mem_addr: MemAddr::Rn,
+                capture: Capture::T1,
+                ..s()
+            },
+            rom_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                write: MemWrite::T1,
+                ..s()
+            },
+        ],
+        Class::MovRnDir => vec![
+            rom_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                capture: Capture::T1,
+                ..s()
+            },
+            Step {
+                mem_addr: MemAddr::Rn,
+                write: MemWrite::T1,
+                ..s()
+            },
+        ],
+        Class::IncA => acc_unary(Op::Inc),
+        Class::IncDir => vec![rom_t2, rmw(Op::Inc, MemAddr::T2)],
+        Class::IncInd => vec![read_ri_to_t2, rmw(Op::Inc, MemAddr::T2)],
+        Class::IncRn => vec![rmw(Op::Inc, MemAddr::Rn)],
+        Class::DecA => acc_unary(Op::Dec),
+        Class::DecDir => vec![rom_t2, rmw(Op::Dec, MemAddr::T2)],
+        Class::DecInd => vec![read_ri_to_t2, rmw(Op::Dec, MemAddr::T2)],
+        Class::DecRn => vec![rmw(Op::Dec, MemAddr::Rn)],
+        Class::AddImm => acc_family(Op::Add, 0),
+        Class::AddDir => acc_family(Op::Add, 1),
+        Class::AddInd => acc_family(Op::Add, 2),
+        Class::AddRn => acc_family(Op::Add, 3),
+        Class::AddcImm => acc_family(Op::Addc, 0),
+        Class::AddcDir => acc_family(Op::Addc, 1),
+        Class::AddcInd => acc_family(Op::Addc, 2),
+        Class::AddcRn => acc_family(Op::Addc, 3),
+        Class::SubbImm => acc_family(Op::Subb, 0),
+        Class::SubbDir => acc_family(Op::Subb, 1),
+        Class::SubbInd => acc_family(Op::Subb, 2),
+        Class::SubbRn => acc_family(Op::Subb, 3),
+        Class::AnlImm => acc_family(Op::Anl, 0),
+        Class::AnlDir => acc_family(Op::Anl, 1),
+        Class::AnlInd => acc_family(Op::Anl, 2),
+        Class::AnlRn => acc_family(Op::Anl, 3),
+        Class::OrlImm => acc_family(Op::Orl, 0),
+        Class::OrlDir => acc_family(Op::Orl, 1),
+        Class::OrlInd => acc_family(Op::Orl, 2),
+        Class::OrlRn => acc_family(Op::Orl, 3),
+        Class::XrlImm => acc_family(Op::Xrl, 0),
+        Class::XrlDir => acc_family(Op::Xrl, 1),
+        Class::XrlInd => acc_family(Op::Xrl, 2),
+        Class::XrlRn => acc_family(Op::Xrl, 3),
+        Class::ClrA => acc_unary(Op::Clr),
+        Class::CplA => acc_unary(Op::Cpl),
+        Class::RlA => acc_unary(Op::Rl),
+        Class::RrA => acc_unary(Op::Rr),
+        Class::RlcA => acc_unary(Op::Rlc),
+        Class::RrcA => acc_unary(Op::Rrc),
+        Class::SwapA => acc_unary(Op::Swap),
+        Class::ClrC => vec![Step {
+            cy: CyAction::Clr,
+            ..s()
+        }],
+        Class::SetbC => vec![Step {
+            cy: CyAction::Set,
+            ..s()
+        }],
+        Class::CplC => vec![Step {
+            cy: CyAction::Cpl,
+            ..s()
+        }],
+        Class::XchDir => vec![
+            rom_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                capture: Capture::T1,
+                write: MemWrite::Acc,
+                ..s()
+            },
+            Step {
+                alu: alu(Op::PassB, A::Acc, B::T1, true),
+                ..s()
+            },
+        ],
+        Class::XchInd => vec![
+            read_ri_to_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                capture: Capture::T1,
+                write: MemWrite::Acc,
+                ..s()
+            },
+            Step {
+                alu: alu(Op::PassB, A::Acc, B::T1, true),
+                ..s()
+            },
+        ],
+        Class::XchRn => vec![
+            Step {
+                mem_addr: MemAddr::Rn,
+                capture: Capture::T1,
+                write: MemWrite::Acc,
+                ..s()
+            },
+            Step {
+                alu: alu(Op::PassB, A::Acc, B::T1, true),
+                ..s()
+            },
+        ],
+        Class::Sjmp => vec![Step {
+            rom: RomAction::Byte(RomTo::Rel),
+            pc: PcAction::BranchRel(Cond::Always),
+            ..s()
+        }],
+        Class::Ljmp => vec![
+            Step {
+                rom: RomAction::Byte(RomTo::T1),
+                ..s()
+            },
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                pc: PcAction::LoadHiT1RomLo,
+                ..s()
+            },
+        ],
+        Class::Jz => vec![Step {
+            rom: RomAction::Byte(RomTo::Rel),
+            pc: PcAction::BranchRel(Cond::AccZ),
+            ..s()
+        }],
+        Class::Jnz => vec![Step {
+            rom: RomAction::Byte(RomTo::Rel),
+            pc: PcAction::BranchRel(Cond::AccNZ),
+            ..s()
+        }],
+        Class::Jc => vec![Step {
+            rom: RomAction::Byte(RomTo::Rel),
+            pc: PcAction::BranchRel(Cond::C),
+            ..s()
+        }],
+        Class::Jnc => vec![Step {
+            rom: RomAction::Byte(RomTo::Rel),
+            pc: PcAction::BranchRel(Cond::NC),
+            ..s()
+        }],
+        Class::CjneAImm => vec![
+            Step {
+                rom: RomAction::Byte(RomTo::T1),
+                ..s()
+            },
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                alu: alu(Op::Cjne, A::Acc, B::T1, false),
+                pc: PcAction::BranchRel(Cond::CjneNe),
+                ..s()
+            },
+        ],
+        Class::CjneADir => vec![
+            rom_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                capture: Capture::T1,
+                ..s()
+            },
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                alu: alu(Op::Cjne, A::Acc, B::T1, false),
+                pc: PcAction::BranchRel(Cond::CjneNe),
+                ..s()
+            },
+        ],
+        Class::CjneIndImm => vec![
+            read_ri_to_t2,
+            Step {
+                rom: RomAction::Byte(RomTo::T1),
+                ..s()
+            },
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                mem_addr: MemAddr::T2,
+                alu: alu(Op::Cjne, A::MemVal, B::T1, false),
+                pc: PcAction::BranchRel(Cond::CjneNe),
+                ..s()
+            },
+        ],
+        Class::CjneRnImm => vec![
+            Step {
+                rom: RomAction::Byte(RomTo::T1),
+                ..s()
+            },
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                mem_addr: MemAddr::Rn,
+                alu: alu(Op::Cjne, A::MemVal, B::T1, false),
+                pc: PcAction::BranchRel(Cond::CjneNe),
+                ..s()
+            },
+        ],
+        Class::DjnzRn => vec![Step {
+            rom: RomAction::Byte(RomTo::Rel),
+            mem_addr: MemAddr::Rn,
+            alu: alu(Op::Dec, A::MemVal, B::Zero, false),
+            write: MemWrite::AluOut,
+            pc: PcAction::BranchRel(Cond::AluNZ),
+            ..s()
+        }],
+        Class::DjnzDir => vec![
+            rom_t2,
+            Step {
+                rom: RomAction::Byte(RomTo::Rel),
+                mem_addr: MemAddr::T2,
+                alu: alu(Op::Dec, A::MemVal, B::Zero, false),
+                write: MemWrite::AluOut,
+                pc: PcAction::BranchRel(Cond::AluNZ),
+                ..s()
+            },
+        ],
+        Class::Lcall => vec![
+            Step {
+                rom: RomAction::Byte(RomTo::T1),
+                ..s()
+            },
+            Step {
+                rom: RomAction::Byte(RomTo::T2),
+                ..s()
+            },
+            Step {
+                mem_addr: MemAddr::SpInc,
+                write: MemWrite::PcL,
+                sp: SpAction::Inc,
+                ..s()
+            },
+            Step {
+                mem_addr: MemAddr::SpInc,
+                write: MemWrite::PcH,
+                sp: SpAction::Inc,
+                pc: PcAction::LoadHiLo,
+                ..s()
+            },
+        ],
+        Class::Ret => vec![
+            Step {
+                mem_addr: MemAddr::Sp,
+                pc: PcAction::RetHi,
+                sp: SpAction::Dec,
+                ..s()
+            },
+            Step {
+                mem_addr: MemAddr::Sp,
+                pc: PcAction::RetLo,
+                sp: SpAction::Dec,
+                ..s()
+            },
+        ],
+        Class::PushDir => vec![
+            rom_t2,
+            Step {
+                mem_addr: MemAddr::T2,
+                capture: Capture::T1,
+                ..s()
+            },
+            Step {
+                mem_addr: MemAddr::SpInc,
+                write: MemWrite::T1,
+                sp: SpAction::Inc,
+                ..s()
+            },
+        ],
+        Class::PopDir => vec![
+            rom_t2,
+            Step {
+                mem_addr: MemAddr::Sp,
+                capture: Capture::T1,
+                sp: SpAction::Dec,
+                ..s()
+            },
+            Step {
+                mem_addr: MemAddr::T2,
+                write: MemWrite::T1,
+                ..s()
+            },
+        ],
+        Class::Movc => vec![Step {
+            rom: RomAction::Movc,
+            ..s()
+        }],
+        Class::MovDptrImm => vec![
+            Step {
+                rom: RomAction::Byte(RomTo::Dph),
+                ..s()
+            },
+            Step {
+                rom: RomAction::Byte(RomTo::Dpl),
+                ..s()
+            },
+        ],
+        Class::IncDptr => vec![Step {
+            dptr_inc: true,
+            ..s()
+        }],
+    }
+}
+
+/// Special-function register addresses implemented by the model.
+pub mod sfr {
+    /// Stack pointer.
+    pub const SP: u8 = 0x81;
+    /// Data pointer low byte.
+    pub const DPL: u8 = 0x82;
+    /// Data pointer high byte.
+    pub const DPH: u8 = 0x83;
+    /// Output port 1 (data).
+    pub const P1: u8 = 0x90;
+    /// Output port 2 (strobe / status).
+    pub const P2: u8 = 0xA0;
+    /// Program status word.
+    pub const PSW: u8 = 0xD0;
+    /// Accumulator.
+    pub const ACC: u8 = 0xE0;
+    /// B register.
+    pub const B: u8 = 0xF0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_are_disjoint() {
+        for op in 0u16..=255 {
+            let hits: Vec<_> = CLASS_PATTERNS
+                .iter()
+                .filter(|(_, m, v)| (op as u8) & m == *v)
+                .collect();
+            assert!(hits.len() <= 1, "opcode {op:#x} matches {hits:?}");
+        }
+    }
+
+    #[test]
+    fn micro_programs_fit_max_steps() {
+        for &(class, _, _) in CLASS_PATTERNS {
+            let steps = micro_program(class);
+            assert!(
+                !steps.is_empty() && steps.len() <= MAX_STEPS,
+                "{class:?} has {} steps",
+                steps.len()
+            );
+        }
+    }
+
+    #[test]
+    fn classify_covers_known_opcodes() {
+        assert_eq!(classify(0x74), Class::MovAImm);
+        assert_eq!(classify(0xE6), Class::MovAInd);
+        assert_eq!(classify(0xE7), Class::MovAInd);
+        assert_eq!(classify(0xEF), Class::MovARn);
+        assert_eq!(classify(0xDD), Class::DjnzRn);
+        assert_eq!(classify(0xFF), Class::MovRnA);
+        assert_eq!(classify(0xA5), Class::Nop, "unknown opcodes act as NOP");
+    }
+}

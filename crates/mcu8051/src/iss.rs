@@ -1,0 +1,646 @@
+//! Cycle-accurate instruction-set simulator.
+//!
+//! Interprets the micro-program table of [`crate::isa`] one clock cycle at
+//! a time, so its timing matches the RTL core exactly. Used as the
+//! executable specification in tests and for fast golden predictions of
+//! workload results.
+
+use crate::isa::{
+    classify, micro_program, sfr, AluA, AluB, AluOp, Capture, Cond, CyAction, MemAddr,
+    MemWrite, PcAction, RomAction, RomTo, SpAction, Step,
+};
+
+/// Program-memory address width of the model (512-byte ROM).
+pub const ROM_ADDR_BITS: usize = 9;
+const ROM_MASK: u16 = (1 << ROM_ADDR_BITS) - 1;
+
+/// Execution summary of a completed workload run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssTrace {
+    /// Bytes emitted through the P1/P2 output protocol.
+    pub outputs: Vec<u8>,
+    /// Clock cycles executed until completion.
+    pub cycles: u64,
+}
+
+/// The instruction-set simulator.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug, Clone)]
+pub struct Iss {
+    rom: Vec<u8>,
+    iram: [u8; 128],
+    pc: u16,
+    ir: u8,
+    t1: u8,
+    t2: u8,
+    acc: u8,
+    b: u8,
+    sp: u8,
+    dph: u8,
+    dpl: u8,
+    p1: u8,
+    p2: u8,
+    cy: bool,
+    ac: bool,
+    f0: bool,
+    rs1: bool,
+    rs0: bool,
+    ov: bool,
+    ud: bool,
+    /// 0 = fetch, 1.. = execution step index + 1.
+    phase: usize,
+    steps: Vec<Step>,
+    cycle: u64,
+}
+
+impl Iss {
+    /// Creates a simulator with the given ROM image and power-on state
+    /// (everything zero except SP = 0x07, the 8051 reset value).
+    pub fn new(rom: Vec<u8>) -> Self {
+        Iss {
+            rom,
+            iram: [0; 128],
+            pc: 0,
+            ir: 0,
+            t1: 0,
+            t2: 0,
+            acc: 0,
+            b: 0,
+            sp: 0x07,
+            dph: 0,
+            dpl: 0,
+            p1: 0,
+            p2: 0,
+            cy: false,
+            ac: false,
+            f0: false,
+            rs1: false,
+            rs0: false,
+            ov: false,
+            ud: false,
+            phase: 0,
+            steps: Vec::new(),
+            cycle: 0,
+        }
+    }
+
+    /// Program counter.
+    pub fn pc(&self) -> u16 {
+        self.pc
+    }
+    /// Accumulator.
+    pub fn acc(&self) -> u8 {
+        self.acc
+    }
+    /// Output port 1 (data byte).
+    pub fn p1(&self) -> u8 {
+        self.p1
+    }
+    /// Output port 2 (strobe counter / completion marker).
+    pub fn p2(&self) -> u8 {
+        self.p2
+    }
+    /// Stack pointer.
+    pub fn sp(&self) -> u8 {
+        self.sp
+    }
+    /// Executed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+    /// Internal RAM contents.
+    pub fn iram(&self) -> &[u8; 128] {
+        &self.iram
+    }
+    /// One word of internal RAM.
+    pub fn iram_at(&self, addr: u8) -> u8 {
+        self.iram[(addr & 0x7F) as usize]
+    }
+
+    fn rom_at(&self, addr: u16) -> u8 {
+        self.rom
+            .get((addr & ROM_MASK) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn psw(&self) -> u8 {
+        let parity = (self.acc.count_ones() & 1) as u8;
+        (self.cy as u8) << 7
+            | (self.ac as u8) << 6
+            | (self.f0 as u8) << 5
+            | (self.rs1 as u8) << 4
+            | (self.rs0 as u8) << 3
+            | (self.ov as u8) << 2
+            | (self.ud as u8) << 1
+            | parity
+    }
+
+    fn set_psw(&mut self, v: u8) {
+        self.cy = v & 0x80 != 0;
+        self.ac = v & 0x40 != 0;
+        self.f0 = v & 0x20 != 0;
+        self.rs1 = v & 0x10 != 0;
+        self.rs0 = v & 0x08 != 0;
+        self.ov = v & 0x04 != 0;
+        self.ud = v & 0x02 != 0;
+    }
+
+    fn bank_base(&self) -> u8 {
+        ((self.rs1 as u8) << 1 | self.rs0 as u8) << 3
+    }
+
+    fn dir_read(&self, addr: u8) -> u8 {
+        if addr < 0x80 {
+            self.iram[addr as usize]
+        } else {
+            match addr {
+                sfr::ACC => self.acc,
+                sfr::B => self.b,
+                sfr::PSW => self.psw(),
+                sfr::SP => self.sp,
+                sfr::DPL => self.dpl,
+                sfr::DPH => self.dph,
+                sfr::P1 => self.p1,
+                sfr::P2 => self.p2,
+                _ => 0,
+            }
+        }
+    }
+
+    fn dir_write(&mut self, addr: u8, value: u8) {
+        if addr < 0x80 {
+            self.iram[addr as usize] = value;
+        } else {
+            match addr {
+                sfr::ACC => self.acc = value,
+                sfr::B => self.b = value,
+                sfr::PSW => self.set_psw(value),
+                sfr::SP => self.sp = value,
+                sfr::DPL => self.dpl = value,
+                sfr::DPH => self.dph = value,
+                sfr::P1 => self.p1 = value,
+                sfr::P2 => self.p2 = value,
+                _ => {}
+            }
+        }
+    }
+
+    /// Executes one clock cycle.
+    pub fn step_cycle(&mut self) {
+        if self.phase == 0 {
+            // Fetch.
+            self.ir = self.rom_at(self.pc);
+            self.pc = self.pc.wrapping_add(1);
+            self.steps = micro_program(classify(self.ir));
+            self.phase = 1;
+            self.cycle += 1;
+            return;
+        }
+        let step = self.steps[self.phase - 1];
+        self.exec_step(&step);
+        if self.phase == self.steps.len() {
+            self.phase = 0;
+        } else {
+            self.phase += 1;
+        }
+        self.cycle += 1;
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_step(&mut self, step: &Step) {
+        // 1. Program memory.
+        let mut rom_byte = 0u8;
+        let mut pc_next = self.pc;
+        match step.rom {
+            RomAction::No => {}
+            RomAction::Byte(_) => {
+                rom_byte = self.rom_at(self.pc);
+                pc_next = self.pc.wrapping_add(1);
+            }
+            RomAction::Movc => {
+                let addr = (self.dptr()).wrapping_add(self.acc as u16);
+                // Loaded below via rom destination handling.
+                rom_byte = self.rom_at(addr);
+            }
+        }
+
+        // 2. Data memory address and read value.
+        let addr: Option<u8> = match step.mem_addr {
+            MemAddr::No => None,
+            MemAddr::Rn => Some(self.bank_base() | (self.ir & 0x07)),
+            MemAddr::Ri => Some(self.bank_base() | (self.ir & 0x01)),
+            MemAddr::T2 => Some(self.t2),
+            MemAddr::Sp => Some(self.sp),
+            MemAddr::SpInc => Some(self.sp.wrapping_add(1)),
+        };
+        // Only T2 addressing decodes SFRs; the others are raw internal RAM.
+        let mem_val = match (step.mem_addr, addr) {
+            (MemAddr::No, _) | (_, None) => 0,
+            (MemAddr::T2, Some(a)) => self.dir_read(a),
+            (_, Some(a)) => self.iram[(a & 0x7F) as usize],
+        };
+
+        // 3. ALU.
+        let mut alu_out = 0u8;
+        let mut alu_nz = false;
+        let mut cjne_ne = false;
+        if let Some(alu) = step.alu {
+            let a = match alu.a {
+                AluA::Acc => self.acc,
+                AluA::MemVal => mem_val,
+                AluA::T1 => self.t1,
+            };
+            let b = match alu.b {
+                AluB::Zero => 0,
+                AluB::MemVal => mem_val,
+                AluB::T1 => self.t1,
+                AluB::RomByte => rom_byte,
+            };
+            let (out, flags) = alu_eval(alu.op, a, b, self.cy);
+            alu_out = out;
+            alu_nz = out != 0;
+            cjne_ne = a != b;
+            if let Some((cy, ac, ov)) = flags.arith {
+                self.cy = cy;
+                self.ac = ac;
+                self.ov = ov;
+            }
+            if let Some(cy) = flags.cy_only {
+                self.cy = cy;
+            }
+            if alu.to_acc {
+                self.acc = out;
+            }
+        }
+
+        // 4. Temporaries.
+        match step.capture {
+            Capture::No => {}
+            Capture::T1 => self.t1 = mem_val,
+            Capture::T2 => self.t2 = mem_val,
+        }
+        match step.rom {
+            RomAction::Byte(RomTo::T1) => self.t1 = rom_byte,
+            RomAction::Byte(RomTo::T2) => self.t2 = rom_byte,
+            RomAction::Byte(RomTo::Dph) => self.dph = rom_byte,
+            RomAction::Byte(RomTo::Dpl) => self.dpl = rom_byte,
+            RomAction::Movc => self.acc = rom_byte,
+            _ => {}
+        }
+
+        // 5. Data-memory write.
+        if step.write != MemWrite::No {
+            let value = match step.write {
+                MemWrite::No => unreachable!(),
+                MemWrite::Acc => self.acc,
+                MemWrite::T1 => self.t1,
+                MemWrite::AluOut => alu_out,
+                MemWrite::PcL => self.pc as u8,
+                MemWrite::PcH => (self.pc >> 8) as u8,
+                MemWrite::RomByte => rom_byte,
+            };
+            // `MemWrite::Acc` observes the accumulator captured above,
+            // *before* any same-cycle ALU load — XCH relies on this, and
+            // the RTL matches because its write data is registered state.
+            if let Some(a) = addr {
+                match step.mem_addr {
+                    MemAddr::T2 => self.dir_write(a, value),
+                    _ => self.iram[(a & 0x7F) as usize] = value,
+                }
+            }
+        }
+
+        // 6. Direct carry manipulation.
+        match step.cy {
+            CyAction::No => {}
+            CyAction::Clr => self.cy = false,
+            CyAction::Set => self.cy = true,
+            CyAction::Cpl => self.cy = !self.cy,
+        }
+
+        // 7. Program counter.
+        match step.pc {
+            PcAction::No => {}
+            PcAction::BranchRel(cond) => {
+                let taken = match cond {
+                    Cond::Always => true,
+                    Cond::AccZ => self.acc == 0,
+                    Cond::AccNZ => self.acc != 0,
+                    Cond::C => self.cy,
+                    Cond::NC => !self.cy,
+                    Cond::AluNZ => alu_nz,
+                    Cond::CjneNe => cjne_ne,
+                };
+                if taken {
+                    pc_next = pc_next.wrapping_add(rom_byte as i8 as u16);
+                }
+            }
+            PcAction::LoadHiLo => {
+                pc_next = (self.t1 as u16) << 8 | self.t2 as u16;
+            }
+            PcAction::LoadHiT1RomLo => {
+                pc_next = (self.t1 as u16) << 8 | rom_byte as u16;
+            }
+            PcAction::RetHi => {
+                pc_next = (mem_val as u16) << 8 | (self.pc & 0x00FF);
+            }
+            PcAction::RetLo => {
+                pc_next = (self.pc & 0xFF00) | mem_val as u16;
+            }
+        }
+        self.pc = pc_next;
+
+        // 8. Stack pointer.
+        match step.sp {
+            SpAction::No => {}
+            SpAction::Inc => self.sp = self.sp.wrapping_add(1),
+            SpAction::Dec => self.sp = self.sp.wrapping_sub(1),
+        }
+
+        // 9. Data pointer.
+        if step.dptr_inc {
+            let d = self.dptr().wrapping_add(1);
+            self.dph = (d >> 8) as u8;
+            self.dpl = d as u8;
+        }
+    }
+
+    fn dptr(&self) -> u16 {
+        (self.dph as u16) << 8 | self.dpl as u16
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_cycle();
+        }
+    }
+
+    /// Runs until the workload signals completion (P2 = 0xFF) or
+    /// `max_cycles` elapse, collecting the bytes emitted through the P1/P2
+    /// protocol (each P2 increment publishes the current P1 value).
+    ///
+    /// Returns `None` if the workload did not complete in time.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> Option<IssTrace> {
+        let mut outputs = Vec::new();
+        let mut last_p2 = self.p2;
+        for _ in 0..max_cycles {
+            self.step_cycle();
+            if self.p2 != last_p2 {
+                if self.p2 == 0xFF {
+                    return Some(IssTrace {
+                        outputs,
+                        cycles: self.cycle,
+                    });
+                }
+                outputs.push(self.p1);
+                last_p2 = self.p2;
+            }
+        }
+        None
+    }
+}
+
+struct AluFlags {
+    /// CY/AC/OV for arithmetic ops.
+    arith: Option<(bool, bool, bool)>,
+    /// CY alone (rotates through carry, CJNE compare).
+    cy_only: Option<bool>,
+}
+
+/// Evaluates an ALU operation exactly as the RTL does.
+fn alu_eval(op: AluOp, a: u8, b: u8, cy: bool) -> (u8, AluFlags) {
+    let no_flags = AluFlags {
+        arith: None,
+        cy_only: None,
+    };
+    match op {
+        AluOp::Add | AluOp::Addc => {
+            let c = if op == AluOp::Addc && cy { 1u16 } else { 0 };
+            let sum = a as u16 + b as u16 + c;
+            let carry = sum > 0xFF;
+            let ac = (a & 0x0F) as u16 + (b & 0x0F) as u16 + c > 0x0F;
+            let c6 = (a & 0x7F) as u16 + (b & 0x7F) as u16 + c > 0x7F;
+            let ov = c6 != carry;
+            (
+                sum as u8,
+                AluFlags {
+                    arith: Some((carry, ac, ov)),
+                    cy_only: None,
+                },
+            )
+        }
+        AluOp::Subb => {
+            // Computed as a + !b + !borrow_in, exactly like the RTL.
+            let nb = !b;
+            let c = if cy { 0u16 } else { 1 };
+            let sum = a as u16 + nb as u16 + c;
+            let carry = sum > 0xFF;
+            let borrow = !carry;
+            let ac = (a & 0x0F) as u16 + (nb & 0x0F) as u16 + c <= 0x0F;
+            let c6 = (a & 0x7F) as u16 + (nb & 0x7F) as u16 + c > 0x7F;
+            let ov = c6 != carry;
+            (
+                sum as u8,
+                AluFlags {
+                    arith: Some((borrow, ac, ov)),
+                    cy_only: None,
+                },
+            )
+        }
+        AluOp::Anl => (a & b, no_flags),
+        AluOp::Orl => (a | b, no_flags),
+        AluOp::Xrl => (a ^ b, no_flags),
+        AluOp::PassB => (b, no_flags),
+        AluOp::Inc => (a.wrapping_add(1), no_flags),
+        AluOp::Dec => (a.wrapping_sub(1), no_flags),
+        AluOp::Rl => (a.rotate_left(1), no_flags),
+        AluOp::Rr => (a.rotate_right(1), no_flags),
+        AluOp::Rlc => (
+            a << 1 | cy as u8,
+            AluFlags {
+                arith: None,
+                cy_only: Some(a & 0x80 != 0),
+            },
+        ),
+        AluOp::Rrc => (
+            a >> 1 | (cy as u8) << 7,
+            AluFlags {
+                arith: None,
+                cy_only: Some(a & 0x01 != 0),
+            },
+        ),
+        AluOp::Swap => (a.rotate_left(4), no_flags),
+        AluOp::Cpl => (!a, no_flags),
+        AluOp::Clr => (0, no_flags),
+        AluOp::Cjne => (
+            a,
+            AluFlags {
+                arith: None,
+                cy_only: Some(a < b),
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn run_program(build: impl FnOnce(&mut Asm), cycles: u64) -> Iss {
+        let mut a = Asm::new();
+        build(&mut a);
+        let rom = a.assemble().unwrap();
+        let mut iss = Iss::new(rom);
+        iss.run(cycles);
+        iss
+    }
+
+    #[test]
+    fn add_sets_flags() {
+        let iss = run_program(
+            |a| {
+                a.mov_a_imm(0x7F);
+                a.add_a_imm(0x01);
+            },
+            8,
+        );
+        assert_eq!(iss.acc(), 0x80);
+        assert!(!iss.cy);
+        assert!(iss.ac);
+        assert!(iss.ov, "0x7F + 1 overflows signed");
+    }
+
+    #[test]
+    fn subb_computes_borrow() {
+        let iss = run_program(
+            |a| {
+                a.clr_c();
+                a.mov_a_imm(0x03);
+                a.subb_a_imm(0x05);
+            },
+            10,
+        );
+        assert_eq!(iss.acc(), 0xFE);
+        assert!(iss.cy, "3 - 5 borrows");
+    }
+
+    #[test]
+    fn djnz_loops_exactly_n_times() {
+        let iss = run_program(
+            |a| {
+                a.mov_rn_imm(2, 5);
+                a.clr_a();
+                let top = a.label();
+                a.bind(top);
+                a.inc_a();
+                a.djnz_rn(2, top);
+            },
+            200,
+        );
+        assert_eq!(iss.acc(), 5);
+    }
+
+    #[test]
+    fn lcall_ret_roundtrip() {
+        let iss = run_program(
+            |a| {
+                let sub = a.label();
+                let end = a.label();
+                a.mov_a_imm(1);
+                a.lcall(sub);
+                a.add_a_imm(1); // executes after RET
+                a.sjmp(end);
+                a.bind(sub);
+                a.add_a_imm(0x10);
+                a.ret();
+                a.bind(end);
+                a.sjmp(end);
+            },
+            60,
+        );
+        assert_eq!(iss.acc(), 0x12);
+        assert_eq!(iss.sp(), 0x07, "stack balanced");
+    }
+
+    #[test]
+    fn movc_reads_code_table() {
+        let iss = run_program(
+            |a| {
+                let table = a.label();
+                let end = a.label();
+                a.mov_dptr_label(table);
+                a.mov_a_imm(2);
+                a.movc();
+                a.sjmp(end);
+                a.bind(table);
+                a.data(&[0xDE, 0xAD, 0xBE, 0xEF]);
+                a.bind(end);
+                a.sjmp(end);
+            },
+            30,
+        );
+        assert_eq!(iss.acc(), 0xBE);
+    }
+
+    #[test]
+    fn register_banks_select_different_iram() {
+        let iss = run_program(
+            |a| {
+                a.mov_rn_imm(0, 0x11); // bank 0, address 0
+                a.mov_dir_imm(crate::isa::sfr::PSW, 0x08); // RS0=1: bank 1
+                a.mov_rn_imm(0, 0x22); // bank 1, address 8
+            },
+            20,
+        );
+        assert_eq!(iss.iram_at(0), 0x11);
+        assert_eq!(iss.iram_at(8), 0x22);
+    }
+
+    #[test]
+    fn cjne_sets_carry_as_less_than() {
+        let iss = run_program(
+            |a| {
+                let skip = a.label();
+                a.mov_a_imm(3);
+                a.cjne_a_imm(5, skip);
+                a.bind(skip);
+                a.nop();
+            },
+            12,
+        );
+        assert!(iss.cy, "3 < 5 sets CY");
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let iss = run_program(
+            |a| {
+                a.mov_a_imm(0x5A);
+                a.push_dir(crate::isa::sfr::ACC);
+                a.clr_a();
+                a.pop_dir(0x42);
+            },
+            30,
+        );
+        assert_eq!(iss.iram_at(0x42), 0x5A);
+        assert_eq!(iss.sp(), 0x07);
+    }
+
+    #[test]
+    fn xch_swaps_acc_and_register() {
+        let iss = run_program(
+            |a| {
+                a.mov_a_imm(0xAA);
+                a.mov_rn_imm(3, 0x55);
+                a.xch_a_rn(3);
+            },
+            15,
+        );
+        assert_eq!(iss.acc(), 0x55);
+        assert_eq!(iss.iram_at(3), 0xAA);
+    }
+}

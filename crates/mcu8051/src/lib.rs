@@ -1,0 +1,47 @@
+//! Intel 8051 microcontroller model — the system under analysis.
+//!
+//! The paper validates FADES on an 8051 IP core running Bubblesort. This
+//! crate provides the equivalent substrate, implemented twice from one
+//! specification:
+//!
+//! * [`Iss`] — a cycle-accurate instruction-set simulator, the executable
+//!   specification used as a cross-check and for fast golden predictions;
+//! * [`build_soc`] — an RTL implementation (registers, ALU, memory control
+//!   and FSM sequencer, each tagged with its [`fades_netlist::UnitTag`])
+//!   generated through `fades-rtl`, which is what gets synthesised onto
+//!   the FPGA and fault-injected.
+//!
+//! Both sides interpret the *same* micro-program table ([`isa`]), so they
+//! are cycle-for-cycle identical by construction; the test suite verifies
+//! this on every workload.
+//!
+//! The implemented subset covers the arithmetic, logic, data-movement,
+//! branch, stack and code-table instructions the workloads need (about 55
+//! opcode classes, register banks, CY/AC/OV/P flags). Interrupts, timers
+//! and bit-addressable operations are out of scope, as in the paper's
+//! experiments, which never exercise them.
+//!
+//! # Example
+//!
+//! ```
+//! use fades_mcu8051::{workloads, Iss};
+//!
+//! let workload = workloads::bubblesort();
+//! let mut iss = Iss::new(workload.rom.clone());
+//! let trace = iss.run_to_completion(20_000).expect("workload terminates");
+//! assert!(trace.outputs.windows(2).all(|w| w[0] <= w[1]), "sorted output");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod isa;
+mod iss;
+mod rtl_core;
+mod soc;
+pub mod workloads;
+
+pub use iss::{Iss, IssTrace};
+pub use rtl_core::build_core;
+pub use soc::{build_soc, Soc, OBSERVED_PORTS};

@@ -1,0 +1,670 @@
+//! RTL implementation of the 8051 core, generated from the micro-program
+//! table of [`crate::isa`].
+//!
+//! The generator walks [`CLASS_PATTERNS`] and [`micro_program`] and emits:
+//!
+//! * an opcode-class decoder (one masked comparator per class),
+//! * a control unit (per-field OR-trees over `class AND state` terms),
+//! * the datapath: ALU with CY/AC/OV flags, PC/SP/DPTR arithmetic,
+//!   direct-address SFR decode, and the internal RAM / ROM blocks.
+//!
+//! Because the ISS interprets the *same* table, both implementations are
+//! cycle-for-cycle identical; `tests/` verifies that on all workloads.
+
+use std::collections::HashMap;
+
+use fades_netlist::{NetId, NetlistError, UnitTag};
+use fades_rtl::{RtlBuilder, Signal};
+
+use crate::isa::{
+    micro_program, AluA, AluB, AluOp, Capture, Class, Cond, CyAction, MemAddr, MemWrite,
+    PcAction, RomAction, RomTo, SpAction, Step, CLASS_PATTERNS, MAX_STEPS,
+};
+use crate::iss::ROM_ADDR_BITS;
+
+/// Builds the complete 8051 core (registers, ALU, memory control, FSM,
+/// internal RAM, program ROM) into the given builder.
+///
+/// `rom_image` is the program; it is truncated or zero-padded to the
+/// 512-byte program ROM. Output ports are *not* added here — see
+/// [`crate::build_soc`].
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (they indicate a bug in the
+/// generator, not bad user input).
+#[allow(clippy::too_many_lines)]
+pub fn build_core(b: &mut RtlBuilder, rom_image: &[u8]) -> Result<CoreSignals, NetlistError> {
+    // ---- Architectural registers (paper: "registers" fault target) ------
+    b.set_unit(UnitTag::Registers);
+    let acc = b.reg("acc", 8, 0);
+    let breg = b.reg("b", 8, 0);
+    let sp = b.reg("sp", 8, 0x07);
+    let dph = b.reg("dph", 8, 0);
+    let dpl = b.reg("dpl", 8, 0);
+    let p1 = b.reg("p1", 8, 0);
+    let p2 = b.reg("p2", 8, 0);
+    let pc = b.reg("pc", 16, 0);
+    let cy = b.reg("psw_cy", 1, 0);
+    let ac = b.reg("psw_ac", 1, 0);
+    let f0 = b.reg("psw_f0", 1, 0);
+    let rs1 = b.reg("psw_rs1", 1, 0);
+    let rs0 = b.reg("psw_rs0", 1, 0);
+    let ov = b.reg("psw_ov", 1, 0);
+    let ud = b.reg("psw_ud", 1, 0);
+
+    let p1q = p1.q().clone();
+    let p2q = p2.q().clone();
+
+    // ---- Sequencer registers (FSM fault target) --------------------------
+    b.set_unit(UnitTag::Fsm);
+    let state = b.reg("state", 3, 0);
+    let ir = b.reg("ir", 8, 0);
+    let stateq = state.q().clone();
+
+    // ---- Memory-control temporaries (MEM fault target) -------------------
+    b.set_unit(UnitTag::MemCtl);
+    let t1 = b.reg("t1", 8, 0);
+    let t2 = b.reg("t2", 8, 0);
+
+    // ---- Decode and control (FSM) ----------------------------------------
+    b.set_unit(UnitTag::Fsm);
+    let mut class_net: HashMap<Class, NetId> = HashMap::new();
+    for &(class, mask, value) in CLASS_PATTERNS {
+        let n = b.match_const(ir.q(), mask as u64, value as u64);
+        class_net.insert(class, n);
+    }
+    let st_fetch = b.eq_const(state.q(), 0);
+    let st_ex: Vec<NetId> = (0..MAX_STEPS)
+        .map(|k| b.eq_const(state.q(), k as u64 + 1))
+        .collect();
+
+    // active[class][k] = executing step k of that class this cycle.
+    let progs: Vec<(Class, Vec<Step>)> = CLASS_PATTERNS
+        .iter()
+        .map(|&(c, _, _)| (c, micro_program(c)))
+        .collect();
+    let mut active: HashMap<Class, Vec<NetId>> = HashMap::new();
+    for (class, steps) in &progs {
+        let nets = (0..steps.len())
+            .map(|k| b.and_bit(class_net[class], st_ex[k]))
+            .collect();
+        active.insert(*class, nets);
+    }
+    // OR over all (class, step) pairs matching a predicate.
+    let ctl = |b: &mut RtlBuilder, pred: &dyn Fn(&Step) -> bool| -> NetId {
+        let mut terms = Vec::new();
+        for (class, steps) in &progs {
+            for (k, step) in steps.iter().enumerate() {
+                if pred(step) {
+                    terms.push(active[class][k]);
+                }
+            }
+        }
+        b.netlist_builder().or_all(&terms)
+    };
+
+    let rom_byte_read = ctl(b, &|s| matches!(s.rom, RomAction::Byte(_)));
+    let rom_movc = ctl(b, &|s| s.rom == RomAction::Movc);
+    let rom_to_t1 = ctl(b, &|s| s.rom == RomAction::Byte(RomTo::T1));
+    let rom_to_t2 = ctl(b, &|s| s.rom == RomAction::Byte(RomTo::T2));
+    let rom_to_dph = ctl(b, &|s| s.rom == RomAction::Byte(RomTo::Dph));
+    let rom_to_dpl = ctl(b, &|s| s.rom == RomAction::Byte(RomTo::Dpl));
+
+    let mem_rn = ctl(b, &|s| s.mem_addr == MemAddr::Rn);
+    let mem_ri = ctl(b, &|s| s.mem_addr == MemAddr::Ri);
+    let mem_t2 = ctl(b, &|s| s.mem_addr == MemAddr::T2);
+    let mem_sp = ctl(b, &|s| s.mem_addr == MemAddr::Sp);
+    let mem_spinc = ctl(b, &|s| s.mem_addr == MemAddr::SpInc);
+
+    let capture_t1 = ctl(b, &|s| s.capture == Capture::T1);
+    let capture_t2 = ctl(b, &|s| s.capture == Capture::T2);
+
+    let write_active = ctl(b, &|s| s.write != MemWrite::No);
+    let ws_acc = ctl(b, &|s| s.write == MemWrite::Acc);
+    let ws_t1 = ctl(b, &|s| s.write == MemWrite::T1);
+    let ws_aluout = ctl(b, &|s| s.write == MemWrite::AluOut);
+    let ws_pcl = ctl(b, &|s| s.write == MemWrite::PcL);
+    let ws_pch = ctl(b, &|s| s.write == MemWrite::PcH);
+    let ws_rom = ctl(b, &|s| s.write == MemWrite::RomByte);
+
+    let op_net = |b: &mut RtlBuilder, want: AluOp| {
+        ctl(b, &move |s: &Step| s.alu.map(|a| a.op) == Some(want))
+    };
+    let op_add = op_net(b, AluOp::Add);
+    let op_addc = op_net(b, AluOp::Addc);
+    let op_subb = op_net(b, AluOp::Subb);
+    let op_anl = op_net(b, AluOp::Anl);
+    let op_orl = op_net(b, AluOp::Orl);
+    let op_xrl = op_net(b, AluOp::Xrl);
+    let op_passb = op_net(b, AluOp::PassB);
+    let op_inc = op_net(b, AluOp::Inc);
+    let op_dec = op_net(b, AluOp::Dec);
+    let op_rl = op_net(b, AluOp::Rl);
+    let op_rr = op_net(b, AluOp::Rr);
+    let op_rlc = op_net(b, AluOp::Rlc);
+    let op_rrc = op_net(b, AluOp::Rrc);
+    let op_swap = op_net(b, AluOp::Swap);
+    let op_cpl = op_net(b, AluOp::Cpl);
+    let op_clr = op_net(b, AluOp::Clr);
+    let op_cjne = op_net(b, AluOp::Cjne);
+
+    let alu_a_mem = ctl(b, &|s| s.alu.map(|a| a.a) == Some(AluA::MemVal));
+    let alu_a_t1 = ctl(b, &|s| s.alu.map(|a| a.a) == Some(AluA::T1));
+    let alu_b_mem = ctl(b, &|s| s.alu.map(|a| a.b) == Some(AluB::MemVal));
+    let alu_b_t1 = ctl(b, &|s| s.alu.map(|a| a.b) == Some(AluB::T1));
+    let alu_b_rom = ctl(b, &|s| s.alu.map(|a| a.b) == Some(AluB::RomByte));
+    let alu_to_acc = ctl(b, &|s| s.alu.map(|a| a.to_acc) == Some(true));
+
+    let cy_clr = ctl(b, &|s| s.cy == CyAction::Clr);
+    let cy_set = ctl(b, &|s| s.cy == CyAction::Set);
+    let cy_cpl = ctl(b, &|s| s.cy == CyAction::Cpl);
+
+    let br_always = ctl(b, &|s| s.pc == PcAction::BranchRel(Cond::Always));
+    let br_accz = ctl(b, &|s| s.pc == PcAction::BranchRel(Cond::AccZ));
+    let br_accnz = ctl(b, &|s| s.pc == PcAction::BranchRel(Cond::AccNZ));
+    let br_c = ctl(b, &|s| s.pc == PcAction::BranchRel(Cond::C));
+    let br_nc = ctl(b, &|s| s.pc == PcAction::BranchRel(Cond::NC));
+    let br_alunz = ctl(b, &|s| s.pc == PcAction::BranchRel(Cond::AluNZ));
+    let br_cjnene = ctl(b, &|s| s.pc == PcAction::BranchRel(Cond::CjneNe));
+    let pc_loadhilo = ctl(b, &|s| s.pc == PcAction::LoadHiLo);
+    let pc_loadhit1rom = ctl(b, &|s| s.pc == PcAction::LoadHiT1RomLo);
+    let pc_rethi = ctl(b, &|s| s.pc == PcAction::RetHi);
+    let pc_retlo = ctl(b, &|s| s.pc == PcAction::RetLo);
+
+    let sp_inc = ctl(b, &|s| s.sp == SpAction::Inc);
+    let sp_dec = ctl(b, &|s| s.sp == SpAction::Dec);
+    let dptr_inc = ctl(b, &|s| s.dptr_inc);
+
+    // `last`: the executing step is the final one of its class.
+    let mut last_terms = Vec::new();
+    for (class, steps) in &progs {
+        last_terms.push(active[class][steps.len() - 1]);
+    }
+    let last = b.netlist_builder().or_all(&last_terms);
+
+    // ---- Program memory (Memory unit) -------------------------------------
+    b.set_unit(UnitTag::MemCtl);
+    let pcq = pc.q().clone();
+    let accq = acc.q().clone();
+    let dptr = dpl.q().concat(dph.q());
+    let movc_addr = {
+        let base = dptr.slice(0, ROM_ADDR_BITS);
+        let a9 = b.zext(&accq, ROM_ADDR_BITS);
+        b.add(&base, &a9)
+    };
+    let rom_addr = {
+        let pc_lo = pcq.slice(0, ROM_ADDR_BITS);
+        b.mux(rom_movc, &movc_addr, &pc_lo)
+    };
+    b.set_unit(UnitTag::Memory);
+    let rom_words: Vec<u64> = {
+        let mut w: Vec<u64> = rom_image.iter().map(|&x| x as u64).collect();
+        w.truncate(1 << ROM_ADDR_BITS);
+        w
+    };
+    let rom_data = b.rom("rom", &rom_addr, 8, &rom_words)?;
+
+    // ---- Data-memory addressing (MEM unit) --------------------------------
+    b.set_unit(UnitTag::MemCtl);
+    let zero = b.zero();
+    let bank = [rs0.q().bit(0), rs1.q().bit(0)];
+    let rn_addr = Signal::from_bits(vec![
+        ir.q().bit(0),
+        ir.q().bit(1),
+        ir.q().bit(2),
+        bank[0],
+        bank[1],
+        zero,
+        zero,
+    ]);
+    let ri_addr = Signal::from_bits(vec![
+        ir.q().bit(0),
+        zero,
+        zero,
+        bank[0],
+        bank[1],
+        zero,
+        zero,
+    ]);
+    let spq = sp.q().clone();
+    let sp_plus1 = b.add_const(&spq, 1);
+    let sp_minus1 = b.add_const(&spq, 0xFF);
+    let iram_addr = {
+        let sp_lo = spq.slice(0, 7);
+        let spinc_lo = sp_plus1.slice(0, 7);
+        let t2_lo = t2.q().slice(0, 7);
+        let z = b.lit(0, 7);
+        b.select(
+            &[
+                (mem_rn, rn_addr),
+                (mem_ri, ri_addr),
+                (mem_t2, t2_lo),
+                (mem_sp, sp_lo),
+                (mem_spinc, spinc_lo),
+            ],
+            &z,
+        )
+    };
+
+    // SFR decode for T2-mode accesses with address bit 7 set.
+    let t2q = t2.q().clone();
+    let is_sfr = {
+        let hi = t2q.bit(7);
+        b.and_bit(mem_t2, hi)
+    };
+    let sfr_is = |b: &mut RtlBuilder, addr: u8| {
+        let eq = b.eq_const(&t2q, addr as u64);
+        b.and_bit(is_sfr, eq)
+    };
+    let sel_acc = sfr_is(b, crate::isa::sfr::ACC);
+    let sel_b = sfr_is(b, crate::isa::sfr::B);
+    let sel_psw = sfr_is(b, crate::isa::sfr::PSW);
+    let sel_sp = sfr_is(b, crate::isa::sfr::SP);
+    let sel_dpl = sfr_is(b, crate::isa::sfr::DPL);
+    let sel_dph = sfr_is(b, crate::isa::sfr::DPH);
+    let sel_p1 = sfr_is(b, crate::isa::sfr::P1);
+    let sel_p2 = sfr_is(b, crate::isa::sfr::P2);
+
+    let parity = b.parity(&accq);
+    let psw_read = Signal::from_bits(vec![
+        parity,
+        ud.q().bit(0),
+        ov.q().bit(0),
+        rs0.q().bit(0),
+        rs1.q().bit(0),
+        f0.q().bit(0),
+        ac.q().bit(0),
+        cy.q().bit(0),
+    ]);
+    let sfr_read = {
+        let z = b.lit(0, 8);
+        b.select(
+            &[
+                (sel_acc, accq.clone()),
+                (sel_b, breg.q().clone()),
+                (sel_psw, psw_read),
+                (sel_sp, spq.clone()),
+                (sel_dpl, dpl.q().clone()),
+                (sel_dph, dph.q().clone()),
+                (sel_p1, p1.q().clone()),
+                (sel_p2, p2.q().clone()),
+            ],
+            &z,
+        )
+    };
+
+    // ---- ALU (ALU unit) ----------------------------------------------------
+    b.set_unit(UnitTag::Alu);
+    // The internal RAM's read value participates below; instantiate the RAM
+    // after its inputs are known, so forward-declare the read value by
+    // building the RAM at the end and wiring through a two-phase process:
+    // the RAM read is combinational, so we need its dout *now*. Order the
+    // construction: the RAM's inputs are iram_addr / write data / we, and
+    // write data depends on the ALU which depends on dout. Netlists allow
+    // this because RAM dout depends only on addr. We therefore instantiate
+    // the RAM here with a deferred write port using placeholder nets.
+    let we_placeholder = b.netlist_builder().fresh_net();
+    let din_placeholder: Vec<NetId> = (0..8)
+        .map(|_| b.netlist_builder().fresh_net())
+        .collect();
+    b.set_unit(UnitTag::Memory);
+    let iram_dout = {
+        let din_sig = Signal::from_bits(din_placeholder.clone());
+        b.ram("iram", &iram_addr, &din_sig, we_placeholder, &[])?
+    };
+    b.set_unit(UnitTag::MemCtl);
+    let mem_val = b.mux(is_sfr, &sfr_read, &iram_dout);
+
+    b.set_unit(UnitTag::Alu);
+    let a_val = b.select(
+        &[(alu_a_mem, mem_val.clone()), (alu_a_t1, t1.q().clone())],
+        &accq,
+    );
+    let b_val = {
+        let z = b.lit(0, 8);
+        b.select(
+            &[
+                (alu_b_mem, mem_val.clone()),
+                (alu_b_t1, t1.q().clone()),
+                (alu_b_rom, rom_data.clone()),
+            ],
+            &z,
+        )
+    };
+    let use_cpl = b.or_bit(op_subb, op_cjne);
+    let addend = {
+        let nb = b.not(&b_val);
+        b.mux(use_cpl, &nb, &b_val)
+    };
+    let cy_bit = cy.q().bit(0);
+    let not_cy = b.not_bit(cy_bit);
+    let one = b.one();
+    let cin = b.select_bit(
+        &[(op_addc, cy_bit), (op_subb, not_cy), (op_cjne, one)],
+        zero,
+    );
+    let (sum, cout) = b.addc(&a_val, &addend, cin);
+    let (_nib, c4) = {
+        let a_lo = a_val.slice(0, 4);
+        let ad_lo = addend.slice(0, 4);
+        b.addc(&a_lo, &ad_lo, cin)
+    };
+    let ov_val = {
+        let x1 = b.xor_bit(sum.bit(7), a_val.bit(7));
+        let x2 = b.xor_bit(addend.bit(7), cout);
+        b.xor_bit(x1, x2)
+    };
+    let not_cout = b.not_bit(cout);
+    let not_c4 = b.not_bit(c4);
+    let cy_arith = b.select_bit(&[(op_subb, not_cout)], cout);
+    let ac_arith = b.select_bit(&[(op_subb, not_c4)], c4);
+    let ltu = not_cout; // CJNE: a < b (borrow of a - b).
+
+    let and_out = b.and(&a_val, &b_val);
+    let or_out = b.or(&a_val, &b_val);
+    let xor_out = b.xor(&a_val, &b_val);
+    let inc_out = b.add_const(&a_val, 1);
+    let dec_out = b.add_const(&a_val, 0xFF);
+    let rl_out = b.rol1(&a_val);
+    let rr_out = b.ror1(&a_val);
+    let rlc_out = Signal::from_bits(
+        std::iter::once(cy_bit)
+            .chain((0..7).map(|i| a_val.bit(i)))
+            .collect(),
+    );
+    let rrc_out = Signal::from_bits(
+        (1..8)
+            .map(|i| a_val.bit(i))
+            .chain(std::iter::once(cy_bit))
+            .collect(),
+    );
+    let swap_out = {
+        let lo = a_val.slice(0, 4);
+        let hi = a_val.slice(4, 4);
+        hi.concat(&lo)
+    };
+    let cpl_out = b.not(&a_val);
+    let clr_out = b.lit(0, 8);
+    let arith = {
+        let t = b.or_bit(op_add, op_addc);
+        b.or_bit(t, op_subb)
+    };
+    let alu_out = b.select(
+        &[
+            (arith, sum.clone()),
+            (op_anl, and_out),
+            (op_orl, or_out),
+            (op_xrl, xor_out),
+            (op_passb, b_val.clone()),
+            (op_inc, inc_out),
+            (op_dec, dec_out),
+            (op_rl, rl_out),
+            (op_rr, rr_out),
+            (op_rlc, rlc_out),
+            (op_rrc, rrc_out),
+            (op_swap, swap_out),
+            (op_cpl, cpl_out),
+            (op_clr, clr_out),
+            (op_cjne, a_val.clone()),
+        ],
+        &a_val,
+    );
+    let alu_nz = b.any(&alu_out);
+    let cjne_ne = {
+        let eq = b.eq(&a_val, &b_val);
+        b.not_bit(eq)
+    };
+
+    // ---- Write value and memory write port (MEM unit) ---------------------
+    b.set_unit(UnitTag::MemCtl);
+    let pc_inc_cond = b.or_bit(st_fetch, rom_byte_read);
+    let pc_plus1 = b.add_const(&pcq, 1);
+    let pc_base = b.mux(pc_inc_cond, &pc_plus1, &pcq);
+    let wv = b.select(
+        &[
+            (ws_acc, accq.clone()),
+            (ws_t1, t1.q().clone()),
+            (ws_aluout, alu_out.clone()),
+            (ws_pcl, pc_base.slice(0, 8)),
+            (ws_pch, pc_base.slice(8, 8)),
+            (ws_rom, rom_data.clone()),
+        ],
+        &accq,
+    );
+    let iram_we = {
+        let not_sfr = b.not_bit(is_sfr);
+        b.and_bit(write_active, not_sfr)
+    };
+    // Back-patch the placeholder RAM write port.
+    b.netlist_builder()
+        .lut_raw_into([Some(iram_we), None, None, None], 0xAAAA, we_placeholder);
+    for (i, ph) in din_placeholder.iter().enumerate() {
+        b.netlist_builder()
+            .lut_raw_into([Some(wv.bit(i)), None, None, None], 0xAAAA, *ph);
+    }
+
+    let sfr_we = b.and_bit(write_active, is_sfr);
+    let we_of = |b: &mut RtlBuilder, sel: NetId| b.and_bit(sfr_we, sel);
+    let we_acc = we_of(b, sel_acc);
+    let we_b = we_of(b, sel_b);
+    let we_psw = we_of(b, sel_psw);
+    let we_sp = we_of(b, sel_sp);
+    let we_dpl = we_of(b, sel_dpl);
+    let we_dph = we_of(b, sel_dph);
+    let we_p1 = we_of(b, sel_p1);
+    let we_p2 = we_of(b, sel_p2);
+
+    // ---- Program counter ----------------------------------------------------
+    b.set_unit(UnitTag::Fsm);
+    let cond_val_pairs = [
+        (br_always, one),
+        (br_accz, {
+            let az = b.is_zero(&accq);
+            az
+        }),
+        (br_accnz, {
+            let az = b.is_zero(&accq);
+            b.not_bit(az)
+        }),
+        (br_c, cy_bit),
+        (br_nc, not_cy),
+        (br_alunz, alu_nz),
+        (br_cjnene, cjne_ne),
+    ];
+    let mut taken_terms = Vec::new();
+    for (active_net, cond_net) in cond_val_pairs {
+        taken_terms.push(b.and_bit(active_net, cond_net));
+    }
+    let branch_taken = b.netlist_builder().or_all(&taken_terms);
+    let sext_rom = {
+        let msb = rom_data.bit(7);
+        let mut bits: Vec<NetId> = rom_data.bits().to_vec();
+        bits.extend(std::iter::repeat_n(msb, 8));
+        Signal::from_bits(bits)
+    };
+    let branch_target = b.add(&pc_base, &sext_rom);
+    let pc_next = {
+        let hilo = t2q.concat(t1.q());
+        let hit1rom = rom_data.concat(t1.q());
+        let rethi = pc_base.slice(0, 8).concat(&mem_val);
+        let retlo = mem_val.concat(&pc_base.slice(8, 8));
+        b.select(
+            &[
+                (pc_loadhilo, hilo),
+                (pc_loadhit1rom, hit1rom),
+                (pc_rethi, rethi),
+                (pc_retlo, retlo),
+                (branch_taken, branch_target),
+            ],
+            &pc_base,
+        )
+    };
+    b.connect(pc, &pc_next);
+
+    // ---- Register next-state logic -----------------------------------------
+    b.set_unit(UnitTag::Registers);
+    let acc_next = b.select(
+        &[
+            (alu_to_acc, alu_out.clone()),
+            (rom_movc, rom_data.clone()),
+            (we_acc, wv.clone()),
+        ],
+        &accq,
+    );
+    b.connect(acc, &acc_next);
+    {
+        let q = breg.q().clone();
+        let next = b.select(&[(we_b, wv.clone())], &q);
+        b.connect(breg, &next);
+    }
+    {
+        let next = b.select(
+            &[
+                (we_sp, wv.clone()),
+                (sp_inc, sp_plus1.clone()),
+                (sp_dec, sp_minus1.clone()),
+            ],
+            &spq,
+        );
+        b.connect(sp, &next);
+    }
+    let dptr_plus1 = b.add_const(&dptr, 1);
+    {
+        let q = dpl.q().clone();
+        let next = b.select(
+            &[
+                (rom_to_dpl, rom_data.clone()),
+                (dptr_inc, dptr_plus1.slice(0, 8)),
+                (we_dpl, wv.clone()),
+            ],
+            &q,
+        );
+        b.connect(dpl, &next);
+    }
+    {
+        let q = dph.q().clone();
+        let next = b.select(
+            &[
+                (rom_to_dph, rom_data.clone()),
+                (dptr_inc, dptr_plus1.slice(8, 8)),
+                (we_dph, wv.clone()),
+            ],
+            &q,
+        );
+        b.connect(dph, &next);
+    }
+    {
+        let q = p1.q().clone();
+        let next = b.select(&[(we_p1, wv.clone())], &q);
+        b.connect(p1, &next);
+    }
+    {
+        let q = p2.q().clone();
+        let next = b.select(&[(we_p2, wv.clone())], &q);
+        b.connect(p2, &next);
+    }
+
+    // PSW bits.
+    let bit_of = |s: &Signal, i: usize| Signal::from_bits(vec![s.bit(i)]);
+    {
+        let q = cy.q().clone();
+        let not_q = b.not(&q);
+        let onel = b.lit(1, 1);
+        let zerol = b.lit(0, 1);
+        let cy_ar = Signal::from_bits(vec![cy_arith]);
+        let rlc_cy = bit_of(&a_val, 7);
+        let rrc_cy = bit_of(&a_val, 0);
+        let ltu_s = Signal::from_bits(vec![ltu]);
+        let next = b.select(
+            &[
+                (we_psw, bit_of(&wv, 7)),
+                (cy_clr, zerol),
+                (cy_set, onel),
+                (cy_cpl, not_q),
+                (arith, cy_ar),
+                (op_rlc, rlc_cy),
+                (op_rrc, rrc_cy),
+                (op_cjne, ltu_s),
+            ],
+            &q,
+        );
+        b.connect(cy, &next);
+    }
+    {
+        let q = ac.q().clone();
+        let ac_ar = Signal::from_bits(vec![ac_arith]);
+        let next = b.select(&[(we_psw, bit_of(&wv, 6)), (arith, ac_ar)], &q);
+        b.connect(ac, &next);
+    }
+    {
+        let q = ov.q().clone();
+        let ov_ar = Signal::from_bits(vec![ov_val]);
+        let next = b.select(&[(we_psw, bit_of(&wv, 2)), (arith, ov_ar)], &q);
+        b.connect(ov, &next);
+    }
+    for (reg, bit) in [(f0, 5usize), (rs1, 4), (rs0, 3), (ud, 1)] {
+        let q = reg.q().clone();
+        let next = b.select(&[(we_psw, bit_of(&wv, bit))], &q);
+        b.connect(reg, &next);
+    }
+
+    // Temporaries.
+    b.set_unit(UnitTag::MemCtl);
+    {
+        let q = t1.q().clone();
+        let next = b.select(
+            &[(capture_t1, mem_val.clone()), (rom_to_t1, rom_data.clone())],
+            &q,
+        );
+        b.connect(t1, &next);
+    }
+    {
+        let q = t2.q().clone();
+        let next = b.select(
+            &[(capture_t2, mem_val.clone()), (rom_to_t2, rom_data.clone())],
+            &q,
+        );
+        b.connect(t2, &next);
+    }
+
+    // Sequencer.
+    b.set_unit(UnitTag::Fsm);
+    {
+        let q = ir.q().clone();
+        let next = b.select(&[(st_fetch, rom_data.clone())], &q);
+        b.connect(ir, &next);
+    }
+    {
+        let q = state.q().clone();
+        let state_inc = b.add_const(&q, 1);
+        let one3 = b.lit(1, 3);
+        let zero3 = b.lit(0, 3);
+        let next = b.select(&[(st_fetch, one3), (last, zero3)], &state_inc);
+        b.connect(state, &next);
+    }
+
+    Ok(CoreSignals {
+        p1: p1q,
+        p2: p2q,
+        pc: pcq,
+        acc: accq,
+        state: stateq,
+    })
+}
+
+/// Probe signals returned by [`build_core`], used by the SoC layer to
+/// expose output and debug ports.
+#[derive(Debug, Clone)]
+pub struct CoreSignals {
+    /// Output port 1 (data byte).
+    pub p1: Signal,
+    /// Output port 2 (strobe counter / completion marker).
+    pub p2: Signal,
+    /// Program counter (debug observation).
+    pub pc: Signal,
+    /// Accumulator (debug observation).
+    pub acc: Signal,
+    /// Sequencer state (debug observation).
+    pub state: Signal,
+}

@@ -1,0 +1,52 @@
+//! System-on-chip wrapper: the 8051 core with its observation ports.
+
+use fades_netlist::{Netlist, NetlistError};
+use fades_rtl::RtlBuilder;
+
+use crate::rtl_core::build_core;
+
+/// The output ports experiments observe for Failure classification.
+///
+/// P1 carries data bytes, P2 the strobe counter / completion marker; this
+/// matches the paper's method of comparing output traces against a golden
+/// run. The debug ports (`pc`, `acc`, `state`) exist for test visibility
+/// and are *not* part of the observed set.
+pub const OBSERVED_PORTS: [&str; 2] = ["p1", "p2"];
+
+/// A built system-on-chip: the netlist plus its ROM image.
+#[derive(Debug, Clone)]
+pub struct Soc {
+    /// The synthesisable netlist of the whole system.
+    pub netlist: Netlist,
+    /// The program it runs.
+    pub rom: Vec<u8>,
+}
+
+/// Builds the 8051 SoC netlist around a program ROM image.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (generator bugs, over-size ROM).
+///
+/// # Example
+///
+/// ```
+/// use fades_mcu8051::{build_soc, workloads};
+/// let soc = build_soc(&workloads::bubblesort().rom)?;
+/// let stats = soc.netlist.stats();
+/// assert!(stats.luts > 500 && stats.ffs > 50);
+/// # Ok::<(), fades_netlist::NetlistError>(())
+/// ```
+pub fn build_soc(rom: &[u8]) -> Result<Soc, NetlistError> {
+    let mut b = RtlBuilder::new("mcu8051");
+    let sig = build_core(&mut b, rom)?;
+    b.output("p1", &sig.p1);
+    b.output("p2", &sig.p2);
+    b.output("pc", &sig.pc);
+    b.output("acc", &sig.acc);
+    b.output("state", &sig.state);
+    Ok(Soc {
+        netlist: b.finish()?,
+        rom: rom.to_vec(),
+    })
+}

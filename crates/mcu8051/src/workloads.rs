@@ -1,0 +1,434 @@
+//! Workload programs for the fault-injection experiments.
+//!
+//! The paper's experiments run Bubblesort, "commonly used in HDL-based
+//! fault injection experiments" (1303 cycles on their core). We provide
+//! Bubblesort plus two further workloads used by the extended examples.
+//!
+//! All workloads follow one output protocol so the observation process is
+//! uniform: each result byte is written to P1 and published by
+//! incrementing P2; completion is signalled by writing `0xFF` to P2, after
+//! which the program spins. The Failure / Latent / Silent classification
+//! compares the full (P1, P2) cycle trace, so corrupted *timing* is
+//! detected as well as corrupted values.
+
+use crate::asm::Asm;
+use crate::isa::sfr;
+
+/// A ready-to-run workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name.
+    pub name: &'static str,
+    /// Assembled ROM image.
+    pub rom: Vec<u8>,
+    /// Expected bytes on the P1/P2 output protocol.
+    pub expected_outputs: Vec<u8>,
+    /// Internal RAM address range holding the working data (the paper's
+    /// "selected memory positions" for RAM bit-flip campaigns).
+    pub data_range: (u8, u8),
+}
+
+/// Unsorted input of the Bubblesort workload (9 bytes, sized so the run
+/// length lands near the paper's 1303-cycle Bubblesort).
+pub const BUBBLE_DATA: [u8; 9] = [0x9C, 0x03, 0x5F, 0xE1, 0x2A, 0x77, 0x04, 0xD0, 0x41];
+
+/// Base internal-RAM address of the Bubblesort array.
+pub const BUBBLE_BASE: u8 = 0x30;
+
+/// Classic Bubblesort: copies [`BUBBLE_DATA`] from a ROM table into
+/// internal RAM, sorts it ascending in place, then streams the sorted
+/// array through the output protocol.
+pub fn bubblesort() -> Workload {
+    let n = BUBBLE_DATA.len() as u8;
+    let mut a = Asm::new();
+    let table = a.label();
+
+    // --- init: copy table from ROM to iram[BUBBLE_BASE..] ---------------
+    a.mov_dptr_label(table);
+    a.mov_rn_imm(0, BUBBLE_BASE); // R0 = write pointer
+    a.mov_rn_imm(2, n); // R2 = count
+    a.clr_a();
+    a.mov_rn_a(3); // R3 = table index
+    let copy = a.label();
+    a.bind(copy);
+    a.mov_a_rn(3);
+    a.movc();
+    a.mov_ind_a(0);
+    a.inc_rn(0);
+    a.inc_rn(3);
+    a.djnz_rn(2, copy);
+
+    // --- bubble sort ------------------------------------------------------
+    // R4 = outer remaining (n-1 .. 1); inner walks R0/R1 over the array.
+    a.mov_rn_imm(4, n - 1);
+    let outer = a.label();
+    a.bind(outer);
+    a.mov_rn_imm(0, BUBBLE_BASE);
+    a.mov_dir_rn(0x20, 4); // iram[0x20] = inner count
+    let inner = a.label();
+    a.bind(inner);
+    // R1 = R0 + 1
+    a.mov_a_rn(0);
+    a.inc_a();
+    a.mov_rn_a(1);
+    // compare M[R0] with M[R1]: CY set when M[R0] < M[R1]
+    a.clr_c();
+    a.mov_a_ind(0);
+    a.subb_a_ind(1);
+    let no_swap = a.label();
+    a.jc(no_swap);
+    a.jz(no_swap);
+    // swap
+    a.mov_a_ind(0);
+    a.xch_a_ind(1);
+    a.mov_ind_a(0);
+    a.bind(no_swap);
+    a.inc_rn(0);
+    a.djnz_dir(0x20, inner);
+    a.djnz_rn(4, outer);
+
+    // --- emit sorted array -----------------------------------------------
+    a.mov_rn_imm(0, BUBBLE_BASE);
+    a.mov_rn_imm(2, n);
+    let emit = a.label();
+    a.bind(emit);
+    a.mov_a_ind(0);
+    a.mov_dir_a(sfr::P1);
+    a.inc_dir(sfr::P2);
+    a.inc_rn(0);
+    a.djnz_rn(2, emit);
+
+    // --- done --------------------------------------------------------------
+    a.mov_dir_imm(sfr::P2, 0xFF);
+    let spin = a.label();
+    a.bind(spin);
+    a.sjmp(spin);
+
+    a.bind(table);
+    a.data(&BUBBLE_DATA);
+
+    let rom = a.assemble().expect("bubblesort assembles");
+    let mut expected: Vec<u8> = BUBBLE_DATA.to_vec();
+    expected.sort_unstable();
+    Workload {
+        name: "bubblesort",
+        rom,
+        expected_outputs: expected,
+        data_range: (BUBBLE_BASE, BUBBLE_BASE + n - 1),
+    }
+}
+
+/// Iterative Fibonacci: computes F(2)..F(13) modulo 256 into internal RAM
+/// and streams them out.
+pub fn fibonacci() -> Workload {
+    const COUNT: u8 = 12;
+    const BASE: u8 = 0x40;
+    let mut a = Asm::new();
+    a.mov_rn_imm(0, BASE);
+    a.mov_rn_imm(2, COUNT);
+    a.mov_rn_imm(3, 1); // F(k-1)
+    a.mov_rn_imm(4, 1); // F(k-2)
+    let lp = a.label();
+    a.bind(lp);
+    a.mov_a_rn(3);
+    a.add_a_rn(4);
+    a.mov_ind_a(0); // store F(k)
+    a.mov_a_rn(3);
+    a.mov_rn_a(4); // F(k-2) = old F(k-1)
+    a.mov_a_ind(0);
+    a.mov_rn_a(3); // F(k-1) = F(k)
+    a.inc_rn(0);
+    a.djnz_rn(2, lp);
+
+    a.mov_rn_imm(0, BASE);
+    a.mov_rn_imm(2, COUNT);
+    let emit = a.label();
+    a.bind(emit);
+    a.mov_a_ind(0);
+    a.mov_dir_a(sfr::P1);
+    a.inc_dir(sfr::P2);
+    a.inc_rn(0);
+    a.djnz_rn(2, emit);
+    a.mov_dir_imm(sfr::P2, 0xFF);
+    let spin = a.label();
+    a.bind(spin);
+    a.sjmp(spin);
+
+    let rom = a.assemble().expect("fibonacci assembles");
+    let mut expected = Vec::new();
+    let (mut f1, mut f2) = (1u8, 1u8);
+    for _ in 0..COUNT {
+        let f = f1.wrapping_add(f2);
+        expected.push(f);
+        f2 = f1;
+        f1 = f;
+    }
+    Workload {
+        name: "fibonacci",
+        rom,
+        expected_outputs: expected,
+        data_range: (BASE, BASE + COUNT - 1),
+    }
+}
+
+/// Table of message bytes checksummed by [`crc8`].
+pub const CRC_DATA: [u8; 16] = [
+    0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0x55, 0xAA, 0x00, 0xFF, 0x13, 0x37, 0x42,
+    0x99,
+];
+
+/// CRC-8 (polynomial 0x07) over [`CRC_DATA`], emitting the running CRC
+/// after every byte. Exercises the rotate/XOR paths of the ALU.
+pub fn crc8() -> Workload {
+    const BASE: u8 = 0x50;
+    let n = CRC_DATA.len() as u8;
+    let mut a = Asm::new();
+    let table = a.label();
+
+    // Copy table into RAM.
+    a.mov_dptr_label(table);
+    a.mov_rn_imm(0, BASE);
+    a.mov_rn_imm(2, n);
+    a.clr_a();
+    a.mov_rn_a(3);
+    let copy = a.label();
+    a.bind(copy);
+    a.mov_a_rn(3);
+    a.movc();
+    a.mov_ind_a(0);
+    a.inc_rn(0);
+    a.inc_rn(3);
+    a.djnz_rn(2, copy);
+
+    // CRC loop: R5 = crc.
+    a.mov_rn_imm(5, 0);
+    a.mov_rn_imm(0, BASE);
+    a.mov_rn_imm(2, n);
+    let byte_loop = a.label();
+    a.bind(byte_loop);
+    a.mov_a_ind(0);
+    a.xrl_a_dir(0x05); // A = data ^ crc (bank-0 R5 lives at iram[5])
+    a.mov_rn_a(5);
+    // 8 shift/condition steps.
+    a.mov_rn_imm(6, 8);
+    let bit_loop = a.label();
+    a.bind(bit_loop);
+    a.mov_a_rn(5);
+    a.clr_c();
+    a.rlc_a();
+    let no_xor = a.label();
+    a.jnc(no_xor);
+    a.xrl_a_imm(0x07);
+    a.bind(no_xor);
+    a.mov_rn_a(5);
+    a.djnz_rn(6, bit_loop);
+    // Emit running CRC.
+    a.mov_a_rn(5);
+    a.mov_dir_a(sfr::P1);
+    a.inc_dir(sfr::P2);
+    a.inc_rn(0);
+    a.djnz_rn(2, byte_loop);
+    a.mov_dir_imm(sfr::P2, 0xFF);
+    let spin = a.label();
+    a.bind(spin);
+    a.sjmp(spin);
+
+    a.bind(table);
+    a.data(&CRC_DATA);
+
+    let rom = a.assemble().expect("crc8 assembles");
+    // Reference CRC-8 implementation mirroring the assembly exactly.
+    let mut expected = Vec::new();
+    let mut crc = 0u8;
+    for &byte in &CRC_DATA {
+        crc ^= byte;
+        for _ in 0..8 {
+            let msb = crc & 0x80 != 0;
+            crc <<= 1;
+            if msb {
+                crc ^= 0x07;
+            }
+        }
+        expected.push(crc);
+    }
+    Workload {
+        name: "crc8",
+        rom,
+        expected_outputs: expected,
+        data_range: (BASE, BASE + n - 1),
+    }
+}
+
+/// The 3×3 matrix of the [`matvec`] workload.
+pub const MAT: [[u8; 3]; 3] = [[2, 7, 1], [9, 4, 6], [3, 8, 5]];
+
+/// The input vector of the [`matvec`] workload.
+pub const VEC: [u8; 3] = [13, 5, 11];
+
+/// Matrix–vector product modulo 256, with an 8-bit shift-add multiply
+/// subroutine (`LCALL`/`RET`, carry-driven control flow). The heaviest of
+/// the bundled workloads, and the longest point of the §7.1 scaling sweep.
+pub fn matvec() -> Workload {
+    const BASE: u8 = 0x60; // matrix rows then vector, copied from ROM
+    const RES: u8 = 0x70; // result vector
+    const ACCUM: u8 = 0x21; // multiply accumulator
+    let n_bytes = 9 + 3;
+    let mut a = Asm::new();
+    let table = a.label();
+    let mul = a.label();
+
+    // Copy matrix + vector into RAM.
+    a.mov_dptr_label(table);
+    a.mov_rn_imm(0, BASE);
+    a.mov_rn_imm(2, n_bytes);
+    a.clr_a();
+    a.mov_rn_a(3);
+    let copy = a.label();
+    a.bind(copy);
+    a.mov_a_rn(3);
+    a.movc();
+    a.mov_ind_a(0);
+    a.inc_rn(0);
+    a.inc_rn(3);
+    a.djnz_rn(2, copy);
+
+    // For each row i (R4 = 3): result = sum over j of M[i][j] * V[j].
+    a.mov_rn_imm(0, BASE); // R0 walks the matrix
+    a.mov_rn_imm(4, 3); // row counter
+    a.mov_dir_imm(0x23, RES); // result pointer (loaded into R1 for stores)
+    let row = a.label();
+    a.bind(row);
+    a.clr_a();
+    a.mov_dir_a(0x22); // row accumulator
+    a.mov_rn_imm(1, BASE + 9); // R1 walks the vector
+    a.mov_rn_imm(2, 3); // column counter
+    let col = a.label();
+    a.bind(col);
+    a.mov_a_ind(0);
+    a.mov_rn_a(6); // R6 = M[i][j]
+    a.mov_a_ind(1);
+    a.mov_rn_a(7); // R7 = V[j]
+    a.lcall(mul); // A = R6 * R7 (mod 256)
+    a.add_a_dir(0x22);
+    a.mov_dir_a(0x22);
+    a.inc_rn(0);
+    a.inc_rn(1);
+    a.djnz_rn(2, col);
+    // Store the row result: reload R1 (free after the column loop) with
+    // the result pointer (only @R0/@R1 exist on the 8051).
+    a.mov_rn_dir(1, 0x23);
+    a.mov_a_dir(0x22);
+    a.mov_ind_a(1);
+    a.inc_dir(0x23);
+    a.djnz_rn(4, row);
+
+    // Emit the result vector.
+    a.mov_rn_imm(0, RES);
+    a.mov_rn_imm(2, 3);
+    let emit = a.label();
+    a.bind(emit);
+    a.mov_a_ind(0);
+    a.mov_dir_a(sfr::P1);
+    a.inc_dir(sfr::P2);
+    a.inc_rn(0);
+    a.djnz_rn(2, emit);
+    a.mov_dir_imm(sfr::P2, 0xFF);
+    let spin = a.label();
+    a.bind(spin);
+    a.sjmp(spin);
+
+    // --- mul: A = R6 * R7 (mod 256), shift-add over 8 bits -------------
+    a.bind(mul);
+    a.clr_a();
+    a.mov_dir_a(ACCUM);
+    a.mov_rn_imm(5, 8);
+    let mul_loop = a.label();
+    let skip_add = a.label();
+    a.bind(mul_loop);
+    a.clr_c();
+    a.mov_a_rn(7);
+    a.rrc_a(); // CY = b & 1, A = b >> 1
+    a.mov_rn_a(7);
+    a.jnc(skip_add);
+    a.mov_a_dir(ACCUM);
+    a.add_a_rn(6);
+    a.mov_dir_a(ACCUM);
+    a.bind(skip_add);
+    a.mov_a_rn(6);
+    a.add_a_rn(6); // a <<= 1
+    a.mov_rn_a(6);
+    a.djnz_rn(5, mul_loop);
+    a.mov_a_dir(ACCUM);
+    a.ret();
+
+    a.bind(table);
+    for r in MAT {
+        a.data(&r);
+    }
+    a.data(&VEC);
+
+    let rom = a.assemble().expect("matvec assembles");
+    let expected: Vec<u8> = MAT
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(VEC.iter())
+                .fold(0u8, |acc, (&m, &v)| acc.wrapping_add(m.wrapping_mul(v)))
+        })
+        .collect();
+    Workload {
+        name: "matvec",
+        rom,
+        expected_outputs: expected,
+        data_range: (BASE, BASE + n_bytes - 1),
+    }
+}
+
+/// All workloads, for parameter sweeps.
+pub fn all() -> Vec<Workload> {
+    vec![bubblesort(), fibonacci(), crc8(), matvec()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Iss;
+
+    #[test]
+    fn bubblesort_sorts_on_the_iss() {
+        let w = bubblesort();
+        let mut iss = Iss::new(w.rom.clone());
+        let trace = iss.run_to_completion(50_000).expect("terminates");
+        assert_eq!(trace.outputs, w.expected_outputs);
+        // The paper's run took 1303 cycles; ours should be the same order.
+        assert!(
+            (500..5000).contains(&trace.cycles),
+            "bubblesort took {} cycles",
+            trace.cycles
+        );
+    }
+
+    #[test]
+    fn fibonacci_matches_reference() {
+        let w = fibonacci();
+        let mut iss = Iss::new(w.rom.clone());
+        let trace = iss.run_to_completion(50_000).expect("terminates");
+        assert_eq!(trace.outputs, w.expected_outputs);
+    }
+
+    #[test]
+    fn matvec_matches_reference() {
+        let w = matvec();
+        let mut iss = Iss::new(w.rom.clone());
+        let trace = iss.run_to_completion(200_000).expect("terminates");
+        assert_eq!(trace.outputs, w.expected_outputs);
+    }
+
+    #[test]
+    fn crc8_matches_reference() {
+        let w = crc8();
+        let mut iss = Iss::new(w.rom.clone());
+        let trace = iss.run_to_completion(100_000).expect("terminates");
+        assert_eq!(trace.outputs, w.expected_outputs);
+    }
+}

@@ -1,0 +1,167 @@
+//! Differential testing: the RTL core against the instruction-set
+//! simulator, cycle by cycle.
+//!
+//! Both implementations interpret the same micro-program table, so any
+//! divergence indicates a generator bug. The tests compare every observable
+//! port on every cycle for the real workloads, then fuzz with randomly
+//! generated straight-line programs to cover the whole instruction space.
+
+use fades_mcu8051::{build_soc, workloads, Iss};
+use fades_netlist::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_equivalent(rom: Vec<u8>, cycles: u64, context: &str) {
+    let soc = build_soc(&rom).expect("soc builds");
+    let mut sim = Simulator::new(&soc.netlist).expect("netlist simulates");
+    let mut iss = Iss::new(rom);
+    for cycle in 0..cycles {
+        sim.settle();
+        let pc = sim.output_u64("pc").unwrap();
+        let acc = sim.output_u64("acc").unwrap();
+        let p1 = sim.output_u64("p1").unwrap();
+        let p2 = sim.output_u64("p2").unwrap();
+        assert_eq!(
+            (pc, acc, p1, p2),
+            (
+                iss.pc() as u64,
+                iss.acc() as u64,
+                iss.p1() as u64,
+                iss.p2() as u64
+            ),
+            "{context}: divergence at cycle {cycle}"
+        );
+        sim.clock_edge();
+        iss.step_cycle();
+    }
+    // Final memory must agree too.
+    let iram = soc.netlist.ram_by_name("iram").unwrap();
+    for addr in 0..128 {
+        assert_eq!(
+            sim.mem_word(iram, addr),
+            iss.iram()[addr] as u64,
+            "{context}: iram[{addr}] differs after {cycles} cycles"
+        );
+    }
+}
+
+#[test]
+fn bubblesort_rtl_matches_iss() {
+    let w = workloads::bubblesort();
+    let mut iss = Iss::new(w.rom.clone());
+    let trace = iss.run_to_completion(50_000).expect("terminates");
+    assert_equivalent(w.rom.clone(), trace.cycles + 50, "bubblesort");
+}
+
+#[test]
+fn fibonacci_rtl_matches_iss() {
+    let w = workloads::fibonacci();
+    assert_equivalent(w.rom.clone(), 2_000, "fibonacci");
+}
+
+#[test]
+fn crc8_rtl_matches_iss() {
+    let w = workloads::crc8();
+    assert_equivalent(w.rom.clone(), 4_000, "crc8");
+}
+
+#[test]
+fn soc_netlist_produces_sorted_output() {
+    let w = workloads::bubblesort();
+    let soc = build_soc(&w.rom).expect("soc builds");
+    let mut sim = Simulator::new(&soc.netlist).unwrap();
+    let mut outputs = Vec::new();
+    let mut last_p2 = 0u64;
+    for _ in 0..20_000 {
+        sim.step();
+        sim.settle();
+        let p2 = sim.output_u64("p2").unwrap();
+        if p2 != last_p2 {
+            if p2 == 0xFF {
+                break;
+            }
+            outputs.push(sim.output_u64("p1").unwrap() as u8);
+            last_p2 = p2;
+        }
+    }
+    assert_eq!(outputs, w.expected_outputs);
+}
+
+/// Opcode emitters for the fuzzer: straight-line instructions only (no
+/// control flow, no SP manipulation), so any random sequence is valid.
+fn random_instruction(rng: &mut StdRng, asm: &mut fades_mcu8051::asm::Asm) {
+    // Direct addresses: internal RAM scratch or a safe SFR.
+    let dirs = [0x20u8, 0x21, 0x22, 0x40, 0x41, 0x60, 0x7F, 0xE0, 0xF0, 0x90, 0xA0];
+    let dir = dirs[rng.gen_range(0..dirs.len())];
+    let imm: u8 = rng.gen();
+    let rn: u8 = rng.gen_range(0..8);
+    let ri: u8 = rng.gen_range(0..2);
+    match rng.gen_range(0..38) {
+        0 => asm.mov_a_imm(imm),
+        1 => asm.mov_a_dir(dir),
+        2 => asm.mov_a_rn(rn),
+        3 => asm.mov_dir_a(dir),
+        4 => asm.mov_dir_imm(dir, imm),
+        5 => asm.mov_rn_a(rn),
+        6 => asm.mov_rn_imm(rn, imm),
+        7 => asm.mov_dir_rn(dir, rn),
+        8 => asm.mov_rn_dir(rn, dir),
+        9 => asm.inc_a(),
+        10 => asm.inc_dir(dir),
+        11 => asm.inc_rn(rn),
+        12 => asm.dec_a(),
+        13 => asm.dec_dir(dir),
+        14 => asm.dec_rn(rn),
+        15 => asm.add_a_imm(imm),
+        16 => asm.add_a_dir(dir),
+        17 => asm.add_a_rn(rn),
+        18 => asm.addc_a_imm(imm),
+        19 => asm.addc_a_rn(rn),
+        20 => asm.subb_a_imm(imm),
+        21 => asm.subb_a_dir(dir),
+        22 => asm.subb_a_rn(rn),
+        23 => asm.anl_a_imm(imm),
+        24 => asm.orl_a_imm(imm),
+        25 => asm.xrl_a_imm(imm),
+        26 => asm.clr_a(),
+        27 => asm.cpl_a(),
+        28 => asm.rl_a(),
+        29 => asm.rr_a(),
+        30 => asm.rlc_a(),
+        31 => asm.rrc_a(),
+        32 => asm.swap_a(),
+        33 => asm.clr_c(),
+        34 => asm.setb_c(),
+        35 => asm.cpl_c(),
+        36 => asm.xch_a_rn(rn),
+        37 => {
+            // Point Ri at scratch space first so indirect ops are tame.
+            asm.mov_rn_imm(ri, 0x20 + (imm & 0x1F));
+            match rng.gen_range(0..5) {
+                0 => asm.mov_a_ind(ri),
+                1 => asm.mov_ind_a(ri),
+                2 => asm.mov_ind_imm(ri, imm),
+                3 => asm.inc_ind(ri),
+                _ => asm.xch_a_ind(ri),
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn random_programs_rtl_matches_iss() {
+    let mut rng = StdRng::seed_from_u64(0xFADE5);
+    for case in 0..12 {
+        let mut asm = fades_mcu8051::asm::Asm::new();
+        for _ in 0..120 {
+            random_instruction(&mut rng, &mut asm);
+        }
+        let spin = asm.label();
+        asm.bind(spin);
+        asm.sjmp(spin);
+        let rom = asm.assemble().expect("random program assembles");
+        assert!(rom.len() < 512, "program fits ROM");
+        assert_equivalent(rom, 900, &format!("fuzz case {case}"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the assembler and ISS arithmetic.
+
+use fades_mcu8051::asm::Asm;
+use fades_mcu8051::Iss;
+use proptest::prelude::*;
+
+proptest! {
+    /// Relative branches resolve to the exact displacement for arbitrary
+    /// padding between branch and target, in both directions.
+    #[test]
+    fn branch_displacements_resolve(pad in 0usize..60) {
+        let mut a = Asm::new();
+        let fwd = a.label();
+        a.sjmp(fwd); // 2 bytes at 0..2
+        for _ in 0..pad {
+            a.nop();
+        }
+        a.bind(fwd);
+        a.nop();
+        let rom = a.assemble().unwrap();
+        prop_assert_eq!(rom[1] as i8 as i32, pad as i32);
+    }
+
+    /// ADD sets CY/AC/OV per the 8051 definitions for all operand pairs.
+    #[test]
+    fn iss_add_flags_match_reference(x in any::<u8>(), y in any::<u8>()) {
+        let mut a = Asm::new();
+        a.mov_a_imm(x);
+        a.add_a_imm(y);
+        a.mov_dir_a(0x30);
+        // Expose PSW for inspection.
+        a.mov_a_dir(fades_mcu8051::isa::sfr::PSW);
+        a.mov_dir_a(0x31);
+        let rom = a.assemble().unwrap();
+        let mut iss = Iss::new(rom);
+        iss.run(40);
+        let sum = iss.iram_at(0x30);
+        let psw = iss.iram_at(0x31);
+        prop_assert_eq!(sum, x.wrapping_add(y));
+        let carry = (x as u16 + y as u16) > 0xFF;
+        prop_assert_eq!(psw & 0x80 != 0, carry, "CY");
+        let ac = (x & 0xF) as u16 + (y & 0xF) as u16 > 0xF;
+        prop_assert_eq!(psw & 0x40 != 0, ac, "AC");
+        let ov = ((x ^ sum) & (y ^ sum) & 0x80) != 0;
+        prop_assert_eq!(psw & 0x04 != 0, ov, "OV");
+        // Parity of the accumulator (PSW read happens with A == sum...
+        // actually A holds PSW's source value only after the MOV; parity
+        // reflects A at read time, which is `sum`).
+        prop_assert_eq!(psw & 0x01 != 0, sum.count_ones() % 2 == 1, "P");
+    }
+
+    /// DJNZ executes its body exactly n times for any n.
+    #[test]
+    fn djnz_counts_exactly(n in 1u8..40) {
+        let mut a = Asm::new();
+        a.mov_rn_imm(2, n);
+        a.clr_a();
+        let top = a.label();
+        a.bind(top);
+        a.inc_a();
+        a.djnz_rn(2, top);
+        a.mov_dir_a(0x40);
+        let spin = a.label();
+        a.bind(spin);
+        a.sjmp(spin);
+        let rom = a.assemble().unwrap();
+        let mut iss = Iss::new(rom);
+        iss.run(40 * n as u64 + 60);
+        prop_assert_eq!(iss.iram_at(0x40), n);
+    }
+
+    /// The stack survives arbitrary push/pop nesting depths.
+    #[test]
+    fn push_pop_nesting(depth in 1usize..12) {
+        let mut a = Asm::new();
+        for i in 0..depth {
+            a.mov_a_imm(i as u8 + 1);
+            a.push_dir(fades_mcu8051::isa::sfr::ACC);
+        }
+        for i in (0..depth).rev() {
+            a.pop_dir(0x40 + i as u8);
+        }
+        let spin = a.label();
+        a.bind(spin);
+        a.sjmp(spin);
+        let rom = a.assemble().unwrap();
+        let mut iss = Iss::new(rom);
+        iss.run(16 * depth as u64 + 40);
+        prop_assert_eq!(iss.sp(), 0x07, "stack balanced");
+        for i in 0..depth {
+            prop_assert_eq!(iss.iram_at(0x40 + i as u8), i as u8 + 1);
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Construction of netlists with on-the-fly LUT mapping.
+
+use crate::cell::{Cell, DffCell, LutCell, RamCell, UnitTag};
+use crate::error::NetlistError;
+use crate::net::{NetId, PortDir};
+use crate::netlist::{Netlist, Port};
+
+/// Handle to a declared flip-flop whose `D` input is connected later.
+///
+/// Registers in feedback paths (counters, FSM state) need their output
+/// before their input logic exists; [`NetlistBuilder::dff_placeholder`]
+/// returns the `Q` net immediately and this handle, which must be completed
+/// with [`NetlistBuilder::dff_connect`] before [`NetlistBuilder::finish`].
+#[derive(Debug)]
+#[must_use = "the flip-flop's D input must be connected with dff_connect"]
+pub struct DffHandle {
+    cell: usize,
+}
+
+/// Incremental netlist builder.
+///
+/// Word-level operators (`and2`, `xor2`, `mux2`, ...) synthesise directly to
+/// 4-input LUT cells. Constant folding is performed for the two constant
+/// nets so that tied-off logic does not bloat the netlist.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    n_nets: u32,
+    cells: Vec<Cell>,
+    units: Vec<UnitTag>,
+    ports: Vec<Port>,
+    current_unit: UnitTag,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            n_nets: 0,
+            cells: Vec::new(),
+            units: Vec::new(),
+            ports: Vec::new(),
+            current_unit: UnitTag::Glue,
+            const0: None,
+            const1: None,
+        }
+    }
+
+    /// Sets the unit tag applied to all subsequently created cells.
+    ///
+    /// Used by the 8051 model to label its ALU / MEM / FSM / register
+    /// regions for placement and fault targeting.
+    pub fn set_unit(&mut self, unit: UnitTag) {
+        self.current_unit = unit;
+    }
+
+    /// The unit tag currently applied to new cells.
+    pub fn current_unit(&self) -> UnitTag {
+        self.current_unit
+    }
+
+    /// Re-opens a finished netlist for modification (model
+    /// instrumentation, e.g. compile-time-reconfiguration saboteurs).
+    ///
+    /// The returned builder contains identical nets, cells and ports; net
+    /// and cell ids are preserved.
+    pub fn from_netlist(netlist: &crate::Netlist) -> Self {
+        let mut b = NetlistBuilder::new(netlist.name());
+        b.n_nets = netlist.net_count() as u32;
+        b.cells = netlist.cells().to_vec();
+        b.units = (0..netlist.cell_count())
+            .map(|i| netlist.unit(crate::CellId::from_index(i)))
+            .collect();
+        b.ports = netlist.ports().to_vec();
+        b
+    }
+
+    /// Redirects every reader of `from` (cell inputs and output ports) to
+    /// `to`. The driver of `from` is untouched; used to splice saboteurs
+    /// into existing connections.
+    pub fn rewire_readers(&mut self, from: NetId, to: NetId) {
+        for cell in &mut self.cells {
+            match cell {
+                Cell::Lut(l) => {
+                    for pin in l.inputs.iter_mut().flatten() {
+                        if *pin == from {
+                            *pin = to;
+                        }
+                    }
+                }
+                Cell::Dff(d) => {
+                    if d.d == from {
+                        d.d = to;
+                    }
+                }
+                Cell::Ram(r) => {
+                    for n in r
+                        .addr
+                        .iter_mut()
+                        .chain(r.din.iter_mut())
+                        .chain(r.write_enable.iter_mut())
+                    {
+                        if *n == from {
+                            *n = to;
+                        }
+                    }
+                }
+            }
+        }
+        for port in &mut self.ports {
+            if port.dir == PortDir::Output {
+                for bit in &mut port.bits {
+                    if *bit == from {
+                        *bit = to;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocates a fresh, yet-undriven net.
+    ///
+    /// The net must be driven (by `lut_raw_into`, a port, or a cell) before
+    /// [`finish`](Self::finish), which validates that every net has exactly
+    /// one driver.
+    pub fn fresh_net(&mut self) -> NetId {
+        let id = NetId(self.n_nets);
+        self.n_nets += 1;
+        id
+    }
+
+    fn push_cell(&mut self, cell: Cell) -> usize {
+        self.cells.push(cell);
+        self.units.push(self.current_unit);
+        self.cells.len() - 1
+    }
+
+    /// Declares a primary input port of `width` bits; returns its nets.
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let bits: Vec<NetId> = (0..width).map(|_| self.fresh_net()).collect();
+        self.ports.push(Port {
+            name: name.into(),
+            dir: PortDir::Input,
+            bits: bits.clone(),
+        });
+        bits
+    }
+
+    /// Declares a primary output port connected to the given nets.
+    pub fn output(&mut self, name: impl Into<String>, bits: &[NetId]) {
+        self.ports.push(Port {
+            name: name.into(),
+            dir: PortDir::Output,
+            bits: bits.to_vec(),
+        });
+    }
+
+    /// The constant-0 net (created on first use as an empty-input LUT).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(n) = self.const0 {
+            return n;
+        }
+        let n = self.lut_raw([None, None, None, None], 0x0000);
+        self.const0 = Some(n);
+        n
+    }
+
+    /// The constant-1 net (created on first use as an empty-input LUT).
+    pub fn const1(&mut self) -> NetId {
+        if let Some(n) = self.const1 {
+            return n;
+        }
+        let n = self.lut_raw([None, None, None, None], 0xFFFF);
+        self.const1 = Some(n);
+        n
+    }
+
+    /// True if `net` is the constant produced by [`const0`](Self::const0) /
+    /// [`const1`](Self::const1); used for constant folding.
+    fn as_const(&self, net: NetId) -> Option<bool> {
+        if self.const0 == Some(net) {
+            Some(false)
+        } else if self.const1 == Some(net) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Creates a raw LUT cell with explicit pins and truth table, returning
+    /// its (fresh) output net.
+    ///
+    /// The table must be padded so the function ignores unused pins.
+    pub fn lut_raw(&mut self, inputs: [Option<NetId>; 4], table: u16) -> NetId {
+        let output = self.fresh_net();
+        self.lut_raw_into(inputs, table, output);
+        output
+    }
+
+    /// Creates a raw LUT cell driving an existing net.
+    ///
+    /// This is how feedback cycles would be formed; [`finish`](Self::finish)
+    /// rejects combinational loops.
+    pub fn lut_raw_into(&mut self, inputs: [Option<NetId>; 4], table: u16, output: NetId) {
+        self.push_cell(Cell::Lut(LutCell {
+            inputs,
+            table,
+            output,
+        }));
+    }
+
+    /// Synthesises an arbitrary function of up to four nets.
+    ///
+    /// `f` receives the input values in pin order and the builder fills the
+    /// truth table by enumeration. Constant inputs are folded away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than four inputs are supplied.
+    pub fn lut_fn(&mut self, inputs: &[NetId], f: impl Fn(&[bool]) -> bool) -> NetId {
+        assert!(inputs.len() <= 4, "lut_fn supports at most 4 inputs");
+        // Fold constants out of the input list.
+        let mut live: Vec<NetId> = Vec::new();
+        let mut fixed: Vec<Option<bool>> = Vec::new();
+        for &n in inputs {
+            match self.as_const(n) {
+                Some(v) => fixed.push(Some(v)),
+                None => {
+                    fixed.push(None);
+                    live.push(n);
+                }
+            }
+        }
+        let k = live.len();
+        let mut table: u16 = 0;
+        for combo in 0..(1u16 << k) {
+            let mut vals = Vec::with_capacity(inputs.len());
+            let mut li = 0;
+            for fx in &fixed {
+                match fx {
+                    Some(v) => vals.push(*v),
+                    None => {
+                        vals.push((combo >> li) & 1 == 1);
+                        li += 1;
+                    }
+                }
+            }
+            if f(&vals) {
+                table |= 1 << combo;
+            }
+        }
+        if k == 0 {
+            return if table & 1 == 1 {
+                self.const1()
+            } else {
+                self.const0()
+            };
+        }
+        // Replicate the k-input table across unused upper pins.
+        let used = 1u32 << k;
+        let mut full: u16 = 0;
+        for i in 0..16u32 {
+            if (table >> (i % used)) & 1 == 1 {
+                full |= 1 << i;
+            }
+        }
+        let mut pins = [None; 4];
+        for (i, &n) in live.iter().enumerate() {
+            pins[i] = Some(n);
+        }
+        self.lut_raw(pins, full)
+    }
+
+    /// Logical NOT.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.lut_fn(&[a], |v| !v[0])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.lut_fn(&[a, b], |v| v[0] && v[1])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.lut_fn(&[a, b], |v| v[0] || v[1])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.lut_fn(&[a, b], |v| v[0] ^ v[1])
+    }
+
+    /// 2:1 multiplexer: returns `t` when `sel` is high, else `e`.
+    pub fn mux2(&mut self, sel: NetId, t: NetId, e: NetId) -> NetId {
+        self.lut_fn(&[sel, t, e], |v| if v[0] { v[1] } else { v[2] })
+    }
+
+    /// Reduction AND over arbitrarily many nets (LUT tree).
+    pub fn and_all(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, true, |b, x, y| b.and2(x, y))
+    }
+
+    /// Reduction OR over arbitrarily many nets (LUT tree).
+    pub fn or_all(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, false, |b, x, y| b.or2(x, y))
+    }
+
+    fn reduce(
+        &mut self,
+        nets: &[NetId],
+        empty: bool,
+        op: impl Fn(&mut Self, NetId, NetId) -> NetId + Copy,
+    ) -> NetId {
+        match nets.len() {
+            0 => {
+                if empty {
+                    self.const1()
+                } else {
+                    self.const0()
+                }
+            }
+            1 => nets[0],
+            _ => {
+                let mut level: Vec<NetId> = nets.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    for pair in level.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            op(self, pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    level = next;
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// Creates a flip-flop whose `D` input is already known.
+    pub fn dff(&mut self, name: impl Into<String>, d: NetId, init: bool) -> NetId {
+        let q = self.fresh_net();
+        self.push_cell(Cell::Dff(DffCell {
+            d,
+            q,
+            init,
+            name: name.into(),
+        }));
+        q
+    }
+
+    /// Declares a flip-flop whose `D` input is connected later with
+    /// [`dff_connect`](Self::dff_connect); returns `(q, handle)`.
+    pub fn dff_placeholder(&mut self, name: impl Into<String>, init: bool) -> (NetId, DffHandle) {
+        let q = self.fresh_net();
+        // Temporarily feed back q; dff_connect replaces it.
+        let cell = self.push_cell(Cell::Dff(DffCell {
+            d: q,
+            q,
+            init,
+            name: name.into(),
+        }));
+        (q, DffHandle { cell })
+    }
+
+    /// Connects the `D` input of a placeholder flip-flop.
+    pub fn dff_connect(&mut self, handle: DffHandle, d: NetId) {
+        match &mut self.cells[handle.cell] {
+            Cell::Dff(ff) => ff.d = d,
+            _ => unreachable!("DffHandle always refers to a DFF"),
+        }
+    }
+
+    /// Creates a RAM block.
+    ///
+    /// `init` supplies power-on contents (missing words are zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadMemoryShape`] if `width` is 0 or greater
+    /// than 64, or `addr` is empty.
+    pub fn ram(
+        &mut self,
+        name: impl Into<String>,
+        addr: &[NetId],
+        din: &[NetId],
+        write_enable: NetId,
+        width: usize,
+        init: &[u64],
+    ) -> Result<Vec<NetId>, NetlistError> {
+        self.memory(name, addr, din, Some(write_enable), width, init)
+    }
+
+    /// Creates a ROM block (no write port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadMemoryShape`] for unsupported shapes (see
+    /// [`ram`](Self::ram)).
+    pub fn rom(
+        &mut self,
+        name: impl Into<String>,
+        addr: &[NetId],
+        width: usize,
+        init: &[u64],
+    ) -> Result<Vec<NetId>, NetlistError> {
+        self.memory(name, addr, &[], None, width, init)
+    }
+
+    fn memory(
+        &mut self,
+        name: impl Into<String>,
+        addr: &[NetId],
+        din: &[NetId],
+        write_enable: Option<NetId>,
+        width: usize,
+        init: &[u64],
+    ) -> Result<Vec<NetId>, NetlistError> {
+        if width == 0 || width > 64 {
+            return Err(NetlistError::BadMemoryShape(format!(
+                "width {width} not in 1..=64"
+            )));
+        }
+        if addr.is_empty() {
+            return Err(NetlistError::BadMemoryShape("empty address bus".into()));
+        }
+        if write_enable.is_some() && din.len() != width {
+            return Err(NetlistError::BadMemoryShape(format!(
+                "din has {} bits, width is {width}",
+                din.len()
+            )));
+        }
+        let depth = 1usize << addr.len();
+        if init.len() > depth {
+            return Err(NetlistError::BadMemoryShape(format!(
+                "init has {} words, depth is {depth}",
+                init.len()
+            )));
+        }
+        let dout: Vec<NetId> = (0..width).map(|_| self.fresh_net()).collect();
+        let mut contents = init.to_vec();
+        contents.resize(depth, 0);
+        self.push_cell(Cell::Ram(RamCell {
+            addr: addr.to_vec(),
+            din: din.to_vec(),
+            dout: dout.clone(),
+            write_enable,
+            init: contents,
+            name: name.into(),
+        }));
+        Ok(dout)
+    }
+
+    /// Number of cells created so far.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any net is undriven or multiply driven, a port
+    /// name is duplicated, or the combinational logic contains a loop.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        Netlist::from_parts(self.name, self.n_nets, self.cells, self.units, self.ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_collapses_to_const_nets() {
+        let mut b = NetlistBuilder::new("cf");
+        let one = b.const1();
+        let a = b.input("a", 1)[0];
+        let n = b.and2(a, one);
+        // AND with constant 1 still produces a buffer LUT of `a`, but an
+        // AND of two constants folds to a constant net.
+        let z = b.and2(one, one);
+        assert_eq!(z, one);
+        b.output("n", &[n]);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn lut_fn_truth_table_is_padded() {
+        let mut b = NetlistBuilder::new("pad");
+        let a = b.input("a", 1)[0];
+        let n = b.not(a);
+        b.output("n", &[n]);
+        let nl = b.finish().unwrap();
+        let lut = match nl.cell(nl.lut_ids()[0]) {
+            crate::Cell::Lut(l) => l.clone(),
+            _ => unreachable!(),
+        };
+        // NOT(a): table bit must be identical for all values of unused pins.
+        for hi in 0..8u16 {
+            assert_eq!(lut.table >> (hi * 2) & 1, 1);
+            assert_eq!(lut.table >> (hi * 2 + 1) & 1, 0);
+        }
+    }
+
+    #[test]
+    fn undriven_net_is_rejected() {
+        let mut b = NetlistBuilder::new("undriven");
+        let n = b.fresh_net();
+        b.output("o", &[n]);
+        assert!(matches!(b.finish(), Err(NetlistError::Undriven(_))));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut b = NetlistBuilder::new("md");
+        let a = b.input("a", 1)[0];
+        let n = b.not(a);
+        b.lut_raw_into([Some(a), None, None, None], 0xFFFF, n);
+        b.output("o", &[n]);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for netlist construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or simulating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A port name was used twice.
+    DuplicatePort(String),
+    /// A named port does not exist.
+    UnknownPort(String),
+    /// A port was accessed with the wrong direction.
+    PortDirection {
+        /// Port name.
+        name: String,
+        /// Direction the port actually has.
+        actual: crate::PortDir,
+    },
+    /// The bit width supplied for a port did not match its declaration.
+    WidthMismatch {
+        /// Port name.
+        name: String,
+        /// Declared width.
+        expected: usize,
+        /// Supplied width.
+        actual: usize,
+    },
+    /// A net is driven by more than one source.
+    MultipleDrivers(crate::NetId),
+    /// A net has no driver and is not a primary input.
+    Undriven(crate::NetId),
+    /// The combinational logic contains a cycle through the given net.
+    CombinationalLoop(crate::NetId),
+    /// A memory was declared with an unsupported shape.
+    BadMemoryShape(String),
+    /// A LUT was given more than four inputs.
+    TooManyLutInputs(usize),
+    /// A named register does not exist.
+    UnknownRegister(String),
+    /// A named memory does not exist.
+    UnknownMemory(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicatePort(n) => write!(f, "duplicate port name `{n}`"),
+            NetlistError::UnknownPort(n) => write!(f, "unknown port `{n}`"),
+            NetlistError::PortDirection { name, actual } => {
+                write!(f, "port `{name}` is an {actual} port")
+            }
+            NetlistError::WidthMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "port `{name}` has width {expected}, got {actual} bits"
+            ),
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::Undriven(n) => write!(f, "net {n} has no driver"),
+            NetlistError::CombinationalLoop(n) => {
+                write!(f, "combinational loop through net {n}")
+            }
+            NetlistError::BadMemoryShape(m) => write!(f, "bad memory shape: {m}"),
+            NetlistError::TooManyLutInputs(n) => {
+                write!(f, "LUT declared with {n} inputs, maximum is 4")
+            }
+            NetlistError::UnknownRegister(n) => write!(f, "unknown register `{n}`"),
+            NetlistError::UnknownMemory(n) => write!(f, "unknown memory `{n}`"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

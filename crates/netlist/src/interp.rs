@@ -1,0 +1,465 @@
+//! Cycle-accurate netlist interpreter.
+//!
+//! This is the "HDL simulator" of the reproduction: it executes a
+//! [`Netlist`] directly, one clock cycle at a time, and supports the
+//! simulator-command style of fault injection (force / release / flip) that
+//! the VFIT baseline uses.
+
+use crate::cell::{Cell, CellId};
+use crate::error::NetlistError;
+use crate::force::{Force, ForceKind};
+use crate::levelize::{levelize, LevelizeResult};
+use crate::net::{NetId, PortDir};
+use crate::netlist::Netlist;
+
+/// Cycle-accurate simulator over a netlist.
+///
+/// The simulator owns a value per net, flip-flop state, and memory
+/// contents. A cycle consists of [`settle`](Self::settle) (combinational
+/// propagation) followed by [`clock_edge`](Self::clock_edge) (sequential
+/// update); [`step`](Self::step) performs both.
+#[derive(Debug, Clone)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    level: LevelizeResult,
+    values: Vec<bool>,
+    /// Flip-flop state, indexed by cell index (unused slots for non-DFFs).
+    ff_state: Vec<bool>,
+    /// Memory contents, indexed by cell index.
+    mem: Vec<Vec<u64>>,
+    /// Active simulator-command forces.
+    forces: Vec<Force>,
+    cycle: u64,
+}
+
+impl<'n> Simulator<'n> {
+    /// Creates a simulator with all state at its power-on values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist cannot be levelized (it always can if
+    /// it came from [`crate::NetlistBuilder::finish`]).
+    pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        let level = levelize(netlist)?;
+        let mut sim = Simulator {
+            netlist,
+            level,
+            values: vec![false; netlist.net_count()],
+            ff_state: vec![false; netlist.cell_count()],
+            mem: vec![Vec::new(); netlist.cell_count()],
+            forces: Vec::new(),
+            cycle: 0,
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// Restores all flip-flops and memories to their power-on values and
+    /// clears forces and the cycle counter. Input values are kept.
+    pub fn reset(&mut self) {
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            match cell {
+                Cell::Dff(d) => self.ff_state[i] = d.init,
+                Cell::Ram(r) => self.mem[i] = r.init.clone(),
+                Cell::Lut(_) => {}
+            }
+        }
+        self.forces.clear();
+        self.cycle = 0;
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Current cycle count (number of clock edges since reset).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port is unknown, is an output, or `bits` has
+    /// the wrong width.
+    pub fn set_input(&mut self, name: &str, bits: &[bool]) -> Result<(), NetlistError> {
+        let port = self.netlist.port(name)?;
+        if port.dir != PortDir::Input {
+            return Err(NetlistError::PortDirection {
+                name: name.to_string(),
+                actual: port.dir,
+            });
+        }
+        if port.bits.len() != bits.len() {
+            return Err(NetlistError::WidthMismatch {
+                name: name.to_string(),
+                expected: port.bits.len(),
+                actual: bits.len(),
+            });
+        }
+        for (net, &v) in port.bits.clone().iter().zip(bits) {
+            self.values[net.index()] = v;
+        }
+        Ok(())
+    }
+
+    /// Reads an output port as bits (LSB first). Call after
+    /// [`settle`](Self::settle).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port is unknown or is an input.
+    pub fn output_bits(&self, name: &str) -> Result<Vec<bool>, NetlistError> {
+        let port = self.netlist.port(name)?;
+        if port.dir != PortDir::Output {
+            return Err(NetlistError::PortDirection {
+                name: name.to_string(),
+                actual: port.dir,
+            });
+        }
+        Ok(port.bits.iter().map(|n| self.values[n.index()]).collect())
+    }
+
+    /// Reads an output port as an integer (at most 64 bits).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`output_bits`](Self::output_bits).
+    pub fn output_u64(&self, name: &str) -> Result<u64, NetlistError> {
+        let bits = self.output_bits(name)?;
+        Ok(pack_bits(&bits))
+    }
+
+    /// Current value of an arbitrary net.
+    pub fn net_value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Current state of a flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a flip-flop.
+    pub fn ff_value(&self, id: CellId) -> bool {
+        assert!(
+            matches!(self.netlist.cell(id), Cell::Dff(_)),
+            "{id} is not a flip-flop"
+        );
+        self.ff_state[id.index()]
+    }
+
+    /// Overwrites the state of a flip-flop (takes effect at the next
+    /// [`settle`](Self::settle)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a flip-flop.
+    pub fn set_ff(&mut self, id: CellId, value: bool) {
+        assert!(
+            matches!(self.netlist.cell(id), Cell::Dff(_)),
+            "{id} is not a flip-flop"
+        );
+        self.ff_state[id.index()] = value;
+    }
+
+    /// Reads one word of a memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a memory or `addr` is out of range.
+    pub fn mem_word(&self, id: CellId, addr: usize) -> u64 {
+        self.mem[id.index()][addr]
+    }
+
+    /// Overwrites one word of a memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a memory or `addr` is out of range.
+    pub fn set_mem_word(&mut self, id: CellId, addr: usize, word: u64) {
+        self.mem[id.index()][addr] = word;
+    }
+
+    /// Flips a single stored bit of a memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a memory or the location is out of range.
+    pub fn flip_mem_bit(&mut self, id: CellId, addr: usize, bit: usize) {
+        self.mem[id.index()][addr] ^= 1 << bit;
+    }
+
+    /// Adds a simulator-command force; it applies until
+    /// [`release`](Self::release) or [`clear_forces`](Self::clear_forces).
+    pub fn force(&mut self, force: Force) {
+        self.forces.push(force);
+    }
+
+    /// Removes all forces on the given net.
+    pub fn release(&mut self, net: NetId) {
+        self.forces.retain(|f| f.net != net);
+    }
+
+    /// Removes every active force.
+    pub fn clear_forces(&mut self) {
+        self.forces.clear();
+    }
+
+    /// Number of currently active forces.
+    pub fn force_count(&self) -> usize {
+        self.forces.len()
+    }
+
+    /// Propagates values through the combinational fabric.
+    ///
+    /// Flip-flop outputs present their stored state; LUTs and memory read
+    /// ports are evaluated in topological order; forces are applied to their
+    /// target nets both before and after evaluation so that downstream logic
+    /// observes the forced value.
+    pub fn settle(&mut self) {
+        // Present sequential state on Q nets.
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if let Cell::Dff(d) = cell {
+                self.values[d.q.index()] = self.ff_state[i];
+            }
+        }
+        self.apply_forces();
+        for idx in 0..self.level.order.len() {
+            let id = self.level.order[idx];
+            match self.netlist.cell(id) {
+                Cell::Lut(l) => {
+                    let mut vals = [false; 4];
+                    for (pin, input) in l.inputs.iter().enumerate() {
+                        if let Some(n) = input {
+                            vals[pin] = self.values[n.index()];
+                        }
+                    }
+                    let mut out = l.eval(vals);
+                    if let Some((kind, _)) = self.force_on(l.output) {
+                        out = kind.apply(out);
+                    }
+                    self.values[l.output.index()] = out;
+                }
+                Cell::Ram(r) => {
+                    let addr = self.read_addr(&r.addr);
+                    let word = self.mem[id.index()][addr];
+                    for (bit, out) in r.dout.clone().iter().enumerate() {
+                        let mut v = (word >> bit) & 1 == 1;
+                        if let Some((kind, _)) = self.force_on(*out) {
+                            v = kind.apply(v);
+                        }
+                        self.values[out.index()] = v;
+                    }
+                }
+                Cell::Dff(_) => unreachable!("levelize only yields combinational cells"),
+            }
+        }
+    }
+
+    /// Applies forces to nets that are *not* recomputed during LUT
+    /// evaluation (primary inputs and flip-flop outputs). Nets driven by
+    /// combinational cells are handled inline by [`Self::force_on`] so that
+    /// `Flip` inverts the freshly computed value.
+    fn apply_forces(&mut self) {
+        for i in 0..self.forces.len() {
+            let f = self.forces[i];
+            let driven_by_comb = self
+                .netlist
+                .driver(f.net)
+                .map(|c| !matches!(self.netlist.cell(c), Cell::Dff(_)))
+                .unwrap_or(false);
+            if !driven_by_comb {
+                let v = f.value(self.values[f.net.index()]);
+                self.values[f.net.index()] = v;
+            }
+        }
+    }
+
+    fn force_on(&self, net: NetId) -> Option<(ForceKind, NetId)> {
+        self.forces
+            .iter()
+            .rev()
+            .find(|f| f.net == net)
+            .map(|f| (f.kind, f.net))
+    }
+
+    fn read_addr(&self, addr: &[NetId]) -> usize {
+        let mut a = 0usize;
+        for (bit, n) in addr.iter().enumerate() {
+            if self.values[n.index()] {
+                a |= 1 << bit;
+            }
+        }
+        a
+    }
+
+    /// Applies the clock edge: flip-flops capture `D`, memories perform
+    /// enabled writes. Values must be settled first.
+    pub fn clock_edge(&mut self) {
+        // Capture all D values before mutating state (two-phase update).
+        let mut captures: Vec<(usize, bool)> = Vec::new();
+        let mut writes: Vec<(usize, usize, u64)> = Vec::new();
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            match cell {
+                Cell::Dff(d) => captures.push((i, self.values[d.d.index()])),
+                Cell::Ram(r) => {
+                    if let Some(we) = r.write_enable {
+                        if self.values[we.index()] {
+                            let addr = self.read_addr(&r.addr);
+                            let word = pack_bits(
+                                &r.din
+                                    .iter()
+                                    .map(|n| self.values[n.index()])
+                                    .collect::<Vec<_>>(),
+                            );
+                            writes.push((i, addr, word));
+                        }
+                    }
+                }
+                Cell::Lut(_) => {}
+            }
+        }
+        for (i, v) in captures {
+            self.ff_state[i] = v;
+        }
+        for (i, addr, word) in writes {
+            self.mem[i][addr] = word;
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs one full cycle: settle then clock edge.
+    pub fn step(&mut self) {
+        self.settle();
+        self.clock_edge();
+    }
+
+    /// Runs `n` full cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Snapshot of all sequential state (flip-flops, then memory words),
+    /// used by outcome classification to detect latent faults.
+    pub fn state_snapshot(&self) -> Vec<u64> {
+        let mut snap = Vec::new();
+        let mut acc = 0u64;
+        let mut nbits = 0;
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if matches!(cell, Cell::Dff(_)) {
+                if self.ff_state[i] {
+                    acc |= 1 << nbits;
+                }
+                nbits += 1;
+                if nbits == 64 {
+                    snap.push(acc);
+                    acc = 0;
+                    nbits = 0;
+                }
+            }
+        }
+        if nbits > 0 {
+            snap.push(acc);
+        }
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if matches!(cell, Cell::Ram(_)) {
+                snap.extend_from_slice(&self.mem[i]);
+            }
+        }
+        snap
+    }
+}
+
+/// Packs bits (LSB first) into a `u64`.
+pub(crate) fn pack_bits(bits: &[bool]) -> u64 {
+    let mut v = 0u64;
+    for (i, &b) in bits.iter().enumerate().take(64) {
+        if b {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn counter(width: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("counter");
+        let mut qs = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..width {
+            let (q, h) = b.dff_placeholder(format!("cnt[{i}]"), false);
+            qs.push(q);
+            handles.push(h);
+        }
+        // increment: d[i] = q[i] ^ carry, carry &= q[i]
+        let mut carry = b.const1();
+        for (i, h) in handles.into_iter().enumerate() {
+            let d = b.xor2(qs[i], carry);
+            carry = b.and2(carry, qs[i]);
+            b.dff_connect(h, d);
+        }
+        b.output("q", &qs);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let nl = counter(4);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for expect in 0..20u64 {
+            sim.settle();
+            assert_eq!(sim.output_u64("q").unwrap(), expect % 16);
+            sim.clock_edge();
+        }
+    }
+
+    #[test]
+    fn ram_write_then_read() {
+        let mut b = NetlistBuilder::new("ram");
+        let addr = b.input("addr", 4);
+        let din = b.input("din", 8);
+        let we = b.input("we", 1)[0];
+        let dout = b.ram("m", &addr, &din, we, 8, &[]).unwrap();
+        b.output("dout", &dout);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("addr", &bits(5, 4)).unwrap();
+        sim.set_input("din", &bits(0xAB, 8)).unwrap();
+        sim.set_input("we", &[true]).unwrap();
+        sim.step();
+        sim.set_input("we", &[false]).unwrap();
+        sim.settle();
+        assert_eq!(sim.output_u64("dout").unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn force_overrides_lut_output() {
+        let mut b = NetlistBuilder::new("f");
+        let a = b.input("a", 1)[0];
+        let n = b.not(a);
+        b.output("n", &[n]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", &[false]).unwrap();
+        sim.settle();
+        assert_eq!(sim.output_u64("n").unwrap(), 1);
+        sim.force(Force::stuck(n, false));
+        sim.settle();
+        assert_eq!(sim.output_u64("n").unwrap(), 0);
+        sim.release(n);
+        sim.settle();
+        assert_eq!(sim.output_u64("n").unwrap(), 1);
+    }
+
+    pub(crate) fn bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+}

@@ -1,0 +1,146 @@
+//! Topological ordering of combinational cells.
+
+use crate::cell::{Cell, CellId};
+use crate::error::NetlistError;
+use crate::net::NetId;
+use crate::netlist::Netlist;
+
+/// Result of levelizing a netlist.
+#[derive(Debug, Clone)]
+pub struct LevelizeResult {
+    /// Combinational cells (LUTs and memory read ports) in an order where
+    /// every cell appears after all cells driving its inputs.
+    pub order: Vec<CellId>,
+    /// Logic depth (in LUT levels) of each net, indexed by net index.
+    /// Sequential outputs and primary inputs have depth 0; a memory's
+    /// asynchronous read port adds one level like a LUT does.
+    pub depth: Vec<u32>,
+}
+
+/// Computes a topological order of the combinational cells.
+///
+/// Flip-flop outputs and primary inputs are sources; flip-flop `D` pins and
+/// primary outputs are sinks. LUTs and memory blocks (whose read ports are
+/// asynchronous) are ordered so that evaluating them in sequence settles the
+/// whole combinational fabric in one pass.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] if the LUT network contains a
+/// cycle that is not broken by a flip-flop.
+pub fn levelize(netlist: &Netlist) -> Result<LevelizeResult, NetlistError> {
+    let n_cells = netlist.cell_count();
+    let n_nets = netlist.net_count();
+
+    // Combinational cells only; DFFs break cycles.
+    let comb: Vec<CellId> = (0..n_cells)
+        .map(CellId::from_index)
+        .filter(|&id| !matches!(netlist.cell(id), Cell::Dff(_)))
+        .collect();
+
+    // For each net, the combinational cells reading it.
+    let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
+    // Remaining unevaluated combinational fan-in per cell (indexed by
+    // position within `comb`).
+    let mut pending: Vec<u32> = vec![0; comb.len()];
+    let mut comb_pos = vec![u32::MAX; n_cells];
+    for (pos, &id) in comb.iter().enumerate() {
+        comb_pos[id.index()] = pos as u32;
+    }
+
+    let comb_driver = |net: NetId| -> Option<CellId> {
+        netlist
+            .driver(net)
+            .filter(|&c| !matches!(netlist.cell(c), Cell::Dff(_)))
+    };
+
+    // Combinational dependencies only: a memory's read port depends on its
+    // address alone (data-in and write-enable are sampled at the clock
+    // edge), so writes feeding back from read data are not loops.
+    let comb_inputs = |id: CellId| -> Vec<NetId> {
+        match netlist.cell(id) {
+            Cell::Ram(r) => r.addr.clone(),
+            cell => cell.inputs(),
+        }
+    };
+
+    for (pos, &id) in comb.iter().enumerate() {
+        for input in comb_inputs(id) {
+            if comb_driver(input).is_some() {
+                readers[input.index()].push(pos as u32);
+                pending[pos] += 1;
+            }
+        }
+    }
+
+    let mut order = Vec::with_capacity(comb.len());
+    let mut depth = vec![0u32; n_nets];
+    let mut queue: Vec<u32> = pending
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p == 0)
+        .map(|(i, _)| i as u32)
+        .collect();
+
+    while let Some(pos) = queue.pop() {
+        let id = comb[pos as usize];
+        let cell = netlist.cell(id);
+        let in_depth = comb_inputs(id)
+            .iter()
+            .map(|n| depth[n.index()])
+            .max()
+            .unwrap_or(0);
+        for out in cell.outputs() {
+            depth[out.index()] = in_depth + 1;
+            for &reader in &readers[out.index()] {
+                pending[reader as usize] -= 1;
+                if pending[reader as usize] == 0 {
+                    queue.push(reader);
+                }
+            }
+        }
+        order.push(id);
+    }
+
+    if order.len() != comb.len() {
+        // Some cell never reached zero pending fan-in: report a net on the
+        // cycle for diagnosis.
+        let stuck = comb
+            .iter()
+            .enumerate()
+            .find(|(pos, _)| pending[*pos] > 0)
+            .map(|(_, &id)| id)
+            .expect("at least one cell must be stuck");
+        let net = netlist.cell(stuck).outputs()[0];
+        return Err(NetlistError::CombinationalLoop(net));
+    }
+
+    Ok(LevelizeResult { order, depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn loop_is_rejected() {
+        let mut b = NetlistBuilder::new("loop");
+        let fwd = b.fresh_net();
+        let out = b.lut_raw([Some(fwd), None, None, None], 0x5555);
+        // Drive the forward net from the LUT's own output via another LUT.
+        b.lut_raw_into([Some(out), None, None, None], 0x5555, fwd);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn depth_counts_lut_levels() {
+        let mut b = NetlistBuilder::new("depth");
+        let a = b.input("a", 1)[0];
+        let x = b.not(a);
+        let y = b.not(x);
+        b.output("y", &[y]);
+        let nl = b.finish().unwrap();
+        let lv = crate::levelize(&nl).unwrap();
+        assert_eq!(lv.depth[y.index()], 2);
+    }
+}

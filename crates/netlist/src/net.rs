@@ -1,0 +1,55 @@
+//! Net identifiers and port directions.
+
+use std::fmt;
+
+/// Identifier of a single-bit net within a [`crate::Netlist`].
+///
+/// Nets connect cell outputs (or primary inputs) to cell inputs (or primary
+/// outputs). Every net has exactly one driver; multi-bit signals are
+/// represented as slices of `NetId` (least-significant bit first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the raw index of this net.
+    ///
+    /// Indices are dense: a netlist with `n` nets uses indices `0..n`, which
+    /// makes `NetId` suitable as a key into flat side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NetId` from a raw index.
+    ///
+    /// This is intended for tools (place-and-route, fault locators) that
+    /// build side tables indexed by net. Using an index that is out of range
+    /// for the target netlist causes lookups to fail, not undefined
+    /// behaviour.
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Direction of a primary port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Driven from outside the circuit.
+    Input,
+    /// Observed from outside the circuit.
+    Output,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDir::Input => f.write_str("input"),
+            PortDir::Output => f.write_str("output"),
+        }
+    }
+}

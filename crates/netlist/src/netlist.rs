@@ -1,0 +1,199 @@
+//! The netlist container and its validation.
+
+use std::collections::HashMap;
+
+use crate::cell::{Cell, CellId, UnitTag};
+use crate::error::NetlistError;
+use crate::net::{NetId, PortDir};
+use crate::stats::NetlistStats;
+
+/// A primary port of the circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name, unique within the netlist.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Bit nets, LSB first.
+    pub bits: Vec<NetId>,
+}
+
+/// A validated, technology-mapped netlist.
+///
+/// Construct with [`crate::NetlistBuilder`]; a `Netlist` is immutable once
+/// built. See the crate-level documentation for an example.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    n_nets: u32,
+    cells: Vec<Cell>,
+    units: Vec<UnitTag>,
+    ports: Vec<Port>,
+    port_index: HashMap<String, usize>,
+    driver: Vec<Option<CellId>>,
+}
+
+impl Netlist {
+    pub(crate) fn from_parts(
+        name: String,
+        n_nets: u32,
+        cells: Vec<Cell>,
+        units: Vec<UnitTag>,
+        ports: Vec<Port>,
+    ) -> Result<Self, NetlistError> {
+        let mut port_index = HashMap::new();
+        for (i, p) in ports.iter().enumerate() {
+            if port_index.insert(p.name.clone(), i).is_some() {
+                return Err(NetlistError::DuplicatePort(p.name.clone()));
+            }
+        }
+        let mut driver: Vec<Option<CellId>> = vec![None; n_nets as usize];
+        let mut driven_by_input = vec![false; n_nets as usize];
+        for p in &ports {
+            if p.dir == PortDir::Input {
+                for &b in &p.bits {
+                    driven_by_input[b.index()] = true;
+                }
+            }
+        }
+        for (ci, cell) in cells.iter().enumerate() {
+            for out in cell.outputs() {
+                let slot = &mut driver[out.index()];
+                if slot.is_some() || driven_by_input[out.index()] {
+                    return Err(NetlistError::MultipleDrivers(out));
+                }
+                *slot = Some(CellId(ci as u32));
+            }
+        }
+        for (ni, d) in driver.iter().enumerate() {
+            if d.is_none() && !driven_by_input[ni] {
+                return Err(NetlistError::Undriven(NetId(ni as u32)));
+            }
+        }
+        let nl = Netlist {
+            name,
+            n_nets,
+            cells,
+            units,
+            ports,
+            port_index,
+            driver,
+        };
+        // Reject combinational cycles up front so every consumer can assume
+        // a valid topological order exists.
+        crate::levelize(&nl)?;
+        Ok(nl)
+    }
+
+    /// The netlist's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets. Net indices are dense in `0..net_count()`.
+    pub fn net_count(&self) -> usize {
+        self.n_nets as usize
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// All cells, indexable by [`CellId::index`].
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// The unit tag of the given cell.
+    pub fn unit(&self, id: CellId) -> UnitTag {
+        self.units[id.index()]
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Result<&Port, NetlistError> {
+        self.port_index
+            .get(name)
+            .map(|&i| &self.ports[i])
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_string()))
+    }
+
+    /// The cell driving `net`, or `None` if the net is a primary input.
+    pub fn driver(&self, net: NetId) -> Option<CellId> {
+        self.driver.get(net.index()).copied().flatten()
+    }
+
+    /// Ids of all flip-flop cells.
+    pub fn dff_ids(&self) -> Vec<CellId> {
+        self.cells_of(|c| matches!(c, Cell::Dff(_)))
+    }
+
+    /// Ids of all LUT cells.
+    pub fn lut_ids(&self) -> Vec<CellId> {
+        self.cells_of(|c| matches!(c, Cell::Lut(_)))
+    }
+
+    /// Ids of all memory cells.
+    pub fn ram_ids(&self) -> Vec<CellId> {
+        self.cells_of(|c| matches!(c, Cell::Ram(_)))
+    }
+
+    fn cells_of(&self, pred: impl Fn(&Cell) -> bool) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| pred(c))
+            .map(|(i, _)| CellId(i as u32))
+            .collect()
+    }
+
+    /// Finds a flip-flop by its register name.
+    pub fn dff_by_name(&self, name: &str) -> Result<CellId, NetlistError> {
+        self.cells
+            .iter()
+            .position(|c| matches!(c, Cell::Dff(d) if d.name == name))
+            .map(CellId::from_index)
+            .ok_or_else(|| NetlistError::UnknownRegister(name.to_string()))
+    }
+
+    /// Finds a memory by name.
+    pub fn ram_by_name(&self, name: &str) -> Result<CellId, NetlistError> {
+        self.cells
+            .iter()
+            .position(|c| matches!(c, Cell::Ram(r) if r.name == name))
+            .map(CellId::from_index)
+            .ok_or_else(|| NetlistError::UnknownMemory(name.to_string()))
+    }
+
+    /// Flip-flops whose register name starts with `prefix`, in bit order.
+    ///
+    /// Register bits are named `name[i]`, so `dffs_with_prefix("acc")`
+    /// returns the accumulator's flip-flops.
+    pub fn dffs_with_prefix(&self, prefix: &str) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, Cell::Dff(d) if d.name.starts_with(prefix)))
+            .map(|(i, _)| CellId(i as u32))
+            .collect()
+    }
+
+    /// Computes resource statistics.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats::of(self)
+    }
+}

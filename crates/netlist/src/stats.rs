@@ -1,0 +1,73 @@
+//! Netlist resource statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cell::{Cell, UnitTag};
+use crate::netlist::Netlist;
+
+/// Resource usage summary of a netlist.
+///
+/// The paper reports its 8051 model at 637 FFs and 5310 LUTs on a
+/// Virtex 1000; these statistics let experiments report the equivalent
+/// figures for our model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Number of LUT cells.
+    pub luts: usize,
+    /// Number of flip-flops.
+    pub ffs: usize,
+    /// Number of memory blocks.
+    pub rams: usize,
+    /// Total memory capacity in bits.
+    pub memory_bits: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// LUT count per unit tag.
+    pub luts_per_unit: BTreeMap<UnitTag, usize>,
+    /// Flip-flop count per unit tag.
+    pub ffs_per_unit: BTreeMap<UnitTag, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            nets: netlist.net_count(),
+            ..Default::default()
+        };
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            let unit = netlist.unit(crate::CellId::from_index(i));
+            match cell {
+                Cell::Lut(_) => {
+                    s.luts += 1;
+                    *s.luts_per_unit.entry(unit).or_default() += 1;
+                }
+                Cell::Dff(_) => {
+                    s.ffs += 1;
+                    *s.ffs_per_unit.entry(unit).or_default() += 1;
+                }
+                Cell::Ram(r) => {
+                    s.rams += 1;
+                    s.memory_bits += r.capacity_bits();
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} LUTs, {} FFs, {} memories ({} bits), {} nets",
+            self.luts, self.ffs, self.rams, self.memory_bits, self.nets
+        )?;
+        for (unit, n) in &self.luts_per_unit {
+            let ffs = self.ffs_per_unit.get(unit).copied().unwrap_or(0);
+            writeln!(f, "  {unit}: {n} LUTs, {ffs} FFs")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,156 @@
+//! Output traces and golden-run comparison.
+
+use std::collections::BTreeMap;
+
+/// A cycle-by-cycle record of the circuit's primary outputs.
+///
+/// Experiments capture one trace per run; comparing a faulty trace against
+/// the golden (fault-free) trace is the basis of the paper's
+/// Failure / Latent / Silent classification.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OutputTrace {
+    /// Observed ports, in capture order.
+    ports: Vec<String>,
+    /// One row per cycle; each row holds one packed value per port.
+    rows: Vec<Vec<u64>>,
+}
+
+impl OutputTrace {
+    /// Creates an empty trace observing the given ports.
+    pub fn new(ports: Vec<String>) -> Self {
+        OutputTrace {
+            ports,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Ports observed by this trace.
+    pub fn ports(&self) -> &[String] {
+        &self.ports
+    }
+
+    /// Appends one cycle of observations (one value per port, in port
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per observed port.
+    pub fn push_cycle(&mut self, values: Vec<u64>) {
+        assert_eq!(
+            values.len(),
+            self.ports.len(),
+            "one value per observed port"
+        );
+        self.rows.push(values);
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no cycles have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The recorded value of `port` at `cycle`, if present.
+    pub fn value_at(&self, cycle: usize, port: &str) -> Option<u64> {
+        let col = self.ports.iter().position(|p| p == port)?;
+        self.rows.get(cycle).map(|r| r[col])
+    }
+
+    /// Compares this (faulty) trace against a golden trace.
+    pub fn diff(&self, golden: &OutputTrace) -> TraceDiff {
+        if self.ports != golden.ports {
+            return TraceDiff {
+                first_mismatch: Some(0),
+                mismatching_cycles: self.rows.len().max(golden.rows.len()),
+                per_port: BTreeMap::new(),
+            };
+        }
+        let mut first = None;
+        let mut count = 0usize;
+        let mut per_port: BTreeMap<String, usize> = BTreeMap::new();
+        let n = self.rows.len().max(golden.rows.len());
+        for cycle in 0..n {
+            let (a, b) = (self.rows.get(cycle), golden.rows.get(cycle));
+            let equal = a == b && a.is_some();
+            if !equal {
+                if first.is_none() {
+                    first = Some(cycle);
+                }
+                count += 1;
+                if let (Some(a), Some(b)) = (a, b) {
+                    for (col, port) in self.ports.iter().enumerate() {
+                        if a[col] != b[col] {
+                            *per_port.entry(port.clone()).or_default() += 1;
+                        }
+                    }
+                }
+            }
+        }
+        TraceDiff {
+            first_mismatch: first,
+            mismatching_cycles: count,
+            per_port,
+        }
+    }
+}
+
+/// Result of comparing a faulty trace with the golden trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// First cycle whose observations differ, if any.
+    pub first_mismatch: Option<usize>,
+    /// Total number of differing cycles.
+    pub mismatching_cycles: usize,
+    /// Differing-cycle count per port.
+    pub per_port: BTreeMap<String, usize>,
+}
+
+impl TraceDiff {
+    /// True if the traces were identical.
+    pub fn identical(&self) -> bool {
+        self.first_mismatch.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_have_no_diff() {
+        let mut a = OutputTrace::new(vec!["p".into()]);
+        a.push_cycle(vec![1]);
+        a.push_cycle(vec![2]);
+        let b = a.clone();
+        assert!(a.diff(&b).identical());
+    }
+
+    #[test]
+    fn diff_reports_first_mismatch_and_port() {
+        let mut a = OutputTrace::new(vec!["p".into(), "q".into()]);
+        let mut b = OutputTrace::new(vec!["p".into(), "q".into()]);
+        a.push_cycle(vec![1, 1]);
+        b.push_cycle(vec![1, 1]);
+        a.push_cycle(vec![2, 1]);
+        b.push_cycle(vec![3, 1]);
+        let d = a.diff(&b);
+        assert_eq!(d.first_mismatch, Some(1));
+        assert_eq!(d.mismatching_cycles, 1);
+        assert_eq!(d.per_port.get("p"), Some(&1));
+        assert_eq!(d.per_port.get("q"), None);
+    }
+
+    #[test]
+    fn length_mismatch_is_a_diff() {
+        let mut a = OutputTrace::new(vec!["p".into()]);
+        let mut b = OutputTrace::new(vec!["p".into()]);
+        a.push_cycle(vec![1]);
+        a.push_cycle(vec![1]);
+        b.push_cycle(vec![1]);
+        assert!(!a.diff(&b).identical());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the netlist layer.
+
+use fades_netlist::{NetlistBuilder, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    /// `lut_fn` must synthesise exactly the closure it was given, for any
+    /// table and any input pattern, including when constants are folded.
+    #[test]
+    fn lut_fn_matches_closure(table in any::<u16>(), inputs in any::<[bool; 4]>()) {
+        let mut b = NetlistBuilder::new("prop");
+        let nets = b.input("in", 4);
+        let pins = [nets[0], nets[1], nets[2], nets[3]];
+        let f = move |v: &[bool]| {
+            let mut idx = 0usize;
+            for (i, &bit) in v.iter().enumerate() {
+                if bit { idx |= 1 << i; }
+            }
+            (table >> idx) & 1 == 1
+        };
+        let out = b.lut_fn(&pins, f);
+        b.output("out", &[out]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("in", &inputs).unwrap();
+        sim.settle();
+        let mut idx = 0usize;
+        for (i, &bit) in inputs.iter().enumerate() {
+            if bit { idx |= 1 << i; }
+        }
+        prop_assert_eq!(sim.output_u64("out").unwrap() == 1, (table >> idx) & 1 == 1);
+    }
+
+    /// Reduction trees agree with the iterator fold for any width.
+    #[test]
+    fn reductions_match_fold(bits in proptest::collection::vec(any::<bool>(), 1..12)) {
+        let mut b = NetlistBuilder::new("prop");
+        let nets = b.input("in", bits.len());
+        let and = b.and_all(&nets);
+        let or = b.or_all(&nets);
+        b.output("and", &[and]);
+        b.output("or", &[or]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("in", &bits).unwrap();
+        sim.settle();
+        prop_assert_eq!(sim.output_u64("and").unwrap() == 1, bits.iter().all(|&x| x));
+        prop_assert_eq!(sim.output_u64("or").unwrap() == 1, bits.iter().any(|&x| x));
+    }
+
+    /// A RAM behaves as an array under an arbitrary write/read schedule.
+    #[test]
+    fn ram_matches_reference_array(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..40)
+    ) {
+        let mut b = NetlistBuilder::new("prop");
+        let addr = b.input("addr", 4);
+        let din = b.input("din", 8);
+        let we_net = b.input("we", 1)[0];
+        let dout = b.ram("m", &addr, &din, we_net, 8, &[]).unwrap();
+        b.output("dout", &dout);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut reference = [0u8; 16];
+        for (addr_v, din_v, we_v) in ops {
+            let a = (addr_v & 0xF) as usize;
+            let abits: Vec<bool> = (0..4).map(|i| (a >> i) & 1 == 1).collect();
+            let dbits: Vec<bool> = (0..8).map(|i| (din_v >> i) & 1 == 1).collect();
+            sim.set_input("addr", &abits).unwrap();
+            sim.set_input("din", &dbits).unwrap();
+            sim.set_input("we", &[we_v]).unwrap();
+            sim.settle();
+            prop_assert_eq!(sim.output_u64("dout").unwrap(), reference[a] as u64);
+            sim.clock_edge();
+            if we_v {
+                reference[a] = din_v;
+            }
+        }
+    }
+
+    /// Forcing then releasing a net restores fault-free behaviour.
+    #[test]
+    fn force_release_roundtrip(a in any::<bool>(), forced in any::<bool>()) {
+        let mut b = NetlistBuilder::new("prop");
+        let x = b.input("x", 1)[0];
+        let n = b.not(x);
+        b.output("n", &[n]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", &[a]).unwrap();
+        sim.settle();
+        let clean = sim.output_u64("n").unwrap();
+        sim.force(fades_netlist::Force::stuck(n, forced));
+        sim.settle();
+        prop_assert_eq!(sim.output_u64("n").unwrap() == 1, forced);
+        sim.release(n);
+        sim.settle();
+        prop_assert_eq!(sim.output_u64("n").unwrap(), clean);
+    }
+}

@@ -1,0 +1,67 @@
+//! Implementation-flow errors.
+
+use std::error::Error;
+use std::fmt;
+
+use fades_fpga::FpgaError;
+use fades_netlist::NetlistError;
+
+/// Errors from the place-and-route flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PnrError {
+    /// The design needs more configurable blocks than the device has.
+    DeviceFull {
+        /// CBs required by the design.
+        needed: usize,
+        /// CBs available on the device.
+        available: usize,
+    },
+    /// A memory does not fit in one memory block.
+    MemoryTooLarge {
+        /// Memory name.
+        name: String,
+        /// Requested bits.
+        bits: usize,
+    },
+    /// An error raised by the FPGA model.
+    Fpga(FpgaError),
+    /// An error raised by the netlist layer.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for PnrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnrError::DeviceFull { needed, available } => {
+                write!(f, "design needs {needed} CBs, device has {available}")
+            }
+            PnrError::MemoryTooLarge { name, bits } => {
+                write!(f, "memory `{name}` ({bits} bits) does not fit one block")
+            }
+            PnrError::Fpga(e) => write!(f, "fpga: {e}"),
+            PnrError::Netlist(e) => write!(f, "netlist: {e}"),
+        }
+    }
+}
+
+impl Error for PnrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PnrError::Fpga(e) => Some(e),
+            PnrError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FpgaError> for PnrError {
+    fn from(e: FpgaError) -> Self {
+        PnrError::Fpga(e)
+    }
+}
+
+impl From<NetlistError> for PnrError {
+    fn from(e: NetlistError) -> Self {
+        PnrError::Netlist(e)
+    }
+}

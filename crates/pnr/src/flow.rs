@@ -1,0 +1,431 @@
+//! The place-and-route flow itself.
+
+use std::collections::HashMap;
+
+use fades_fpga::{ArchParams, Bitstream, BramId, CbCoord, FfDSrc, WireId, WireSink};
+use fades_netlist::{Cell, CellId, NetId, Netlist, PortDir, UnitTag};
+
+use crate::error::PnrError;
+use crate::resource_map::ResourceMap;
+
+/// Result of implementing a netlist on an architecture.
+#[derive(Debug, Clone)]
+pub struct Implementation {
+    /// The configuration file to download.
+    pub bitstream: Bitstream,
+    /// HDL-element → resource mapping (fault-location input).
+    pub map: ResourceMap,
+}
+
+/// What occupies one placement slot.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// A LUT alone.
+    Lut(CellId),
+    /// A flip-flop alone (data arrives over a wire).
+    Ff(CellId),
+    /// A LUT packed with the flip-flop that registers it.
+    Packed {
+        lut: CellId,
+        ff: CellId,
+    },
+}
+
+/// Places and routes a netlist onto the given architecture.
+///
+/// Placement packs each flip-flop with its driving LUT when that LUT has no
+/// other reader (standard CB packing), then assigns every unit tag a
+/// contiguous band of columns — mirroring how the paper's experiments
+/// target the 8051's ALU / MEM / FSM regions separately. Routing is
+/// bounding-box based: each net's segment and pass-transistor counts are
+/// derived from the half-perimeter of its terminals, which is what the
+/// delay-fault time and timing models consume.
+///
+/// # Errors
+///
+/// Returns [`PnrError::DeviceFull`] when the design does not fit,
+/// [`PnrError::MemoryTooLarge`] when a memory exceeds one block, or a
+/// wrapped FPGA error for inconsistent construction.
+pub fn implement(netlist: &Netlist, arch: ArchParams) -> Result<Implementation, PnrError> {
+    let mut bs = Bitstream::new(arch);
+    let mut map = ResourceMap::with_sizes(netlist.cell_count(), netlist.net_count());
+
+    // --- Analysis: reader counts per net -------------------------------
+    let mut readers = vec![0u32; netlist.net_count()];
+    for cell in netlist.cells() {
+        for net in cell.inputs() {
+            readers[net.index()] += 1;
+        }
+    }
+    for port in netlist.ports() {
+        if port.dir == PortDir::Output {
+            for &net in &port.bits {
+                readers[net.index()] += 1;
+            }
+        }
+    }
+
+    // --- Packing decisions ---------------------------------------------
+    // A DFF packs with its driving LUT when the LUT's only reader is the
+    // DFF itself (its output net is not observed anywhere else).
+    let mut packed_lut_of_ff: HashMap<CellId, CellId> = HashMap::new();
+    let mut lut_is_packed: Vec<bool> = vec![false; netlist.cell_count()];
+    for ff_id in netlist.dff_ids() {
+        let Cell::Dff(ff) = netlist.cell(ff_id) else {
+            unreachable!()
+        };
+        if let Some(drv) = netlist.driver(ff.d) {
+            if let Cell::Lut(_) = netlist.cell(drv) {
+                let out = netlist.cell(drv).outputs()[0];
+                // Only pack within a unit so the per-unit column bands stay
+                // exact (fault campaigns target units by region).
+                if readers[out.index()] == 1
+                    && !lut_is_packed[drv.index()]
+                    && netlist.unit(drv) == netlist.unit(ff_id)
+                {
+                    packed_lut_of_ff.insert(ff_id, drv);
+                    lut_is_packed[drv.index()] = true;
+                }
+            }
+        }
+    }
+
+    // --- Slot construction, grouped by unit ----------------------------
+    let mut slots_per_unit: HashMap<UnitTag, Vec<Slot>> = HashMap::new();
+    for ff_id in netlist.dff_ids() {
+        let unit = netlist.unit(ff_id);
+        let slot = match packed_lut_of_ff.get(&ff_id) {
+            Some(&lut) => Slot::Packed { lut, ff: ff_id },
+            None => Slot::Ff(ff_id),
+        };
+        slots_per_unit.entry(unit).or_default().push(slot);
+    }
+    for lut_id in netlist.lut_ids() {
+        if lut_is_packed[lut_id.index()] {
+            continue;
+        }
+        let unit = netlist.unit(lut_id);
+        slots_per_unit
+            .entry(unit)
+            .or_default()
+            .push(Slot::Lut(lut_id));
+    }
+
+    let total_slots: usize = slots_per_unit.values().map(Vec::len).sum();
+    // Keep at least two columns spare for delay-fault detours.
+    let spare_cols = 2usize.min(arch.cols as usize / 8);
+    let available = (arch.cols as usize - spare_cols) * arch.rows as usize;
+    if total_slots > available {
+        return Err(PnrError::DeviceFull {
+            needed: total_slots,
+            available,
+        });
+    }
+
+    // --- Site assignment: contiguous column bands per unit -------------
+    let mut site_of_slot: Vec<(Slot, CbCoord)> = Vec::with_capacity(total_slots);
+    let mut next_col: u16 = 0;
+    for unit in UnitTag::ALL {
+        let Some(slots) = slots_per_unit.get(&unit) else {
+            continue;
+        };
+        let mut row: u16 = 0;
+        let mut col = next_col;
+        for &slot in slots {
+            if row == arch.rows {
+                row = 0;
+                col += 1;
+            }
+            site_of_slot.push((slot, CbCoord::new(col, row)));
+            row += 1;
+        }
+        // Next unit starts on a fresh column (bands never share columns,
+        // so per-unit targeting by region is exact).
+        next_col = col + 1;
+    }
+
+    // --- Placement: create all output wires ----------------------------
+    for port in netlist.ports() {
+        if port.dir == PortDir::Input {
+            let wires = bs.add_input(port.name.clone(), port.bits.len());
+            for (&net, &wire) in port.bits.iter().zip(&wires) {
+                map.net_wire[net.index()] = Some(wire);
+            }
+        }
+    }
+    for (slot, site) in &site_of_slot {
+        match *slot {
+            Slot::Lut(lut) => {
+                let Cell::Lut(l) = netlist.cell(lut) else {
+                    unreachable!()
+                };
+                let w = bs.place_lut(*site, l.table)?;
+                map.lut_site[lut.index()] = Some(*site);
+                map.net_wire[l.output.index()] = Some(w);
+            }
+            Slot::Ff(ff) => {
+                let Cell::Dff(d) = netlist.cell(ff) else {
+                    unreachable!()
+                };
+                let w = bs.place_ff(*site, d.init)?;
+                map.ff_site[ff.index()] = Some(*site);
+                map.net_wire[d.q.index()] = Some(w);
+            }
+            Slot::Packed { lut, ff } => {
+                let Cell::Lut(l) = netlist.cell(lut) else {
+                    unreachable!()
+                };
+                let Cell::Dff(d) = netlist.cell(ff) else {
+                    unreachable!()
+                };
+                let lw = bs.place_lut(*site, l.table)?;
+                let fw = bs.place_ff(*site, d.init)?;
+                map.lut_site[lut.index()] = Some(*site);
+                map.ff_site[ff.index()] = Some(*site);
+                map.net_wire[l.output.index()] = Some(lw);
+                map.net_wire[d.q.index()] = Some(fw);
+            }
+        }
+    }
+    let mut bram_of_cell: HashMap<CellId, BramId> = HashMap::new();
+    for ram_id in netlist.ram_ids() {
+        let Cell::Ram(r) = netlist.cell(ram_id) else {
+            unreachable!()
+        };
+        if r.capacity_bits() > arch.bram_bits as usize {
+            return Err(PnrError::MemoryTooLarge {
+                name: r.name.clone(),
+                bits: r.capacity_bits(),
+            });
+        }
+        let (bram, dout) =
+            bs.place_bram(r.name.clone(), r.addr.len(), r.width() as u32, &r.init)?;
+        bram_of_cell.insert(ram_id, bram);
+        map.ram_site[ram_id.index()] = Some(bram);
+        for (&net, &wire) in r.dout.iter().zip(&dout) {
+            map.net_wire[net.index()] = Some(wire);
+        }
+    }
+
+    // --- Connection pass ------------------------------------------------
+    let wire_of = |map: &ResourceMap, net: NetId| -> WireId {
+        map.net_wire[net.index()].expect("every driven net has a wire")
+    };
+    for (slot, site) in &site_of_slot {
+        match *slot {
+            Slot::Lut(lut) | Slot::Packed { lut, .. } => {
+                let Cell::Lut(l) = netlist.cell(lut) else {
+                    unreachable!()
+                };
+                for (pin, input) in l.inputs.iter().enumerate() {
+                    if let Some(net) = input {
+                        bs.connect_lut_pin(*site, pin as u8, wire_of(&map, *net))?;
+                    }
+                }
+            }
+            Slot::Ff(_) => {}
+        }
+        match *slot {
+            Slot::Ff(ff) => {
+                let Cell::Dff(d) = netlist.cell(ff) else {
+                    unreachable!()
+                };
+                bs.connect_ff(*site, FfDSrc::Direct(wire_of(&map, d.d)))?;
+            }
+            Slot::Packed { .. } => {
+                bs.connect_ff(*site, FfDSrc::LutOut)?;
+            }
+            Slot::Lut(_) => {}
+        }
+    }
+    for (ram_id, bram) in &bram_of_cell {
+        let Cell::Ram(r) = netlist.cell(*ram_id) else {
+            unreachable!()
+        };
+        let addr: Vec<WireId> = r.addr.iter().map(|&n| wire_of(&map, n)).collect();
+        let din: Vec<WireId> = r.din.iter().map(|&n| wire_of(&map, n)).collect();
+        let we = r.write_enable.map(|n| wire_of(&map, n));
+        bs.connect_bram(*bram, &addr, &din, we)?;
+    }
+    for port in netlist.ports() {
+        if port.dir == PortDir::Output {
+            let wires: Vec<WireId> = port.bits.iter().map(|&n| wire_of(&map, n)).collect();
+            bs.add_output(port.name.clone(), &wires)?;
+        }
+    }
+
+    route(&mut bs, arch)?;
+
+    Ok(Implementation { bitstream: bs, map })
+}
+
+/// Fills in routing metadata (segments, pass transistors, column span) for
+/// every wire from the bounding box of its terminals.
+fn route(bs: &mut Bitstream, arch: ArchParams) -> Result<(), PnrError> {
+    let bram_col = |bram: BramId| -> u16 {
+        // Memory blocks sit in dedicated columns on the right edge.
+        arch.cols - 1 - (bram.index() as u16 % arch.cols.max(1))
+    };
+    let n = bs.wires().len();
+    for wi in 0..n {
+        let wire = &bs.wires()[wi];
+        let mut cols: Vec<u16> = Vec::with_capacity(1 + wire.sinks.len());
+        let mut rows: Vec<u16> = Vec::with_capacity(1 + wire.sinks.len());
+        match &wire.driver {
+            fades_fpga::WireDriver::CbLut(cb) | fades_fpga::WireDriver::CbFf(cb) => {
+                cols.push(cb.col);
+                rows.push(cb.row);
+            }
+            fades_fpga::WireDriver::PrimaryInput { bit, .. } => {
+                cols.push(0);
+                rows.push((*bit % arch.rows as u32) as u16);
+            }
+            fades_fpga::WireDriver::BramDout { bram, .. } => {
+                cols.push(bram_col(*bram));
+                rows.push(0);
+            }
+        }
+        for sink in &wire.sinks {
+            match sink {
+                WireSink::LutPin { cb, .. } | WireSink::FfDirect { cb } => {
+                    cols.push(cb.col);
+                    rows.push(cb.row);
+                }
+                WireSink::BramAddr { bram, .. }
+                | WireSink::BramDin { bram, .. }
+                | WireSink::BramWe { bram } => {
+                    cols.push(bram_col(*bram));
+                    rows.push(0);
+                }
+                WireSink::PrimaryOutput { bit, .. } => {
+                    cols.push(arch.cols - 1);
+                    rows.push((*bit % arch.rows as u32) as u16);
+                }
+            }
+        }
+        let (min_c, max_c) = (
+            *cols.iter().min().expect("wire has a driver"),
+            *cols.iter().max().expect("wire has a driver"),
+        );
+        let (min_r, max_r) = (
+            *rows.iter().min().expect("wire has a driver"),
+            *rows.iter().max().expect("wire has a driver"),
+        );
+        let half_perimeter = (max_c - min_c) as u32 + (max_r - min_r) as u32;
+        let n_sinks = wire.sinks.len() as u32;
+        // One segment per four grid units of span plus one per sink branch.
+        let segments = 1 + half_perimeter / 4 + n_sinks / 2;
+        let pass_transistors = segments + n_sinks;
+        bs.set_routing(
+            WireId::from_index(wi),
+            segments,
+            pass_transistors,
+            (min_c, max_c),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fades_fpga::Device;
+    use fades_netlist::{NetlistBuilder, Simulator};
+    use fades_rtl::RtlBuilder;
+
+    /// An 8-bit LFSR with an output port: a sequential circuit with
+    /// feedback, exercising packing, placement, routing and equivalence.
+    fn lfsr_netlist() -> Netlist {
+        let mut b = RtlBuilder::new("lfsr");
+        let r = b.reg("lfsr", 8, 1);
+        let q = r.q().clone();
+        let tap = {
+            let t1 = b.xor_bit(q.bit(7), q.bit(5));
+            let t2 = b.xor_bit(q.bit(4), q.bit(3));
+            b.xor_bit(t1, t2)
+        };
+        let shifted = b.shl_const(&q, 1);
+        let mut bits = shifted.bits().to_vec();
+        bits[0] = tap;
+        let next = fades_rtl::Signal::from_bits(bits);
+        b.connect(r, &next);
+        b.output("q", &q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn implemented_lfsr_matches_netlist_simulation() {
+        let nl = lfsr_netlist();
+        let imp = implement(&nl, ArchParams::small()).unwrap();
+        let mut dev = Device::configure(imp.bitstream).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for _ in 0..200 {
+            sim.settle();
+            dev.settle();
+            assert_eq!(
+                sim.output_u64("q").unwrap(),
+                dev.output_u64("q").unwrap()
+            );
+            sim.clock_edge();
+            dev.clock_edge();
+        }
+    }
+
+    #[test]
+    fn units_get_disjoint_column_bands() {
+        let mut b = NetlistBuilder::new("units");
+        let a = b.input("a", 1)[0];
+        b.set_unit(UnitTag::Alu);
+        let x = b.not(a);
+        let q1 = b.dff("alu_q[0]", x, false);
+        b.set_unit(UnitTag::Fsm);
+        let y = b.not(a);
+        let q2 = b.dff("fsm_q[0]", y, false);
+        b.output("o", &[q1, q2]);
+        let nl = b.finish().unwrap();
+        let imp = implement(&nl, ArchParams::small()).unwrap();
+        let alu = imp.map.ff_sites_of_unit(&nl, UnitTag::Alu);
+        let fsm = imp.map.ff_sites_of_unit(&nl, UnitTag::Fsm);
+        assert!(!alu.is_empty() && !fsm.is_empty());
+        for a_site in &alu {
+            for f_site in &fsm {
+                assert_ne!(a_site.col, f_site.col, "unit bands must not share columns");
+            }
+        }
+    }
+
+    #[test]
+    fn device_full_is_reported() {
+        let mut b = NetlistBuilder::new("big");
+        let a = b.input("a", 1)[0];
+        let mut nets = vec![a];
+        for _ in 0..(16 * 16 + 10) {
+            let prev = *nets.last().unwrap();
+            nets.push(b.not(prev));
+        }
+        let last = *nets.last().unwrap();
+        b.output("o", &[last]);
+        let nl = b.finish().unwrap();
+        assert!(matches!(
+            implement(&nl, ArchParams::small()),
+            Err(PnrError::DeviceFull { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_contents_and_map_survive_implementation() {
+        let mut b = NetlistBuilder::new("rom");
+        let addr = b.input("addr", 4);
+        let dout = b.rom("boot", &addr, 8, &[0x12, 0x34, 0x56]).unwrap();
+        b.output("dout", &dout);
+        let nl = b.finish().unwrap();
+        let imp = implement(&nl, ArchParams::small()).unwrap();
+        let ram_cell = nl.ram_by_name("boot").unwrap();
+        let bram = imp.map.ram_site(ram_cell).unwrap();
+        assert_eq!(imp.bitstream.bram(bram).unwrap().contents[1], 0x34);
+        let mut dev = Device::configure(imp.bitstream).unwrap();
+        dev.set_input("addr", &[true, false, false, false]).unwrap();
+        dev.settle();
+        assert_eq!(dev.output_u64("dout").unwrap(), 0x34);
+    }
+}

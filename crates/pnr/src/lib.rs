@@ -1,0 +1,49 @@
+//! Synthesis implementation flow: netlist → placed-and-routed bitstream.
+//!
+//! This crate models the vendor "synthesis and implementation" step of the
+//! paper's Figure 1: it takes a technology-mapped [`fades_netlist::Netlist`]
+//! and produces
+//!
+//! * a [`fades_fpga::Bitstream`] (the configuration file that is downloaded
+//!   into the device), and
+//! * a [`ResourceMap`] establishing the correspondence between HDL model
+//!   elements (registers, signals, memories) and FPGA internal resources
+//!   (CBs, wires, memory blocks).
+//!
+//! The resource map is the artefact the paper's *fault location process*
+//! needs: model elements can be renamed, merged or moved by implementation,
+//! so fault injection must target physical resources resolved through this
+//! mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use fades_netlist::NetlistBuilder;
+//! use fades_fpga::{ArchParams, Device};
+//! use fades_pnr::implement;
+//!
+//! let mut b = NetlistBuilder::new("buf");
+//! let a = b.input("a", 1)[0];
+//! let q = b.dff("q", a, false);
+//! b.output("q", &[q]);
+//! let netlist = b.finish()?;
+//!
+//! let imp = implement(&netlist, ArchParams::small())?;
+//! let mut dev = Device::configure(imp.bitstream)?;
+//! dev.set_input("a", &[true])?;
+//! dev.step();
+//! dev.settle();
+//! assert_eq!(dev.output_u64("q")?, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod flow;
+mod resource_map;
+
+pub use error::PnrError;
+pub use flow::{implement, Implementation};
+pub use resource_map::ResourceMap;

@@ -1,0 +1,140 @@
+//! HDL-element → FPGA-resource mapping.
+
+use fades_fpga::{BramId, CbCoord, WireId};
+use fades_netlist::{Cell, CellId, NetId, Netlist, UnitTag};
+
+/// Mapping between netlist elements and the device resources that
+/// implement them.
+///
+/// Produced by [`crate::implement`]; consumed by the fault-location process
+/// of `fades-core`, which needs to resolve "the accumulator register" or
+/// "a LUT of the ALU" to concrete configurable blocks, wires and memory
+/// blocks.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceMap {
+    pub(crate) lut_site: Vec<Option<CbCoord>>,
+    pub(crate) ff_site: Vec<Option<CbCoord>>,
+    pub(crate) ram_site: Vec<Option<BramId>>,
+    pub(crate) net_wire: Vec<Option<WireId>>,
+}
+
+impl ResourceMap {
+    pub(crate) fn with_sizes(cells: usize, nets: usize) -> Self {
+        ResourceMap {
+            lut_site: vec![None; cells],
+            ff_site: vec![None; cells],
+            ram_site: vec![None; cells],
+            net_wire: vec![None; nets],
+        }
+    }
+
+    /// The CB implementing a LUT cell.
+    pub fn lut_site(&self, cell: CellId) -> Option<CbCoord> {
+        self.lut_site.get(cell.index()).copied().flatten()
+    }
+
+    /// The CB implementing a flip-flop cell.
+    pub fn ff_site(&self, cell: CellId) -> Option<CbCoord> {
+        self.ff_site.get(cell.index()).copied().flatten()
+    }
+
+    /// The memory block implementing a RAM/ROM cell.
+    pub fn ram_site(&self, cell: CellId) -> Option<BramId> {
+        self.ram_site.get(cell.index()).copied().flatten()
+    }
+
+    /// The routed wire implementing a net.
+    pub fn wire_of_net(&self, net: NetId) -> Option<WireId> {
+        self.net_wire.get(net.index()).copied().flatten()
+    }
+
+    /// Sites of all flip-flops belonging to a unit.
+    pub fn ff_sites_of_unit(&self, netlist: &Netlist, unit: UnitTag) -> Vec<CbCoord> {
+        netlist
+            .dff_ids()
+            .into_iter()
+            .filter(|&id| netlist.unit(id) == unit)
+            .filter_map(|id| self.ff_site(id))
+            .collect()
+    }
+
+    /// Sites of all LUTs belonging to a unit.
+    pub fn lut_sites_of_unit(&self, netlist: &Netlist, unit: UnitTag) -> Vec<CbCoord> {
+        netlist
+            .lut_ids()
+            .into_iter()
+            .filter(|&id| netlist.unit(id) == unit)
+            .filter_map(|id| self.lut_site(id))
+            .collect()
+    }
+
+    /// Sites of the flip-flops of a named register (bits `name[0..w]`).
+    pub fn ff_sites_of_register(&self, netlist: &Netlist, name: &str) -> Vec<CbCoord> {
+        netlist
+            .dffs_with_prefix(&format!("{name}["))
+            .into_iter()
+            .filter_map(|id| self.ff_site(id))
+            .collect()
+    }
+
+    /// Wires of the nets read or driven by the cells of a unit — the
+    /// injection points for delay faults confined to that unit.
+    pub fn wires_of_unit(&self, netlist: &Netlist, unit: UnitTag) -> Vec<WireId> {
+        let mut wires: Vec<WireId> = Vec::new();
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            if netlist.unit(CellId::from_index(i)) != unit {
+                continue;
+            }
+            for net in cell.outputs() {
+                if let Some(w) = self.wire_of_net(net) {
+                    wires.push(w);
+                }
+            }
+        }
+        wires.sort_unstable();
+        wires.dedup();
+        wires
+    }
+
+    /// Wires driven by flip-flops (delay targets in sequential logic).
+    pub fn sequential_wires(&self, netlist: &Netlist) -> Vec<WireId> {
+        self.wires_by(netlist, |c| matches!(c, Cell::Dff(_)))
+    }
+
+    /// Wires driven by LUTs (delay targets in combinational logic).
+    pub fn combinational_wires(&self, netlist: &Netlist) -> Vec<WireId> {
+        self.wires_by(netlist, |c| matches!(c, Cell::Lut(_)))
+    }
+
+    fn wires_by(&self, netlist: &Netlist, pred: impl Fn(&Cell) -> bool) -> Vec<WireId> {
+        let mut wires: Vec<WireId> = Vec::new();
+        for cell in netlist.cells().iter().filter(|c| pred(c)) {
+            for net in cell.outputs() {
+                if let Some(w) = self.wire_of_net(net) {
+                    wires.push(w);
+                }
+            }
+        }
+        wires.sort_unstable();
+        wires.dedup();
+        wires
+    }
+
+    /// The netlist cell placed at the given CB as a flip-flop, if any
+    /// (reverse lookup for result reporting, e.g. Table 4's register
+    /// names).
+    pub fn ff_cell_at(&self, site: CbCoord) -> Option<CellId> {
+        self.ff_site
+            .iter()
+            .position(|s| *s == Some(site))
+            .map(CellId::from_index)
+    }
+
+    /// The netlist cell placed at the given CB as a LUT, if any.
+    pub fn lut_cell_at(&self, site: CbCoord) -> Option<CellId> {
+        self.lut_site
+            .iter()
+            .position(|s| *s == Some(site))
+            .map(CellId::from_index)
+    }
+}

@@ -1,0 +1,101 @@
+//! Placement and resource-map behaviour on the real 8051 design.
+
+use fades_fpga::ArchParams;
+use fades_mcu8051::{build_soc, workloads};
+use fades_netlist::{Cell, UnitTag};
+use fades_pnr::implement;
+
+#[test]
+fn packing_shares_blocks_between_luts_and_their_registers() {
+    let soc = build_soc(&workloads::bubblesort().rom).unwrap();
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).unwrap();
+    let (luts, ffs, _) = imp.bitstream.utilisation();
+    let stats = soc.netlist.stats();
+    assert_eq!(luts, stats.luts);
+    assert_eq!(ffs, stats.ffs);
+    // Packing must have put at least some FFs on the same block as their
+    // driving LUT: total occupied CBs < LUTs + FFs.
+    let occupied = imp
+        .bitstream
+        .cbs()
+        .iter()
+        .filter(|c| !c.is_unused())
+        .count();
+    assert!(
+        occupied < luts + ffs,
+        "packing saves blocks: {occupied} occupied vs {} cells",
+        luts + ffs
+    );
+}
+
+#[test]
+fn resource_map_finds_named_registers() {
+    let soc = build_soc(&workloads::bubblesort().rom).unwrap();
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).unwrap();
+    let acc = imp.map.ff_sites_of_register(&soc.netlist, "acc");
+    assert_eq!(acc.len(), 8, "the accumulator has eight flip-flops");
+    let pc = imp.map.ff_sites_of_register(&soc.netlist, "pc");
+    assert_eq!(pc.len(), 16);
+    // Reverse lookup round-trips.
+    for site in acc {
+        let cell = imp.map.ff_cell_at(site).expect("site maps back");
+        let Cell::Dff(d) = soc.netlist.cell(cell) else {
+            panic!("not a DFF")
+        };
+        assert!(d.name.starts_with("acc["), "{}", d.name);
+    }
+}
+
+#[test]
+fn every_unit_has_luts_wires_and_disjoint_columns() {
+    let soc = build_soc(&workloads::bubblesort().rom).unwrap();
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).unwrap();
+    let mut unit_cols: Vec<(UnitTag, Vec<u16>)> = Vec::new();
+    for unit in [UnitTag::Alu, UnitTag::MemCtl, UnitTag::Fsm, UnitTag::Registers] {
+        let luts = imp.map.lut_sites_of_unit(&soc.netlist, unit);
+        assert!(!luts.is_empty(), "{unit} has LUTs");
+        let wires = imp.map.wires_of_unit(&soc.netlist, unit);
+        assert!(!wires.is_empty(), "{unit} has wires");
+        let mut cols: Vec<u16> = luts.iter().map(|cb| cb.col).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        unit_cols.push((unit, cols));
+    }
+    for i in 0..unit_cols.len() {
+        for j in i + 1..unit_cols.len() {
+            let (ua, a) = &unit_cols[i];
+            let (ub, b) = &unit_cols[j];
+            assert!(
+                a.iter().all(|c| !b.contains(c)),
+                "{ua} and {ub} share columns"
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_and_combinational_wires_partition_cleanly() {
+    let soc = build_soc(&workloads::bubblesort().rom).unwrap();
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).unwrap();
+    let seq = imp.map.sequential_wires(&soc.netlist);
+    let comb = imp.map.combinational_wires(&soc.netlist);
+    assert!(!seq.is_empty() && !comb.is_empty());
+    for w in &seq {
+        assert!(!comb.contains(w), "wire {w} in both classes");
+    }
+    // Every used FF with a routed output contributes a sequential wire.
+    assert!(seq.len() <= soc.netlist.dff_ids().len());
+}
+
+#[test]
+fn routed_wires_have_plausible_metadata() {
+    let soc = build_soc(&workloads::bubblesort().rom).unwrap();
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).unwrap();
+    for wire in imp.bitstream.wires() {
+        assert!(wire.segments >= 1, "every route uses a segment");
+        assert!(wire.pass_transistors >= wire.sinks.len() as u32);
+        assert!(wire.col_span.0 <= wire.col_span.1);
+        assert_eq!(wire.extra_fanout, 0, "no faults at implementation time");
+        assert_eq!(wire.detour_luts, 0);
+    }
+}

@@ -1,0 +1,590 @@
+//! The RTL builder: word-level operators lowered to LUTs.
+
+use fades_netlist::{NetId, Netlist, NetlistBuilder, NetlistError, UnitTag};
+
+use crate::reg::Reg;
+use crate::signal::Signal;
+
+/// Builds a netlist from word-level RTL operations.
+///
+/// Thin, stateful wrapper around [`NetlistBuilder`]: every operator
+/// synthesises a small LUT network. See the crate documentation for an
+/// example.
+#[derive(Debug)]
+pub struct RtlBuilder {
+    nl: NetlistBuilder,
+}
+
+impl RtlBuilder {
+    /// Creates a builder for a netlist with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RtlBuilder {
+            nl: NetlistBuilder::new(name),
+        }
+    }
+
+    /// Sets the unit tag applied to subsequently created cells (for
+    /// placement regions and per-unit fault campaigns).
+    pub fn set_unit(&mut self, unit: UnitTag) {
+        self.nl.set_unit(unit);
+    }
+
+    /// Access to the underlying bit-level builder for operations this
+    /// layer does not cover.
+    pub fn netlist_builder(&mut self) -> &mut NetlistBuilder {
+        &mut self.nl
+    }
+
+    /// Declares an input port.
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> Signal {
+        Signal::from_bits(self.nl.input(name, width))
+    }
+
+    /// Declares an output port driven by `sig`.
+    pub fn output(&mut self, name: impl Into<String>, sig: &Signal) {
+        self.nl.output(name, sig.bits());
+    }
+
+    /// A constant of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn lit(&mut self, value: u64, width: usize) -> Signal {
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "literal {value} does not fit in {width} bits"
+        );
+        let bits = (0..width)
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    self.nl.const1()
+                } else {
+                    self.nl.const0()
+                }
+            })
+            .collect();
+        Signal::from_bits(bits)
+    }
+
+    /// The constant-0 net.
+    pub fn zero(&mut self) -> NetId {
+        self.nl.const0()
+    }
+
+    /// The constant-1 net.
+    pub fn one(&mut self) -> NetId {
+        self.nl.const1()
+    }
+
+    /// Zero-extends a signal to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the signal.
+    pub fn zext(&mut self, sig: &Signal, width: usize) -> Signal {
+        assert!(width >= sig.width(), "zext cannot narrow");
+        let mut bits = sig.bits().to_vec();
+        while bits.len() < width {
+            bits.push(self.nl.const0());
+        }
+        Signal::from_bits(bits)
+    }
+
+    fn bitwise(
+        &mut self,
+        a: &Signal,
+        b: &Signal,
+        op: impl Fn(&mut NetlistBuilder, NetId, NetId) -> NetId,
+    ) -> Signal {
+        assert_eq!(a.width(), b.width(), "width mismatch in bitwise op");
+        let bits = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| op(&mut self.nl, x, y))
+            .collect();
+        Signal::from_bits(bits)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: &Signal, b: &Signal) -> Signal {
+        self.bitwise(a, b, |nl, x, y| nl.and2(x, y))
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: &Signal, b: &Signal) -> Signal {
+        self.bitwise(a, b, |nl, x, y| nl.or2(x, y))
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: &Signal, b: &Signal) -> Signal {
+        self.bitwise(a, b, |nl, x, y| nl.xor2(x, y))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: &Signal) -> Signal {
+        let bits = a.bits().iter().map(|&x| self.nl.not(x)).collect();
+        Signal::from_bits(bits)
+    }
+
+    /// Single-bit AND.
+    pub fn and_bit(&mut self, a: NetId, b: NetId) -> NetId {
+        self.nl.and2(a, b)
+    }
+
+    /// Single-bit OR.
+    pub fn or_bit(&mut self, a: NetId, b: NetId) -> NetId {
+        self.nl.or2(a, b)
+    }
+
+    /// Single-bit XOR.
+    pub fn xor_bit(&mut self, a: NetId, b: NetId) -> NetId {
+        self.nl.xor2(a, b)
+    }
+
+    /// Single-bit NOT.
+    pub fn not_bit(&mut self, a: NetId) -> NetId {
+        self.nl.not(a)
+    }
+
+    /// Reduction OR of all bits.
+    pub fn any(&mut self, a: &Signal) -> NetId {
+        self.nl.or_all(a.bits())
+    }
+
+    /// Reduction AND of all bits.
+    pub fn all(&mut self, a: &Signal) -> NetId {
+        self.nl.and_all(a.bits())
+    }
+
+    /// True when the signal is all zeros.
+    pub fn is_zero(&mut self, a: &Signal) -> NetId {
+        let any = self.any(a);
+        self.nl.not(any)
+    }
+
+    /// Odd parity of the signal (XOR of all bits).
+    pub fn parity(&mut self, a: &Signal) -> NetId {
+        let mut bits = a.bits().to_vec();
+        while bits.len() > 1 {
+            let mut next = Vec::with_capacity(bits.len().div_ceil(2));
+            for pair in bits.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.nl.xor2(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            bits = next;
+        }
+        bits[0]
+    }
+
+    /// Ripple-carry addition with carry-in; returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn addc(&mut self, a: &Signal, b: &Signal, cin: NetId) -> (Signal, NetId) {
+        assert_eq!(a.width(), b.width(), "width mismatch in addc");
+        let mut carry = cin;
+        let mut bits = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits().iter().zip(b.bits()) {
+            let sum = self
+                .nl
+                .lut_fn(&[x, y, carry], |v| v[0] ^ v[1] ^ v[2]);
+            let cout = self.nl.lut_fn(&[x, y, carry], |v| {
+                (v[0] && v[1]) || (v[0] && v[2]) || (v[1] && v[2])
+            });
+            bits.push(sum);
+            carry = cout;
+        }
+        (Signal::from_bits(bits), carry)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: &Signal, b: &Signal) -> Signal {
+        let cin = self.zero();
+        self.addc(a, b, cin).0
+    }
+
+    /// Wrapping addition of a constant.
+    pub fn add_const(&mut self, a: &Signal, value: u64) -> Signal {
+        let b = self.lit(value & mask(a.width()), a.width());
+        self.add(a, &b)
+    }
+
+    /// Subtraction with borrow-in; returns `(difference, borrow_out)`.
+    ///
+    /// Computed as `a + !b + !borrow_in` (the 8051's SUBB convention:
+    /// borrow out is the inverted carry of that addition).
+    pub fn subb(&mut self, a: &Signal, b: &Signal, borrow_in: NetId) -> (Signal, NetId) {
+        let nb = self.not(b);
+        let ncin = self.nl.not(borrow_in);
+        let (diff, carry) = self.addc(a, &nb, ncin);
+        let borrow = self.nl.not(carry);
+        (diff, borrow)
+    }
+
+    /// Wrapping subtraction (no borrow chain exposed).
+    pub fn sub(&mut self, a: &Signal, b: &Signal) -> Signal {
+        let zero = self.zero();
+        self.subb(a, b, zero).0
+    }
+
+    /// Equality of two signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn eq(&mut self, a: &Signal, b: &Signal) -> NetId {
+        let x = self.xor(a, b);
+        self.is_zero(&x)
+    }
+
+    /// Equality against a constant.
+    pub fn eq_const(&mut self, a: &Signal, value: u64) -> NetId {
+        // Compare 4 bits per LUT, then AND the partial matches.
+        let mut parts = Vec::new();
+        for (chunk_idx, chunk) in a.bits().chunks(4).enumerate() {
+            let want = (value >> (chunk_idx * 4)) & mask(chunk.len()) as u64;
+            let part = self.nl.lut_fn(chunk, move |v| {
+                let mut got = 0u64;
+                for (i, &bit) in v.iter().enumerate() {
+                    if bit {
+                        got |= 1 << i;
+                    }
+                }
+                got == want
+            });
+            parts.push(part);
+        }
+        self.nl.and_all(&parts)
+    }
+
+    /// Masked equality against a constant: true when
+    /// `sig & mask == value & mask`. Bits outside the mask are ignored
+    /// (opcode-class decoding).
+    pub fn match_const(&mut self, a: &Signal, mask: u64, value: u64) -> NetId {
+        let masked_bits: Vec<NetId> = a
+            .bits()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, &n)| n)
+            .collect();
+        if masked_bits.is_empty() {
+            return self.one();
+        }
+        let masked_value: u64 = a
+            .bits()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .enumerate()
+            .map(|(packed, (i, _))| ((value >> i) & 1) << packed)
+            .sum();
+        let packed = Signal::from_bits(masked_bits);
+        self.eq_const(&packed, masked_value)
+    }
+
+    /// 2:1 word multiplexer: `sel ? t : e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn mux(&mut self, sel: NetId, t: &Signal, e: &Signal) -> Signal {
+        assert_eq!(t.width(), e.width(), "width mismatch in mux");
+        let bits = t
+            .bits()
+            .iter()
+            .zip(e.bits())
+            .map(|(&x, &y)| self.nl.mux2(sel, x, y))
+            .collect();
+        Signal::from_bits(bits)
+    }
+
+    /// Priority selector: the value of the first arm whose condition is
+    /// true, else `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arm widths differ from the default's width.
+    pub fn select(&mut self, arms: &[(NetId, Signal)], default: &Signal) -> Signal {
+        let mut acc = default.clone();
+        for (cond, value) in arms.iter().rev() {
+            acc = self.mux(*cond, value, &acc);
+        }
+        acc
+    }
+
+    /// Single-bit priority selector.
+    pub fn select_bit(&mut self, arms: &[(NetId, NetId)], default: NetId) -> NetId {
+        let mut acc = default;
+        for (cond, value) in arms.iter().rev() {
+            acc = self.nl.mux2(*cond, *value, acc);
+        }
+        acc
+    }
+
+    /// Logical shift left by a constant amount (zero fill).
+    pub fn shl_const(&mut self, a: &Signal, amount: usize) -> Signal {
+        let w = a.width();
+        let bits = (0..w)
+            .map(|i| {
+                if i >= amount {
+                    a.bit(i - amount)
+                } else {
+                    self.nl.const0()
+                }
+            })
+            .collect();
+        Signal::from_bits(bits)
+    }
+
+    /// Logical shift right by a constant amount (zero fill).
+    pub fn shr_const(&mut self, a: &Signal, amount: usize) -> Signal {
+        let w = a.width();
+        let bits = (0..w)
+            .map(|i| {
+                if i + amount < w {
+                    a.bit(i + amount)
+                } else {
+                    self.nl.const0()
+                }
+            })
+            .collect();
+        Signal::from_bits(bits)
+    }
+
+    /// Rotate left by one bit.
+    pub fn rol1(&mut self, a: &Signal) -> Signal {
+        let w = a.width();
+        let bits = (0..w).map(|i| a.bit((i + w - 1) % w)).collect();
+        Signal::from_bits(bits)
+    }
+
+    /// Rotate right by one bit.
+    pub fn ror1(&mut self, a: &Signal) -> Signal {
+        let w = a.width();
+        let bits = (0..w).map(|i| a.bit((i + 1) % w)).collect();
+        Signal::from_bits(bits)
+    }
+
+    /// Declares a register of `width` bits with power-on value `init`.
+    pub fn reg(&mut self, name: impl Into<String>, width: usize, init: u64) -> Reg {
+        let name = name.into();
+        let mut qs = Vec::with_capacity(width);
+        let mut handles = Vec::with_capacity(width);
+        for i in 0..width {
+            let (q, h) = self
+                .nl
+                .dff_placeholder(format!("{name}[{i}]"), (init >> i) & 1 == 1);
+            qs.push(q);
+            handles.push(h);
+        }
+        Reg {
+            q: Signal::from_bits(qs),
+            handles,
+            name,
+        }
+    }
+
+    /// Connects a register's data input unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn connect(&mut self, reg: Reg, d: &Signal) {
+        assert_eq!(reg.width(), d.width(), "width mismatch connecting {}", reg.name);
+        for (h, &bit) in reg.handles.into_iter().zip(d.bits()) {
+            self.nl.dff_connect(h, bit);
+        }
+    }
+
+    /// Connects a register that loads `d` when `en` is high and holds its
+    /// value otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn connect_en(&mut self, reg: Reg, en: NetId, d: &Signal) {
+        let q = reg.q().clone();
+        let next = self.mux(en, d, &q);
+        self.connect(reg, &next);
+    }
+
+    /// Instantiates a RAM block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the netlist builder.
+    pub fn ram(
+        &mut self,
+        name: impl Into<String>,
+        addr: &Signal,
+        din: &Signal,
+        we: NetId,
+        init: &[u64],
+    ) -> Result<Signal, NetlistError> {
+        let dout = self
+            .nl
+            .ram(name, addr.bits(), din.bits(), we, din.width(), init)?;
+        Ok(Signal::from_bits(dout))
+    }
+
+    /// Instantiates a ROM block of the given word width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the netlist builder.
+    pub fn rom(
+        &mut self,
+        name: impl Into<String>,
+        addr: &Signal,
+        width: usize,
+        init: &[u64],
+    ) -> Result<Signal, NetlistError> {
+        let dout = self.nl.rom(name, addr.bits(), width, init)?;
+        Ok(Signal::from_bits(dout))
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetlistBuilder::finish`].
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        self.nl.finish()
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fades_netlist::Simulator;
+
+    fn eval_comb(b: RtlBuilder, inputs: &[(&str, u64, usize)], out: &str) -> u64 {
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (name, value, width) in inputs {
+            let bits: Vec<bool> = (0..*width).map(|i| (value >> i) & 1 == 1).collect();
+            sim.set_input(name, &bits).unwrap();
+        }
+        sim.settle();
+        sim.output_u64(out).unwrap()
+    }
+
+    #[test]
+    fn adder_adds() {
+        let mut b = RtlBuilder::new("add");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let (sum, cout) = {
+            let c0 = b.zero();
+            b.addc(&x, &y, c0)
+        };
+        b.output("sum", &sum);
+        b.output("cout", &Signal::from(cout));
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (x, y) in [(3u64, 4u64), (200, 100), (255, 1), (0, 0)] {
+            let xb: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
+            let yb: Vec<bool> = (0..8).map(|i| (y >> i) & 1 == 1).collect();
+            sim.set_input("x", &xb).unwrap();
+            sim.set_input("y", &yb).unwrap();
+            sim.settle();
+            assert_eq!(sim.output_u64("sum").unwrap(), (x + y) & 0xFF);
+            assert_eq!(sim.output_u64("cout").unwrap(), (x + y) >> 8);
+        }
+    }
+
+    #[test]
+    fn subb_matches_8051_convention() {
+        let mut b = RtlBuilder::new("sub");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let bin = b.input("bin", 1);
+        let (diff, borrow) = {
+            let bi = bin.bit(0);
+            b.subb(&x, &y, bi)
+        };
+        b.output("diff", &diff);
+        b.output("borrow", &Signal::from(borrow));
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (x, y, bin) in [(10u64, 3u64, 0u64), (3, 10, 0), (5, 5, 1), (0, 255, 1)] {
+            let xb: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
+            let yb: Vec<bool> = (0..8).map(|i| (y >> i) & 1 == 1).collect();
+            sim.set_input("x", &xb).unwrap();
+            sim.set_input("y", &yb).unwrap();
+            sim.set_input("bin", &[bin == 1]).unwrap();
+            sim.settle();
+            let expect = x.wrapping_sub(y).wrapping_sub(bin) & 0xFF;
+            assert_eq!(sim.output_u64("diff").unwrap(), expect);
+            let expect_borrow = (x as i64 - y as i64 - bin as i64) < 0;
+            assert_eq!(sim.output_u64("borrow").unwrap() == 1, expect_borrow);
+        }
+    }
+
+    #[test]
+    fn eq_const_matches() {
+        let mut b = RtlBuilder::new("eqc");
+        let x = b.input("x", 8);
+        let hit = b.eq_const(&x, 0xA5);
+        b.output("hit", &Signal::from(hit));
+        assert_eq!(eval_comb(b, &[("x", 0xA5, 8)], "hit"), 1);
+
+        let mut b = RtlBuilder::new("eqc2");
+        let x = b.input("x", 8);
+        let hit = b.eq_const(&x, 0xA5);
+        b.output("hit", &Signal::from(hit));
+        assert_eq!(eval_comb(b, &[("x", 0xA4, 8)], "hit"), 0);
+    }
+
+    #[test]
+    fn select_is_priority_ordered() {
+        let mut b = RtlBuilder::new("sel");
+        let c = b.input("c", 2);
+        let v1 = b.lit(0x11, 8);
+        let v2 = b.lit(0x22, 8);
+        let d = b.lit(0xFF, 8);
+        let arms = vec![(c.bit(0), v1), (c.bit(1), v2)];
+        let out = b.select(&arms, &d);
+        b.output("out", &out);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (c, expect) in [(0b00u64, 0xFF), (0b01, 0x11), (0b10, 0x22), (0b11, 0x11)] {
+            sim.set_input("c", &[(c & 1) == 1, (c >> 1) == 1]).unwrap();
+            sim.settle();
+            assert_eq!(sim.output_u64("out").unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn rotates_rotate() {
+        let mut b = RtlBuilder::new("rot");
+        let x = b.input("x", 8);
+        let l = b.rol1(&x);
+        let r = b.ror1(&x);
+        b.output("l", &l);
+        b.output("r", &r);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let x = 0b1000_0110u64;
+        let xb: Vec<bool> = (0..8).map(|i| (x >> i) & 1 == 1).collect();
+        sim.set_input("x", &xb).unwrap();
+        sim.settle();
+        assert_eq!(sim.output_u64("l").unwrap(), 0b0000_1101);
+        assert_eq!(sim.output_u64("r").unwrap(), 0b0100_0011);
+    }
+}

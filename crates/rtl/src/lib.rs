@@ -1,0 +1,46 @@
+//! Word-level RTL construction layer over `fades-netlist`.
+//!
+//! The 8051 microcontroller model (and any other system under analysis) is
+//! written against this crate's [`RtlBuilder`], which provides multi-bit
+//! [`Signal`]s, registers, adders, multiplexer trees and memories, and
+//! lowers everything to the 4-input-LUT netlist that both the HDL
+//! simulator (`fades-netlist`) and the FPGA implementation flow
+//! (`fades-pnr`) consume.
+//!
+//! # Example
+//!
+//! A two-bit saturating counter:
+//!
+//! ```
+//! use fades_rtl::RtlBuilder;
+//! use fades_netlist::Simulator;
+//!
+//! let mut b = RtlBuilder::new("sat");
+//! let cnt = b.reg("cnt", 2, 0);
+//! let next = b.add_const(cnt.q(), 1);
+//! let at_max = b.eq_const(cnt.q(), 3);
+//! let q = cnt.q().clone();
+//! let d = b.mux(at_max, &q, &next);
+//! b.connect(cnt, &d);
+//! b.output("q", &q);
+//! let netlist = b.finish()?;
+//!
+//! let mut sim = Simulator::new(&netlist)?;
+//! for expect in [0u64, 1, 2, 3, 3, 3] {
+//!     sim.settle();
+//!     assert_eq!(sim.output_u64("q")?, expect);
+//!     sim.clock_edge();
+//! }
+//! # Ok::<(), fades_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod reg;
+mod signal;
+
+pub use builder::RtlBuilder;
+pub use reg::Reg;
+pub use signal::Signal;

@@ -1,0 +1,36 @@
+//! Multi-bit registers with deferred data connection.
+
+use fades_netlist::DffHandle;
+
+use crate::signal::Signal;
+
+/// A multi-bit register whose data input is connected after its output has
+/// been used (registers almost always sit in feedback loops).
+///
+/// Created by [`crate::RtlBuilder::reg`]; its `D` input must be connected
+/// exactly once with [`crate::RtlBuilder::connect`] or
+/// [`crate::RtlBuilder::connect_en`] before the netlist is finished.
+#[derive(Debug)]
+#[must_use = "the register must be connected with RtlBuilder::connect(_en)"]
+pub struct Reg {
+    pub(crate) q: Signal,
+    pub(crate) handles: Vec<DffHandle>,
+    pub(crate) name: String,
+}
+
+impl Reg {
+    /// The register's output value.
+    pub fn q(&self) -> &Signal {
+        &self.q
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.q.width()
+    }
+
+    /// The register's base name (bits are named `name[i]`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,71 @@
+//! Multi-bit signals.
+
+use fades_netlist::NetId;
+
+/// A multi-bit value: an ordered bundle of single-bit nets, LSB first.
+///
+/// Signals are cheap handles; all logic construction happens through
+/// [`crate::RtlBuilder`] methods that consume and produce them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    bits: Vec<NetId>,
+}
+
+impl Signal {
+    /// Bundles nets (LSB first) into a signal.
+    pub fn from_bits(bits: Vec<NetId>) -> Self {
+        Signal { bits }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The underlying nets, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// A single bit as a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn bit(&self, index: usize) -> NetId {
+        self.bits[index]
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is empty.
+    pub fn msb(&self) -> NetId {
+        *self.bits.last().expect("signal must not be empty")
+    }
+
+    /// A sub-range `[lo, lo+width)` as a new signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the signal.
+    pub fn slice(&self, lo: usize, width: usize) -> Signal {
+        Signal {
+            bits: self.bits[lo..lo + width].to_vec(),
+        }
+    }
+
+    /// Concatenates `self` (low bits) with `high` (high bits).
+    pub fn concat(&self, high: &Signal) -> Signal {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Signal { bits }
+    }
+}
+
+impl From<NetId> for Signal {
+    fn from(net: NetId) -> Self {
+        Signal { bits: vec![net] }
+    }
+}

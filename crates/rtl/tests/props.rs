@@ -1,0 +1,129 @@
+//! Property-based tests: RTL operators versus their `u8`/`u16` reference
+//! semantics.
+
+use fades_netlist::Simulator;
+use fades_rtl::{RtlBuilder, Signal};
+use proptest::prelude::*;
+
+fn bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Builds a 2-input 8-bit combinational circuit and evaluates it.
+fn eval2(
+    build: impl FnOnce(&mut RtlBuilder, &Signal, &Signal) -> Signal,
+    x: u8,
+    y: u8,
+) -> u64 {
+    let mut b = RtlBuilder::new("prop");
+    let xs = b.input("x", 8);
+    let ys = b.input("y", 8);
+    let out = build(&mut b, &xs, &ys);
+    b.output("out", &out);
+    let nl = b.finish().unwrap();
+    let mut sim = Simulator::new(&nl).unwrap();
+    sim.set_input("x", &bits(x as u64, 8)).unwrap();
+    sim.set_input("y", &bits(y as u64, 8)).unwrap();
+    sim.settle();
+    sim.output_u64("out").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn add_matches_wrapping_add(x in any::<u8>(), y in any::<u8>()) {
+        let got = eval2(|b, xs, ys| b.add(xs, ys), x, y);
+        prop_assert_eq!(got, x.wrapping_add(y) as u64);
+    }
+
+    #[test]
+    fn sub_matches_wrapping_sub(x in any::<u8>(), y in any::<u8>()) {
+        let got = eval2(|b, xs, ys| b.sub(xs, ys), x, y);
+        prop_assert_eq!(got, x.wrapping_sub(y) as u64);
+    }
+
+    #[test]
+    fn subb_borrow_matches_comparison(x in any::<u8>(), y in any::<u8>(), cin in any::<bool>()) {
+        let mut b = RtlBuilder::new("prop");
+        let xs = b.input("x", 8);
+        let ys = b.input("y", 8);
+        let ci = b.input("ci", 1);
+        let (diff, borrow) = {
+            let c = ci.bit(0);
+            b.subb(&xs, &ys, c)
+        };
+        b.output("diff", &diff);
+        b.output("borrow", &Signal::from(borrow));
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", &bits(x as u64, 8)).unwrap();
+        sim.set_input("y", &bits(y as u64, 8)).unwrap();
+        sim.set_input("ci", &[cin]).unwrap();
+        sim.settle();
+        let expect = x.wrapping_sub(y).wrapping_sub(cin as u8);
+        prop_assert_eq!(sim.output_u64("diff").unwrap(), expect as u64);
+        let expect_borrow = (x as i32 - y as i32 - cin as i32) < 0;
+        prop_assert_eq!(sim.output_u64("borrow").unwrap() == 1, expect_borrow);
+    }
+
+    #[test]
+    fn bitwise_ops_match(x in any::<u8>(), y in any::<u8>()) {
+        prop_assert_eq!(eval2(|b, xs, ys| b.and(xs, ys), x, y), (x & y) as u64);
+        prop_assert_eq!(eval2(|b, xs, ys| b.or(xs, ys), x, y), (x | y) as u64);
+        prop_assert_eq!(eval2(|b, xs, ys| b.xor(xs, ys), x, y), (x ^ y) as u64);
+    }
+
+    #[test]
+    fn eq_const_matches(x in any::<u8>(), k in any::<u8>()) {
+        let mut b = RtlBuilder::new("prop");
+        let xs = b.input("x", 8);
+        let hit = b.eq_const(&xs, k as u64);
+        b.output("hit", &Signal::from(hit));
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", &bits(x as u64, 8)).unwrap();
+        sim.settle();
+        prop_assert_eq!(sim.output_u64("hit").unwrap() == 1, x == k);
+    }
+
+    #[test]
+    fn match_const_ignores_unmasked_bits(x in any::<u8>(), mask in any::<u8>(), v in any::<u8>()) {
+        let mut b = RtlBuilder::new("prop");
+        let xs = b.input("x", 8);
+        let hit = b.match_const(&xs, mask as u64, v as u64);
+        b.output("hit", &Signal::from(hit));
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", &bits(x as u64, 8)).unwrap();
+        sim.settle();
+        prop_assert_eq!(sim.output_u64("hit").unwrap() == 1, x & mask == v & mask);
+    }
+
+    #[test]
+    fn rotates_match(x in any::<u8>()) {
+        let mut b = RtlBuilder::new("prop");
+        let xs = b.input("x", 8);
+        let l = b.rol1(&xs);
+        let r = b.ror1(&xs);
+        b.output("l", &l);
+        b.output("r", &r);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", &bits(x as u64, 8)).unwrap();
+        sim.settle();
+        prop_assert_eq!(sim.output_u64("l").unwrap(), x.rotate_left(1) as u64);
+        prop_assert_eq!(sim.output_u64("r").unwrap(), x.rotate_right(1) as u64);
+    }
+
+    #[test]
+    fn parity_matches_count_ones(x in any::<u8>()) {
+        let mut b = RtlBuilder::new("prop");
+        let xs = b.input("x", 8);
+        let p = b.parity(&xs);
+        b.output("p", &Signal::from(p));
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("x", &bits(x as u64, 8)).unwrap();
+        sim.settle();
+        prop_assert_eq!(sim.output_u64("p").unwrap(), (x.count_ones() & 1) as u64);
+    }
+}

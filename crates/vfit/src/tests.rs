@@ -1,0 +1,76 @@
+//! Unit tests for the VFIT baseline.
+
+use fades_core::DurationRange;
+use fades_rtl::RtlBuilder;
+
+use crate::{VfitCampaign, VfitFaultLoad, VfitTargetClass};
+
+fn counter_netlist() -> fades_netlist::Netlist {
+    let mut b = RtlBuilder::new("cnt");
+    let r = b.reg("cnt", 8, 0);
+    let q = r.q().clone();
+    let next = b.add_const(&q, 1);
+    b.connect(r, &next);
+    b.output("q", &q);
+    b.finish().unwrap()
+}
+
+#[test]
+fn bit_flip_in_counter_always_fails() {
+    let nl = counter_netlist();
+    let campaign = VfitCampaign::new(&nl, &["q"], 100).unwrap();
+    let load = VfitFaultLoad::bit_flips(VfitTargetClass::AllFfs, DurationRange::SubCycle);
+    let stats = campaign.run(&load, 12, 3).unwrap();
+    assert_eq!(stats.outcomes.failures, 12);
+}
+
+#[test]
+fn simulation_time_is_flat_across_models_and_durations() {
+    let nl = counter_netlist();
+    let campaign = VfitCampaign::new(&nl, &["q"], 100).unwrap();
+    let flips = VfitFaultLoad::bit_flips(VfitTargetClass::AllFfs, DurationRange::SubCycle);
+    let pulses = VfitFaultLoad::pulses(
+        VfitTargetClass::CombinationalSignals,
+        DurationRange::MEDIUM,
+    );
+    let a = campaign.run(&flips, 10, 1).unwrap();
+    let b = campaign.run(&pulses, 10, 1).unwrap();
+    let ratio = a.mean_seconds_per_fault() / b.mean_seconds_per_fault();
+    // Paper: "very similar execution times for any type and length".
+    assert!((0.85..1.18).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn delay_model_is_rejected() {
+    let nl = counter_netlist();
+    let campaign = VfitCampaign::new(&nl, &["q"], 50).unwrap();
+    let mut load = VfitFaultLoad::pulses(
+        VfitTargetClass::CombinationalSignals,
+        DurationRange::SHORT,
+    );
+    load.model = fades_core::FaultModel::Delay;
+    assert!(campaign.run(&load, 4, 1).is_err());
+}
+
+#[test]
+fn oscillating_indetermination_differs_from_fixed() {
+    let nl = counter_netlist();
+    let campaign = VfitCampaign::new(&nl, &["q"], 100).unwrap();
+    let load = VfitFaultLoad::indeterminations(
+        VfitTargetClass::AllFfs,
+        DurationRange::Cycles(10, 10),
+        true,
+    );
+    let stats = campaign.run(&load, 10, 7).unwrap();
+    assert_eq!(stats.total(), 10);
+    // Oscillation adds per-cycle commands but the simulation-dominated
+    // time stays within a few percent.
+    let fixed = VfitFaultLoad::indeterminations(
+        VfitTargetClass::AllFfs,
+        DurationRange::Cycles(10, 10),
+        false,
+    );
+    let f = campaign.run(&fixed, 10, 7).unwrap();
+    assert!(stats.simulation_seconds > f.simulation_seconds);
+    assert!(stats.simulation_seconds < f.simulation_seconds * 2.0);
+}

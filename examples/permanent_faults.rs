@@ -1,0 +1,41 @@
+//! The paper's announced future work, implemented: permanent fault models
+//! (stuck-at, open-line, bridging, stuck-open) emulated through run-time
+//! reconfiguration.
+//!
+//! ```sh
+//! cargo run --release --example permanent_faults
+//! ```
+
+use fades_core::{Campaign, FaultLoad, PermanentFault, TargetClass};
+use fades_fpga::ArchParams;
+use fades_pnr::implement;
+use fades_repro::mcu8051::{build_soc, workloads, OBSERVED_PORTS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = build_soc(&workloads::bubblesort().rom)?;
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like())?;
+    let campaign = Campaign::new(&soc.netlist, imp, &OBSERVED_PORTS, 1330)?;
+
+    println!("permanent faults in the 8051's combinational logic, 150 each:\n");
+    for kind in [
+        PermanentFault::StuckAt,
+        PermanentFault::OpenLine,
+        PermanentFault::Bridging,
+        PermanentFault::StuckOpen,
+    ] {
+        let load = FaultLoad::permanent(kind, TargetClass::AllLuts);
+        let stats = campaign.run(&load, 150, 13)?;
+        println!("  {kind:<11} {}", stats.outcomes);
+    }
+
+    println!("\npermanent stuck-at on the registers themselves, 150 faults:");
+    let load = FaultLoad::permanent(PermanentFault::StuckAt, TargetClass::AllFfs);
+    let stats = campaign.run(&load, 150, 14)?;
+    println!("  stuck FF    {}", stats.outcomes);
+
+    println!(
+        "\n(permanent faults are injected once and never removed; stuck-at\n \
+         on a FF re-pulses its set/reset line every cycle to hold the value)"
+    );
+    Ok(())
+}

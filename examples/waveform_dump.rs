@@ -1,0 +1,58 @@
+//! Dump golden and faulty executions as VCD waveforms.
+//!
+//! Runs the 8051 Bubblesort twice on the HDL simulator — once fault-free
+//! and once with a forced pulse on an ALU signal — and writes both traces
+//! as `golden.vcd` / `faulty.vcd` for inspection in any waveform viewer.
+//!
+//! ```sh
+//! cargo run --release --example waveform_dump
+//! gtkwave golden.vcd   # if you have a viewer installed
+//! ```
+
+use fades_repro::mcu8051::{build_soc, workloads};
+use fades_repro::netlist::{Force, Simulator, VcdRecorder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = workloads::bubblesort();
+    let soc = build_soc(&workload.rom)?;
+    let period_ns = 80;
+
+    // Golden run.
+    let mut sim = Simulator::new(&soc.netlist)?;
+    let mut vcd = VcdRecorder::new(&sim, period_ns)?;
+    for _ in 0..1400 {
+        sim.settle();
+        vcd.sample(&sim)?;
+        sim.clock_edge();
+    }
+    std::fs::write("golden.vcd", vcd.finish())?;
+
+    // Faulty run: invert an ALU signal between cycles 400 and 410.
+    let target = {
+        let alu_luts: Vec<_> = soc
+            .netlist
+            .lut_ids()
+            .into_iter()
+            .filter(|&id| soc.netlist.unit(id) == fades_repro::netlist::UnitTag::Alu)
+            .collect();
+        soc.netlist.cell(alu_luts[alu_luts.len() / 2]).outputs()[0]
+    };
+    let mut sim = Simulator::new(&soc.netlist)?;
+    let mut vcd = VcdRecorder::new(&sim, period_ns)?;
+    for cycle in 0..1400u64 {
+        if cycle == 400 {
+            sim.force(Force::flip(target));
+        }
+        if cycle == 410 {
+            sim.release(target);
+        }
+        sim.settle();
+        vcd.sample(&sim)?;
+        sim.clock_edge();
+    }
+    std::fs::write("faulty.vcd", vcd.finish())?;
+
+    println!("wrote golden.vcd and faulty.vcd ({period_ns} ns/cycle)");
+    println!("observed ports: p1, p2, pc, acc, state");
+    Ok(())
+}

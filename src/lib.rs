@@ -1,0 +1,18 @@
+//! Umbrella crate for the FADES reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the repository-level
+//! examples and integration tests can reach the whole system through a
+//! single dependency. Library users should depend on the individual crates
+//! (`fades-core`, `fades-fpga`, ...) directly.
+
+#![forbid(unsafe_code)]
+
+pub use fades_core as core;
+pub use fades_ctr as ctr;
+pub use fades_experiments as experiments;
+pub use fades_fpga as fpga;
+pub use fades_mcu8051 as mcu8051;
+pub use fades_netlist as netlist;
+pub use fades_pnr as pnr;
+pub use fades_rtl as rtl;
+pub use fades_vfit as vfit;

@@ -1,0 +1,168 @@
+//! Shape-level reproduction checks: the qualitative claims of the paper's
+//! evaluation must hold on the rebuilt system.
+//!
+//! These are statistical assertions over moderate fault counts, phrased
+//! with margins wide enough to be seed-robust while still failing if a
+//! mechanism regresses (e.g. delays suddenly outranking bit-flips).
+
+use fades_repro::core::{DurationRange, FaultLoad, TargetClass};
+use fades_repro::experiments::ExperimentContext;
+use fades_repro::netlist::UnitTag;
+
+const N: usize = 150;
+const SEED: u64 = 20_060_625;
+
+#[test]
+fn memory_bitflips_fail_more_often_than_register_bitflips() {
+    // Paper Fig. 11: ~81% of memory bit-flips fail vs ~44% for screened
+    // registers.
+    let ctx = ExperimentContext::new().expect("context");
+    let campaign = ctx.fades_campaign().expect("campaign");
+    let sensitive = ctx.sensitive_ffs(SEED).expect("screening").to_vec();
+    let regs = campaign
+        .run(
+            &FaultLoad::bit_flips(TargetClass::FfSites(sensitive), DurationRange::SubCycle),
+            N,
+            SEED,
+        )
+        .expect("register campaign");
+    let mem = campaign
+        .run(
+            &FaultLoad::bit_flips(ctx.memory_data_targets(), DurationRange::SubCycle),
+            N,
+            SEED,
+        )
+        .expect("memory campaign");
+    assert!(
+        mem.outcomes.failure_pct() > 60.0,
+        "memory bit-flips mostly fail: {}",
+        mem.outcomes
+    );
+    assert!(
+        mem.outcomes.failure_pct() > regs.outcomes.failure_pct(),
+        "memory {} vs registers {}",
+        mem.outcomes,
+        regs.outcomes
+    );
+    assert!(
+        regs.outcomes.failure_pct() > 25.0,
+        "screened registers fail often: {}",
+        regs.outcomes
+    );
+}
+
+#[test]
+fn indeterminations_in_sequential_logic_outrank_delays() {
+    // Paper Fig. 12: indeterminations beat delays at every duration, and
+    // indetermination failures grow with duration.
+    let ctx = ExperimentContext::new().expect("context");
+    let campaign = ctx.fades_campaign().expect("campaign");
+    let short_delay = campaign
+        .run(
+            &FaultLoad::delays(TargetClass::SequentialWires, DurationRange::SHORT),
+            N,
+            SEED,
+        )
+        .expect("delay campaign");
+    let short_indet = campaign
+        .run(
+            &FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::SHORT, false),
+            N,
+            SEED,
+        )
+        .expect("indet campaign");
+    let long_indet = campaign
+        .run(
+            &FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::MEDIUM, false),
+            N,
+            SEED ^ 1,
+        )
+        .expect("indet campaign");
+    assert!(
+        short_indet.outcomes.failure_pct() > short_delay.outcomes.failure_pct(),
+        "indet {} vs delay {}",
+        short_indet.outcomes,
+        short_delay.outcomes
+    );
+    assert!(
+        long_indet.outcomes.failure_pct() > short_indet.outcomes.failure_pct() * 0.9,
+        "indetermination failures grow (or hold) with duration: {} -> {}",
+        short_indet.outcomes,
+        long_indet.outcomes
+    );
+}
+
+#[test]
+fn fsm_is_the_most_failure_sensitive_combinational_unit() {
+    // Paper Figs. 13-14: the FSM shows the highest failure rates.
+    let ctx = ExperimentContext::new().expect("context");
+    let campaign = ctx.fades_campaign().expect("campaign");
+    let mut rates = Vec::new();
+    for unit in [UnitTag::Alu, UnitTag::MemCtl, UnitTag::Fsm] {
+        let stats = campaign
+            .run(
+                &FaultLoad::pulses(TargetClass::LutsOfUnit(unit), DurationRange::MEDIUM),
+                N,
+                SEED,
+            )
+            .expect("pulse campaign");
+        rates.push((unit, stats.outcomes.failure_pct()));
+    }
+    let fsm = rates.iter().find(|(u, _)| *u == UnitTag::Fsm).unwrap().1;
+    for (unit, rate) in &rates {
+        assert!(
+            fsm >= *rate,
+            "FSM ({fsm:.1}%) must be >= {unit} ({rate:.1}%)"
+        );
+    }
+}
+
+#[test]
+fn pulse_failures_grow_with_duration() {
+    // Paper Fig. 13: failure percentage increases with fault length.
+    let ctx = ExperimentContext::new().expect("context");
+    let campaign = ctx.fades_campaign().expect("campaign");
+    let mut series = Vec::new();
+    for duration in [DurationRange::SubCycle, DurationRange::MEDIUM] {
+        let stats = campaign
+            .run(
+                &FaultLoad::pulses(TargetClass::AllLuts, duration),
+                N,
+                SEED,
+            )
+            .expect("pulse campaign");
+        series.push(stats.outcomes.failure_pct());
+    }
+    assert!(
+        series[1] > series[0],
+        "pulse failures grow with duration: {series:?}"
+    );
+}
+
+#[test]
+fn fades_beats_vfit_by_an_order_of_magnitude() {
+    // Paper Table 2: speed-up of at least ~8x per configuration, ~15x
+    // combined.
+    let ctx = ExperimentContext::new().expect("context");
+    let campaign = ctx.fades_campaign().expect("campaign");
+    let vfit_model = fades_repro::vfit::VfitTimeModel::paper_calibrated();
+    let vfit_s = vfit_model.experiment_seconds(&ctx.soc().netlist, ctx.workload_cycles() + 64, 2);
+    assert!(vfit_s > 5.0, "VFIT models several seconds per fault: {vfit_s}");
+    for (label, load) in [
+        (
+            "bit-flip",
+            FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle),
+        ),
+        (
+            "delay",
+            FaultLoad::delays(TargetClass::SequentialWires, DurationRange::SHORT),
+        ),
+    ] {
+        let stats = campaign.run(&load, 60, SEED).expect("campaign runs");
+        let speedup = vfit_s / stats.mean_seconds_per_fault();
+        assert!(
+            speedup > 4.0,
+            "{label}: FADES speed-up {speedup:.1} must exceed 4x even for the slowest model"
+        );
+    }
+}
