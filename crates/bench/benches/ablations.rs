@@ -44,7 +44,9 @@ fn bench_ablations(c: &mut Criterion) {
     full.delay_full_download = true;
     partial.delay_full_download = false;
     let f = campaign.run(&full, 16, BENCH_SEED).expect("full runs");
-    let p = campaign.run(&partial, 16, BENCH_SEED).expect("partial runs");
+    let p = campaign
+        .run(&partial, 16, BENCH_SEED)
+        .expect("partial runs");
     println!(
         "[ablation] delay shipping: full-download {:.3} s/fault vs partial {:.3} s/fault (modelled)",
         f.mean_seconds_per_fault(),
@@ -65,7 +67,11 @@ fn bench_ablations(c: &mut Criterion) {
     let fixed = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::MEDIUM, false);
     let osc = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::MEDIUM, true);
     group.bench_function("indetermination/fixed", |b| {
-        b.iter(|| campaign.run(&fixed, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+        b.iter(|| {
+            campaign
+                .run(&fixed, BENCH_FAULTS, BENCH_SEED)
+                .expect("runs")
+        })
     });
     group.bench_function("indetermination/oscillating", |b| {
         b.iter(|| campaign.run(&osc, BENCH_FAULTS, BENCH_SEED).expect("runs"))
@@ -83,7 +89,10 @@ fn bench_ablations(c: &mut Criterion) {
         })
     });
     group.bench_function("rtr_vs_direct/vfit_simulator", |b| {
-        b.iter(|| vfit.run(&vfit_load, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+        b.iter(|| {
+            vfit.run(&vfit_load, BENCH_FAULTS, BENCH_SEED)
+                .expect("runs")
+        })
     });
     group.finish();
 }

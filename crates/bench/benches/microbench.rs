@@ -63,11 +63,46 @@ fn bench_substrate(c: &mut Criterion) {
     group.bench_function("pulse_lsr", |b| {
         b.iter(|| dev.apply(&Mutation::PulseLsr { cb: ff }).expect("applies"))
     });
-    group.bench_function("timing_reanalysis", |b| {
-        b.iter(|| dev.recompute_timing())
-    });
+    group.bench_function("timing_reanalysis", |b| b.iter(|| dev.recompute_timing()));
     group.finish();
 }
 
-criterion_group!(benches, bench_substrate);
+/// Interpreter cost with telemetry disabled vs enabled. The disabled
+/// variant is the acceptance gate: the `sim` counters must be a single
+/// relaxed load per settle, i.e. indistinguishable from the seed's
+/// uninstrumented interpreter.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let workload = workloads::bubblesort();
+    let soc = build_soc(&workload.rom).expect("soc builds");
+    const CYCLES: u64 = 256;
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .throughput(Throughput::Elements(CYCLES));
+
+    fades_telemetry::set_enabled(false);
+    group.bench_function("sim_256_cycles_disabled", |b| {
+        let mut sim = Simulator::new(&soc.netlist).expect("simulates");
+        b.iter(|| {
+            sim.reset();
+            sim.run(CYCLES);
+        })
+    });
+    fades_telemetry::set_enabled(true);
+    group.bench_function("sim_256_cycles_enabled", |b| {
+        let mut sim = Simulator::new(&soc.netlist).expect("simulates");
+        b.iter(|| {
+            sim.reset();
+            sim.run(CYCLES);
+        })
+    });
+    fades_telemetry::set_enabled(false);
+    fades_telemetry::sim::reset();
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 use fades_fpga::{CbCoord, Device};
 use fades_netlist::Netlist;
 use fades_pnr::Implementation;
+use fades_telemetry::{ExperimentRecord, Recorder, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,12 +31,24 @@ pub struct CampaignConfig {
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
-                .unwrap_or(4),
+            threads: worker_threads(),
             margin_cycles: 64,
         }
     }
+}
+
+/// Campaign worker-thread count: `FADES_THREADS` when set to a positive
+/// integer, otherwise `min(available_parallelism, 8)`.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("FADES_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("warning: ignoring invalid FADES_THREADS=`{v}`"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
 }
 
 /// Aggregated results of a campaign.
@@ -172,7 +185,26 @@ impl<'n> Campaign<'n> {
         n_faults: usize,
         seed: u64,
     ) -> Result<CampaignStats, CoreError> {
-        let results = self.run_detailed(load, n_faults, seed)?;
+        let label = load.target.to_string();
+        self.run_named(&label, load, n_faults, seed)
+    }
+
+    /// [`run`](Campaign::run) with an explicit campaign label for the
+    /// telemetry sinks (run log, summary table, `BENCH_campaign.json`).
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Campaign::run).
+    pub fn run_named(
+        &self,
+        label: &str,
+        load: &FaultLoad,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<CampaignStats, CoreError> {
+        let threads = self.config.threads.max(1).min(n_faults.max(1));
+        let recorder = Recorder::new(label, n_faults, threads);
+        let results = self.run_instrumented(load, n_faults, seed, Some(&recorder))?;
         let mut stats = CampaignStats {
             n: results.len(),
             ..Default::default()
@@ -183,10 +215,13 @@ impl<'n> Campaign<'n> {
                 .time_model
                 .experiment_seconds(&r.traffic, self.run_cycles);
         }
+        recorder.finish();
         Ok(stats)
     }
 
     /// Like [`run`](Campaign::run), returning every per-experiment result.
+    /// Does not feed the telemetry sinks (screening passes call this in a
+    /// tight loop and would drown the run log).
     ///
     /// # Errors
     ///
@@ -196,6 +231,16 @@ impl<'n> Campaign<'n> {
         load: &FaultLoad,
         n_faults: usize,
         seed: u64,
+    ) -> Result<Vec<ExperimentResult>, CoreError> {
+        self.run_instrumented(load, n_faults, seed, None)
+    }
+
+    fn run_instrumented(
+        &self,
+        load: &FaultLoad,
+        n_faults: usize,
+        seed: u64,
+        recorder: Option<&Recorder>,
     ) -> Result<Vec<ExperimentResult>, CoreError> {
         // Sample the fault list deterministically up front so the result
         // is independent of thread count.
@@ -226,6 +271,7 @@ impl<'n> Campaign<'n> {
         let threads = self.config.threads.max(1).min(plan.len().max(1));
         let chunk = plan.len().div_ceil(threads);
         let mut results: Vec<Option<ExperimentResult>> = vec![None; plan.len()];
+        let target_label = load.target.to_string();
 
         crossbeam::thread::scope(|scope| -> Result<(), CoreError> {
             let mut handles = Vec::new();
@@ -237,11 +283,15 @@ impl<'n> Campaign<'n> {
                 let mut dev = self.device.clone();
                 let ports = &self.ports;
                 let golden = &self.golden;
+                let rec: Option<RecorderHandle> = recorder.map(Recorder::handle);
+                let target = target_label.as_str();
+                let time_model = &self.time_model;
+                let base = t * chunk;
                 handles.push(scope.spawn(move |_| -> Result<(), CoreError> {
-                    let _ = t;
-                    for ((fault, schedule, exp_seed), out) in
-                        chunk_plan.iter().zip(chunk_out.iter_mut())
+                    for (j, ((fault, schedule, exp_seed), out)) in
+                        chunk_plan.iter().zip(chunk_out.iter_mut()).enumerate()
                     {
+                        let _span = fades_telemetry::span!("experiment");
                         let mut rng = StdRng::seed_from_u64(*exp_seed);
                         let strategy = strategy_for(fault, sub_cycle);
                         let result = run_experiment(
@@ -253,6 +303,25 @@ impl<'n> Campaign<'n> {
                             ports,
                             &mut rng,
                         )?;
+                        if let Some(h) = &rec {
+                            h.record(ExperimentRecord {
+                                index: (base + j) as u64,
+                                target: target.to_string(),
+                                strategy: result.strategy.to_string(),
+                                outcome: result.outcome.as_str(),
+                                modelled_s: time_model
+                                    .experiment_seconds(&result.traffic, golden.cycles()),
+                                ops: result.traffic.ops as u64,
+                                readback_ops: result.traffic.readback_ops as u64,
+                                write_ops: result.traffic.write_ops as u64,
+                                bulk_ops: result.traffic.bulk_ops as u64,
+                                pulse_ops: result.traffic.pulse_ops as u64,
+                                readback_bytes: result.traffic.readback_bytes,
+                                write_bytes: result.traffic.write_bytes,
+                                bulk_bytes: result.traffic.bulk_bytes,
+                                wall_us: result.wall_us,
+                            });
+                        }
                         *out = Some(result);
                     }
                     Ok(())
@@ -287,16 +356,10 @@ impl<'n> Campaign<'n> {
         let all = self.implementation.bitstream.used_ffs();
         let mut sensitive = Vec::new();
         for (i, &cb) in all.iter().enumerate() {
-            let load = FaultLoad::bit_flips(
-                TargetClass::FfSites(vec![cb]),
-                DurationRange::SubCycle,
-            );
-            let results =
-                self.run_detailed(&load, per_ff, seed ^ ((i as u64 + 1) << 20))?;
-            if results
-                .iter()
-                .any(|r| r.outcome == crate::Outcome::Failure)
-            {
+            let load =
+                FaultLoad::bit_flips(TargetClass::FfSites(vec![cb]), DurationRange::SubCycle);
+            let results = self.run_detailed(&load, per_ff, seed ^ ((i as u64 + 1) << 20))?;
+            if results.iter().any(|r| r.outcome == crate::Outcome::Failure) {
                 sensitive.push(cb);
             }
         }

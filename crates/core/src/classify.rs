@@ -18,13 +18,20 @@ pub enum Outcome {
     Silent,
 }
 
+impl Outcome {
+    /// Stable lower-case name, used by the telemetry run log.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Failure => "failure",
+            Outcome::Latent => "latent",
+            Outcome::Silent => "silent",
+        }
+    }
+}
+
 impl fmt::Display for Outcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Outcome::Failure => f.write_str("failure"),
-            Outcome::Latent => f.write_str("latent"),
-            Outcome::Silent => f.write_str("silent"),
-        }
+        f.write_str(self.as_str())
     }
 }
 

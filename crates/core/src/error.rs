@@ -35,7 +35,10 @@ impl fmt::Display for CoreError {
             CoreError::EmptyTargetSet(c) => write!(f, "no injectable resources for {c}"),
             CoreError::UnknownPort(p) => write!(f, "unknown observed port `{p}`"),
             CoreError::BadSchedule { at, run_cycles } => {
-                write!(f, "injection at cycle {at} outside run of {run_cycles} cycles")
+                write!(
+                    f,
+                    "injection at cycle {at} outside run of {run_cycles} cycles"
+                )
             }
             CoreError::Implementation(msg) => write!(f, "implementation failed: {msg}"),
             CoreError::Fpga(e) => write!(f, "fpga: {e}"),

@@ -49,6 +49,10 @@ pub struct ExperimentResult {
     pub outcome: Outcome,
     /// Configuration-traffic summary (input to the time model).
     pub traffic: LedgerSummary,
+    /// Short name of the injection strategy that ran the experiment.
+    pub strategy: &'static str,
+    /// Real wall-clock microseconds the experiment took to emulate.
+    pub wall_us: u64,
 }
 
 /// Runs one fault-injection experiment: reset, execute the workload,
@@ -68,6 +72,8 @@ pub fn run_experiment(
     ports: &[String],
     rng: &mut StdRng,
 ) -> Result<ExperimentResult, CoreError> {
+    let started = std::time::Instant::now();
+    let strategy_name = strategy.name();
     let run_cycles = golden.cycles();
     if schedule.inject_at >= run_cycles {
         return Err(CoreError::BadSchedule {
@@ -105,5 +111,7 @@ pub fn run_experiment(
         schedule,
         outcome,
         traffic: LedgerSummary::from(dev.ledger()),
+        strategy: strategy_name,
+        wall_us: started.elapsed().as_micros() as u64,
     })
 }

@@ -26,11 +26,7 @@ impl GoldenRun {
     ///
     /// Returns [`CoreError::UnknownPort`] if an observed port does not
     /// exist.
-    pub fn capture(
-        dev: &mut Device,
-        ports: &[String],
-        cycles: u64,
-    ) -> Result<Self, CoreError> {
+    pub fn capture(dev: &mut Device, ports: &[String], cycles: u64) -> Result<Self, CoreError> {
         dev.reset();
         let mut trace = OutputTrace::new(ports.to_vec());
         for _ in 0..cycles {

@@ -56,7 +56,7 @@ pub mod models;
 pub mod strategies;
 mod timing;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignStats};
+pub use campaign::{worker_threads, Campaign, CampaignConfig, CampaignStats};
 pub use classify::{classify, Outcome, OutcomeStats};
 pub use error::CoreError;
 pub use experiment::{run_experiment, ExperimentResult, FaultSchedule};

@@ -338,7 +338,11 @@ pub fn resolve_targets(
     class: &TargetClass,
 ) -> Result<Vec<TargetSite>, CoreError> {
     let sites: Vec<TargetSite> = match class {
-        TargetClass::AllFfs => bitstream.used_ffs().into_iter().map(TargetSite::Ff).collect(),
+        TargetClass::AllFfs => bitstream
+            .used_ffs()
+            .into_iter()
+            .map(TargetSite::Ff)
+            .collect(),
         TargetClass::FfsOfUnit(unit) => map
             .ff_sites_of_unit(netlist, *unit)
             .into_iter()
@@ -380,7 +384,11 @@ pub fn resolve_targets(
             .into_iter()
             .map(TargetSite::Lut)
             .collect(),
-        TargetClass::CbInputs => bitstream.used_ffs().into_iter().map(TargetSite::Ff).collect(),
+        TargetClass::CbInputs => bitstream
+            .used_ffs()
+            .into_iter()
+            .map(TargetSite::Ff)
+            .collect(),
         TargetClass::SequentialWires => map
             .sequential_wires(netlist)
             .into_iter()
@@ -497,8 +505,8 @@ pub fn sample_fault(
             param: rng.gen::<u16>() & 1,
             on_ff: true,
         },
-        (model, site) => unreachable!(
-            "target class produced site {site:?} incompatible with model {model}"
-        ),
+        (model, site) => {
+            unreachable!("target class produced site {site:?} incompatible with model {model}")
+        }
     }
 }

@@ -72,7 +72,11 @@ pub mod table_ops {
     pub fn tie_input(table: u16, pin: u8, level: bool) -> u16 {
         let mut out = 0u16;
         for i in 0..16u16 {
-            let src = if level { i | (1 << pin) } else { i & !(1 << pin) };
+            let src = if level {
+                i | (1 << pin)
+            } else {
+                i & !(1 << pin)
+            };
             if (table >> src) & 1 == 1 {
                 out |= 1 << i;
             }
@@ -88,9 +92,7 @@ pub mod table_ops {
             let a = (i >> pin_a) & 1;
             let b = (i >> pin_b) & 1;
             let v = a & b;
-            let src = (i & !(1 << pin_a) & !(1 << pin_b))
-                | (v << pin_a)
-                | (v << pin_b);
+            let src = (i & !(1 << pin_a) & !(1 << pin_b)) | (v << pin_a) | (v << pin_b);
             if (table >> src) & 1 == 1 {
                 out |= 1 << i;
             }

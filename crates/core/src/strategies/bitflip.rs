@@ -28,6 +28,10 @@ impl LsrBitFlip {
 }
 
 impl InjectionStrategy for LsrBitFlip {
+    fn name(&self) -> &'static str {
+        "lsr-bitflip"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         let current = dev.readback_ff(self.cb)?;
         dev.apply(&Mutation::SetLsrDrive {
@@ -65,6 +69,10 @@ impl GsrBitFlip {
 }
 
 impl InjectionStrategy for GsrBitFlip {
+    fn name(&self) -> &'static str {
+        "gsr-bitflip"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         let states = dev.readback_all_ffs();
         let drives: Vec<(CbCoord, SetReset)> = states
@@ -103,6 +111,10 @@ impl MultiBitFlip {
 }
 
 impl InjectionStrategy for MultiBitFlip {
+    fn name(&self) -> &'static str {
+        "multi-bitflip"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         let states = dev.readback_all_ffs();
         let drives: Vec<(CbCoord, SetReset)> = states
@@ -140,6 +152,10 @@ impl MemBitFlip {
 }
 
 impl InjectionStrategy for MemBitFlip {
+    fn name(&self) -> &'static str {
+        "mem-bitflip"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         let word = dev.readback_bram_word(self.bram, self.addr)?;
         let flipped = (word >> self.bit) & 1 == 0;

@@ -71,6 +71,10 @@ impl WireDelayFault {
 }
 
 impl InjectionStrategy for WireDelayFault {
+    fn name(&self) -> &'static str {
+        "wire-delay"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         self.reconfigure(dev, false)
     }

@@ -45,6 +45,10 @@ impl FfIndetFault {
 }
 
 impl InjectionStrategy for FfIndetFault {
+    fn name(&self) -> &'static str {
+        "ff-indetermination"
+    }
+
     fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
         // The tool logs the pre-fault state for the experiment record.
         let _pre = dev.readback_ff(self.cb)?;
@@ -107,6 +111,10 @@ impl LutIndetFault {
 }
 
 impl InjectionStrategy for LutIndetFault {
+    fn name(&self) -> &'static str {
+        "lut-indetermination"
+    }
+
     fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
         let original = dev.readback_lut_table(self.cb)?;
         self.original = Some(original);

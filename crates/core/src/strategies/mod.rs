@@ -29,6 +29,10 @@ use crate::models::PermanentFault;
 /// A fault-injection strategy: the reconfiguration choreography of one
 /// fault instance (paper Fig. 1).
 pub trait InjectionStrategy: std::fmt::Debug + Send {
+    /// Stable short name of the strategy, used by telemetry records and
+    /// the JSONL run log (`strategy` field).
+    fn name(&self) -> &'static str;
+
     /// Applies the fault. The device is paused between two clock edges at
     /// the injection instant.
     ///
@@ -67,22 +71,16 @@ pub fn strategy_for(fault: &ResolvedFault, sub_cycle: bool) -> Box<dyn Injection
     match fault.clone() {
         ResolvedFault::FfBitFlip { cb, via_gsr: false } => Box::new(LsrBitFlip::new(cb)),
         ResolvedFault::FfBitFlip { cb, via_gsr: true } => Box::new(GsrBitFlip::new(cb)),
-        ResolvedFault::MemBitFlip { bram, addr, bit } => {
-            Box::new(MemBitFlip::new(bram, addr, bit))
-        }
+        ResolvedFault::MemBitFlip { bram, addr, bit } => Box::new(MemBitFlip::new(bram, addr, bit)),
         ResolvedFault::MultiFfBitFlip { cbs } => Box::new(MultiBitFlip::new(cbs)),
-        ResolvedFault::LutPulse { cb, line } => {
-            Box::new(LutPulseFault::new(cb, line, sub_cycle))
-        }
+        ResolvedFault::LutPulse { cb, line } => Box::new(LutPulseFault::new(cb, line, sub_cycle)),
         ResolvedFault::CbInputPulse { cb } => Box::new(CbInputPulse::new(cb)),
         ResolvedFault::WireDelay {
             wire,
             mech,
             full_download,
         } => Box::new(WireDelayFault::new(wire, mech, full_download)),
-        ResolvedFault::FfIndet { cb, oscillating } => {
-            Box::new(FfIndetFault::new(cb, oscillating))
-        }
+        ResolvedFault::FfIndet { cb, oscillating } => Box::new(FfIndetFault::new(cb, oscillating)),
         ResolvedFault::LutIndet { cb, oscillating } => {
             Box::new(LutIndetFault::new(cb, oscillating))
         }

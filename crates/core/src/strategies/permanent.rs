@@ -36,6 +36,10 @@ impl PermanentLutFault {
 }
 
 impl InjectionStrategy for PermanentLutFault {
+    fn name(&self) -> &'static str {
+        "permanent-lut"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         let original = dev.readback_lut_table(self.cb)?;
         let faulty = match self.kind {
@@ -89,6 +93,10 @@ impl StuckFf {
 }
 
 impl InjectionStrategy for StuckFf {
+    fn name(&self) -> &'static str {
+        "stuck-ff"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         dev.apply(&Mutation::SetLsrDrive {
             cb: self.cb,

@@ -46,6 +46,10 @@ impl LutPulseFault {
 }
 
 impl InjectionStrategy for LutPulseFault {
+    fn name(&self) -> &'static str {
+        "lut-pulse"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         let original = dev.readback_lut_table(self.cb)?;
         self.original = Some(original);
@@ -93,6 +97,10 @@ impl CbInputPulse {
 }
 
 impl InjectionStrategy for CbInputPulse {
+    fn name(&self) -> &'static str {
+        "cb-input-pulse"
+    }
+
     fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
         dev.apply(&Mutation::SetInvertFfIn {
             cb: self.cb,

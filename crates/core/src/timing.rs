@@ -18,6 +18,14 @@ use fades_fpga::{ArchParams, TransferKind, TransferLedger};
 pub struct LedgerSummary {
     /// Configuration-port operations (incl. global pulses).
     pub ops: usize,
+    /// Readback operations.
+    pub readback_ops: usize,
+    /// Partial-reconfiguration write operations.
+    pub write_ops: usize,
+    /// Bulk full-download operations.
+    pub bulk_ops: usize,
+    /// Global-pulse operations (GSR and friends).
+    pub pulse_ops: usize,
     /// Bytes read back.
     pub readback_bytes: u64,
     /// Bytes written by partial reconfiguration.
@@ -30,6 +38,10 @@ impl From<&TransferLedger> for LedgerSummary {
     fn from(ledger: &TransferLedger) -> Self {
         LedgerSummary {
             ops: ledger.op_count(),
+            readback_ops: ledger.count_of(TransferKind::Readback),
+            write_ops: ledger.count_of(TransferKind::Write),
+            bulk_ops: ledger.count_of(TransferKind::FullDownload),
+            pulse_ops: ledger.count_of(TransferKind::GlobalPulse),
             readback_bytes: ledger.bytes_of(TransferKind::Readback),
             write_bytes: ledger.bytes_of(TransferKind::Write),
             bulk_bytes: ledger.bytes_of(TransferKind::FullDownload),

@@ -109,16 +109,9 @@ fn gsr_mechanism_moves_more_configuration_data_than_lsr() {
 fn oscillating_indetermination_reconfigures_every_cycle() {
     let (nl, imp) = lfsr_campaign();
     let campaign = Campaign::new(&nl, imp, &["q"], 100).unwrap();
-    let fixed = FaultLoad::indeterminations(
-        TargetClass::AllFfs,
-        DurationRange::Cycles(15, 15),
-        false,
-    );
-    let osc = FaultLoad::indeterminations(
-        TargetClass::AllFfs,
-        DurationRange::Cycles(15, 15),
-        true,
-    );
+    let fixed =
+        FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::Cycles(15, 15), false);
+    let osc = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::Cycles(15, 15), true);
     let f = campaign.run(&fixed, 8, 3).unwrap();
     let o = campaign.run(&osc, 8, 3).unwrap();
     assert!(

@@ -109,7 +109,8 @@ fn fixed_ff_indetermination_costs_four_ops() {
 
 #[test]
 fn oscillating_indetermination_costs_one_op_per_cycle() {
-    let fixed = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::Cycles(8, 8), false);
+    let fixed =
+        FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::Cycles(8, 8), false);
     let osc = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::Cycles(8, 8), true);
     let (ops_fixed, ..) = traffic_of(&fixed);
     let (ops_osc, ..) = traffic_of(&osc);

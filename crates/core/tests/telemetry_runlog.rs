@@ -1,0 +1,111 @@
+//! End-to-end telemetry: a tiny campaign with `FADES_RUN_LOG` set must
+//! produce a parseable JSONL log whose lines match the campaign stats.
+
+use fades_core::{worker_threads, Campaign, DurationRange, FaultLoad, TargetClass};
+use fades_fpga::ArchParams;
+use fades_netlist::UnitTag;
+use fades_pnr::implement;
+use fades_rtl::RtlBuilder;
+use fades_telemetry::json;
+
+fn lfsr() -> (fades_netlist::Netlist, fades_pnr::Implementation) {
+    let mut b = RtlBuilder::new("lfsr");
+    b.set_unit(UnitTag::Registers);
+    let r = b.reg("lfsr", 8, 1);
+    let q = r.q().clone();
+    b.set_unit(UnitTag::Alu);
+    let t1 = b.xor_bit(q.bit(7), q.bit(5));
+    let t2 = b.xor_bit(q.bit(4), q.bit(3));
+    let tap = b.xor_bit(t1, t2);
+    let mut bits = vec![tap];
+    bits.extend((0..7).map(|i| q.bit(i)));
+    b.set_unit(UnitTag::Registers);
+    let next = fades_rtl::Signal::from_bits(bits);
+    b.connect(r, &next);
+    b.output("q", &q);
+    let netlist = b.finish().unwrap();
+    let imp = implement(&netlist, ArchParams::small()).unwrap();
+    (netlist, imp)
+}
+
+/// One test drives the whole scenario: environment variables are process
+/// globals, so the run-log and thread-count assertions share a test to
+/// avoid racing other tests in this binary.
+#[test]
+fn run_log_matches_campaign_stats() {
+    const N: usize = 10;
+    let log_path =
+        std::env::temp_dir().join(format!("fades-runlog-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    std::env::set_var("FADES_RUN_LOG", &log_path);
+    std::env::set_var("FADES_THREADS", "2");
+    assert_eq!(worker_threads(), 2, "FADES_THREADS overrides thread count");
+
+    let (nl, imp) = lfsr();
+    let campaign = Campaign::new(&nl, imp, &["q"], 100).unwrap();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let stats = campaign.run_named("runlog-test", &load, N, 9).unwrap();
+    std::env::remove_var("FADES_RUN_LOG");
+    std::env::remove_var("FADES_THREADS");
+
+    let text = std::fs::read_to_string(&log_path).expect("run log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        N + 1,
+        "one line per experiment plus one aggregate:\n{text}"
+    );
+
+    let mut experiments = 0usize;
+    let mut aggregate = None;
+    for line in &lines {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line `{line}`: {e}"));
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("experiment") => {
+                experiments += 1;
+                assert_eq!(
+                    v.get("campaign").and_then(|c| c.as_str()),
+                    Some("runlog-test")
+                );
+                assert_eq!(v.get("target").and_then(|t| t.as_str()), Some("all FFs"));
+                assert_eq!(
+                    v.get("strategy").and_then(|s| s.as_str()),
+                    Some("lsr-bitflip")
+                );
+                assert!(v.get("modelled_s").and_then(|m| m.as_f64()).unwrap() > 0.0);
+                assert!(v.get("ops").and_then(|o| o.as_u64()).unwrap() > 0);
+            }
+            Some("aggregate") => aggregate = Some(v),
+            other => panic!("unexpected line type {other:?}"),
+        }
+    }
+    assert_eq!(experiments, N);
+
+    let agg = aggregate.expect("trailing aggregate line");
+    assert_eq!(agg.get("n").and_then(|v| v.as_u64()), Some(N as u64));
+    assert_eq!(agg.get("threads").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        agg.get("failures").and_then(|v| v.as_u64()),
+        Some(stats.outcomes.failures as u64)
+    );
+    assert_eq!(
+        agg.get("latents").and_then(|v| v.as_u64()),
+        Some(stats.outcomes.latents as u64)
+    );
+    assert_eq!(
+        agg.get("silents").and_then(|v| v.as_u64()),
+        Some(stats.outcomes.silents as u64)
+    );
+    let modelled = agg.get("modelled_s").and_then(|v| v.as_f64()).unwrap();
+    assert!(
+        (modelled - stats.emulation_seconds).abs() < 1e-6,
+        "aggregate modelled_s {modelled} vs stats {}",
+        stats.emulation_seconds
+    );
+
+    // The campaign also registered its aggregate for the CLI sinks.
+    let registered = fades_telemetry::drain_aggregates();
+    assert!(registered.iter().any(|a| a.name == "runlog-test"));
+
+    let _ = std::fs::remove_file(&log_path);
+}

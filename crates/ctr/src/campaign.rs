@@ -6,6 +6,7 @@ use fades_core::{CoreError, DurationRange, Outcome, OutcomeStats};
 use fades_fpga::{ArchParams, Device};
 use fades_netlist::{Cell, NetId, Netlist, OutputTrace};
 use fades_pnr::implement;
+use fades_telemetry::{span, ExperimentRecord, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,8 +75,7 @@ impl<'n> CtrCampaign<'n> {
     ) -> Result<Self, CoreError> {
         let ports: Vec<String> = observed_ports.iter().map(|s| s.to_string()).collect();
         let run_cycles = workload_cycles + 64;
-        let imp = implement(netlist, arch)
-            .map_err(|e| CoreError::Implementation(e.to_string()))?;
+        let imp = implement(netlist, arch).map_err(|e| CoreError::Implementation(e.to_string()))?;
         let mut dev = Device::configure(imp.bitstream)?;
         let mut trace = OutputTrace::new(ports.clone());
         for _ in 0..run_cycles {
@@ -137,26 +137,50 @@ impl<'n> CtrCampaign<'n> {
             n: n_faults,
             ..Default::default()
         };
+        // CTR is inherently sequential: each new target blocks on its
+        // instrumented implementation before any experiment can run.
+        let recorder = Recorder::new("ctr saboteur", n_faults, 1);
+        let handle = recorder.handle();
         // Cache of instrumented versions: target net -> configured device.
         let mut versions: HashMap<NetId, Device> = HashMap::new();
-        for _ in 0..n_faults {
+        for i in 0..n_faults {
+            let started = std::time::Instant::now();
+            let mut modelled = 0.0;
             let target = targets[rng.gen_range(0..targets.len())];
             let inject_at = rng.gen_range(0..self.run_cycles - 64);
             let dur = duration.sample(&mut rng).unwrap_or(self.run_cycles);
-            if !versions.contains_key(&target) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = versions.entry(target) {
+                let _implement_span = span!("ctr-implement");
                 let inst = instrument(self.netlist, target)?;
                 let imp = implement(&inst, self.arch)
                     .map_err(|e| CoreError::Implementation(e.to_string()))?;
-                stats.implementation_seconds +=
-                    self.time_model.implementation_seconds(&inst);
+                let impl_s = self.time_model.implementation_seconds(&inst);
+                stats.implementation_seconds += impl_s;
+                modelled += impl_s;
                 stats.versions += 1;
-                versions.insert(target, Device::configure(imp.bitstream)?);
+                slot.insert(Device::configure(imp.bitstream)?);
             }
             let dev = versions.get_mut(&target).expect("version cached");
-            let outcome = self.run_one(dev, inject_at, dur)?;
+            let outcome = {
+                let _execute_span = span!("ctr-execute");
+                self.run_one(dev, inject_at, dur)?
+            };
             stats.outcomes.record(outcome);
-            stats.execution_seconds += self.time_model.execution_seconds(self.run_cycles);
+            let exec_s = self.time_model.execution_seconds(self.run_cycles);
+            stats.execution_seconds += exec_s;
+            modelled += exec_s;
+            handle.record(ExperimentRecord {
+                index: i as u64,
+                target: "combinational signals".to_string(),
+                strategy: "ctr-saboteur-pulse".to_string(),
+                outcome: outcome.as_str(),
+                modelled_s: modelled,
+                wall_us: started.elapsed().as_micros() as u64,
+                ..Default::default()
+            });
         }
+        drop(handle);
+        recorder.finish();
         Ok(stats)
     }
 

@@ -59,5 +59,8 @@ fn ctr_is_slower_than_rtr_for_this_model_size() {
     let per_version = ctr_model.implementation_seconds(&nl);
     // RTR pulse on the same model: about 3 operations at ~0.08 s plus a
     // few frames — well under a second (see fades-core's time model).
-    assert!(per_version > 1.0, "implementation costs seconds: {per_version}");
+    assert!(
+        per_version > 1.0,
+        "implementation costs seconds: {per_version}"
+    );
 }

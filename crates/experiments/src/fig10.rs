@@ -1,8 +1,8 @@
 //! Figure 10: mean emulation time of experiments performed via FADES.
 
-use fades_core::{CampaignStats, CoreError, DurationRange, FaultLoad, TargetClass};
 use crate::context::ExperimentContext;
 use crate::tablefmt::TextTable;
+use fades_core::{CampaignStats, CoreError, DurationRange, FaultLoad, TargetClass};
 
 /// One bar of Figure 10.
 #[derive(Debug, Clone)]
@@ -82,15 +82,11 @@ pub fn standard_loads(ctx: &ExperimentContext) -> Vec<(&'static str, f64, FaultL
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn run(
-    ctx: &ExperimentContext,
-    n_faults: usize,
-    seed: u64,
-) -> Result<Fig10Result, CoreError> {
+pub fn run(ctx: &ExperimentContext, n_faults: usize, seed: u64) -> Result<Fig10Result, CoreError> {
     let campaign = ctx.fades_campaign()?;
     let mut rows = Vec::new();
     for (label, paper, load) in standard_loads(ctx) {
-        let stats = campaign.run(&load, n_faults, seed)?;
+        let stats = campaign.run_named(label, &load, n_faults, seed)?;
         rows.push(EmulationTimeRow {
             label,
             stats,

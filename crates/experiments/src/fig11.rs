@@ -28,11 +28,7 @@ pub struct Fig11Result {
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn run(
-    ctx: &ExperimentContext,
-    n_faults: usize,
-    seed: u64,
-) -> Result<Fig11Result, CoreError> {
+pub fn run(ctx: &ExperimentContext, n_faults: usize, seed: u64) -> Result<Fig11Result, CoreError> {
     let sensitive = ctx.sensitive_ffs(seed)?.to_vec();
     let total_ffs = ctx.implementation().bitstream.used_ffs().len();
     let campaign = ctx.fades_campaign()?;
@@ -72,7 +68,10 @@ impl Fig11Result {
             "paper failure %",
         ]);
         t.row(vec![
-            format!("registers ({}/{} FFs eligible)", self.sensitive_ffs, self.total_ffs),
+            format!(
+                "registers ({}/{} FFs eligible)",
+                self.sensitive_ffs, self.total_ffs
+            ),
             format!("{:.1}", self.registers.failure_pct()),
             format!("{:.1}", self.registers.latent_pct()),
             format!("{:.1}", self.registers.silent_pct()),

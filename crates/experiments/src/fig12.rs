@@ -40,18 +40,12 @@ pub struct Fig12Result {
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn run(
-    ctx: &ExperimentContext,
-    n_faults: usize,
-    seed: u64,
-) -> Result<Fig12Result, CoreError> {
+pub fn run(ctx: &ExperimentContext, n_faults: usize, seed: u64) -> Result<Fig12Result, CoreError> {
     let campaign = ctx.fades_campaign()?;
     let mut rows = Vec::new();
     for (mi, duration) in DURATIONS.iter().enumerate() {
         let load = FaultLoad::delays(TargetClass::SequentialWires, *duration);
-        let outcomes = campaign
-            .run(&load, n_faults, seed ^ (mi as u64))?
-            .outcomes;
+        let outcomes = campaign.run(&load, n_faults, seed ^ (mi as u64))?.outcomes;
         rows.push(SequentialRow {
             model: "delay",
             duration: duration.label(),

@@ -19,9 +19,7 @@ pub fn run(
     per_unit::run(
         ctx,
         "fig14-indetermination",
-        |unit, duration| {
-            FaultLoad::indeterminations(per_unit::luts_of(unit), duration, false)
-        },
+        |unit, duration| FaultLoad::indeterminations(per_unit::luts_of(unit), duration, false),
         n_faults,
         seed,
     )

@@ -43,8 +43,8 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
-pub mod techniques;
 mod tablefmt;
+pub mod techniques;
 
 pub use context::ExperimentContext;
 pub use tablefmt::TextTable;

@@ -5,29 +5,50 @@
 //! ```
 //!
 //! Environment:
-//! * `FADES_FAULTS` — faults per campaign (default 300; the paper uses 3000)
-//! * `FADES_SEED`   — campaign seed (default 20060625)
+//! * `FADES_FAULTS`   — faults per campaign (default 300; the paper uses 3000)
+//! * `FADES_SEED`     — campaign seed (default 20060625)
+//! * `FADES_THREADS`  — campaign worker threads (default `min(cores, 8)`)
+//! * `FADES_RUN_LOG`  — append a JSONL run log (one line per experiment) here
+//! * `FADES_PROGRESS` — `1`/`0` forces the stderr progress ticker on/off
 
 use std::error::Error;
 use std::time::Instant;
 
 use fades_experiments::{
-    fault_count_from_env, fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling, seed_from_env,
-    table1, table2, table3, table4, techniques, ExperimentContext,
+    fault_count_from_env, fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling,
+    seed_from_env, table1, table2, table3, table4, techniques, ExperimentContext,
 };
 
-const KNOWN: [&str; 14] = [
-    "table1", "fig10", "table2", "fig11", "fig12", "fig13", "fig14", "fig15", "table3",
-    "table4", "permanent", "techniques", "scaling", "all",
+const KNOWN: [&str; 15] = [
+    "setup",
+    "table1",
+    "fig10",
+    "table2",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table3",
+    "table4",
+    "permanent",
+    "techniques",
+    "scaling",
+    "all",
 ];
+
+fn usage() -> String {
+    format!("usage: fades-experiments [{}]", KNOWN.join("|"))
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: fades-experiments [{}]", KNOWN.join("|"));
+        eprintln!("{}", usage());
         std::process::exit(2);
     }
+    fades_telemetry::set_enabled(true);
     let n = fault_count_from_env();
     let seed = seed_from_env();
 
@@ -42,8 +63,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     print_setup(&ctx, n, seed);
     let all = which == "all";
 
-    if all || which == "setup" {
-        // Setup summary already printed.
+    if which == "setup" {
+        // Setup summary (netlist statistics + device geometry) is all
+        // this subcommand prints.
+        return Ok(());
     }
     if all || which == "table1" {
         section("Table 1 — emulation of transient fault models with FPGAs");
@@ -105,6 +128,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         print!("{}", scaling::run(n, seed)?.table());
     }
 
+    let aggregates = fades_telemetry::drain_aggregates();
+    if !aggregates.is_empty() {
+        println!();
+        print!("{}", fades_telemetry::Summary::of(aggregates.clone()));
+        let bench_path = std::path::Path::new("BENCH_campaign.json");
+        match fades_telemetry::write_bench_json(bench_path, &aggregates) {
+            Ok(()) => eprintln!("[campaign benchmark written to {}]", bench_path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", bench_path.display()),
+        }
+        if let Some(log) = fades_telemetry::run_log_path() {
+            eprintln!("[run log appended to {}]", log.display());
+        }
+    }
+
     eprintln!("\n[{} completed in {:.1?}]", which, t0.elapsed());
     Ok(())
 }
@@ -116,12 +153,25 @@ fn section(title: &str) {
 fn print_setup(ctx: &ExperimentContext, n: usize, seed: u64) {
     let stats = ctx.soc().netlist.stats();
     let (luts, ffs, brams) = ctx.implementation().bitstream.utilisation();
+    let arch = ctx.implementation().bitstream.arch();
     println!("Experimental setup (paper §6.1):");
     println!(
         "  model: 8051 subset, {} LUTs / {} FFs / {} memory blocks implemented",
         luts, ffs, brams
     );
-    println!("  netlist: {}", stats.to_string().trim_end().replace('\n', "\n  "));
+    println!(
+        "  device: {}x{} CLBs, {} frames/column x {} bytes, {} BRAM blocks, {:.0} MHz",
+        arch.rows,
+        arch.cols,
+        arch.frames_per_col,
+        arch.frame_bytes,
+        arch.bram_blocks,
+        1000.0 / arch.clock_period_ns
+    );
+    println!(
+        "  netlist: {}",
+        stats.to_string().trim_end().replace('\n', "\n  ")
+    );
     println!(
         "  workload: {} ({} cycles; paper's Bubblesort took 1303)",
         ctx.workload().name,

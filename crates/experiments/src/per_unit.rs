@@ -69,13 +69,7 @@ pub(crate) fn wires_of(unit: UnitTag) -> TargetClass {
 impl PerUnitResult {
     /// Renders the figure.
     pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(&[
-            "unit",
-            "duration (cc)",
-            "failure %",
-            "latent %",
-            "silent %",
-        ]);
+        let mut t = TextTable::new(&["unit", "duration (cc)", "failure %", "latent %", "silent %"]);
         for r in &self.rows {
             t.row(vec![
                 r.unit.to_string(),

@@ -76,13 +76,7 @@ pub fn run(
 impl PermanentResult {
     /// Renders the extension's table.
     pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(&[
-            "model",
-            "target",
-            "failure %",
-            "latent %",
-            "silent %",
-        ]);
+        let mut t = TextTable::new(&["model", "target", "failure %", "latent %", "silent %"]);
         for r in &self.rows {
             t.row(vec![
                 r.kind.to_string(),

@@ -54,11 +54,8 @@ pub fn run(n_faults: usize, seed: u64) -> Result<ScalingResult, CoreError> {
             seed,
         )?;
         let vfit_model = fades_vfit::VfitTimeModel::paper_calibrated();
-        let vfit_seconds = vfit_model.experiment_seconds(
-            &ctx.soc().netlist,
-            ctx.workload_cycles() + 64,
-            1,
-        );
+        let vfit_seconds =
+            vfit_model.experiment_seconds(&ctx.soc().netlist, ctx.workload_cycles() + 64, 1);
         let fades_seconds = stats.mean_seconds_per_fault();
         rows.push(ScalingRow {
             workload: name,

@@ -34,7 +34,15 @@ pub struct Table2Result {
 
 /// The paper's speed-up figures, in [`fig10::standard_loads`] order.
 const PAPER_SPEEDUPS: [f64; 9] = [
-    23.60, 40.30, 28.60, 14.21, 8.68, 7.77, 20.28, 26.83, 21600.0 / 4605.0,
+    23.60,
+    40.30,
+    28.60,
+    14.21,
+    8.68,
+    7.77,
+    20.28,
+    26.83,
+    21600.0 / 4605.0,
 ];
 
 /// Runs the FADES campaigns of Figure 10 and compares each against the
@@ -43,11 +51,7 @@ const PAPER_SPEEDUPS: [f64; 9] = [
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn run(
-    ctx: &ExperimentContext,
-    n_faults: usize,
-    seed: u64,
-) -> Result<Table2Result, CoreError> {
+pub fn run(ctx: &ExperimentContext, n_faults: usize, seed: u64) -> Result<Table2Result, CoreError> {
     let fig10 = fig10::run(ctx, n_faults, seed)?;
     Ok(from_fig10(ctx, &fig10))
 }
@@ -57,11 +61,8 @@ pub fn from_fig10(ctx: &ExperimentContext, fig10: &Fig10Result) -> Table2Result 
     // VFIT's per-experiment cost is simulation-dominated and flat across
     // fault models (paper §6.2: 21600 s / 3000 faults).
     let vfit_model = fades_vfit::VfitTimeModel::paper_calibrated();
-    let vfit_seconds = vfit_model.experiment_seconds(
-        &ctx.soc().netlist,
-        ctx.workload_cycles() + 64,
-        2,
-    );
+    let vfit_seconds =
+        vfit_model.experiment_seconds(&ctx.soc().netlist, ctx.workload_cycles() + 64, 2);
     let mut rows = Vec::new();
     let mut fades_total = 0.0;
     for (row, paper_speedup) in fig10.rows.iter().zip(PAPER_SPEEDUPS) {

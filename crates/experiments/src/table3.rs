@@ -46,11 +46,7 @@ pub struct Table3Result {
 ///
 /// Propagates campaign errors.
 #[allow(clippy::too_many_lines)]
-pub fn run(
-    ctx: &ExperimentContext,
-    n_faults: usize,
-    seed: u64,
-) -> Result<Table3Result, CoreError> {
+pub fn run(ctx: &ExperimentContext, n_faults: usize, seed: u64) -> Result<Table3Result, CoreError> {
     let fades = ctx.fades_campaign()?;
     let vfit = ctx.vfit_campaign()?;
     let mut rows = Vec::new();
@@ -166,10 +162,7 @@ pub fn run(
             paper_vfit: None,
         });
         let f = fades.run(
-            &FaultLoad::delays(
-                TargetClass::WiresOfUnit(UnitTag::Alu),
-                *duration,
-            ),
+            &FaultLoad::delays(TargetClass::WiresOfUnit(UnitTag::Alu), *duration),
             n_faults,
             salt ^ 1,
         )?;
@@ -205,11 +198,7 @@ pub fn run(
             paper_vfit: Some(paper_indet_ffs[di].1),
         });
         let f = fades.run(
-            &FaultLoad::indeterminations(
-                TargetClass::LutsOfUnit(UnitTag::Alu),
-                *duration,
-                false,
-            ),
+            &FaultLoad::indeterminations(TargetClass::LutsOfUnit(UnitTag::Alu), *duration, false),
             n_faults,
             salt ^ 1,
         )?;

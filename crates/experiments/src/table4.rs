@@ -44,10 +44,7 @@ pub struct Table4Result {
     pub examples: usize,
 }
 
-fn read_registers(
-    ctx: &ExperimentContext,
-    dev: &Device,
-) -> Vec<(String, u64)> {
+fn read_registers(ctx: &ExperimentContext, dev: &Device) -> Vec<(String, u64)> {
     let netlist = &ctx.soc().netlist;
     let map = &ctx.implementation().map;
     let mut out = Vec::new();

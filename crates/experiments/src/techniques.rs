@@ -95,12 +95,7 @@ pub fn run(
 impl TechniquesResult {
     /// Renders the comparison.
     pub fn table(&self) -> TextTable {
-        let mut t = TextTable::new(&[
-            "technique",
-            "s/fault (model)",
-            "failure %",
-            "dominated by",
-        ]);
+        let mut t = TextTable::new(&["technique", "s/fault (model)", "failure %", "dominated by"]);
         for r in &self.rows {
             t.row(vec![
                 r.technique.to_string(),

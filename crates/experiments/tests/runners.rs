@@ -2,8 +2,8 @@
 //! result at small fault counts.
 
 use fades_experiments::{
-    fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling, table1, table2, table3,
-    table4, techniques, ExperimentContext,
+    fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling, table1, table2, table3, table4,
+    techniques, ExperimentContext,
 };
 use fades_netlist::UnitTag;
 

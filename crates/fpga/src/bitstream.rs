@@ -208,10 +208,9 @@ impl Bitstream {
         }
         for (pin, wire) in pins.iter().enumerate() {
             if let Some(w) = wire {
-                self.wire_mut(*w)?.sinks.push(WireSink::LutPin {
-                    cb,
-                    pin: pin as u8,
-                });
+                self.wire_mut(*w)?
+                    .sinks
+                    .push(WireSink::LutPin { cb, pin: pin as u8 });
             }
         }
         let out = self.new_wire(WireDriver::CbLut(cb));
@@ -235,12 +234,7 @@ impl Bitstream {
     /// if the FF is already used, [`FpgaError::ResourceUnused`] if
     /// `LutOut` is requested on a block without a LUT, or
     /// [`FpgaError::BadWire`] for a bad direct wire.
-    pub fn add_ff(
-        &mut self,
-        cb: CbCoord,
-        init: bool,
-        d_src: FfDSrc,
-    ) -> Result<WireId, FpgaError> {
+    pub fn add_ff(&mut self, cb: CbCoord, init: bool, d_src: FfDSrc) -> Result<WireId, FpgaError> {
         let cfg = self.cb(cb)?;
         if cfg.ff_used {
             return Err(FpgaError::CbOccupied(cb));
@@ -413,16 +407,13 @@ impl Bitstream {
     ///
     /// Returns [`FpgaError::ResourceUnused`] if no LUT is placed at `cb`,
     /// or [`FpgaError::BadWire`] for a bad wire id.
-    pub fn connect_lut_pin(
-        &mut self,
-        cb: CbCoord,
-        pin: u8,
-        wire: WireId,
-    ) -> Result<(), FpgaError> {
+    pub fn connect_lut_pin(&mut self, cb: CbCoord, pin: u8, wire: WireId) -> Result<(), FpgaError> {
         if !self.cb(cb)?.lut_used {
             return Err(FpgaError::ResourceUnused(cb));
         }
-        self.wire_mut(wire)?.sinks.push(WireSink::LutPin { cb, pin });
+        self.wire_mut(wire)?
+            .sinks
+            .push(WireSink::LutPin { cb, pin });
         self.cb_mut(cb).expect("validated above").lut_pins[pin as usize] = Some(wire);
         Ok(())
     }
@@ -514,9 +505,8 @@ impl Bitstream {
     pub fn ff_columns(&self) -> Vec<u16> {
         let mut cols: Vec<u16> = Vec::new();
         for col in 0..self.arch.cols {
-            let used = (0..self.arch.rows).any(|row| {
-                self.cbs[CbCoord::new(col, row).flat_index(self.arch.rows)].ff_used
-            });
+            let used = (0..self.arch.rows)
+                .any(|row| self.cbs[CbCoord::new(col, row).flat_index(self.arch.rows)].ff_used);
             if used {
                 cols.push(col);
             }

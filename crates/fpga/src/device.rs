@@ -143,8 +143,7 @@ impl Device {
         let n_wires = self.bits.wires().len();
         let mut lut_out_wire = vec![None::<u32>; n_cbs];
         let mut ff_out_wire = vec![None::<u32>; n_cbs];
-        let mut bram_dout: Vec<Vec<Option<u32>>> =
-            vec![Vec::new(); self.bits.brams().len()];
+        let mut bram_dout: Vec<Vec<Option<u32>>> = vec![Vec::new(); self.bits.brams().len()];
         for (b, cfg) in self.bits.brams().iter().enumerate() {
             bram_dout[b] = vec![None; cfg.width as usize];
         }
@@ -160,7 +159,7 @@ impl Device {
         }
         self.bram_dout_wires = bram_dout;
 
-        for flat in 0..n_cbs {
+        for (flat, &out_wire) in lut_out_wire.iter().enumerate() {
             let cfg = &self.bits.cbs()[flat];
             if cfg.lut_used {
                 let pins = cfg.lut_pins.map(|p| p.map(|w| w.0));
@@ -168,11 +167,11 @@ impl Device {
                 self.luts.push(LutNode {
                     cb_flat: flat as u32,
                     pins,
-                    out_wire: lut_out_wire[flat],
+                    out_wire,
                 });
             }
         }
-        for flat in 0..n_cbs {
+        for (flat, &out_wire) in ff_out_wire.iter().enumerate() {
             let cfg = &self.bits.cbs()[flat];
             if cfg.ff_used {
                 let data = match cfg.ff_d_src {
@@ -183,7 +182,7 @@ impl Device {
                 self.ffs.push(FfNode {
                     cb_flat: flat as u32,
                     data,
-                    out_wire: ff_out_wire[flat],
+                    out_wire,
                 });
             }
         }
@@ -268,9 +267,7 @@ impl Device {
             done[node_key(node)] = true;
             order.push(node);
             let outs: Vec<u32> = match node {
-                CombNode::Lut(i) => {
-                    self.luts[i as usize].out_wire.into_iter().collect()
-                }
+                CombNode::Lut(i) => self.luts[i as usize].out_wire.into_iter().collect(),
                 CombNode::Bram(i) => self.bram_dout_wires[i as usize]
                     .iter()
                     .flatten()
@@ -719,10 +716,7 @@ impl Device {
     /// # Errors
     ///
     /// Returns an error if any coordinate is invalid or has no used FF.
-    pub fn bulk_set_lsr_drives(
-        &mut self,
-        drives: &[(CbCoord, SetReset)],
-    ) -> Result<(), FpgaError> {
+    pub fn bulk_set_lsr_drives(&mut self, drives: &[(CbCoord, SetReset)]) -> Result<(), FpgaError> {
         let arch = *self.bits.arch();
         let mut set = FrameSet::new();
         for (cb, drive) in drives {
@@ -803,11 +797,7 @@ impl Device {
     pub fn readback_bram_word(&mut self, bram: BramId, addr: usize) -> Result<u64, FpgaError> {
         let b = self.bits.bram(bram)?;
         if addr >= b.depth() {
-            return Err(FpgaError::BadBramLocation {
-                bram,
-                addr,
-                bit: 0,
-            });
+            return Err(FpgaError::BadBramLocation { bram, addr, bit: 0 });
         }
         let width = b.width;
         let word = b.contents[addr];
@@ -909,8 +899,7 @@ impl Device {
                     let ready = t + arch.lut_delay_ns;
                     lut_ready[li as usize] = ready;
                     if let Some(w) = n.out_wire {
-                        arrival[w as usize] =
-                            ready + self.bits.wires()[w as usize].delay_ns(&arch);
+                        arrival[w as usize] = ready + self.bits.wires()[w as usize].delay_ns(&arch);
                     }
                 }
                 CombNode::Bram(bi) => {
@@ -979,9 +968,7 @@ impl Device {
         if p >= 1.0 {
             return true;
         }
-        let mut h = self
-            .cycle
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let mut h = self.cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ element.wrapping_mul(0xD1B5_4A32_D192_ED03);
         h ^= h >> 33;
         h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
@@ -1087,10 +1074,10 @@ mod tests {
             .find(|(_, w)| matches!(w.driver, WireDriver::CbFf(_)))
             .map(|(i, _)| WireId::from_index(i))
             .unwrap();
-        let luts_needed =
-            (dev.arch().usable_period_ns() / (dev.arch().lut_delay_ns + dev.arch().wire_base_ns))
-                .ceil() as u32
-                + 1;
+        let luts_needed = (dev.arch().usable_period_ns()
+            / (dev.arch().lut_delay_ns + dev.arch().wire_base_ns))
+            .ceil() as u32
+            + 1;
         dev.apply(&Mutation::SetWireDetour {
             wire,
             luts: luts_needed,

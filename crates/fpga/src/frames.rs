@@ -137,7 +137,12 @@ impl FrameSet {
 /// stable, small set of frames, so a simple row/field hash is used.
 fn frame_of(arch: &ArchParams, cb: CbCoord, field: CbField) -> FrameAddr {
     let field_idx = match field {
-        CbField::FfCapture => return FrameAddr::CbColumn { col: cb.col, index: 0 },
+        CbField::FfCapture => {
+            return FrameAddr::CbColumn {
+                col: cb.col,
+                index: 0,
+            }
+        }
         CbField::LutTable => 0u32,
         CbField::InvertFfIn => 1,
         CbField::InvertLsr => 2,

@@ -114,9 +114,7 @@ impl Mutation {
                 set.add_cb_field(arch, *cb, CbField::InvertLsr);
             }
             Mutation::PulseGsr => {}
-            Mutation::SetBramBit {
-                bram, addr, ..
-            } => {
+            Mutation::SetBramBit { bram, addr, .. } => {
                 if let Ok(b) = bitstream.bram(*bram) {
                     set.add_bram_word(arch, *bram, *addr, b.width);
                 }

@@ -8,11 +8,7 @@ use fades_fpga::{
 fn shift_register() -> (Bitstream, [CbCoord; 3]) {
     let mut bs = Bitstream::new(ArchParams::small());
     let din = bs.add_input("din", 1);
-    let cbs = [
-        CbCoord::new(0, 0),
-        CbCoord::new(1, 5),
-        CbCoord::new(4, 2),
-    ];
+    let cbs = [CbCoord::new(0, 0), CbCoord::new(1, 5), CbCoord::new(4, 2)];
     let q0 = bs.add_ff(cbs[0], false, FfDSrc::Direct(din[0])).unwrap();
     let q1 = bs.add_ff(cbs[1], false, FfDSrc::Direct(q0)).unwrap();
     let q2 = bs.add_ff(cbs[2], false, FfDSrc::Direct(q1)).unwrap();
@@ -141,8 +137,5 @@ fn full_download_charge_matches_architecture() {
     let mut dev = Device::configure(bs).unwrap();
     dev.clear_ledger();
     dev.charge_full_download();
-    assert_eq!(
-        dev.ledger().total_bytes(),
-        dev.arch().full_config_bytes()
-    );
+    assert_eq!(dev.ledger().total_bytes(), dev.arch().full_config_bytes());
 }

@@ -492,8 +492,7 @@ impl Asm {
         for (pos, fixup) in &self.fixups {
             match fixup {
                 Fixup::Rel { label, insn_end } => {
-                    let target =
-                        self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
+                    let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
                     let disp = target as i32 - *insn_end as i32;
                     if !(-128..=127).contains(&disp) {
                         return Err(AsmError::BranchOutOfRange {
@@ -504,8 +503,7 @@ impl Asm {
                     self.bytes[*pos] = disp as u8;
                 }
                 Fixup::Abs16 { label } => {
-                    let target =
-                        self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
+                    let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
                     self.bytes[*pos] = (target >> 8) as u8;
                     self.bytes[*pos + 1] = target as u8;
                 }

@@ -6,8 +6,8 @@
 //! workload results.
 
 use crate::isa::{
-    classify, micro_program, sfr, AluA, AluB, AluOp, Capture, Cond, CyAction, MemAddr,
-    MemWrite, PcAction, RomAction, RomTo, SpAction, Step,
+    classify, micro_program, sfr, AluA, AluB, AluOp, Capture, Cond, CyAction, MemAddr, MemWrite,
+    PcAction, RomAction, RomTo, SpAction, Step,
 };
 
 /// Program-memory address width of the model (512-byte ROM).

@@ -17,8 +17,8 @@ use fades_netlist::{NetId, NetlistError, UnitTag};
 use fades_rtl::{RtlBuilder, Signal};
 
 use crate::isa::{
-    micro_program, AluA, AluB, AluOp, Capture, Class, Cond, CyAction, MemAddr, MemWrite,
-    PcAction, RomAction, RomTo, SpAction, Step, CLASS_PATTERNS, MAX_STEPS,
+    micro_program, AluA, AluB, AluOp, Capture, Class, Cond, CyAction, MemAddr, MemWrite, PcAction,
+    RomAction, RomTo, SpAction, Step, CLASS_PATTERNS, MAX_STEPS,
 };
 use crate::iss::ROM_ADDR_BITS;
 
@@ -305,9 +305,7 @@ pub fn build_core(b: &mut RtlBuilder, rom_image: &[u8]) -> Result<CoreSignals, N
     // this because RAM dout depends only on addr. We therefore instantiate
     // the RAM here with a deferred write port using placeholder nets.
     let we_placeholder = b.netlist_builder().fresh_net();
-    let din_placeholder: Vec<NetId> = (0..8)
-        .map(|_| b.netlist_builder().fresh_net())
-        .collect();
+    let din_placeholder: Vec<NetId> = (0..8).map(|_| b.netlist_builder().fresh_net()).collect();
     b.set_unit(UnitTag::Memory);
     let iram_dout = {
         let din_sig = Signal::from_bits(din_placeholder.clone());
@@ -459,10 +457,7 @@ pub fn build_core(b: &mut RtlBuilder, rom_image: &[u8]) -> Result<CoreSignals, N
     b.set_unit(UnitTag::Fsm);
     let cond_val_pairs = [
         (br_always, one),
-        (br_accz, {
-            let az = b.is_zero(&accq);
-            az
-        }),
+        (br_accz, b.is_zero(&accq)),
         (br_accnz, {
             let az = b.is_zero(&accq);
             b.not_bit(az)

@@ -173,8 +173,7 @@ pub fn fibonacci() -> Workload {
 
 /// Table of message bytes checksummed by [`crc8`].
 pub const CRC_DATA: [u8; 16] = [
-    0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0x55, 0xAA, 0x00, 0xFF, 0x13, 0x37, 0x42,
-    0x99,
+    0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0x55, 0xAA, 0x00, 0xFF, 0x13, 0x37, 0x42, 0x99,
 ];
 
 /// CRC-8 (polynomial 0x07) over [`CRC_DATA`], emitting the running CRC

@@ -91,7 +91,9 @@ fn soc_netlist_produces_sorted_output() {
 /// control flow, no SP manipulation), so any random sequence is valid.
 fn random_instruction(rng: &mut StdRng, asm: &mut fades_mcu8051::asm::Asm) {
     // Direct addresses: internal RAM scratch or a safe SFR.
-    let dirs = [0x20u8, 0x21, 0x22, 0x40, 0x41, 0x60, 0x7F, 0xE0, 0xF0, 0x90, 0xA0];
+    let dirs = [
+        0x20u8, 0x21, 0x22, 0x40, 0x41, 0x60, 0x7F, 0xE0, 0xF0, 0x90, 0xA0,
+    ];
     let dir = dirs[rng.gen_range(0..dirs.len())];
     let imm: u8 = rng.gen();
     let rn: u8 = rng.gen_range(0..8);

@@ -525,9 +525,6 @@ mod tests {
         let n = b.not(a);
         b.lut_raw_into([Some(a), None, None, None], 0xFFFF, n);
         b.output("o", &[n]);
-        assert!(matches!(
-            b.finish(),
-            Err(NetlistError::MultipleDrivers(_))
-        ));
+        assert!(matches!(b.finish(), Err(NetlistError::MultipleDrivers(_))));
     }
 }

@@ -54,10 +54,7 @@ impl fmt::Display for NetlistError {
                 name,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "port `{name}` has width {expected}, got {actual} bits"
-            ),
+            } => write!(f, "port `{name}` has width {expected}, got {actual} bits"),
             NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
             NetlistError::Undriven(n) => write!(f, "net {n} has no driver"),
             NetlistError::CombinationalLoop(n) => {

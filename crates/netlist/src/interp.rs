@@ -256,6 +256,7 @@ impl<'n> Simulator<'n> {
                 Cell::Dff(_) => unreachable!("levelize only yields combinational cells"),
             }
         }
+        fades_telemetry::sim::record_settle(self.level.order.len() as u64);
     }
 
     /// Applies forces to nets that are *not* recomputed during LUT
@@ -328,6 +329,7 @@ impl<'n> Simulator<'n> {
             self.mem[i][addr] = word;
         }
         self.cycle += 1;
+        fades_telemetry::sim::record_clock_edge();
     }
 
     /// Runs one full cycle: settle then clock edge.

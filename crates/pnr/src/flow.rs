@@ -25,10 +25,7 @@ enum Slot {
     /// A flip-flop alone (data arrives over a wire).
     Ff(CellId),
     /// A LUT packed with the flip-flop that registers it.
-    Packed {
-        lut: CellId,
-        ff: CellId,
-    },
+    Packed { lut: CellId, ff: CellId },
 }
 
 /// Places and routes a netlist onto the given architecture.
@@ -362,10 +359,7 @@ mod tests {
         for _ in 0..200 {
             sim.settle();
             dev.settle();
-            assert_eq!(
-                sim.output_u64("q").unwrap(),
-                dev.output_u64("q").unwrap()
-            );
+            assert_eq!(sim.output_u64("q").unwrap(), dev.output_u64("q").unwrap());
             sim.clock_edge();
             dev.clock_edge();
         }

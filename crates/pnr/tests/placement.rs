@@ -51,7 +51,12 @@ fn every_unit_has_luts_wires_and_disjoint_columns() {
     let soc = build_soc(&workloads::bubblesort().rom).unwrap();
     let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).unwrap();
     let mut unit_cols: Vec<(UnitTag, Vec<u16>)> = Vec::new();
-    for unit in [UnitTag::Alu, UnitTag::MemCtl, UnitTag::Fsm, UnitTag::Registers] {
+    for unit in [
+        UnitTag::Alu,
+        UnitTag::MemCtl,
+        UnitTag::Fsm,
+        UnitTag::Registers,
+    ] {
         let luts = imp.map.lut_sites_of_unit(&soc.netlist, unit);
         assert!(!luts.is_empty(), "{unit} has LUTs");
         let wires = imp.map.wires_of_unit(&soc.netlist, unit);

@@ -191,11 +191,9 @@ impl RtlBuilder {
         let mut carry = cin;
         let mut bits = Vec::with_capacity(a.width());
         for (&x, &y) in a.bits().iter().zip(b.bits()) {
-            let sum = self
-                .nl
-                .lut_fn(&[x, y, carry], |v| v[0] ^ v[1] ^ v[2]);
+            let sum = self.nl.lut_fn(&[x, y, carry], |v| v[0] ^ v[1] ^ v[2]);
             let cout = self.nl.lut_fn(&[x, y, carry], |v| {
-                (v[0] && v[1]) || (v[0] && v[2]) || (v[1] && v[2])
+                (v[0] && (v[1] || v[2])) || (v[1] && v[2])
             });
             bits.push(sum);
             carry = cout;
@@ -248,7 +246,7 @@ impl RtlBuilder {
         // Compare 4 bits per LUT, then AND the partial matches.
         let mut parts = Vec::new();
         for (chunk_idx, chunk) in a.bits().chunks(4).enumerate() {
-            let want = (value >> (chunk_idx * 4)) & mask(chunk.len()) as u64;
+            let want = (value >> (chunk_idx * 4)) & mask(chunk.len());
             let part = self.nl.lut_fn(chunk, move |v| {
                 let mut got = 0u64;
                 for (i, &bit) in v.iter().enumerate() {
@@ -397,7 +395,12 @@ impl RtlBuilder {
     ///
     /// Panics on width mismatch.
     pub fn connect(&mut self, reg: Reg, d: &Signal) {
-        assert_eq!(reg.width(), d.width(), "width mismatch connecting {}", reg.name);
+        assert_eq!(
+            reg.width(),
+            d.width(),
+            "width mismatch connecting {}",
+            reg.name
+        );
         for (h, &bit) in reg.handles.into_iter().zip(d.bits()) {
             self.nl.dff_connect(h, bit);
         }

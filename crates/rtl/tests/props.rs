@@ -10,11 +10,7 @@ fn bits(value: u64, width: usize) -> Vec<bool> {
 }
 
 /// Builds a 2-input 8-bit combinational circuit and evaluates it.
-fn eval2(
-    build: impl FnOnce(&mut RtlBuilder, &Signal, &Signal) -> Signal,
-    x: u8,
-    y: u8,
-) -> u64 {
+fn eval2(build: impl FnOnce(&mut RtlBuilder, &Signal, &Signal) -> Signal, x: u8, y: u8) -> u64 {
     let mut b = RtlBuilder::new("prop");
     let xs = b.input("x", 8);
     let ys = b.input("y", 8);

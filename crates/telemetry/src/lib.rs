@@ -1,0 +1,123 @@
+//! Zero-dependency observability for FADES campaigns.
+//!
+//! The paper's headline result is a *cost* claim — emulation time per
+//! fault (Fig. 10, Table 2) — so the reproduction needs to see where
+//! wall-clock time actually goes inside a campaign. This crate provides
+//! the measurement substrate, built on `std` only (atomics, [`Instant`],
+//! `mpsc`):
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free `AtomicU64` metrics.
+//! * [`Histogram`] — a fixed 64-bucket log₂ latency histogram with
+//!   p50/p90/p99 readout, safe to hammer from many threads.
+//! * [`span!`] — lightweight scope guards that feed per-phase wall-clock
+//!   histograms (`let _s = span!("implement");`).
+//! * [`Recorder`] — campaign workers send one [`ExperimentRecord`] per
+//!   experiment over an `mpsc` channel; [`Recorder::finish`] aggregates
+//!   them into a [`CampaignAggregate`].
+//! * Two sinks: the human [`Summary`] table, and a JSONL run log (one
+//!   line per experiment plus a trailing aggregate line) activated by
+//!   `FADES_RUN_LOG=<path>`.
+//! * [`write_bench_json`] — machine-readable `BENCH_campaign.json`
+//!   aggregate (faults/sec, mean µs/fault) for tracking the performance
+//!   trajectory across PRs.
+//!
+//! Campaign-independent hot paths (the netlist interpreter) report
+//! through the [`sim`] counters, which compile to an `#[inline]` relaxed
+//! load plus nothing when telemetry is disabled (the default).
+//!
+//! [`Instant`]: std::time::Instant
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+pub mod json;
+mod record;
+mod registry;
+mod runlog;
+mod span;
+mod summary;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use record::{CampaignAggregate, ExperimentRecord, OutcomeCounts, Recorder, RecorderHandle};
+pub use registry::{drain_aggregates, peek_aggregates, push_aggregate, write_bench_json};
+pub use runlog::run_log_path;
+#[doc(hidden)]
+pub use span::span_phase;
+pub use span::{phase_snapshots, reset_phases, SpanGuard};
+pub use summary::Summary;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables the optional hot-path instrumentation
+/// (the [`sim`] counters). Campaign recorders and spans are always live —
+/// their cost is per-experiment, not per-cycle.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether hot-path instrumentation is on. A single relaxed load —
+/// callers on hot paths should branch on this and do nothing when it is
+/// `false`.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Hot-path counters for the netlist interpreter and device emulation.
+///
+/// All increments are gated on [`enabled`], so the disabled cost is one
+/// relaxed bool load per `settle` — unobservable next to evaluating
+/// hundreds of LUTs (verified by `crates/bench`'s
+/// `telemetry_overhead` microbench).
+pub mod sim {
+    use super::Counter;
+
+    /// Clock cycles executed by netlist simulators.
+    pub static CYCLES: Counter = Counter::new();
+    /// Combinational cell evaluations performed during `settle`.
+    pub static CELL_EVALS: Counter = Counter::new();
+
+    /// Records one settle pass over `evals` combinational cells.
+    /// No-op unless telemetry is enabled.
+    #[inline(always)]
+    pub fn record_settle(evals: u64) {
+        if super::enabled() {
+            CELL_EVALS.add(evals);
+        }
+    }
+
+    /// Records one clock edge. No-op unless telemetry is enabled.
+    #[inline(always)]
+    pub fn record_clock_edge() {
+        if super::enabled() {
+            CYCLES.inc();
+        }
+    }
+
+    /// Resets both counters (between benchmark sections).
+    pub fn reset() {
+        CYCLES.reset();
+        CELL_EVALS.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_flag_round_trips() {
+        assert!(!super::enabled());
+        super::set_enabled(true);
+        assert!(super::enabled());
+        super::sim::record_clock_edge();
+        super::sim::record_settle(10);
+        assert!(super::sim::CYCLES.get() >= 1);
+        assert!(super::sim::CELL_EVALS.get() >= 10);
+        super::set_enabled(false);
+        super::sim::reset();
+    }
+}

@@ -1,0 +1,104 @@
+//! Process-global registry of finished campaign aggregates.
+//!
+//! Campaign runners ([`Recorder::finish`]) push here; the experiments CLI
+//! drains at exit to print the [`Summary`](crate::Summary) table and to
+//! write `BENCH_campaign.json`.
+//!
+//! [`Recorder::finish`]: crate::Recorder::finish
+
+use std::sync::Mutex;
+
+use crate::json::{array, JsonObject};
+use crate::record::CampaignAggregate;
+
+static AGGREGATES: Mutex<Vec<CampaignAggregate>> = Mutex::new(Vec::new());
+
+/// Registers a finished campaign. Called by [`Recorder::finish`]; public
+/// so external runners can feed the same sinks.
+///
+/// [`Recorder::finish`]: crate::Recorder::finish
+pub fn push_aggregate(agg: CampaignAggregate) {
+    AGGREGATES
+        .lock()
+        .expect("telemetry registry poisoned")
+        .push(agg);
+}
+
+/// Clones the registered aggregates without clearing them.
+pub fn peek_aggregates() -> Vec<CampaignAggregate> {
+    AGGREGATES
+        .lock()
+        .expect("telemetry registry poisoned")
+        .clone()
+}
+
+/// Takes all registered aggregates, leaving the registry empty.
+pub fn drain_aggregates() -> Vec<CampaignAggregate> {
+    std::mem::take(&mut *AGGREGATES.lock().expect("telemetry registry poisoned"))
+}
+
+/// Writes the machine-readable campaign benchmark file
+/// (`BENCH_campaign.json`): overall faults/sec, mean µs/fault (real) and
+/// mean modelled s/fault, the outcome mix, and one entry per campaign.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    aggregates: &[CampaignAggregate],
+) -> std::io::Result<()> {
+    let n: u64 = aggregates.iter().map(|a| a.n).sum();
+    let wall_s: f64 = aggregates.iter().map(|a| a.wall_s).sum();
+    let modelled_s: f64 = aggregates.iter().map(|a| a.modelled_s).sum();
+    let wall_us_sum: u64 = aggregates.iter().map(|a| a.exp_wall.sum()).sum();
+    let failures: u64 = aggregates.iter().map(|a| a.outcomes.failures).sum();
+    let latents: u64 = aggregates.iter().map(|a| a.outcomes.latents).sum();
+    let silents: u64 = aggregates.iter().map(|a| a.outcomes.silents).sum();
+
+    let campaigns: Vec<String> = aggregates
+        .iter()
+        .map(|a| {
+            JsonObject::new()
+                .str("campaign", &a.name)
+                .u64("n", a.n)
+                .u64("threads", a.threads)
+                .f64("wall_s", a.wall_s)
+                .f64("faults_per_sec", a.faults_per_sec())
+                .f64("mean_us_per_fault", a.mean_us_per_fault())
+                .f64("mean_modelled_s_per_fault", a.mean_modelled_s_per_fault())
+                .u64("failures", a.outcomes.failures)
+                .u64("latents", a.outcomes.latents)
+                .u64("silents", a.outcomes.silents)
+                .finish()
+        })
+        .collect();
+
+    let doc = JsonObject::new()
+        .str("bench", "campaign")
+        .u64("faults", n)
+        .f64("wall_s", wall_s)
+        .f64(
+            "faults_per_sec",
+            if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+        )
+        .f64(
+            "mean_us_per_fault",
+            if n > 0 {
+                wall_us_sum as f64 / n as f64
+            } else {
+                0.0
+            },
+        )
+        .f64(
+            "mean_modelled_s_per_fault",
+            if n > 0 { modelled_s / n as f64 } else { 0.0 },
+        )
+        .u64("failures", failures)
+        .u64("latents", latents)
+        .u64("silents", silents)
+        .raw("campaigns", &array(&campaigns))
+        .finish();
+
+    std::fs::write(path, format!("{doc}\n"))
+}

@@ -1,0 +1,44 @@
+//! The JSONL run-log sink.
+//!
+//! Activated by `FADES_RUN_LOG=<path>`: each campaign appends one line per
+//! experiment (type `"experiment"`) followed by one trailing aggregate
+//! line (type `"aggregate"`). Field order is stable — see
+//! [`ExperimentRecord::to_json`] and [`CampaignAggregate::to_json`] for
+//! the schema.
+
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+use crate::record::{CampaignAggregate, ExperimentRecord};
+
+/// The run-log destination from the `FADES_RUN_LOG` environment variable,
+/// if set to a non-empty value.
+pub fn run_log_path() -> Option<PathBuf> {
+    match std::env::var("FADES_RUN_LOG") {
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+/// Appends one campaign's records plus its aggregate line to `path`.
+///
+/// Appending (not truncating) lets a multi-campaign CLI run collect every
+/// campaign in one file; the `campaign` field on each line keeps them
+/// separable.
+pub(crate) fn append(
+    path: &std::path::Path,
+    campaign: &str,
+    records: &[ExperimentRecord],
+    aggregate: &CampaignAggregate,
+) -> std::io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut w = BufWriter::new(file);
+    for r in records {
+        w.write_all(r.to_json(campaign).as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.write_all(aggregate.to_json().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}

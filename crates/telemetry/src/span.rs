@@ -1,0 +1,152 @@
+//! Lightweight wall-clock spans feeding per-phase histograms.
+//!
+//! ```
+//! # use fades_telemetry as telemetry;
+//! # use telemetry::span;
+//! {
+//!     let _s = span!("implement");
+//!     // ... timed work ...
+//! }
+//! let phases = telemetry::phase_snapshots();
+//! assert!(phases.iter().any(|(name, _)| *name == "implement"));
+//! # telemetry::reset_phases();
+//! ```
+//!
+//! Each `span!("name")` call site resolves its phase histogram once (a
+//! `OnceLock`), so the steady-state cost of a span is two `Instant`
+//! reads plus one histogram record.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+static PHASES: Mutex<Vec<(&'static str, Arc<Histogram>)>> = Mutex::new(Vec::new());
+
+/// The histogram for a named phase, registering it on first use. Phase
+/// names must be `'static` (string literals at `span!` call sites).
+pub fn phase(name: &'static str) -> Arc<Histogram> {
+    let mut phases = PHASES.lock().expect("telemetry phases poisoned");
+    if let Some((_, h)) = phases.iter().find(|(n, _)| *n == name) {
+        return Arc::clone(h);
+    }
+    let h = Arc::new(Histogram::new());
+    phases.push((name, Arc::clone(&h)));
+    h
+}
+
+/// Snapshots every registered phase, in registration order.
+pub fn phase_snapshots() -> Vec<(&'static str, HistogramSnapshot)> {
+    PHASES
+        .lock()
+        .expect("telemetry phases poisoned")
+        .iter()
+        .map(|(n, h)| (*n, h.snapshot()))
+        .collect()
+}
+
+/// Resets all phase histograms (the phases stay registered).
+pub fn reset_phases() {
+    for (_, h) in PHASES.lock().expect("telemetry phases poisoned").iter() {
+        h.reset();
+    }
+}
+
+/// An RAII guard that records elapsed microseconds into a phase histogram
+/// when dropped. Usually created through [`span!`](crate::span!).
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Arc<Histogram>,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Starts a span against an already-resolved phase histogram.
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        SpanGuard {
+            hist,
+            started: Instant::now(),
+        }
+    }
+
+    /// Starts a span for a named phase (resolving the histogram).
+    pub fn named(name: &'static str) -> Self {
+        Self::new(phase(name))
+    }
+
+    /// Elapsed microseconds so far.
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_us());
+    }
+}
+
+/// Starts a [`SpanGuard`] for the named phase, caching the phase lookup
+/// per call site: `let _s = span!("implement");`.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static PHASE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        $crate::SpanGuard::new(::std::sync::Arc::clone(
+            PHASE.get_or_init(|| $crate::span_phase($name)),
+        ))
+    }};
+}
+
+/// Implementation detail of [`span!`](crate::span!) — resolves a phase
+/// histogram by name.
+#[doc(hidden)]
+pub fn span_phase(name: &'static str) -> Arc<Histogram> {
+    phase(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_into_named_phase() {
+        {
+            let _s = crate::span!("test-phase");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = phase("test-phase").snapshot();
+        assert_eq!(snap.count(), 1);
+        assert!(snap.max() >= 1_000, "slept 2ms, recorded {}µs", snap.max());
+        phase("test-phase").reset();
+    }
+
+    #[test]
+    fn phases_register_once_and_snapshot_in_order() {
+        let a1 = phase("alpha-phase");
+        let a2 = phase("alpha-phase");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        a1.record(5);
+        let snaps = phase_snapshots();
+        let found = snaps
+            .iter()
+            .find(|(n, _)| *n == "alpha-phase")
+            .expect("registered");
+        assert!(found.1.count() >= 1);
+        reset_phases();
+        let snaps = phase_snapshots();
+        let found = snaps.iter().find(|(n, _)| *n == "alpha-phase").unwrap();
+        assert_eq!(found.1.count(), 0);
+    }
+
+    #[test]
+    fn guard_measures_elapsed() {
+        let g = SpanGuard::named("elapsed-phase");
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(g.elapsed_us() >= 500);
+        drop(g);
+        phase("elapsed-phase").reset();
+    }
+}

@@ -1,0 +1,174 @@
+//! The human-readable telemetry summary table.
+
+use std::fmt;
+
+use crate::record::CampaignAggregate;
+
+/// Renders campaign aggregates, phase histograms and interpreter counters
+/// as a plain-text table for the experiments CLI.
+///
+/// Construct with [`Summary::collect`] after campaigns finish, then
+/// `print!("{summary}")`.
+#[derive(Debug)]
+pub struct Summary {
+    aggregates: Vec<CampaignAggregate>,
+    phases: Vec<(&'static str, crate::HistogramSnapshot)>,
+    sim_cycles: u64,
+    sim_cell_evals: u64,
+}
+
+impl Summary {
+    /// Snapshots the current telemetry state (without draining the
+    /// aggregate registry).
+    pub fn collect() -> Self {
+        Summary {
+            aggregates: crate::registry::peek_aggregates(),
+            phases: crate::phase_snapshots(),
+            sim_cycles: crate::sim::CYCLES.get(),
+            sim_cell_evals: crate::sim::CELL_EVALS.get(),
+        }
+    }
+
+    /// Builds a summary over an explicit set of aggregates (used by the
+    /// CLI after draining the registry).
+    pub fn of(aggregates: Vec<CampaignAggregate>) -> Self {
+        Summary {
+            aggregates,
+            phases: crate::phase_snapshots(),
+            sim_cycles: crate::sim::CYCLES.get(),
+            sim_cell_evals: crate::sim::CELL_EVALS.get(),
+        }
+    }
+
+    /// True when there is nothing to print.
+    pub fn is_empty(&self) -> bool {
+        self.aggregates.is_empty()
+            && self.phases.iter().all(|(_, s)| s.count() == 0)
+            && self.sim_cycles == 0
+            && self.sim_cell_evals == 0
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "── telemetry ───────────────────────────────────────────────"
+        )?;
+        if !self.aggregates.is_empty() {
+            let name_w = self
+                .aggregates
+                .iter()
+                .map(|a| a.name.len())
+                .max()
+                .unwrap_or(8)
+                .max(8);
+            writeln!(
+                f,
+                "{:name_w$}  {:>6}  {:>4}  {:>6} {:>6} {:>6}  {:>10}  {:>9}  {:>8}",
+                "campaign", "n", "thr", "fail%", "lat%", "sil%", "model s/f", "µs/f", "faults/s"
+            )?;
+            for a in &self.aggregates {
+                writeln!(
+                    f,
+                    "{:name_w$}  {:>6}  {:>4}  {:>6.1} {:>6.1} {:>6.1}  {:>10.4}  {:>9.1}  {:>8.1}",
+                    a.name,
+                    a.n,
+                    a.threads,
+                    a.outcomes.failure_pct(),
+                    a.outcomes.latent_pct(),
+                    a.outcomes.silent_pct(),
+                    a.mean_modelled_s_per_fault(),
+                    a.mean_us_per_fault(),
+                    a.faults_per_sec(),
+                )?;
+            }
+        }
+        let live_phases: Vec<_> = self.phases.iter().filter(|(_, s)| s.count() > 0).collect();
+        if !live_phases.is_empty() {
+            let name_w = live_phases
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(5)
+                .max(5);
+            writeln!(
+                f,
+                "{:name_w$}  {:>8}  {:>8} {:>8} {:>8} {:>8}",
+                "phase", "count", "p50µs", "p90µs", "p99µs", "maxµs"
+            )?;
+            for (name, s) in &live_phases {
+                writeln!(
+                    f,
+                    "{:name_w$}  {:>8}  {:>8} {:>8} {:>8} {:>8}",
+                    name,
+                    s.count(),
+                    s.p50(),
+                    s.p90(),
+                    s.p99(),
+                    s.max()
+                )?;
+            }
+        }
+        if self.sim_cycles > 0 || self.sim_cell_evals > 0 {
+            writeln!(
+                f,
+                "interpreter: {} clock cycles, {} cell evaluations",
+                self.sim_cycles, self.sim_cell_evals
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OutcomeCounts, Recorder};
+
+    #[test]
+    fn summary_renders_aggregates_and_phases() {
+        let recorder = Recorder::new("summary-test", 2, 2).with_run_log(None);
+        let h = recorder.handle();
+        h.record(crate::ExperimentRecord {
+            index: 0,
+            target: "all FFs".into(),
+            strategy: "lsr".into(),
+            outcome: "failure",
+            modelled_s: 0.5,
+            wall_us: 100,
+            ..Default::default()
+        });
+        h.record(crate::ExperimentRecord {
+            index: 1,
+            target: "all FFs".into(),
+            strategy: "lsr".into(),
+            outcome: "silent",
+            modelled_s: 0.5,
+            wall_us: 200,
+            ..Default::default()
+        });
+        drop(h); // finish() drains until every handle is gone
+        let agg = recorder.finish();
+        let _ = crate::registry::drain_aggregates();
+
+        let text = Summary::of(vec![agg]).to_string();
+        assert!(
+            text.contains("summary-test"),
+            "missing campaign row:\n{text}"
+        );
+        assert!(text.contains("50.0"), "missing 50% outcome split:\n{text}");
+    }
+
+    #[test]
+    fn outcome_percentages() {
+        let mut c = OutcomeCounts::default();
+        c.record("failure");
+        c.record("latent");
+        c.record("silent");
+        c.record("silent");
+        assert_eq!(c.total(), 4);
+        assert!((c.failure_pct() - 25.0).abs() < 1e-9);
+        assert!((c.silent_pct() - 50.0).abs() < 1e-9);
+    }
+}

@@ -2,6 +2,7 @@
 
 use fades_core::{CoreError, FaultModel, Outcome, OutcomeStats};
 use fades_netlist::{Force, Netlist, OutputTrace, Simulator};
+use fades_telemetry::{ExperimentRecord, Recorder, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -100,6 +101,23 @@ impl<'n> VfitCampaign<'n> {
         n_faults: usize,
         seed: u64,
     ) -> Result<VfitStats, CoreError> {
+        let label = format!("vfit {:?}", load.target);
+        self.run_named(&label, load, n_faults, seed)
+    }
+
+    /// [`run`](VfitCampaign::run) with an explicit campaign label for the
+    /// telemetry sinks.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](VfitCampaign::run).
+    pub fn run_named(
+        &self,
+        label: &str,
+        load: &VfitFaultLoad,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<VfitStats, CoreError> {
         if load.model == FaultModel::Delay {
             // The paper could not compare delay experiments: VFIT needs
             // the model to declare delays via generic clauses.
@@ -125,23 +143,46 @@ impl<'n> VfitCampaign<'n> {
             ));
         }
 
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(4)
-            .min(plan.len().max(1));
+        let threads = fades_core::worker_threads().min(plan.len().max(1));
         let chunk = plan.len().div_ceil(threads);
         let mut outcomes: Vec<Option<(Outcome, u64)>> = vec![None; plan.len()];
+        let recorder = Recorder::new(label, plan.len(), threads);
+        let target_label = format!("{:?}", load.target);
+        let strategy_label = format!("vfit-{:?}", load.model).to_lowercase();
         crossbeam::thread::scope(|scope| -> Result<(), CoreError> {
             let mut handles = Vec::new();
-            for (chunk_plan, chunk_out) in plan.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+            for (t, (chunk_plan, chunk_out)) in plan
+                .chunks(chunk)
+                .zip(outcomes.chunks_mut(chunk))
+                .enumerate()
+            {
+                let rec: RecorderHandle = recorder.handle();
+                let target = target_label.as_str();
+                let strategy = strategy_label.as_str();
+                let base = t * chunk;
                 handles.push(scope.spawn(move |_| -> Result<(), CoreError> {
-                    for ((fault, at, duration, exp_seed), out) in
-                        chunk_plan.iter().zip(chunk_out.iter_mut())
+                    for (j, ((fault, at, duration, exp_seed), out)) in
+                        chunk_plan.iter().zip(chunk_out.iter_mut()).enumerate()
                     {
+                        let _span = fades_telemetry::span!("vfit-experiment");
+                        let started = std::time::Instant::now();
                         let mut rng = StdRng::seed_from_u64(*exp_seed);
-                        let outcome =
-                            self.run_one(fault, *at, *duration, &mut rng)?;
-                        *out = Some((outcome, command_count(fault, *duration)));
+                        let outcome = self.run_one(fault, *at, *duration, &mut rng)?;
+                        let commands = command_count(fault, *duration);
+                        rec.record(ExperimentRecord {
+                            index: (base + j) as u64,
+                            target: target.to_string(),
+                            strategy: strategy.to_string(),
+                            outcome: outcome.as_str(),
+                            modelled_s: self.time_model.experiment_seconds(
+                                self.netlist,
+                                self.run_cycles,
+                                commands,
+                            ),
+                            wall_us: started.elapsed().as_micros() as u64,
+                            ..Default::default()
+                        });
+                        *out = Some((outcome, commands));
                     }
                     Ok(())
                 }));
@@ -152,6 +193,7 @@ impl<'n> VfitCampaign<'n> {
             Ok(())
         })
         .expect("vfit scope panicked")?;
+        recorder.finish();
 
         let mut stats = VfitStats {
             n: plan.len(),
@@ -160,11 +202,9 @@ impl<'n> VfitCampaign<'n> {
         for entry in outcomes.into_iter().flatten() {
             let (outcome, commands) = entry;
             stats.outcomes.record(outcome);
-            stats.simulation_seconds += self.time_model.experiment_seconds(
-                self.netlist,
-                self.run_cycles,
-                commands,
-            );
+            stats.simulation_seconds +=
+                self.time_model
+                    .experiment_seconds(self.netlist, self.run_cycles, commands);
         }
         Ok(stats)
     }

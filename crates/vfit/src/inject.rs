@@ -125,9 +125,7 @@ pub(crate) fn resolve(netlist: &Netlist, class: &VfitTargetClass) -> Vec<VfitFau
             .filter(|&id| netlist.unit(id) == *unit)
             .map(VfitFault::FfBitFlip)
             .collect(),
-        VfitTargetClass::FfList(cells) => {
-            cells.iter().copied().map(VfitFault::FfBitFlip).collect()
-        }
+        VfitTargetClass::FfList(cells) => cells.iter().copied().map(VfitFault::FfBitFlip).collect(),
         VfitTargetClass::MemoryWords { name, lo, hi } => {
             let Ok(cell) = netlist.ram_by_name(name) else {
                 return Vec::new();
@@ -196,11 +194,7 @@ pub(crate) fn command_count(fault: &VfitFault, duration: Option<u64>) -> u64 {
     }
 }
 
-pub(crate) fn sample(
-    load: &VfitFaultLoad,
-    pool: &[VfitFault],
-    rng: &mut StdRng,
-) -> VfitFault {
+pub(crate) fn sample(load: &VfitFaultLoad, pool: &[VfitFault], rng: &mut StdRng) -> VfitFault {
     let base = pool[rng.gen_range(0..pool.len())].clone();
     specialise(load, base, rng)
 }

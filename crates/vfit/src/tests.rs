@@ -29,10 +29,8 @@ fn simulation_time_is_flat_across_models_and_durations() {
     let nl = counter_netlist();
     let campaign = VfitCampaign::new(&nl, &["q"], 100).unwrap();
     let flips = VfitFaultLoad::bit_flips(VfitTargetClass::AllFfs, DurationRange::SubCycle);
-    let pulses = VfitFaultLoad::pulses(
-        VfitTargetClass::CombinationalSignals,
-        DurationRange::MEDIUM,
-    );
+    let pulses =
+        VfitFaultLoad::pulses(VfitTargetClass::CombinationalSignals, DurationRange::MEDIUM);
     let a = campaign.run(&flips, 10, 1).unwrap();
     let b = campaign.run(&pulses, 10, 1).unwrap();
     let ratio = a.mean_seconds_per_fault() / b.mean_seconds_per_fault();
@@ -44,10 +42,8 @@ fn simulation_time_is_flat_across_models_and_durations() {
 fn delay_model_is_rejected() {
     let nl = counter_netlist();
     let campaign = VfitCampaign::new(&nl, &["q"], 50).unwrap();
-    let mut load = VfitFaultLoad::pulses(
-        VfitTargetClass::CombinationalSignals,
-        DurationRange::SHORT,
-    );
+    let mut load =
+        VfitFaultLoad::pulses(VfitTargetClass::CombinationalSignals, DurationRange::SHORT);
     load.model = fades_core::FaultModel::Delay;
     assert!(campaign.run(&load, 4, 1).is_err());
 }

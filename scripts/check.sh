@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, tests. Everything runs offline —
+# dependencies are vendored path crates (see vendor/), so no network or
+# registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test"
+cargo test -q --workspace --offline
+
+echo "All checks passed."

@@ -1,9 +1,7 @@
 //! Determinism across configurations: a campaign's results depend only on
 //! its seed, not on the worker-thread count or repeated execution.
 
-use fades_repro::core::{
-    Campaign, CampaignConfig, DurationRange, FaultLoad, TargetClass,
-};
+use fades_repro::core::{Campaign, CampaignConfig, DurationRange, FaultLoad, TargetClass};
 use fades_repro::fpga::ArchParams;
 use fades_repro::mcu8051::{build_soc, workloads, OBSERVED_PORTS};
 use fades_repro::pnr::implement;
@@ -35,7 +33,10 @@ fn thread_count_does_not_change_results() {
                 .collect::<Vec<_>>(),
         );
     }
-    assert_eq!(results[0], results[1], "results differ across thread counts");
+    assert_eq!(
+        results[0], results[1],
+        "results differ across thread counts"
+    );
 }
 
 #[test]

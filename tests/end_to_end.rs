@@ -32,7 +32,11 @@ fn all_workloads_agree_across_all_three_execution_levels() {
             for port in ["p1", "p2", "pc", "acc"] {
                 let s = sim.output_u64(port).unwrap();
                 let d = dev.output_u64(port).unwrap();
-                assert_eq!(s, d, "{}: netlist vs device, {port} @ {cycle}", workload.name);
+                assert_eq!(
+                    s, d,
+                    "{}: netlist vs device, {port} @ {cycle}",
+                    workload.name
+                );
             }
             assert_eq!(
                 sim.output_u64("pc").unwrap(),

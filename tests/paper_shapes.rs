@@ -84,8 +84,13 @@ fn indeterminations_in_sequential_logic_outrank_delays() {
         short_indet.outcomes,
         short_delay.outcomes
     );
+    // The hold-with-duration margin must absorb two campaigns' worth of
+    // binomial noise: at N=150 one standard deviation is ~4 percentage
+    // points, so a 0.9 factor (≈3.5 points here) produced seed-dependent
+    // flakes. 0.8 still fails if long-duration indeterminations genuinely
+    // collapse, which is the regression this guards against.
     assert!(
-        long_indet.outcomes.failure_pct() > short_indet.outcomes.failure_pct() * 0.9,
+        long_indet.outcomes.failure_pct() > short_indet.outcomes.failure_pct() * 0.8,
         "indetermination failures grow (or hold) with duration: {} -> {}",
         short_indet.outcomes,
         long_indet.outcomes
@@ -125,11 +130,7 @@ fn pulse_failures_grow_with_duration() {
     let mut series = Vec::new();
     for duration in [DurationRange::SubCycle, DurationRange::MEDIUM] {
         let stats = campaign
-            .run(
-                &FaultLoad::pulses(TargetClass::AllLuts, duration),
-                N,
-                SEED,
-            )
+            .run(&FaultLoad::pulses(TargetClass::AllLuts, duration), N, SEED)
             .expect("pulse campaign");
         series.push(stats.outcomes.failure_pct());
     }
@@ -147,7 +148,10 @@ fn fades_beats_vfit_by_an_order_of_magnitude() {
     let campaign = ctx.fades_campaign().expect("campaign");
     let vfit_model = fades_repro::vfit::VfitTimeModel::paper_calibrated();
     let vfit_s = vfit_model.experiment_seconds(&ctx.soc().netlist, ctx.workload_cycles() + 64, 2);
-    assert!(vfit_s > 5.0, "VFIT models several seconds per fault: {vfit_s}");
+    assert!(
+        vfit_s > 5.0,
+        "VFIT models several seconds per fault: {vfit_s}"
+    );
     for (label, load) in [
         (
             "bit-flip",

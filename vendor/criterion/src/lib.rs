@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — benchmark
+//! groups, `bench_function`, `Throughput`, the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple median-of-samples timer
+//! instead of criterion's full statistical machinery. Results print one
+//! line per benchmark:
+//!
+//! ```text
+//! bench substrate/netlist_sim_256_cycles   312.4 µs/iter (11 samples)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for `b.iter(|| black_box(...))` users.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group (accepted, echoed in the
+/// report divisor).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; measures the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples of one call each
+    /// (plus warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        let _ = routine();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            let _ = routine();
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility (the stub warm-up is fixed).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (the stub measures a fixed sample
+    /// count, not a time budget).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let median = b.median();
+        let label = format!("{}/{}", self.name, id);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if n > 0 => {
+                let per = median.as_secs_f64() / n as f64;
+                println!(
+                    "bench {label:<50} {:>12?} /iter  ({:.1} ns/elem, {} samples)",
+                    median,
+                    per * 1e9,
+                    self.sample_size
+                );
+            }
+            Some(Throughput::Bytes(n)) if n > 0 => {
+                let rate = n as f64 / median.as_secs_f64().max(1e-12);
+                println!(
+                    "bench {label:<50} {:>12?} /iter  ({:.1} MB/s, {} samples)",
+                    median,
+                    rate / 1e6,
+                    self.sample_size
+                );
+            }
+            _ => {
+                println!(
+                    "bench {label:<50} {:>12?} /iter  ({} samples)",
+                    median, self.sample_size
+                );
+            }
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            11
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "criterion".to_string(),
+            sample_size: if self.default_sample_size == 0 {
+                11
+            } else {
+                self.default_sample_size
+            },
+            throughput: None,
+            _criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles bench functions into a runnable group (criterion signature).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3).throughput(Throughput::Elements(16));
+        group.bench_function("sum", |b| b.iter(|| (0..16u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API the workspace uses is provided, implemented
+//! directly on `std::thread::scope` (stable since Rust 1.63, which
+//! postdates crossbeam's scoped threads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads (see [`thread::scope`]).
+pub mod thread {
+    /// Handle for spawning threads inside a [`scope`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so
+        /// nested spawns are possible (crossbeam signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// caller's stack. All spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam this never returns `Err`: panics of *joined*
+    /// children surface through their handles, and panics of unjoined
+    /// children propagate as panics (std scope semantics). Every caller in
+    /// this workspace joins all handles.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (chunk, out) in data.chunks(2).zip(partials.chunks_mut(1)) {
+                handles.push(scope.spawn(move |_| {
+                    out[0] = chunk.iter().sum();
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker ok");
+            }
+        })
+        .expect("scope ok");
+        assert_eq!(partials, vec![3, 7]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r: Result<i32, ()> = super::thread::scope(|_| Ok(7)).expect("scope ok");
+        assert_eq!(r, Ok(7));
+    }
+}
