@@ -104,5 +104,51 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrate, bench_telemetry_overhead);
+/// Checkpointed fast-forward path vs the reference full-simulation path:
+/// identical experiments (same seeds, same outcomes, same modelled time),
+/// different host wall-clock. The gap is the tentpole's payoff and should
+/// stay well above 2x on the 8051.
+fn bench_fastpath(c: &mut Criterion) {
+    use fades_core::{Campaign, CampaignConfig, DurationRange, FaultLoad, TargetClass};
+    use fades_mcu8051::OBSERVED_PORTS;
+
+    let workload = workloads::bubblesort();
+    let soc = build_soc(&workload.rom).expect("soc builds");
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).expect("implements");
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+
+    let mut group = c.benchmark_group("campaign_path");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(5));
+    for (name, fastpath) in [
+        ("fastpath_4_experiments", true),
+        ("full_sim_4_experiments", false),
+    ] {
+        let campaign = Campaign::with_config(
+            &soc.netlist,
+            imp.clone(),
+            &OBSERVED_PORTS,
+            1330,
+            CampaignConfig {
+                threads: 1,
+                margin_cycles: 64,
+                fastpath,
+            },
+        )
+        .expect("campaign");
+        group.bench_function(name, |b| {
+            b.iter(|| campaign.run_detailed(&load, 4, 7).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_substrate,
+    bench_telemetry_overhead,
+    bench_fastpath
+);
 criterion_main!(benches);

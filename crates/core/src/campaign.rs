@@ -26,6 +26,11 @@ pub struct CampaignConfig {
     /// Extra cycles executed beyond the workload's nominal completion so
     /// delayed completions still count as observed differences.
     pub margin_cycles: u64,
+    /// Whether experiments use the checkpointed fast-forward path
+    /// (golden-prefix skip plus early-stop convergence detection). Both
+    /// shortcuts change host wall-clock only — outcomes and modelled
+    /// emulation time are identical to the full-simulation path.
+    pub fastpath: bool,
 }
 
 impl Default for CampaignConfig {
@@ -33,22 +38,40 @@ impl Default for CampaignConfig {
         CampaignConfig {
             threads: worker_threads(),
             margin_cycles: 64,
+            fastpath: fastpath_default(),
         }
     }
 }
 
+/// Default for [`CampaignConfig::fastpath`]: enabled unless the
+/// `FADES_NO_FASTPATH` escape hatch is set to a non-empty value other
+/// than `0` (kept available for equivalence testing and debugging).
+///
+/// Read per call — not cached — so one process can construct configs on
+/// both paths (the equivalence test relies on this).
+pub fn fastpath_default() -> bool {
+    !matches!(std::env::var("FADES_NO_FASTPATH"), Ok(v) if !v.is_empty() && v != "0")
+}
+
 /// Campaign worker-thread count: `FADES_THREADS` when set to a positive
 /// integer, otherwise `min(available_parallelism, 8)`.
+///
+/// Parsed once per process (and the "ignoring invalid" warning printed
+/// at most once) — campaigns call this per run and the answer cannot
+/// meaningfully change mid-process.
 pub fn worker_threads() -> usize {
-    if let Ok(v) = std::env::var("FADES_THREADS") {
-        match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => eprintln!("warning: ignoring invalid FADES_THREADS=`{v}`"),
+    static WORKER_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKER_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("FADES_THREADS") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => eprintln!("warning: ignoring invalid FADES_THREADS=`{v}`"),
+            }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+    })
 }
 
 /// Aggregated results of a campaign.
@@ -254,7 +277,7 @@ impl<'n> Campaign<'n> {
         let mut plan: Vec<(ResolvedFault, FaultSchedule, u64)> = Vec::with_capacity(n_faults);
         let workload_cycles = self.run_cycles - self.config.margin_cycles;
         for i in 0..n_faults {
-            let fault = sample_fault(load, &sites, &self.implementation.bitstream, &mut rng);
+            let fault = sample_fault(load, &sites, &self.implementation.bitstream, &mut rng)?;
             let inject_at = rng.gen_range(0..workload_cycles.max(1));
             let duration = load.duration.sample(&mut rng);
             plan.push((
@@ -286,6 +309,7 @@ impl<'n> Campaign<'n> {
                 let rec: Option<RecorderHandle> = recorder.map(Recorder::handle);
                 let target = target_label.as_str();
                 let time_model = &self.time_model;
+                let fastpath = self.config.fastpath;
                 let base = t * chunk;
                 handles.push(scope.spawn(move |_| -> Result<(), CoreError> {
                     for (j, ((fault, schedule, exp_seed), out)) in
@@ -302,6 +326,7 @@ impl<'n> Campaign<'n> {
                             *schedule,
                             ports,
                             &mut rng,
+                            fastpath,
                         )?;
                         if let Some(h) = &rec {
                             h.record(ExperimentRecord {
@@ -319,6 +344,8 @@ impl<'n> Campaign<'n> {
                                 readback_bytes: result.traffic.readback_bytes,
                                 write_bytes: result.traffic.write_bytes,
                                 bulk_bytes: result.traffic.bulk_bytes,
+                                skipped_cycles: result.skipped_cycles,
+                                early_stop_cycles: result.early_stop_cycles,
                                 wall_us: result.wall_us,
                             });
                         }

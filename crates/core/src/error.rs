@@ -20,6 +20,15 @@ pub enum CoreError {
         /// Experiment run length.
         run_cycles: u64,
     },
+    /// A multi-site fault load asked for more distinct targets than the
+    /// resolved pool holds (e.g. a 4-bit multiple bit-flip on a design
+    /// with 3 flip-flops).
+    InsufficientTargets {
+        /// Distinct sites the fault model requires.
+        needed: usize,
+        /// Distinct sites the pool holds.
+        available: usize,
+    },
     /// The synthesis/implementation flow failed (wrapped message, since
     /// `fades-core` does not depend on `fades-pnr`).
     Implementation(String),
@@ -38,6 +47,12 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "injection at cycle {at} outside run of {run_cycles} cycles"
+                )
+            }
+            CoreError::InsufficientTargets { needed, available } => {
+                write!(
+                    f,
+                    "fault model needs {needed} distinct targets but the pool has {available}"
                 )
             }
             CoreError::Implementation(msg) => write!(f, "implementation failed: {msg}"),

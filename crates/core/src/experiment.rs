@@ -36,6 +36,27 @@ impl FaultSchedule {
             None => false,
         }
     }
+
+    /// Whether the fault is gone by the top of `cycle`: its removal
+    /// reconfiguration ran at the end of the previous cycle, so from here
+    /// on the strategy makes no further `tick`/`remove` calls and the
+    /// configuration is behaviourally pristine. Never true for permanent
+    /// faults.
+    fn inert_at(&self, cycle: u64) -> bool {
+        match self.duration {
+            Some(d) => cycle >= self.inject_at.saturating_add(d),
+            None => false,
+        }
+    }
+
+    /// Whether the fault is still installed when a run of `run_cycles`
+    /// cycles ends (permanent faults always are).
+    pub fn outlives(&self, run_cycles: u64) -> bool {
+        match self.duration {
+            Some(d) => self.inject_at.saturating_add(d) > run_cycles,
+            None => true,
+        }
+    }
 }
 
 /// Result of one experiment.
@@ -53,16 +74,41 @@ pub struct ExperimentResult {
     pub strategy: &'static str,
     /// Real wall-clock microseconds the experiment took to emulate.
     pub wall_us: u64,
+    /// Golden-prefix cycles skipped by restoring a checkpoint (0 on the
+    /// full-simulation path).
+    pub skipped_cycles: u64,
+    /// Tail cycles skipped by early-stop convergence detection (0 on the
+    /// full-simulation path).
+    pub early_stop_cycles: u64,
 }
 
 /// Runs one fault-injection experiment: reset, execute the workload,
 /// reconfigure to inject at the scheduled instant, reconfigure to remove
 /// at expiry, observe, classify (paper Fig. 1).
 ///
+/// With `fastpath` enabled, the host-side simulation is shortened at both
+/// ends without changing what the emulated FPGA does:
+///
+/// * **Fast-forward** — instead of re-executing the fault-free prefix,
+///   the nearest golden checkpoint at or before `inject_at` is restored
+///   onto the device (the prefix trace is golden by construction).
+/// * **Early stop** — once the fault is removed, if the device's state
+///   hash equals the golden hash at the same cycle, every remaining cycle
+///   is provably identical to the golden run, so the outcome is decided
+///   immediately: `Failure` if the observed trace already diverged,
+///   `Silent` otherwise (`Latent` is impossible — the states match).
+///
+/// Both shortcuts change host wall-clock only. The emulated device still
+/// executes the full `run_cycles` workload, and the strategy makes the
+/// same reconfiguration calls in the same order, so the traffic ledger —
+/// and with it modelled emulation time — is bit-identical to the
+/// full-simulation path, as is the classified outcome.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::BadSchedule`] for an injection instant outside
 /// the run, or propagates strategy errors.
+#[allow(clippy::too_many_arguments)] // one experiment has this many moving parts
 pub fn run_experiment(
     dev: &mut Device,
     golden: &GoldenRun,
@@ -71,6 +117,7 @@ pub fn run_experiment(
     schedule: FaultSchedule,
     ports: &[String],
     rng: &mut StdRng,
+    fastpath: bool,
 ) -> Result<ExperimentResult, CoreError> {
     let started = std::time::Instant::now();
     let strategy_name = strategy.name();
@@ -83,29 +130,86 @@ pub fn run_experiment(
     }
     dev.reset();
     dev.clear_ledger();
-    let mut trace = OutputTrace::new(ports.to_vec());
-    for cycle in 0..run_cycles {
+
+    let mut start_cycle = 0u64;
+    if fastpath {
+        if let Some(cp) = golden.checkpoint_at_or_before(schedule.inject_at) {
+            if cp.cycle() > 0 {
+                dev.restore_state(cp);
+                start_cycle = cp.cycle();
+            }
+        }
+    }
+
+    // The full path keeps the original record-everything-then-classify
+    // flow as the reference implementation; the fast path tracks
+    // divergence against the golden rows incrementally instead of
+    // building a trace (its prefix rows are golden by construction).
+    let mut trace = (!fastpath).then(|| OutputTrace::new(ports.to_vec()));
+    let mut diverged = false;
+    let mut row = Vec::with_capacity(ports.len());
+    let mut early_outcome = None;
+    let mut early_stop_cycles = 0u64;
+    for cycle in start_cycle..run_cycles {
+        if fastpath && schedule.inert_at(cycle) && dev.state_hash() == golden.state_hash_at(cycle) {
+            early_stop_cycles = run_cycles - cycle;
+            early_outcome = Some(if diverged {
+                Outcome::Failure
+            } else {
+                Outcome::Silent
+            });
+            break;
+        }
         if cycle == schedule.inject_at {
             strategy.inject(dev, rng)?;
         } else if schedule.active(cycle) {
             strategy.tick(dev, rng)?;
         }
         dev.settle();
-        let mut row = Vec::with_capacity(ports.len());
+        row.clear();
         for port in ports {
             row.push(
                 dev.output_u64(port)
                     .map_err(|_| CoreError::UnknownPort(port.clone()))?,
             );
         }
-        trace.push_cycle(row);
+        match &mut trace {
+            Some(trace) => trace.push_cycle(row.clone()),
+            None => {
+                diverged |= golden.trace().row(cycle as usize) != Some(row.as_slice());
+            }
+        }
         dev.clock_edge();
         if schedule.expires_after(cycle) {
             strategy.remove(dev)?;
         }
     }
-    let final_state = dev.state_snapshot();
-    let outcome = classify(&trace, &final_state, golden);
+    // A fault whose schedule extends past the end of the run is still
+    // installed here. The paper's Fig. 1 flow removes it before the next
+    // experiment starts, so its removal reconfiguration belongs to *this*
+    // experiment's ledger; permanent strategies document `remove` as a
+    // no-op and are unaffected. (An early stop can only fire once the
+    // fault is inert, so both paths reach this with the same schedule
+    // state.)
+    if schedule.outlives(run_cycles) {
+        strategy.remove(dev)?;
+    }
+    let outcome = match early_outcome {
+        Some(outcome) => outcome,
+        None => match &trace {
+            Some(trace) => classify(trace, &dev.state_snapshot(), golden),
+            None => {
+                if diverged {
+                    Outcome::Failure
+                } else if dev.state_snapshot().as_slice() != golden.final_state() {
+                    Outcome::Latent
+                } else {
+                    Outcome::Silent
+                }
+            }
+        },
+    };
+    fades_telemetry::fastpath::record_experiment(start_cycle, early_stop_cycles);
     Ok(ExperimentResult {
         fault,
         schedule,
@@ -113,5 +217,7 @@ pub fn run_experiment(
         traffic: LedgerSummary::from(dev.ledger()),
         strategy: strategy_name,
         wall_us: started.elapsed().as_micros() as u64,
+        skipped_cycles: start_cycle,
+        early_stop_cycles,
     })
 }

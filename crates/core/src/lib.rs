@@ -56,11 +56,13 @@ pub mod models;
 pub mod strategies;
 mod timing;
 
-pub use campaign::{worker_threads, Campaign, CampaignConfig, CampaignStats};
+pub use campaign::{fastpath_default, worker_threads, Campaign, CampaignConfig, CampaignStats};
 pub use classify::{classify, Outcome, OutcomeStats};
 pub use error::CoreError;
 pub use experiment::{run_experiment, ExperimentResult, FaultSchedule};
-pub use golden::GoldenRun;
-pub use location::{resolve_targets, DurationRange, FaultLoad, ResolvedFault, TargetClass};
+pub use golden::{GoldenRun, DEFAULT_CHECKPOINT_INTERVAL};
+pub use location::{
+    resolve_targets, sample_fault, DurationRange, FaultLoad, ResolvedFault, TargetClass, TargetSite,
+};
 pub use models::{FaultModel, PermanentFault};
 pub use timing::TimeModel;

@@ -413,6 +413,11 @@ pub fn resolve_targets(
 
 /// Samples a concrete fault from the resource pool.
 ///
+/// # Errors
+///
+/// Returns [`CoreError::InsufficientTargets`] when a multiple-bit-flip
+/// load asks for more distinct flip-flop sites than the pool holds.
+///
 /// # Panics
 ///
 /// Panics if `sites` is empty (callers obtain it from
@@ -422,9 +427,9 @@ pub fn sample_fault(
     sites: &[TargetSite],
     bitstream: &Bitstream,
     rng: &mut StdRng,
-) -> ResolvedFault {
+) -> Result<ResolvedFault, CoreError> {
     let site = &sites[rng.gen_range(0..sites.len())];
-    match (&load.model, site) {
+    Ok(match (&load.model, site) {
         (FaultModel::BitFlip, TargetSite::Ff(cb)) => ResolvedFault::FfBitFlip {
             cb: *cb,
             via_gsr: load.use_gsr,
@@ -436,19 +441,33 @@ pub fn sample_fault(
                 bit: *bit,
             }
         }
-        (FaultModel::MultipleBitFlip(n), TargetSite::Ff(first)) => {
-            // Draw n distinct FF sites (including the already-sampled one).
-            let mut cbs = vec![*first];
-            let mut guard = 0;
-            while cbs.len() < *n as usize && guard < 10_000 {
-                guard += 1;
-                if let TargetSite::Ff(cb) = &sites[rng.gen_range(0..sites.len())] {
-                    if !cbs.contains(cb) {
-                        cbs.push(*cb);
+        (FaultModel::MultipleBitFlip(n), TargetSite::Ff(_)) => {
+            let n = *n as usize;
+            // Distinct FF pool (a site list may repeat coordinates).
+            let mut pool: Vec<CbCoord> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for s in sites {
+                if let TargetSite::Ff(cb) = s {
+                    if seen.insert(*cb) {
+                        pool.push(*cb);
                     }
                 }
             }
-            ResolvedFault::MultiFfBitFlip { cbs }
+            if pool.len() < n {
+                return Err(CoreError::InsufficientTargets {
+                    needed: n,
+                    available: pool.len(),
+                });
+            }
+            // Partial Fisher-Yates: each prefix slot takes a uniform draw
+            // from the remaining pool, so the result is n distinct sites
+            // with no rejection loop.
+            for i in 0..n {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            pool.truncate(n);
+            ResolvedFault::MultiFfBitFlip { cbs: pool }
         }
         (FaultModel::Pulse, TargetSite::Lut(cb)) => {
             let arity = bitstream
@@ -508,5 +527,5 @@ pub fn sample_fault(
         (model, site) => {
             unreachable!("target class produced site {site:?} incompatible with model {model}")
         }
-    }
+    })
 }

@@ -10,6 +10,7 @@ use crate::frames::{CbField, FrameSet};
 use crate::ledger::{TransferKind, TransferLedger, TransferOp};
 use crate::reconfig::Mutation;
 use crate::routing::WireDriver;
+use crate::state::{self, DeviceState};
 use crate::timing::TimingReport;
 
 /// Data source of a flip-flop node, resolved at compile time.
@@ -87,6 +88,16 @@ pub struct Device {
     ff_prev_d: Vec<bool>,
     bram_prev_write: Vec<(bool, usize, u64)>,
     timing: TimingReport,
+
+    // Incremental digests for state-hash convergence checks (see the
+    // `state` module). `behav_hash` covers behaviour-affecting
+    // configuration cells, `bram_hash` covers memory contents; both are
+    // updated in O(1) per mutation/write. The pristine values are cached
+    // at configure time so `reset` does not rescan the bitstream.
+    behav_hash: u64,
+    bram_hash: u64,
+    pristine_behav_hash: u64,
+    pristine_bram_hash: u64,
 }
 
 impl Device {
@@ -118,8 +129,14 @@ impl Device {
             ff_prev_d: Vec::new(),
             bram_prev_write: Vec::new(),
             timing: TimingReport::default(),
+            behav_hash: 0,
+            bram_hash: 0,
+            pristine_behav_hash: 0,
+            pristine_bram_hash: 0,
         };
         dev.compile()?;
+        dev.pristine_behav_hash = state::behaviour_hash(&dev.pristine);
+        dev.pristine_bram_hash = state::bram_hash(&dev.pristine);
         dev.reset();
         let arch = *dev.bits.arch();
         dev.ledger.record(TransferOp {
@@ -366,6 +383,8 @@ impl Device {
             *p = (false, 0, 0);
         }
         self.cycle = 0;
+        self.behav_hash = self.pristine_behav_hash;
+        self.bram_hash = self.pristine_bram_hash;
         self.recompute_timing();
     }
 
@@ -530,7 +549,11 @@ impl Device {
                     .bits
                     .bram_mut(BramId::from_index(bi))
                     .expect("compiled BRAM index is valid");
+                let old = bram.contents[addr_eff];
                 bram.contents[addr_eff] = din_eff;
+                let cell = ((bi as u64) << 32) | addr_eff as u64;
+                self.bram_hash ^= state::mix(state::TAG_BRAM_WORD, cell, old)
+                    ^ state::mix(state::TAG_BRAM_WORD, cell, din_eff);
             }
             self.bram_prev_write[bi] = (we_now, addr_now, din_now);
         }
@@ -582,17 +605,24 @@ impl Device {
         } * frames.len() as u32;
         match mutation {
             Mutation::SetLutTable { cb, table } => {
+                let flat = cb.flat_index(arch.rows) as u64;
                 let cfg = self.bits.cb_mut(*cb)?;
                 if !cfg.lut_used {
                     return Err(FpgaError::ResourceUnused(*cb));
                 }
+                self.behav_hash ^= state::mix(state::TAG_LUT_TABLE, flat, cfg.lut_table as u64)
+                    ^ state::mix(state::TAG_LUT_TABLE, flat, *table as u64);
                 cfg.lut_table = *table;
             }
             Mutation::SetInvertFfIn { cb, invert } => {
+                let flat = cb.flat_index(arch.rows) as u64;
                 let cfg = self.bits.cb_mut(*cb)?;
                 if !cfg.ff_used {
                     return Err(FpgaError::ResourceUnused(*cb));
                 }
+                self.behav_hash ^=
+                    state::mix(state::TAG_INVERT_FF_IN, flat, cfg.invert_ff_in as u64)
+                        ^ state::mix(state::TAG_INVERT_FF_IN, flat, *invert as u64);
                 cfg.invert_ff_in = *invert;
             }
             Mutation::SetLsrDrive { cb, drive } => {
@@ -639,17 +669,35 @@ impl Device {
                         bit: *bit,
                     });
                 }
+                let cell = ((bram.index() as u64) << 32) | *addr as u64;
+                let old = b.contents[*addr];
                 if *value {
                     b.contents[*addr] |= 1 << bit;
                 } else {
                     b.contents[*addr] &= !(1 << bit);
                 }
+                self.bram_hash ^= state::mix(state::TAG_BRAM_WORD, cell, old)
+                    ^ state::mix(state::TAG_BRAM_WORD, cell, b.contents[*addr]);
             }
             Mutation::SetWireFanout { wire, extra } => {
-                self.bits.wire_mut(*wire)?.extra_fanout = *extra;
+                let w = self.bits.wire_mut(*wire)?;
+                self.behav_hash ^=
+                    state::mix(
+                        state::TAG_WIRE_FANOUT,
+                        wire.index() as u64,
+                        w.extra_fanout as u64,
+                    ) ^ state::mix(state::TAG_WIRE_FANOUT, wire.index() as u64, *extra as u64);
+                w.extra_fanout = *extra;
             }
             Mutation::SetWireDetour { wire, luts } => {
-                self.bits.wire_mut(*wire)?.detour_luts = *luts;
+                let w = self.bits.wire_mut(*wire)?;
+                self.behav_hash ^=
+                    state::mix(
+                        state::TAG_WIRE_DETOUR,
+                        wire.index() as u64,
+                        w.detour_luts as u64,
+                    ) ^ state::mix(state::TAG_WIRE_DETOUR, wire.index() as u64, *luts as u64);
+                w.detour_luts = *luts;
             }
             Mutation::ReRandomiseFf { cb, drive } => {
                 let cfg = self.bits.cb_mut(*cb)?;
@@ -868,6 +916,108 @@ impl Device {
             snap.extend_from_slice(&b.contents);
         }
         snap
+    }
+
+    /// Snapshots the full runtime state (cycle counter, wire/LUT values,
+    /// flip-flop state, pending BRAM captures, memory contents) for later
+    /// [`restore_state`](Self::restore_state).
+    ///
+    /// Host-side and free: the snapshot lives on the controlling PC, not
+    /// in the device, so nothing is charged to the ledger.
+    pub fn save_state(&self) -> DeviceState {
+        DeviceState {
+            cycle: self.cycle,
+            wire_values: self.wire_values.clone(),
+            lut_values: self.lut_values.clone(),
+            ff_state: self.ff_state.clone(),
+            ff_prev_d: self.ff_prev_d.clone(),
+            bram_prev_write: self.bram_prev_write.clone(),
+            bram_contents: self
+                .bits
+                .brams()
+                .iter()
+                .map(|b| b.contents.clone())
+                .collect(),
+            bram_hash: self.bram_hash,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state) on a
+    /// device with the same compiled configuration.
+    ///
+    /// The caller must ensure the device's configuration memory equals
+    /// the configuration the snapshot was taken under (in practice: call
+    /// right after [`reset`](Self::reset), before injecting any fault).
+    /// Like `reset`, this is a host-side operation and is not charged to
+    /// the ledger: it models the controller fast-forwarding a worker to a
+    /// known golden state instead of re-running the prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's dimensions do not match this device.
+    pub fn restore_state(&mut self, snap: &DeviceState) {
+        self.cycle = snap.cycle;
+        self.wire_values.copy_from_slice(&snap.wire_values);
+        self.lut_values.copy_from_slice(&snap.lut_values);
+        self.ff_state.copy_from_slice(&snap.ff_state);
+        self.ff_prev_d.copy_from_slice(&snap.ff_prev_d);
+        self.bram_prev_write.copy_from_slice(&snap.bram_prev_write);
+        assert_eq!(
+            snap.bram_contents.len(),
+            self.bits.brams().len(),
+            "snapshot BRAM count matches device"
+        );
+        for (bi, contents) in snap.bram_contents.iter().enumerate() {
+            let b = self
+                .bits
+                .bram_mut(BramId::from_index(bi))
+                .expect("snapshot BRAM index is valid");
+            b.contents.copy_from_slice(contents);
+        }
+        self.bram_hash = snap.bram_hash;
+    }
+
+    /// Digest of everything that determines the device's evolution from
+    /// here under free-running clocking: the cycle counter, sequential
+    /// state (flip-flops, previous-D shadows, pending BRAM captures),
+    /// memory contents, and the behaviour-affecting configuration cells.
+    ///
+    /// Primary inputs are not hashed: campaign workloads are self-driving
+    /// (inputs stay at their reset values), which is what makes "hash
+    /// equals the golden hash at the same cycle" imply "all future cycles
+    /// are identical". Combinational wire/LUT values are recomputed by
+    /// [`settle`](Self::settle) and need no hashing either.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = state::splitmix(self.cycle ^ 0x5851_F42D_4C95_7F2D);
+        let mut acc = 0u64;
+        let mut n = 0u32;
+        for (&s, &p) in self.ff_state.iter().zip(&self.ff_prev_d) {
+            acc = (acc << 2) | ((s as u64) << 1) | (p as u64);
+            n += 1;
+            if n == 32 {
+                h = state::splitmix(h ^ acc);
+                acc = 0;
+                n = 0;
+            }
+        }
+        if n > 0 {
+            h = state::splitmix(h ^ acc ^ ((n as u64) << 56));
+        }
+        for &(we, addr, din) in &self.bram_prev_write {
+            h = state::splitmix(h ^ ((we as u64) << 63) ^ addr as u64);
+            h = state::splitmix(h ^ din);
+        }
+        h ^ self.bram_hash ^ self.behav_hash
+    }
+
+    /// Whether the behaviour-affecting configuration equals the pristine
+    /// configuration (LUT tables, FF-input inverters, wire fault state).
+    ///
+    /// `lsr_drive` reprogramming is deliberately ignored — a removed
+    /// bit-flip fault leaves the set/reset mux reconfigured without
+    /// affecting free-running behaviour.
+    pub fn config_behaviourally_pristine(&self) -> bool {
+        self.behav_hash == self.pristine_behav_hash
     }
 
     /// Recomputes static timing for the current configuration.

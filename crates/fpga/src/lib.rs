@@ -63,6 +63,7 @@ mod frames;
 mod ledger;
 mod reconfig;
 mod routing;
+mod state;
 mod timing;
 
 pub use arch::ArchParams;
@@ -76,4 +77,5 @@ pub use frames::{FrameAddr, FrameSet};
 pub use ledger::{TransferKind, TransferLedger, TransferOp};
 pub use reconfig::Mutation;
 pub use routing::{WireConfig, WireDriver, WireSink};
+pub use state::DeviceState;
 pub use timing::TimingReport;

@@ -1,0 +1,112 @@
+//! Runtime-state checkpoints and state hashing.
+//!
+//! A fault-injection campaign replays the same fault-free prefix of the
+//! workload thousands of times. The controller can instead snapshot the
+//! device's runtime state during the golden run ([`Device::save_state`])
+//! and transplant it onto a worker's device just before the injection
+//! cycle ([`Device::restore_state`]). Both operations are host-side and
+//! cost no configuration traffic — the emulated FPGA still "executes"
+//! the full run, so modelled emulation time is unchanged.
+//!
+//! [`Device::state_hash`] complements the checkpoints: a cheap digest of
+//! everything that determines the device's future evolution (sequential
+//! state plus the behaviour-affecting part of the configuration). If a
+//! faulted device's hash equals the golden run's hash at the same cycle,
+//! every subsequent cycle is identical, so the experiment can stop early.
+//!
+//! [`Device::save_state`]: crate::Device::save_state
+//! [`Device::restore_state`]: crate::Device::restore_state
+//! [`Device::state_hash`]: crate::Device::state_hash
+
+use crate::bitstream::Bitstream;
+
+/// A point-in-time snapshot of a [`Device`](crate::Device)'s runtime
+/// state: cycle counter, wire and LUT values, flip-flop state (including
+/// the previous-D shadow used for setup-violation modelling), pending
+/// BRAM write-port captures, and all block-RAM contents.
+///
+/// Snapshots capture *state*, not *configuration*: restoring one onto a
+/// device only makes sense when the device's configuration memory equals
+/// the configuration it was taken under (in practice: right after
+/// [`reset`](crate::Device::reset), before any fault is injected).
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    pub(crate) cycle: u64,
+    pub(crate) wire_values: Vec<bool>,
+    pub(crate) lut_values: Vec<bool>,
+    pub(crate) ff_state: Vec<bool>,
+    pub(crate) ff_prev_d: Vec<bool>,
+    pub(crate) bram_prev_write: Vec<(bool, usize, u64)>,
+    pub(crate) bram_contents: Vec<Vec<u64>>,
+    pub(crate) bram_hash: u64,
+}
+
+impl DeviceState {
+    /// The cycle counter at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// Finalising mix (splitmix64), used to turn accumulated words into
+/// well-distributed digests.
+#[inline]
+pub(crate) fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash of one (kind, index, value) configuration cell, XOR-combinable:
+/// the device maintains its configuration digests incrementally by
+/// XOR-ing out the old cell hash and XOR-ing in the new one.
+#[inline]
+pub(crate) fn mix(tag: u64, index: u64, value: u64) -> u64 {
+    splitmix(
+        tag.wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ index.rotate_left(17)
+            ^ value.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    )
+}
+
+pub(crate) const TAG_LUT_TABLE: u64 = 1;
+pub(crate) const TAG_INVERT_FF_IN: u64 = 2;
+pub(crate) const TAG_WIRE_FANOUT: u64 = 3;
+pub(crate) const TAG_WIRE_DETOUR: u64 = 4;
+pub(crate) const TAG_BRAM_WORD: u64 = 5;
+
+/// Digest of the behaviour-affecting configuration cells: LUT truth
+/// tables, `InvertFFinMux` selections, and wire fan-out/detour fault
+/// state.
+///
+/// Deliberately excluded: `lsr_drive` and `ff_init` (they only matter
+/// while an LSR/GSR pulse or a reset is in flight, not for free-running
+/// evolution — bit-flip strategies leave `lsr_drive` reprogrammed after
+/// removal and must still converge), `invert_lsr` (pulse framing only),
+/// and BRAM contents (tracked separately as *state*, see
+/// [`bram_hash`]).
+pub(crate) fn behaviour_hash(bits: &Bitstream) -> u64 {
+    let mut h = 0u64;
+    for (i, cb) in bits.cbs().iter().enumerate() {
+        h ^= mix(TAG_LUT_TABLE, i as u64, cb.lut_table as u64);
+        h ^= mix(TAG_INVERT_FF_IN, i as u64, cb.invert_ff_in as u64);
+    }
+    for (i, w) in bits.wires().iter().enumerate() {
+        h ^= mix(TAG_WIRE_FANOUT, i as u64, w.extra_fanout as u64);
+        h ^= mix(TAG_WIRE_DETOUR, i as u64, w.detour_luts as u64);
+    }
+    h
+}
+
+/// Digest of all block-RAM contents, XOR-combinable per word so the
+/// device can update it in O(1) on each write.
+pub(crate) fn bram_hash(bits: &Bitstream) -> u64 {
+    let mut h = 0u64;
+    for (b, cfg) in bits.brams().iter().enumerate() {
+        for (addr, &word) in cfg.contents.iter().enumerate() {
+            h ^= mix(TAG_BRAM_WORD, ((b as u64) << 32) | addr as u64, word);
+        }
+    }
+    h
+}

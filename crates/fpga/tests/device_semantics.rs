@@ -139,3 +139,143 @@ fn full_download_charge_matches_architecture() {
     dev.charge_full_download();
     assert_eq!(dev.ledger().total_bytes(), dev.arch().full_config_bytes());
 }
+
+/// A writable RAM whose write port is driven from input ports, so clock
+/// edges mutate memory contents.
+fn ram_device() -> Device {
+    let mut bs = Bitstream::new(ArchParams::small());
+    let addr = bs.add_input("addr", 2);
+    let din = bs.add_input("din", 4);
+    let we = bs.add_input("we", 1);
+    let dout = bs
+        .add_bram("m", &addr, &din, Some(we[0]), 4, &[1, 2, 3, 4])
+        .unwrap();
+    bs.add_output("dout", &dout).unwrap();
+    Device::configure(bs).unwrap()
+}
+
+#[test]
+fn save_restore_roundtrips_state_and_hash() {
+    let (bs, _) = shift_register();
+    let mut dev = Device::configure(bs).unwrap();
+    dev.set_input("din", &[true]).unwrap();
+    dev.run(2);
+    let snap = dev.save_state();
+    assert_eq!(snap.cycle(), 2);
+    let hash_at_snap = dev.state_hash();
+    // Run ahead, recording the hash trajectory and outputs.
+    let mut hashes = Vec::new();
+    let mut outs = Vec::new();
+    for _ in 0..4 {
+        dev.settle();
+        outs.push(dev.output_u64("q").unwrap());
+        dev.clock_edge();
+        hashes.push(dev.state_hash());
+    }
+    // Restore and replay: identical trajectory.
+    dev.restore_state(&snap);
+    assert_eq!(dev.cycle(), 2);
+    assert_eq!(dev.state_hash(), hash_at_snap);
+    for i in 0..4 {
+        dev.settle();
+        assert_eq!(dev.output_u64("q").unwrap(), outs[i]);
+        dev.clock_edge();
+        assert_eq!(dev.state_hash(), hashes[i]);
+    }
+}
+
+#[test]
+fn state_hash_tracks_bram_writes_and_mutations() {
+    let mut dev = ram_device();
+    dev.set_input("we", &[true]).unwrap();
+    dev.set_input("addr", &[true, false]).unwrap();
+    dev.set_input("din", &[true, true, false, false]).unwrap();
+    let mut idle = ram_device();
+    idle.set_input("we", &[false]).unwrap();
+    idle.set_input("addr", &[true, false]).unwrap();
+    idle.set_input("din", &[true, true, false, false]).unwrap();
+    dev.step();
+    idle.step();
+    let after_write = dev.state_hash();
+    assert_ne!(
+        after_write,
+        idle.state_hash(),
+        "a memory write changes the hash relative to an idle device at the same cycle"
+    );
+
+    // A bit mutation and its exact inverse cancel out in the digest.
+    let flip = Mutation::SetBramBit {
+        bram: fades_fpga::BramId::from_index(0),
+        addr: 3,
+        bit: 0,
+        value: true,
+    };
+    let unflip = Mutation::SetBramBit {
+        bram: fades_fpga::BramId::from_index(0),
+        addr: 3,
+        bit: 0,
+        value: false,
+    };
+    dev.apply(&flip).unwrap();
+    assert_ne!(dev.state_hash(), after_write);
+    dev.apply(&unflip).unwrap();
+    assert_eq!(dev.state_hash(), after_write);
+}
+
+#[test]
+fn behavioural_config_hash_ignores_lsr_drive() {
+    let (bs, cbs) = shift_register();
+    let mut dev = Device::configure(bs).unwrap();
+    assert!(dev.config_behaviourally_pristine());
+    let h = dev.state_hash();
+    // Reprogramming the set/reset mux (what a removed bit-flip fault
+    // leaves behind) affects neither digest.
+    dev.apply(&Mutation::SetLsrDrive {
+        cb: cbs[0],
+        drive: SetReset::Set,
+    })
+    .unwrap();
+    assert!(dev.config_behaviourally_pristine());
+    assert_eq!(dev.state_hash(), h);
+    // A LUT-input inverter is behavioural: both digests move, and revert.
+    dev.apply(&Mutation::SetInvertFfIn {
+        cb: cbs[0],
+        invert: true,
+    })
+    .unwrap();
+    assert!(!dev.config_behaviourally_pristine());
+    assert_ne!(dev.state_hash(), h);
+    dev.apply(&Mutation::SetInvertFfIn {
+        cb: cbs[0],
+        invert: false,
+    })
+    .unwrap();
+    assert!(dev.config_behaviourally_pristine());
+    assert_eq!(dev.state_hash(), h);
+}
+
+#[test]
+fn restore_after_reset_matches_original_run() {
+    // The fast-forward usage pattern: snapshot mid-run, reset (new
+    // experiment), restore, and continue — memory contents written before
+    // the snapshot must reappear even though reset restored the pristine
+    // image.
+    let mut dev = ram_device();
+    dev.set_input("we", &[true]).unwrap();
+    dev.set_input("addr", &[false, true]).unwrap();
+    dev.set_input("din", &[false, true, true, true]).unwrap();
+    dev.step();
+    let snap = dev.save_state();
+    dev.settle();
+    let expected = dev.output_u64("dout").unwrap();
+    assert_eq!(expected, 0b1110, "write landed at addr 2");
+    let expected_hash = dev.state_hash();
+
+    dev.reset();
+    dev.settle();
+    assert_eq!(dev.output_u64("dout").unwrap(), 1, "pristine contents back");
+    dev.restore_state(&snap);
+    dev.settle();
+    assert_eq!(dev.output_u64("dout").unwrap(), expected);
+    assert_eq!(dev.state_hash(), expected_hash);
+}

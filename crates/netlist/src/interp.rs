@@ -12,6 +12,49 @@ use crate::levelize::{levelize, LevelizeResult};
 use crate::net::{NetId, PortDir};
 use crate::netlist::Netlist;
 
+/// A point-in-time snapshot of a [`Simulator`]'s state, taken with
+/// [`Simulator::save_state`] and reapplied with
+/// [`Simulator::restore_state`].
+///
+/// Snapshots are only meaningful on a simulator over the same netlist
+/// they were taken from; restoring one elsewhere panics on a dimension
+/// mismatch or silently corrupts state on a coincidental match.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    cycle: u64,
+    values: Vec<bool>,
+    ff_state: Vec<bool>,
+    mem: Vec<Vec<u64>>,
+    forces: Vec<Force>,
+    mem_hash: u64,
+}
+
+impl SimSnapshot {
+    /// The cycle counter at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// Finalising mix (splitmix64) for state digests.
+#[inline]
+fn hash_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// XOR-combinable hash of one memory word, so the simulator can keep a
+/// whole-memory digest current in O(1) per write.
+#[inline]
+fn mem_cell_hash(cell: usize, addr: usize, word: u64) -> u64 {
+    hash_mix(
+        ((cell as u64) << 40 | addr as u64).rotate_left(17)
+            ^ word.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    )
+}
+
 /// Cycle-accurate simulator over a netlist.
 ///
 /// The simulator owns a value per net, flip-flop state, and memory
@@ -30,6 +73,10 @@ pub struct Simulator<'n> {
     /// Active simulator-command forces.
     forces: Vec<Force>,
     cycle: u64,
+    /// Incremental digest of all memory contents (see [`mem_cell_hash`]),
+    /// kept current on every write so [`state_hash`](Self::state_hash)
+    /// never rescans memories.
+    mem_hash: u64,
 }
 
 impl<'n> Simulator<'n> {
@@ -49,6 +96,7 @@ impl<'n> Simulator<'n> {
             mem: vec![Vec::new(); netlist.cell_count()],
             forces: Vec::new(),
             cycle: 0,
+            mem_hash: 0,
         };
         sim.reset();
         Ok(sim)
@@ -57,10 +105,16 @@ impl<'n> Simulator<'n> {
     /// Restores all flip-flops and memories to their power-on values and
     /// clears forces and the cycle counter. Input values are kept.
     pub fn reset(&mut self) {
+        self.mem_hash = 0;
         for (i, cell) in self.netlist.cells().iter().enumerate() {
             match cell {
                 Cell::Dff(d) => self.ff_state[i] = d.init,
-                Cell::Ram(r) => self.mem[i] = r.init.clone(),
+                Cell::Ram(r) => {
+                    self.mem[i] = r.init.clone();
+                    for (addr, &word) in self.mem[i].iter().enumerate() {
+                        self.mem_hash ^= mem_cell_hash(i, addr, word);
+                    }
+                }
                 Cell::Lut(_) => {}
             }
         }
@@ -179,6 +233,8 @@ impl<'n> Simulator<'n> {
     ///
     /// Panics if `id` is not a memory or `addr` is out of range.
     pub fn set_mem_word(&mut self, id: CellId, addr: usize, word: u64) {
+        self.mem_hash ^= mem_cell_hash(id.index(), addr, self.mem[id.index()][addr])
+            ^ mem_cell_hash(id.index(), addr, word);
         self.mem[id.index()][addr] = word;
     }
 
@@ -188,7 +244,10 @@ impl<'n> Simulator<'n> {
     ///
     /// Panics if `id` is not a memory or the location is out of range.
     pub fn flip_mem_bit(&mut self, id: CellId, addr: usize, bit: usize) {
-        self.mem[id.index()][addr] ^= 1 << bit;
+        let old = self.mem[id.index()][addr];
+        self.mem[id.index()][addr] = old ^ (1 << bit);
+        self.mem_hash ^= mem_cell_hash(id.index(), addr, old)
+            ^ mem_cell_hash(id.index(), addr, old ^ (1 << bit));
     }
 
     /// Adds a simulator-command force; it applies until
@@ -326,6 +385,8 @@ impl<'n> Simulator<'n> {
             self.ff_state[i] = v;
         }
         for (i, addr, word) in writes {
+            self.mem_hash ^=
+                mem_cell_hash(i, addr, self.mem[i][addr]) ^ mem_cell_hash(i, addr, word);
             self.mem[i][addr] = word;
         }
         self.cycle += 1;
@@ -373,6 +434,80 @@ impl<'n> Simulator<'n> {
             }
         }
         snap
+    }
+
+    /// Snapshots the full simulator state (cycle counter, net values,
+    /// flip-flop state, memory contents, active forces) for later
+    /// [`restore_state`](Self::restore_state).
+    pub fn save_state(&self) -> SimSnapshot {
+        SimSnapshot {
+            cycle: self.cycle,
+            values: self.values.clone(),
+            ff_state: self.ff_state.clone(),
+            mem: self.mem.clone(),
+            forces: self.forces.clone(),
+            mem_hash: self.mem_hash,
+        }
+    }
+
+    /// Restores a snapshot taken by [`save_state`](Self::save_state) on a
+    /// simulator over the same netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's dimensions do not match this netlist.
+    pub fn restore_state(&mut self, snap: &SimSnapshot) {
+        self.cycle = snap.cycle;
+        self.values.copy_from_slice(&snap.values);
+        self.ff_state.copy_from_slice(&snap.ff_state);
+        assert_eq!(snap.mem.len(), self.mem.len(), "snapshot matches netlist");
+        for (dst, src) in self.mem.iter_mut().zip(&snap.mem) {
+            dst.copy_from_slice(src);
+        }
+        self.forces.clear();
+        self.forces.extend_from_slice(&snap.forces);
+        self.mem_hash = snap.mem_hash;
+    }
+
+    /// Digest of everything that determines the simulation's evolution
+    /// from the top of the current cycle under constant inputs: the cycle
+    /// counter, flip-flop state, memory contents (via the incremental
+    /// write digest — no rescan), and active forces.
+    ///
+    /// Two simulators over the same netlist with equal hashes at the same
+    /// cycle produce identical behaviour for all subsequent cycles, which
+    /// is the basis for early-stop convergence detection. Combinational
+    /// net values are recomputed by [`settle`](Self::settle) and are not
+    /// hashed; primary-input values are not hashed either, so the
+    /// guarantee requires inputs to be held constant (true for the
+    /// self-driving campaign workloads).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = hash_mix(self.cycle ^ 0x5851_F42D_4C95_7F2D);
+        let mut acc = 0u64;
+        let mut n = 0u32;
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if matches!(cell, Cell::Dff(_)) {
+                acc = (acc << 1) | self.ff_state[i] as u64;
+                n += 1;
+                if n == 64 {
+                    h = hash_mix(h ^ acc);
+                    acc = 0;
+                    n = 0;
+                }
+            }
+        }
+        if n > 0 {
+            h = hash_mix(h ^ acc ^ ((n as u64) << 56));
+        }
+        for f in &self.forces {
+            let kind = match f.kind {
+                ForceKind::Stuck(false) => 1u64,
+                ForceKind::Stuck(true) => 2,
+                ForceKind::Flip => 3,
+            };
+            h = hash_mix(h ^ ((f.net.index() as u64) << 2) ^ kind);
+        }
+        h ^ self.mem_hash
     }
 }
 
@@ -463,5 +598,77 @@ mod tests {
 
     pub(crate) fn bits(value: u64, width: usize) -> Vec<bool> {
         (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn save_restore_replays_identically() {
+        let nl = counter(4);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.run(3);
+        let snap = sim.save_state();
+        assert_eq!(snap.cycle(), 3);
+        let hash_at_snap = sim.state_hash();
+        let mut hashes = Vec::new();
+        let mut outs = Vec::new();
+        for _ in 0..5 {
+            sim.settle();
+            outs.push(sim.output_u64("q").unwrap());
+            sim.clock_edge();
+            hashes.push(sim.state_hash());
+        }
+        sim.restore_state(&snap);
+        assert_eq!(sim.cycle(), 3);
+        assert_eq!(sim.state_hash(), hash_at_snap);
+        for i in 0..5 {
+            sim.settle();
+            assert_eq!(sim.output_u64("q").unwrap(), outs[i]);
+            sim.clock_edge();
+            assert_eq!(sim.state_hash(), hashes[i]);
+        }
+    }
+
+    #[test]
+    fn state_hash_tracks_memory_and_forces() {
+        let mut b = NetlistBuilder::new("ram");
+        let addr = b.input("addr", 4);
+        let din = b.input("din", 8);
+        let we = b.input("we", 1)[0];
+        let dout = b.ram("m", &addr, &din, we, 8, &[]).unwrap();
+        b.output("dout", &dout);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let ram = nl
+            .cells()
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| matches!(c, Cell::Ram(_)).then(|| CellId::from_index(i)))
+            .unwrap();
+        let h0 = sim.state_hash();
+        // A mem poke and its inverse cancel in the digest.
+        sim.flip_mem_bit(ram, 7, 3);
+        assert_ne!(sim.state_hash(), h0);
+        sim.flip_mem_bit(ram, 7, 3);
+        assert_eq!(sim.state_hash(), h0);
+        sim.set_mem_word(ram, 2, 0xCC);
+        assert_ne!(sim.state_hash(), h0);
+        sim.set_mem_word(ram, 2, 0);
+        assert_eq!(sim.state_hash(), h0);
+        // Forces are part of the evolution-determining state.
+        sim.force(Force::flip(dout[0]));
+        assert_ne!(sim.state_hash(), h0);
+        sim.release(dout[0]);
+        assert_eq!(sim.state_hash(), h0);
+        // A clocked write keeps the incremental digest consistent with a
+        // fresh simulator brought to the same state.
+        sim.set_input("addr", &bits(5, 4)).unwrap();
+        sim.set_input("din", &bits(0xAB, 8)).unwrap();
+        sim.set_input("we", &[true]).unwrap();
+        sim.step();
+        let mut twin = Simulator::new(&nl).unwrap();
+        twin.set_input("addr", &bits(5, 4)).unwrap();
+        twin.set_input("din", &bits(0xAB, 8)).unwrap();
+        twin.set_input("we", &[true]).unwrap();
+        twin.step();
+        assert_eq!(sim.state_hash(), twin.state_hash());
     }
 }

@@ -63,7 +63,7 @@ pub use builder::{DffHandle, NetlistBuilder};
 pub use cell::{Cell, CellId, DffCell, LutCell, RamCell, UnitTag};
 pub use error::NetlistError;
 pub use force::{Force, ForceKind};
-pub use interp::Simulator;
+pub use interp::{SimSnapshot, Simulator};
 pub use levelize::{levelize, LevelizeResult};
 pub use net::{NetId, PortDir};
 pub use netlist::{Netlist, Port};

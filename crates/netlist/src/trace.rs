@@ -60,6 +60,15 @@ impl OutputTrace {
         self.rows.get(cycle).map(|r| r[col])
     }
 
+    /// All recorded port values at `cycle` (in port order), if present.
+    ///
+    /// This is the cheap per-cycle comparison the fast experiment path
+    /// uses to track divergence from the golden trace without building a
+    /// trace of its own.
+    pub fn row(&self, cycle: usize) -> Option<&[u64]> {
+        self.rows.get(cycle).map(|r| r.as_slice())
+    }
+
     /// Compares this (faulty) trace against a golden trace.
     pub fn diff(&self, golden: &OutputTrace) -> TraceDiff {
         if self.ports != golden.ports {

@@ -106,6 +106,48 @@ pub mod sim {
     }
 }
 
+/// Process-wide counters for the checkpointed fast-forward experiment
+/// path (golden-prefix skipping and early-stop convergence detection).
+///
+/// Unlike [`sim`], these are always live: they cost one atomic add per
+/// *experiment*, not per cycle, and campaign-level visibility into how
+/// much work the fast path avoided is wanted even when hot-path
+/// instrumentation is off.
+pub mod fastpath {
+    use super::Counter;
+
+    /// Experiments that fast-forwarded over the golden prefix by
+    /// restoring a checkpoint.
+    pub static FAST_FORWARDED: Counter = Counter::new();
+    /// Experiments that stopped early on golden-state convergence.
+    pub static EARLY_STOPPED: Counter = Counter::new();
+    /// Golden-prefix cycles skipped via checkpoint restoration.
+    pub static PREFIX_CYCLES_SKIPPED: Counter = Counter::new();
+    /// Tail cycles skipped via early-stop convergence detection.
+    pub static EARLY_STOP_CYCLES_SKIPPED: Counter = Counter::new();
+
+    /// Records one finished experiment's fast-path savings (either count
+    /// may be zero; zero-cycle components are not counted as engagement).
+    pub fn record_experiment(prefix_skipped: u64, early_stop_skipped: u64) {
+        if prefix_skipped > 0 {
+            FAST_FORWARDED.inc();
+            PREFIX_CYCLES_SKIPPED.add(prefix_skipped);
+        }
+        if early_stop_skipped > 0 {
+            EARLY_STOPPED.inc();
+            EARLY_STOP_CYCLES_SKIPPED.add(early_stop_skipped);
+        }
+    }
+
+    /// Resets all four counters (between benchmark sections or tests).
+    pub fn reset() {
+        FAST_FORWARDED.reset();
+        EARLY_STOPPED.reset();
+        PREFIX_CYCLES_SKIPPED.reset();
+        EARLY_STOP_CYCLES_SKIPPED.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

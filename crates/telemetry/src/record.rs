@@ -42,6 +42,12 @@ pub struct ExperimentRecord {
     pub write_bytes: u64,
     /// Bytes moved by bulk downloads.
     pub bulk_bytes: u64,
+    /// Golden-prefix cycles skipped by checkpoint fast-forward (0 on the
+    /// full-simulation path).
+    pub skipped_cycles: u64,
+    /// Tail cycles skipped by early-stop convergence detection (0 on the
+    /// full-simulation path).
+    pub early_stop_cycles: u64,
     /// Real wall-clock microseconds this experiment took to emulate.
     pub wall_us: u64,
 }
@@ -65,6 +71,8 @@ impl ExperimentRecord {
             .u64("readback_bytes", self.readback_bytes)
             .u64("write_bytes", self.write_bytes)
             .u64("bulk_bytes", self.bulk_bytes)
+            .u64("skipped_cycles", self.skipped_cycles)
+            .u64("early_stop_cycles", self.early_stop_cycles)
             .u64("wall_us", self.wall_us)
             .finish()
     }
@@ -251,6 +259,8 @@ impl Recorder {
             readback_bytes: 0,
             write_bytes: 0,
             bulk_bytes: 0,
+            skipped_cycles: 0,
+            early_stop_cycles: 0,
             exp_wall: HistogramSnapshot::empty(),
         };
         for r in &records {
@@ -264,6 +274,8 @@ impl Recorder {
             agg.readback_bytes += r.readback_bytes;
             agg.write_bytes += r.write_bytes;
             agg.bulk_bytes += r.bulk_bytes;
+            agg.skipped_cycles += r.skipped_cycles;
+            agg.early_stop_cycles += r.early_stop_cycles;
             wall.record(r.wall_us);
         }
         agg.exp_wall = wall.snapshot();
@@ -329,6 +341,10 @@ pub struct CampaignAggregate {
     pub write_bytes: u64,
     /// Bulk bytes moved.
     pub bulk_bytes: u64,
+    /// Total golden-prefix cycles skipped by checkpoint fast-forward.
+    pub skipped_cycles: u64,
+    /// Total tail cycles skipped by early-stop convergence detection.
+    pub early_stop_cycles: u64,
     /// Per-experiment real wall-clock distribution (µs).
     pub exp_wall: HistogramSnapshot,
 }
@@ -383,6 +399,8 @@ impl CampaignAggregate {
             .u64("readback_bytes", self.readback_bytes)
             .u64("write_bytes", self.write_bytes)
             .u64("bulk_bytes", self.bulk_bytes)
+            .u64("skipped_cycles", self.skipped_cycles)
+            .u64("early_stop_cycles", self.early_stop_cycles)
             .u64("p50_us", self.exp_wall.p50())
             .u64("p90_us", self.exp_wall.p90())
             .u64("p99_us", self.exp_wall.p99())

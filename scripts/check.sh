@@ -14,4 +14,18 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace --offline
 
+# The campaign-heavy suites run again in release mode with per-suite
+# wall-clock, so the checkpointed fast path's speedup stays visible in
+# the gate and a perf regression shows up as a number, not a feeling.
+echo "== cargo test --release (heavy campaign suites, timed)"
+cargo build --release --tests --offline -q
+for suite in "-p fades-core" "-p fades-repro"; do
+    echo "-- cargo test --release $suite"
+    start=$(date +%s%N)
+    # shellcheck disable=SC2086  # word-splitting the package flag is intended
+    cargo test -q --release --offline $suite
+    end=$(date +%s%N)
+    echo "-- $suite: $(((end - start) / 1000000)) ms"
+done
+
 echo "All checks passed."

@@ -13,6 +13,7 @@ fn thread_count_does_not_change_results() {
     let load = FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::SHORT, true);
 
     let mut results = Vec::new();
+    let mut stats = Vec::new();
     for threads in [1usize, 4] {
         let campaign = Campaign::with_config(
             &soc.netlist,
@@ -22,6 +23,7 @@ fn thread_count_does_not_change_results() {
             CampaignConfig {
                 threads,
                 margin_cycles: 64,
+                ..Default::default()
             },
         )
         .expect("campaign");
@@ -29,13 +31,24 @@ fn thread_count_does_not_change_results() {
         results.push(
             detailed
                 .into_iter()
-                .map(|r| (r.fault, r.outcome, r.traffic.ops))
+                .map(|r| (r.fault, r.outcome, r.traffic))
                 .collect::<Vec<_>>(),
         );
+        stats.push(campaign.run(&load, 24, 77).expect("stats run"));
     }
     assert_eq!(
         results[0], results[1],
         "results differ across thread counts"
+    );
+    // The aggregate must also be bit-identical: same outcome counts and —
+    // because per-experiment traffic is identical and summed in index
+    // order on both sides — the same modelled emulation time to the bit.
+    assert_eq!(stats[0].n, stats[1].n);
+    assert_eq!(stats[0].outcomes, stats[1].outcomes);
+    assert_eq!(
+        stats[0].emulation_seconds.to_bits(),
+        stats[1].emulation_seconds.to_bits(),
+        "modelled emulation time differs across thread counts"
     );
 }
 
