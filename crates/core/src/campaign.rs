@@ -1,5 +1,8 @@
 //! Fault-injection campaigns: thousands of experiments, run in parallel.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use fades_fpga::{CbCoord, Device};
 use fades_netlist::Netlist;
 use fades_pnr::Implementation;
@@ -7,13 +10,12 @@ use fades_telemetry::{ExperimentRecord, Recorder, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::classify::OutcomeStats;
+use crate::classify::{Outcome, OutcomeStats};
 use crate::error::CoreError;
 use crate::experiment::{run_experiment, ExperimentResult, FaultSchedule};
 use crate::golden::GoldenRun;
-use crate::location::{
-    resolve_targets, sample_fault, DurationRange, FaultLoad, ResolvedFault, TargetClass,
-};
+use crate::location::{resolve_targets, sample_fault, DurationRange, FaultLoad, TargetClass};
+use crate::plan::{CampaignPlan, ChaosPanic, ExperimentVerdict, PlannedExperiment};
 use crate::strategies::strategy_for;
 use crate::timing::TimeModel;
 
@@ -92,13 +94,54 @@ impl CampaignStats {
         self.n
     }
 
-    /// Mean modelled seconds per injected fault.
+    /// Mean modelled seconds per injected fault (0 for an empty
+    /// campaign — never a division by zero).
     pub fn mean_seconds_per_fault(&self) -> f64 {
         if self.n == 0 {
             0.0
         } else {
             self.emulation_seconds / self.n as f64
         }
+    }
+
+    /// Folds one experiment into the stats.
+    ///
+    /// This is *the* accumulation step of a campaign: the monolithic
+    /// runner and `fades-dispatch`'s shard merge both fold experiments
+    /// through here in ascending plan order, which is what makes merged
+    /// shard stats bit-identical to a single-process run (floating-point
+    /// addition is order-sensitive, so the order is part of the
+    /// contract).
+    pub fn accumulate(&mut self, outcome: Outcome, modelled_seconds: f64) {
+        self.outcomes.record(outcome);
+        self.emulation_seconds += modelled_seconds;
+        self.n += 1;
+    }
+}
+
+/// How the executor responds to a failing experiment.
+enum ExecMode<'a> {
+    /// Propagate the first error; let panics unwind the worker (they are
+    /// converted to [`CoreError::ExperimentPanic`] at join time).
+    FailFast,
+    /// Contain panics and errors per experiment: retry `retries` times on
+    /// a pristine device, then quarantine. `observer` sees every verdict
+    /// as it is decided, from the deciding worker thread.
+    Isolated {
+        retries: u32,
+        observer: Option<&'a (dyn Fn(&ExperimentVerdict) + Sync)>,
+    },
+}
+
+/// Renders a panic payload for error reports (string payloads pass
+/// through; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -195,6 +238,11 @@ impl<'n> Campaign<'n> {
         self.run_cycles
     }
 
+    /// The campaign's tunables.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
     /// Runs `n_faults` experiments of the given fault load and aggregates
     /// outcome statistics and modelled emulation time.
     ///
@@ -225,18 +273,20 @@ impl<'n> Campaign<'n> {
         n_faults: usize,
         seed: u64,
     ) -> Result<CampaignStats, CoreError> {
+        let plan = self.plan(load, n_faults, seed)?;
         let threads = self.config.threads.max(1).min(n_faults.max(1));
         let recorder = Recorder::new(label, n_faults, threads);
-        let results = self.run_instrumented(load, n_faults, seed, Some(&recorder))?;
-        let mut stats = CampaignStats {
-            n: results.len(),
-            ..Default::default()
-        };
-        for r in &results {
-            stats.outcomes.record(r.outcome);
-            stats.emulation_seconds += self
-                .time_model
-                .experiment_seconds(&r.traffic, self.run_cycles);
+        let verdicts = self.execute_mode(&plan, Some(&recorder), ExecMode::FailFast)?;
+        let mut stats = CampaignStats::default();
+        for v in &verdicts {
+            if let ExperimentVerdict::Completed {
+                result,
+                modelled_seconds,
+                ..
+            } = v
+            {
+                stats.accumulate(result.outcome, *modelled_seconds);
+            }
         }
         recorder.finish();
         Ok(stats)
@@ -255,18 +305,29 @@ impl<'n> Campaign<'n> {
         n_faults: usize,
         seed: u64,
     ) -> Result<Vec<ExperimentResult>, CoreError> {
-        self.run_instrumented(load, n_faults, seed, None)
+        let plan = self.plan(load, n_faults, seed)?;
+        self.execute(&plan, None)
     }
 
-    fn run_instrumented(
+    /// Samples the campaign's complete fault list deterministically up
+    /// front: `n_faults` experiments of `load`, each with its resolved
+    /// fault, schedule and derived per-experiment seed.
+    ///
+    /// The plan is a pure function of `(campaign, load, n_faults, seed)`
+    /// — independent of thread count and of which subset later executes —
+    /// so [shards](CampaignPlan::shard) built in different processes
+    /// partition exactly the fault set a monolithic run would inject.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the target class resolves to nothing or the
+    /// fault model cannot be sampled from the resolved pool.
+    pub fn plan(
         &self,
         load: &FaultLoad,
         n_faults: usize,
         seed: u64,
-        recorder: Option<&Recorder>,
-    ) -> Result<Vec<ExperimentResult>, CoreError> {
-        // Sample the fault list deterministically up front so the result
-        // is independent of thread count.
+    ) -> Result<CampaignPlan, CoreError> {
         let sites = resolve_targets(
             self.netlist,
             &self.implementation.map,
@@ -274,68 +335,218 @@ impl<'n> Campaign<'n> {
             &load.target,
         )?;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut plan: Vec<(ResolvedFault, FaultSchedule, u64)> = Vec::with_capacity(n_faults);
+        let mut experiments = Vec::with_capacity(n_faults);
         let workload_cycles = self.run_cycles - self.config.margin_cycles;
         for i in 0..n_faults {
             let fault = sample_fault(load, &sites, &self.implementation.bitstream, &mut rng)?;
             let inject_at = rng.gen_range(0..workload_cycles.max(1));
             let duration = load.duration.sample(&mut rng);
-            plan.push((
+            experiments.push(PlannedExperiment {
+                index: i as u64,
                 fault,
-                FaultSchedule {
+                schedule: FaultSchedule {
                     inject_at,
                     duration,
                 },
-                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
-            ));
+                seed: seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            });
         }
+        Ok(CampaignPlan {
+            target: load.target.to_string(),
+            sub_cycle: load.duration == DurationRange::SubCycle,
+            seed,
+            n_total: n_faults,
+            experiments,
+        })
+    }
 
-        let sub_cycle = load.duration == DurationRange::SubCycle;
-        let threads = self.config.threads.max(1).min(plan.len().max(1));
+    /// Executes every experiment of `plan`, failing fast: the first
+    /// experiment error aborts the run, and a panicking experiment
+    /// surfaces as [`CoreError::ExperimentPanic`] naming the global index
+    /// that was in flight (instead of tearing down the process).
+    ///
+    /// Results come back in plan order regardless of thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first experiment error, or reports a worker panic.
+    pub fn execute(
+        &self,
+        plan: &CampaignPlan,
+        recorder: Option<&Recorder>,
+    ) -> Result<Vec<ExperimentResult>, CoreError> {
+        let verdicts = self.execute_mode(plan, recorder, ExecMode::FailFast)?;
+        Ok(verdicts
+            .into_iter()
+            .map(|v| match v {
+                ExperimentVerdict::Completed { result, .. } => result,
+                ExperimentVerdict::Quarantined { .. } => {
+                    unreachable!("fail-fast execution never quarantines")
+                }
+            })
+            .collect())
+    }
+
+    /// Executes `plan` with per-experiment fault containment: each
+    /// experiment runs under `catch_unwind`, a panicking or erroring
+    /// attempt is retried `retries` more times on a freshly re-cloned
+    /// pristine device, and an experiment that exhausts its attempts is
+    /// [quarantined](ExperimentVerdict::Quarantined) — the campaign
+    /// finishes without it instead of aborting.
+    ///
+    /// `observer` is invoked once per finished experiment, from the
+    /// worker thread that ran it (this is how `fades-dispatch` journals
+    /// progress crash-tolerantly — the journal line is written before the
+    /// next experiment starts). Verdicts come back in plan order.
+    ///
+    /// Retries are deterministic replays: every attempt re-seeds the
+    /// experiment RNG from the plan, so a retry that succeeds produces
+    /// the same result the first attempt would have.
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures (an unknown observed port resolving
+    /// mid-run, never per-experiment faults) can surface here; experiment
+    /// panics and errors are quarantined, not propagated.
+    pub fn execute_isolated(
+        &self,
+        plan: &CampaignPlan,
+        retries: u32,
+        recorder: Option<&Recorder>,
+        observer: Option<&(dyn Fn(&ExperimentVerdict) + Sync)>,
+    ) -> Result<Vec<ExperimentVerdict>, CoreError> {
+        self.execute_mode(plan, recorder, ExecMode::Isolated { retries, observer })
+    }
+
+    fn execute_mode(
+        &self,
+        plan: &CampaignPlan,
+        recorder: Option<&Recorder>,
+        mode: ExecMode<'_>,
+    ) -> Result<Vec<ExperimentVerdict>, CoreError> {
+        if plan.is_empty() {
+            // Guard explicitly: an empty campaign has no work and a zero
+            // chunk size would panic `chunks(0)` below.
+            return Ok(Vec::new());
+        }
+        let chaos = ChaosPanic::from_env();
+        let threads = self.config.threads.max(1).min(plan.len());
         let chunk = plan.len().div_ceil(threads);
-        let mut results: Vec<Option<ExperimentResult>> = vec![None; plan.len()];
-        let target_label = load.target.to_string();
+        let n_chunks = plan.len().div_ceil(chunk);
+        let mut results: Vec<Option<ExperimentVerdict>> = vec![None; plan.len()];
+        // Every worker publishes the global index it is about to run, so
+        // a panic escaping the fail-fast path can be attributed.
+        let in_flight: Vec<AtomicU64> = (0..n_chunks).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let mode = &mode;
 
         crossbeam::thread::scope(|scope| -> Result<(), CoreError> {
             let mut handles = Vec::new();
-            for (t, (chunk_plan, chunk_out)) in plan
+            for ((chunk_plan, chunk_out), slot) in plan
+                .experiments
                 .chunks(chunk)
                 .zip(results.chunks_mut(chunk))
-                .enumerate()
+                .zip(&in_flight)
             {
-                let mut dev = self.device.clone();
+                let pristine = &self.device;
+                let mut dev = pristine.clone();
                 let ports = &self.ports;
                 let golden = &self.golden;
                 let rec: Option<RecorderHandle> = recorder.map(Recorder::handle);
-                let target = target_label.as_str();
+                let target = plan.target.as_str();
+                let sub_cycle = plan.sub_cycle;
                 let time_model = &self.time_model;
                 let fastpath = self.config.fastpath;
-                let base = t * chunk;
                 handles.push(scope.spawn(move |_| -> Result<(), CoreError> {
-                    for (j, ((fault, schedule, exp_seed), out)) in
-                        chunk_plan.iter().zip(chunk_out.iter_mut()).enumerate()
-                    {
+                    for (planned, out) in chunk_plan.iter().zip(chunk_out.iter_mut()) {
+                        slot.store(planned.index, Ordering::Release);
                         let _span = fades_telemetry::span!("experiment");
-                        let mut rng = StdRng::seed_from_u64(*exp_seed);
-                        let strategy = strategy_for(fault, sub_cycle);
-                        let result = run_experiment(
-                            &mut dev,
-                            golden,
-                            fault.clone(),
-                            strategy,
-                            *schedule,
-                            ports,
-                            &mut rng,
-                            fastpath,
-                        )?;
-                        if let Some(h) = &rec {
+                        let mut attempt = 0u32;
+                        let verdict = loop {
+                            let run_one =
+                                |dev: &mut Device| -> Result<ExperimentResult, CoreError> {
+                                    if let Some(c) = chaos {
+                                        c.maybe_panic(planned.index, attempt);
+                                    }
+                                    let mut rng = StdRng::seed_from_u64(planned.seed);
+                                    let strategy = strategy_for(&planned.fault, sub_cycle);
+                                    run_experiment(
+                                        dev,
+                                        golden,
+                                        planned.fault.clone(),
+                                        strategy,
+                                        planned.schedule,
+                                        ports,
+                                        &mut rng,
+                                        fastpath,
+                                    )
+                                };
+                            let error = match mode {
+                                ExecMode::FailFast => {
+                                    // Let a panic unwind the worker; the
+                                    // join below converts it into
+                                    // `ExperimentPanic` via `slot`.
+                                    let result = run_one(&mut dev)?;
+                                    break ExperimentVerdict::Completed {
+                                        index: planned.index,
+                                        modelled_seconds: time_model
+                                            .experiment_seconds(&result.traffic, golden.cycles()),
+                                        attempts: 1,
+                                        result,
+                                    };
+                                }
+                                ExecMode::Isolated { .. } => {
+                                    match catch_unwind(AssertUnwindSafe(|| run_one(&mut dev))) {
+                                        Ok(Ok(result)) => {
+                                            break ExperimentVerdict::Completed {
+                                                index: planned.index,
+                                                modelled_seconds: time_model.experiment_seconds(
+                                                    &result.traffic,
+                                                    golden.cycles(),
+                                                ),
+                                                attempts: attempt + 1,
+                                                result,
+                                            };
+                                        }
+                                        Ok(Err(e)) => e.to_string(),
+                                        Err(payload) => panic_message(payload.as_ref()),
+                                    }
+                                }
+                            };
+                            // The attempt died mid-experiment: the device
+                            // may hold a half-installed fault, so rebuild
+                            // it from the pristine configuration.
+                            dev = pristine.clone();
+                            let retries = match mode {
+                                ExecMode::Isolated { retries, .. } => *retries,
+                                ExecMode::FailFast => 0,
+                            };
+                            if attempt >= retries {
+                                fades_telemetry::dispatch::QUARANTINES.inc();
+                                break ExperimentVerdict::Quarantined {
+                                    index: planned.index,
+                                    error,
+                                    attempts: attempt + 1,
+                                };
+                            }
+                            fades_telemetry::dispatch::RETRIES.inc();
+                            attempt += 1;
+                        };
+                        if let (
+                            Some(h),
+                            ExperimentVerdict::Completed {
+                                result,
+                                modelled_seconds,
+                                attempts,
+                                ..
+                            },
+                        ) = (&rec, &verdict)
+                        {
                             h.record(ExperimentRecord {
-                                index: (base + j) as u64,
+                                index: planned.index,
                                 target: target.to_string(),
                                 strategy: result.strategy.to_string(),
                                 outcome: result.outcome.as_str(),
-                                modelled_s: time_model
-                                    .experiment_seconds(&result.traffic, golden.cycles()),
+                                modelled_s: *modelled_seconds,
                                 ops: result.traffic.ops as u64,
                                 readback_ops: result.traffic.readback_ops as u64,
                                 write_ops: result.traffic.write_ops as u64,
@@ -347,15 +558,30 @@ impl<'n> Campaign<'n> {
                                 skipped_cycles: result.skipped_cycles,
                                 early_stop_cycles: result.early_stop_cycles,
                                 wall_us: result.wall_us,
+                                attempts: *attempts as u64,
                             });
                         }
-                        *out = Some(result);
+                        if let ExecMode::Isolated {
+                            observer: Some(f), ..
+                        } = mode
+                        {
+                            f(&verdict);
+                        }
+                        *out = Some(verdict);
                     }
                     Ok(())
                 }));
             }
-            for h in handles {
-                h.join().expect("campaign worker panicked")?;
+            for (h, slot) in handles.into_iter().zip(&in_flight) {
+                match h.join() {
+                    Ok(worker) => worker?,
+                    Err(payload) => {
+                        return Err(CoreError::ExperimentPanic {
+                            index: slot.load(Ordering::Acquire),
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
             }
             Ok(())
         })
@@ -363,7 +589,7 @@ impl<'n> Campaign<'n> {
 
         Ok(results
             .into_iter()
-            .map(|r| r.expect("all experiments completed"))
+            .map(|r| r.expect("all experiments decided"))
             .collect())
     }
 

@@ -27,6 +27,17 @@ impl Outcome {
             Outcome::Silent => "silent",
         }
     }
+
+    /// Parses the stable name back (the dispatch journal round-trips
+    /// outcomes through JSONL).
+    pub fn parse(name: &str) -> Option<Outcome> {
+        match name {
+            "failure" => Some(Outcome::Failure),
+            "latent" => Some(Outcome::Latent),
+            "silent" => Some(Outcome::Silent),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Outcome {

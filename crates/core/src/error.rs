@@ -29,6 +29,17 @@ pub enum CoreError {
         /// Distinct sites the pool holds.
         available: usize,
     },
+    /// A campaign worker thread panicked outside the isolating executor.
+    /// Names the experiment that was in flight so the failure is
+    /// actionable (re-run just that index, or quarantine it via the
+    /// isolated executor) instead of aborting the process anonymously.
+    ExperimentPanic {
+        /// Global plan index of the experiment the worker was running
+        /// (`u64::MAX` if the worker died before starting one).
+        index: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// The synthesis/implementation flow failed (wrapped message, since
     /// `fades-core` does not depend on `fades-pnr`).
     Implementation(String),
@@ -54,6 +65,9 @@ impl fmt::Display for CoreError {
                     f,
                     "fault model needs {needed} distinct targets but the pool has {available}"
                 )
+            }
+            CoreError::ExperimentPanic { index, message } => {
+                write!(f, "experiment {index} panicked: {message}")
             }
             CoreError::Implementation(msg) => write!(f, "implementation failed: {msg}"),
             CoreError::Fpga(e) => write!(f, "fpga: {e}"),

@@ -53,6 +53,7 @@ mod experiment;
 mod golden;
 mod location;
 pub mod models;
+mod plan;
 pub mod strategies;
 mod timing;
 
@@ -65,4 +66,5 @@ pub use location::{
     resolve_targets, sample_fault, DurationRange, FaultLoad, ResolvedFault, TargetClass, TargetSite,
 };
 pub use models::{FaultModel, PermanentFault};
+pub use plan::{CampaignPlan, ExperimentVerdict, PlannedExperiment};
 pub use timing::TimeModel;

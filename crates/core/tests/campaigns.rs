@@ -45,6 +45,20 @@ fn bit_flip_into_lfsr_always_fails() {
 }
 
 #[test]
+fn empty_campaign_yields_zeroed_stats() {
+    // Regression: n_faults = 0 used to panic in the executor's work
+    // partitioning (`chunks(0)`); it must simply produce empty stats.
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 100).unwrap();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let stats = campaign.run(&load, 0, 7).unwrap();
+    assert_eq!(stats.total(), 0);
+    assert_eq!(stats.emulation_seconds, 0.0);
+    assert_eq!(stats.mean_seconds_per_fault(), 0.0);
+    assert!(campaign.run_detailed(&load, 0, 7).unwrap().is_empty());
+}
+
+#[test]
 fn campaigns_are_deterministic_per_seed() {
     let (nl, imp) = lfsr_campaign();
     let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();

@@ -1,0 +1,53 @@
+//! Error type of the dispatch layer.
+
+use std::error::Error;
+use std::fmt;
+
+use fades_core::CoreError;
+
+/// Errors from journaling, sharding and merging.
+#[derive(Debug)]
+pub enum DispatchError {
+    /// Journal I/O failed.
+    Io(std::io::Error),
+    /// A journal file is unusable (no header, wrong record shape).
+    Journal(String),
+    /// A journal belongs to a different campaign than expected (label,
+    /// seed, fault count, shard geometry or run length disagree).
+    Mismatch(String),
+    /// The underlying campaign failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::Io(e) => write!(f, "journal I/O: {e}"),
+            DispatchError::Journal(msg) => write!(f, "bad journal: {msg}"),
+            DispatchError::Mismatch(msg) => write!(f, "journal mismatch: {msg}"),
+            DispatchError::Core(e) => write!(f, "campaign: {e}"),
+        }
+    }
+}
+
+impl Error for DispatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DispatchError::Io(e) => Some(e),
+            DispatchError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DispatchError {
+    fn from(e: std::io::Error) -> Self {
+        DispatchError::Io(e)
+    }
+}
+
+impl From<CoreError> for DispatchError {
+    fn from(e: CoreError) -> Self {
+        DispatchError::Core(e)
+    }
+}

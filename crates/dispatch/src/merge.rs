@@ -1,0 +1,141 @@
+//! Folding shard journals back into one campaign result.
+//!
+//! The merge is bit-identical to the monolithic run because it replays
+//! the exact computation: per-experiment modelled seconds come out of
+//! the journal as the f64 bit patterns the shard wrote, and they are
+//! folded through [`CampaignStats::accumulate`] in ascending global
+//! plan-index order — the same values, the same operation, the same
+//! order a single process would have used. Floating-point addition is
+//! not associative, so the ordering (not just the values) is load-
+//! bearing.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use fades_core::CampaignStats;
+
+use crate::error::DispatchError;
+use crate::journal::{Journal, JournalHeader, JournalRecord, JournalReplay};
+
+/// The result of merging shard journals.
+#[derive(Debug, Clone)]
+pub struct MergeReport {
+    /// The common campaign header (shard index normalised to 0).
+    pub header: JournalHeader,
+    /// Aggregate statistics, bit-identical to the monolithic run when
+    /// every experiment completed.
+    pub stats: CampaignStats,
+    /// Completed experiments across all journals.
+    pub completed: u64,
+    /// Quarantined experiments, `(global index, error)`, ascending.
+    pub quarantined: Vec<(u64, String)>,
+    /// Global indices settled by no journal (shards still to run, or
+    /// work lost to a crash before resume finished).
+    pub missing: Vec<u64>,
+    /// Experiments settled by more than one journal (identical records
+    /// — conflicting ones are an error).
+    pub duplicates: u64,
+    /// `(shard index, saw shard_complete marker)` per input journal.
+    pub shards_seen: Vec<(u32, bool)>,
+}
+
+impl MergeReport {
+    /// Whether every experiment of the plan completed (nothing missing,
+    /// nothing quarantined) — the precondition for the bit-identity
+    /// guarantee against a monolithic run.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty() && self.quarantined.is_empty()
+    }
+}
+
+/// Loads and merges the journals at `paths`.
+///
+/// # Errors
+///
+/// Journal I/O/parse errors, journals from different campaigns, or
+/// conflicting duplicate records.
+pub fn merge(paths: &[impl AsRef<Path>]) -> Result<MergeReport, DispatchError> {
+    let replays = paths
+        .iter()
+        .map(|p| Journal::load(p.as_ref()))
+        .collect::<Result<Vec<_>, _>>()?;
+    merge_replays(&replays)
+}
+
+/// Merges already-loaded journal replays. See [`merge`].
+///
+/// # Errors
+///
+/// Journals from different campaigns (label, load, seed, fault count,
+/// shard count or run length disagree), or the same global index settled
+/// with different outcomes/modelled times in different journals.
+pub fn merge_replays(replays: &[JournalReplay]) -> Result<MergeReport, DispatchError> {
+    let first = replays
+        .first()
+        .ok_or_else(|| DispatchError::Journal("no journals to merge".into()))?;
+    for other in &replays[1..] {
+        first.header.ensure_same_campaign(&other.header)?;
+    }
+    let mut header = first.header.clone();
+    header.shard = 0;
+
+    // BTreeMaps keyed by global index: iteration below is ascending plan
+    // order, which is what makes the f64 fold order-exact.
+    let mut completed: BTreeMap<u64, &JournalRecord> = BTreeMap::new();
+    let mut quarantined: BTreeMap<u64, String> = BTreeMap::new();
+    let mut duplicates = 0u64;
+    let mut shards_seen = Vec::with_capacity(replays.len());
+    for replay in replays {
+        shards_seen.push((replay.header.shard, replay.shard_complete));
+        for (index, record) in &replay.completed {
+            match completed.get(index) {
+                Some(prev) if *prev != record => {
+                    return Err(DispatchError::Mismatch(format!(
+                        "experiment {index} settled differently in two journals"
+                    )));
+                }
+                Some(_) => duplicates += 1,
+                None => {
+                    completed.insert(*index, record);
+                }
+            }
+        }
+        for (index, record) in &replay.quarantined {
+            if let JournalRecord::Quarantined { error, .. } = record {
+                if quarantined.insert(*index, error.clone()).is_some() {
+                    duplicates += 1;
+                }
+            }
+        }
+    }
+    // An index that completed in one journal and was quarantined in
+    // another (e.g. a resume got further than a crashed first run) counts
+    // as completed.
+    quarantined.retain(|index, _| !completed.contains_key(index));
+
+    let mut stats = CampaignStats::default();
+    for record in completed.values() {
+        if let JournalRecord::Completed {
+            outcome,
+            modelled_seconds,
+            ..
+        } = record
+        {
+            stats.accumulate(*outcome, *modelled_seconds);
+        }
+    }
+
+    let missing = (0..header.n_total)
+        .filter(|i| !completed.contains_key(i) && !quarantined.contains_key(i))
+        .collect();
+
+    Ok(MergeReport {
+        header,
+        stats,
+        completed: completed.len() as u64,
+        quarantined: quarantined.into_iter().collect(),
+        missing,
+        duplicates,
+        shards_seen,
+    })
+}

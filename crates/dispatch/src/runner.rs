@@ -1,0 +1,195 @@
+//! The shard runner: executes one shard of a campaign plan against its
+//! journal, resuming past already-journaled work.
+
+use std::path::Path;
+use std::sync::Mutex;
+
+use fades_core::{Campaign, CampaignPlan, CampaignStats, ExperimentVerdict};
+use fades_telemetry::Recorder;
+
+use crate::error::DispatchError;
+use crate::journal::{Journal, JournalHeader, JournalRecord};
+
+/// Tunables for [`run_shard`].
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Fault-load descriptor recorded in the journal header (the CLI's
+    /// named load, e.g. `"bitflip-ffs"`; resume validates it).
+    pub load: String,
+    /// Extra attempts after a panicking/erroring first attempt before an
+    /// experiment is quarantined.
+    pub retries: u32,
+    /// Whether to feed the session [`Recorder`] (run log + aggregate)
+    /// while executing.
+    pub with_recorder: bool,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            load: String::new(),
+            retries: 1,
+            with_recorder: false,
+        }
+    }
+}
+
+/// What one [`run_shard`] call did.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The journal's header (as written or validated).
+    pub header: JournalHeader,
+    /// Experiments executed by *this* call.
+    pub executed: u64,
+    /// Experiments skipped because the journal already settled them.
+    pub skipped: u64,
+    /// Total completed experiments in the journal after this call.
+    pub completed: u64,
+    /// Quarantined experiments, `(global index, error)`.
+    pub quarantined: Vec<(u64, String)>,
+    /// Outcome statistics over every completed experiment of this shard,
+    /// folded in ascending global-index order.
+    pub stats: CampaignStats,
+}
+
+/// Executes shard `shard` of `count` of `plan` against the journal at
+/// `journal_path`.
+///
+/// If the journal already exists this is a **resume**: the header must
+/// match the campaign (label, load, fault count, seed, shard geometry,
+/// run length — anything else is a [`DispatchError::Mismatch`]), every
+/// journaled experiment is skipped, and new work is appended. Each
+/// finished experiment is journaled from the worker thread that ran it,
+/// before that worker picks up its next experiment, so a kill at any
+/// point forfeits at most the experiments currently in flight.
+///
+/// Panicking or erroring experiments are retried `opts.retries` times on
+/// a pristine device and then quarantined — journaled and counted, never
+/// fatal to the shard.
+///
+/// # Errors
+///
+/// Journal I/O or header mismatches, or infrastructure errors from the
+/// campaign executor (per-experiment faults are quarantined instead).
+pub fn run_shard(
+    campaign: &Campaign,
+    plan: &CampaignPlan,
+    shard: u32,
+    count: u32,
+    journal_path: &Path,
+    opts: &ShardOptions,
+) -> Result<ShardOutcome, DispatchError> {
+    let header = JournalHeader {
+        campaign: plan.target.clone(),
+        load: opts.load.clone(),
+        n_total: plan.n_total as u64,
+        seed: plan.seed,
+        shard,
+        of: count,
+        run_cycles: campaign.run_cycles(),
+    };
+
+    let mut pending = plan.shard(shard, count);
+    let shard_size = pending.len() as u64;
+    let (journal, skipped) = if journal_path.exists() {
+        let replay = Journal::load(journal_path)?;
+        header.ensure_matches(&replay.header)?;
+        let skipped = pending.retain_pending(&replay.settled_indices()) as u64;
+        fades_telemetry::dispatch::RESUME_SKIPPED.add(skipped);
+        (Journal::append_to(journal_path)?, skipped)
+    } else {
+        (Journal::create(journal_path, &header)?, 0)
+    };
+
+    let executed = pending.len() as u64;
+    // The observer runs on worker threads; the journal (and the first
+    // append error, which execute_isolated cannot surface) live behind
+    // mutexes until the single-threaded epilogue below.
+    let journal = Mutex::new(journal);
+    let append_error: Mutex<Option<DispatchError>> = Mutex::new(None);
+    let observer = |verdict: &ExperimentVerdict| {
+        let record = match verdict {
+            ExperimentVerdict::Completed {
+                index,
+                modelled_seconds,
+                attempts,
+                result,
+            } => JournalRecord::Completed {
+                index: *index,
+                outcome: result.outcome,
+                modelled_seconds: *modelled_seconds,
+                attempts: *attempts,
+            },
+            ExperimentVerdict::Quarantined {
+                index,
+                error,
+                attempts,
+            } => JournalRecord::Quarantined {
+                index: *index,
+                error: error.clone(),
+                attempts: *attempts,
+            },
+        };
+        if let Err(e) = journal.lock().unwrap().append(&record) {
+            append_error.lock().unwrap().get_or_insert(e);
+        }
+    };
+
+    let recorder = opts.with_recorder.then(|| {
+        let threads = campaign.config().threads.max(1).min(pending.len().max(1));
+        Recorder::new(
+            format!("{} [shard {shard}/{count}]", plan.target),
+            pending.len(),
+            threads,
+        )
+    });
+    campaign.execute_isolated(&pending, opts.retries, recorder.as_ref(), Some(&observer))?;
+    if let Some(rec) = recorder {
+        rec.finish();
+    }
+    if let Some(e) = append_error.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    // Fold this shard's final state from the journal itself — the same
+    // bytes a merge will read — rather than from in-memory verdicts, so
+    // resume and fresh runs take one code path.
+    let replay = Journal::load(journal_path)?;
+    let mut stats = CampaignStats::default();
+    let mut quarantined = Vec::new();
+    for record in replay.completed.values() {
+        if let JournalRecord::Completed {
+            outcome,
+            modelled_seconds,
+            ..
+        } = record
+        {
+            stats.accumulate(*outcome, *modelled_seconds);
+        }
+    }
+    for (index, record) in &replay.quarantined {
+        if let JournalRecord::Quarantined { error, .. } = record {
+            quarantined.push((*index, error.clone()));
+        }
+    }
+
+    let completed = replay.completed.len() as u64;
+    if !replay.shard_complete && completed + quarantined.len() as u64 == shard_size {
+        journal
+            .into_inner()
+            .unwrap()
+            .append(&JournalRecord::ShardComplete {
+                completed,
+                quarantined: quarantined.len() as u64,
+            })?;
+    }
+
+    Ok(ShardOutcome {
+        header,
+        executed,
+        skipped,
+        completed,
+        quarantined,
+        stats,
+    })
+}

@@ -1,0 +1,106 @@
+//! Panic-isolation behaviour under the `FADES_CHAOS_PANIC*` hooks.
+//!
+//! One sequential test: the chaos hooks are process-wide environment
+//! variables, so the scenarios must not run on parallel test threads.
+
+use fades_core::{Campaign, CoreError, DurationRange, ExperimentVerdict, FaultLoad, TargetClass};
+use fades_fpga::ArchParams;
+use fades_netlist::UnitTag;
+use fades_pnr::implement;
+use fades_rtl::RtlBuilder;
+
+fn lfsr_campaign() -> (fades_netlist::Netlist, fades_pnr::Implementation) {
+    let mut b = RtlBuilder::new("lfsr");
+    b.set_unit(UnitTag::Registers);
+    let r = b.reg("lfsr", 8, 1);
+    let q = r.q().clone();
+    b.set_unit(UnitTag::Alu);
+    let t1 = b.xor_bit(q.bit(7), q.bit(5));
+    let t2 = b.xor_bit(q.bit(4), q.bit(3));
+    let tap = b.xor_bit(t1, t2);
+    let mut bits = vec![tap];
+    bits.extend((0..7).map(|i| q.bit(i)));
+    b.set_unit(UnitTag::Registers);
+    let next = fades_rtl::Signal::from_bits(bits);
+    b.connect(r, &next);
+    b.output("q", &q);
+    let netlist = b.finish().unwrap();
+    let imp = implement(&netlist, ArchParams::small()).unwrap();
+    (netlist, imp)
+}
+
+#[test]
+fn chaos_panics_quarantine_retry_and_fail_fast() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let plan = campaign.plan(&load, 10, 7).unwrap();
+
+    // Baseline, no chaos: everything completes on the first attempt.
+    let baseline = campaign.execute_isolated(&plan, 1, None, None).unwrap();
+    assert_eq!(baseline.len(), 10);
+    for v in &baseline {
+        match v {
+            ExperimentVerdict::Completed { attempts, .. } => assert_eq!(*attempts, 1),
+            other => panic!("baseline quarantined {other:?}"),
+        }
+    }
+
+    // Scenario 1: experiment 4 panics on every attempt. The campaign
+    // must finish with exactly that experiment quarantined after the
+    // retry, everything else unchanged.
+    std::env::set_var("FADES_CHAOS_PANIC", "4");
+    fades_telemetry::dispatch::reset();
+    let verdicts = campaign.execute_isolated(&plan, 1, None, None).unwrap();
+    std::env::remove_var("FADES_CHAOS_PANIC");
+    assert_eq!(verdicts.len(), 10);
+    for (v, b) in verdicts.iter().zip(&baseline) {
+        if v.index() == 4 {
+            match v {
+                ExperimentVerdict::Quarantined {
+                    error, attempts, ..
+                } => {
+                    assert_eq!(*attempts, 2, "one retry before quarantine");
+                    assert!(error.contains("chaos"), "{error}");
+                }
+                other => panic!("expected quarantine, got {other:?}"),
+            }
+        } else {
+            let (v, b) = (v.result().unwrap(), b.result().unwrap());
+            assert_eq!(v.outcome, b.outcome, "bystanders are unaffected");
+        }
+    }
+    assert_eq!(fades_telemetry::dispatch::QUARANTINES.get(), 1);
+
+    // Scenario 2: experiment 3 panics only on its first attempt. The
+    // retry reruns it on a pristine device and must reproduce the
+    // baseline result exactly (retries are deterministic replays).
+    std::env::set_var("FADES_CHAOS_PANIC_ONCE", "3");
+    fades_telemetry::dispatch::reset();
+    let verdicts = campaign.execute_isolated(&plan, 1, None, None).unwrap();
+    std::env::remove_var("FADES_CHAOS_PANIC_ONCE");
+    match verdicts.iter().find(|v| v.index() == 3).unwrap() {
+        ExperimentVerdict::Completed {
+            attempts, result, ..
+        } => {
+            assert_eq!(*attempts, 2, "first attempt panicked, second ran");
+            assert_eq!(result.outcome, baseline[3].result().unwrap().outcome);
+        }
+        other => panic!("retry should have succeeded, got {other:?}"),
+    }
+    assert_eq!(fades_telemetry::dispatch::RETRIES.get(), 1);
+    assert_eq!(fades_telemetry::dispatch::QUARANTINES.get(), 0);
+
+    // Scenario 3: the classic fail-fast path does not quarantine — a
+    // panicking experiment surfaces as an error naming its global index.
+    std::env::set_var("FADES_CHAOS_PANIC", "2");
+    let err = campaign.run(&load, 10, 7).unwrap_err();
+    std::env::remove_var("FADES_CHAOS_PANIC");
+    match err {
+        CoreError::ExperimentPanic { index, message } => {
+            assert_eq!(index, 2);
+            assert!(message.contains("chaos"), "{message}");
+        }
+        other => panic!("expected ExperimentPanic, got {other:?}"),
+    }
+}

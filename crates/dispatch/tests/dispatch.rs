@@ -1,0 +1,190 @@
+//! End-to-end shard / resume / merge behaviour on a real campaign.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fades_core::{Campaign, DurationRange, FaultLoad, TargetClass};
+use fades_dispatch::{merge, run_shard, DispatchError, Journal, ShardOptions};
+use fades_fpga::ArchParams;
+use fades_netlist::UnitTag;
+use fades_pnr::implement;
+use fades_rtl::RtlBuilder;
+
+/// The same 8-bit LFSR fixture the core campaign tests use: every bit
+/// observable, fast to simulate, rich enough to produce all three
+/// outcome classes under pulse loads.
+fn lfsr_campaign() -> (fades_netlist::Netlist, fades_pnr::Implementation) {
+    let mut b = RtlBuilder::new("lfsr");
+    b.set_unit(UnitTag::Registers);
+    let r = b.reg("lfsr", 8, 1);
+    let q = r.q().clone();
+    b.set_unit(UnitTag::Alu);
+    let t1 = b.xor_bit(q.bit(7), q.bit(5));
+    let t2 = b.xor_bit(q.bit(4), q.bit(3));
+    let tap = b.xor_bit(t1, t2);
+    let mut bits = vec![tap];
+    bits.extend((0..7).map(|i| q.bit(i)));
+    b.set_unit(UnitTag::Registers);
+    let next = fades_rtl::Signal::from_bits(bits);
+    b.connect(r, &next);
+    b.output("q", &q);
+    let netlist = b.finish().unwrap();
+    let imp = implement(&netlist, ArchParams::small()).unwrap();
+    (netlist, imp)
+}
+
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fades-dispatch-{test}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> ShardOptions {
+    ShardOptions {
+        load: "pulse-luts".into(),
+        ..ShardOptions::default()
+    }
+}
+
+#[test]
+fn merged_shards_are_bit_identical_to_the_monolithic_run() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SHORT);
+    let (n, seed) = (30, 42);
+
+    let monolithic = campaign.run(&load, n, seed).unwrap();
+    let plan = campaign.plan(&load, n, seed).unwrap();
+    let dir = scratch_dir("bitident");
+
+    for count in [1u32, 2, 3, 5] {
+        let journals: Vec<PathBuf> = (0..count)
+            .map(|shard| {
+                let path = dir.join(format!("c{count}-s{shard}.jsonl"));
+                let outcome = run_shard(&campaign, &plan, shard, count, &path, &opts()).unwrap();
+                assert_eq!(outcome.skipped, 0);
+                assert!(outcome.quarantined.is_empty());
+                path
+            })
+            .collect();
+        let report = merge(&journals).unwrap();
+        assert!(report.is_complete(), "{count} shards: {report:?}");
+        assert_eq!(report.completed, n as u64);
+        assert_eq!(report.stats.n, monolithic.n);
+        assert_eq!(report.stats.outcomes, monolithic.outcomes);
+        assert_eq!(
+            report.stats.emulation_seconds.to_bits(),
+            monolithic.emulation_seconds.to_bits(),
+            "{count} shards: merged modelled time must be bit-identical \
+             ({} vs {})",
+            report.stats.emulation_seconds,
+            monolithic.emulation_seconds
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_after_kill_skips_journaled_experiments() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let (n, seed) = (20, 9);
+    let plan = campaign.plan(&load, n, seed).unwrap();
+    let dir = scratch_dir("resume");
+
+    // A full reference pass over shard 0 of 2.
+    let full_path = dir.join("full.jsonl");
+    let full = run_shard(&campaign, &plan, 0, 2, &full_path, &opts()).unwrap();
+    assert_eq!(full.executed, 10);
+
+    // Simulate a kill: keep the header + 4 journaled experiments and a
+    // torn partial line, as if the process died mid-append.
+    let text = fs::read_to_string(&full_path).unwrap();
+    let keep: Vec<&str> = text.lines().take(5).collect();
+    let crashed_path = dir.join("crashed.jsonl");
+    fs::write(
+        &crashed_path,
+        format!("{}\n{{\"type\":\"exp", keep.join("\n")),
+    )
+    .unwrap();
+
+    let resumed = run_shard(&campaign, &plan, 0, 2, &crashed_path, &opts()).unwrap();
+    assert_eq!(resumed.skipped, 4, "journaled experiments are not re-run");
+    assert_eq!(resumed.executed, 6);
+    assert_eq!(resumed.completed, 10);
+
+    // The healed journal folds to exactly the uninterrupted pass.
+    assert_eq!(resumed.stats.outcomes, full.stats.outcomes);
+    assert_eq!(
+        resumed.stats.emulation_seconds.to_bits(),
+        full.stats.emulation_seconds.to_bits()
+    );
+
+    // And a replayed journal has every shard-0 experiment exactly once.
+    let replay = Journal::load(&crashed_path).unwrap();
+    let indices: Vec<u64> = replay.settled_indices().into_iter().collect();
+    assert_eq!(
+        indices,
+        (0..n as u64).filter(|i| i % 2 == 0).collect::<Vec<_>>()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_campaign() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let dir = scratch_dir("mismatch");
+    let path = dir.join("s0.jsonl");
+
+    let plan = campaign.plan(&load, 10, 1).unwrap();
+    run_shard(&campaign, &plan, 0, 2, &path, &opts()).unwrap();
+
+    // Same journal, different seed: resume must refuse, not silently mix.
+    let other = campaign.plan(&load, 10, 2).unwrap();
+    let err = run_shard(&campaign, &other, 0, 2, &path, &opts()).unwrap_err();
+    assert!(matches!(err, DispatchError::Mismatch(_)), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_rejects_journals_of_different_campaigns() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let dir = scratch_dir("mergemismatch");
+
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    let plan1 = campaign.plan(&load, 8, 1).unwrap();
+    let plan2 = campaign.plan(&load, 8, 2).unwrap();
+    run_shard(&campaign, &plan1, 0, 2, &a, &opts()).unwrap();
+    run_shard(&campaign, &plan2, 1, 2, &b, &opts()).unwrap();
+    let err = merge(&[a, b]).unwrap_err();
+    assert!(matches!(err, DispatchError::Mismatch(_)), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_reports_missing_experiments_of_unrun_shards() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let dir = scratch_dir("missing");
+    let path = dir.join("s1.jsonl");
+
+    let plan = campaign.plan(&load, 9, 5).unwrap();
+    run_shard(&campaign, &plan, 1, 3, &path, &opts()).unwrap();
+    let report = merge(&[path]).unwrap();
+    assert!(!report.is_complete());
+    assert_eq!(report.completed, 3);
+    assert_eq!(
+        report.missing,
+        vec![0, 2, 3, 5, 6, 8],
+        "everything outside shard 1 of 3 is missing"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod context;
+pub mod dispatch_cli;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

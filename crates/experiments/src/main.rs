@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! fades-experiments [table1|fig10|table2|fig11|fig12|fig13|fig14|fig15|table3|table4|permanent|techniques|scaling|setup|all]
+//! fades-experiments shard I/N <journal.jsonl> [load]   # run one shard, journaled
+//! fades-experiments resume <journal.jsonl>             # finish a journaled shard
+//! fades-experiments merge <journal.jsonl>...           # fold shards into one result
 //! ```
 //!
 //! Environment:
@@ -42,10 +45,16 @@ fn usage() -> String {
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(result) = fades_experiments::dispatch_cli::try_dispatch(&args) {
+        fades_telemetry::set_enabled(true);
+        return result;
+    }
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment `{which}`");
         eprintln!("{}", usage());
+        eprintln!("or: fades-experiments shard I/N <journal> [load] | resume <journal> | merge <journal>...");
         std::process::exit(2);
     }
     fades_telemetry::set_enabled(true);

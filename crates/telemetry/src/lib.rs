@@ -42,7 +42,9 @@ mod summary;
 pub use counter::{Counter, Gauge};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use record::{CampaignAggregate, ExperimentRecord, OutcomeCounts, Recorder, RecorderHandle};
-pub use registry::{drain_aggregates, peek_aggregates, push_aggregate, write_bench_json};
+pub use registry::{
+    atomic_write, drain_aggregates, peek_aggregates, push_aggregate, write_bench_json,
+};
 pub use runlog::run_log_path;
 #[doc(hidden)]
 pub use span::span_phase;
@@ -145,6 +147,33 @@ pub mod fastpath {
         EARLY_STOPPED.reset();
         PREFIX_CYCLES_SKIPPED.reset();
         EARLY_STOP_CYCLES_SKIPPED.reset();
+    }
+}
+
+/// Process-wide counters for the sharded/resumable campaign dispatcher
+/// (`fades-dispatch`): how much work was retried after a contained
+/// failure, set aside as unrunnable, or skipped because a journal
+/// already recorded it.
+///
+/// Like [`fastpath`], these are always live — one atomic add per
+/// retried/quarantined/skipped *experiment*, so visibility costs nothing
+/// on the happy path.
+pub mod dispatch {
+    use super::Counter;
+
+    /// Experiment attempts re-run after a contained panic or error.
+    pub static RETRIES: Counter = Counter::new();
+    /// Experiments quarantined after exhausting their attempts.
+    pub static QUARANTINES: Counter = Counter::new();
+    /// Experiments skipped on resume because the journal already held
+    /// their outcome.
+    pub static RESUME_SKIPPED: Counter = Counter::new();
+
+    /// Resets all three counters (between runs or tests).
+    pub fn reset() {
+        RETRIES.reset();
+        QUARANTINES.reset();
+        RESUME_SKIPPED.reset();
     }
 }
 

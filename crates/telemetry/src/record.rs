@@ -50,6 +50,9 @@ pub struct ExperimentRecord {
     pub early_stop_cycles: u64,
     /// Real wall-clock microseconds this experiment took to emulate.
     pub wall_us: u64,
+    /// Execution attempts it took (1 = first try; >1 means the isolating
+    /// executor retried after a contained panic or error).
+    pub attempts: u64,
 }
 
 impl ExperimentRecord {
@@ -74,6 +77,7 @@ impl ExperimentRecord {
             .u64("skipped_cycles", self.skipped_cycles)
             .u64("early_stop_cycles", self.early_stop_cycles)
             .u64("wall_us", self.wall_us)
+            .u64("attempts", self.attempts.max(1))
             .finish()
     }
 }
@@ -261,6 +265,7 @@ impl Recorder {
             bulk_bytes: 0,
             skipped_cycles: 0,
             early_stop_cycles: 0,
+            retried: 0,
             exp_wall: HistogramSnapshot::empty(),
         };
         for r in &records {
@@ -276,6 +281,7 @@ impl Recorder {
             agg.bulk_bytes += r.bulk_bytes;
             agg.skipped_cycles += r.skipped_cycles;
             agg.early_stop_cycles += r.early_stop_cycles;
+            agg.retried += r.attempts.saturating_sub(1);
             wall.record(r.wall_us);
         }
         agg.exp_wall = wall.snapshot();
@@ -345,6 +351,9 @@ pub struct CampaignAggregate {
     pub skipped_cycles: u64,
     /// Total tail cycles skipped by early-stop convergence detection.
     pub early_stop_cycles: u64,
+    /// Total extra attempts spent retrying experiments (0 when no
+    /// experiment needed more than one try).
+    pub retried: u64,
     /// Per-experiment real wall-clock distribution (µs).
     pub exp_wall: HistogramSnapshot,
 }
@@ -401,6 +410,7 @@ impl CampaignAggregate {
             .u64("bulk_bytes", self.bulk_bytes)
             .u64("skipped_cycles", self.skipped_cycles)
             .u64("early_stop_cycles", self.early_stop_cycles)
+            .u64("retried", self.retried)
             .u64("p50_us", self.exp_wall.p50())
             .u64("p90_us", self.exp_wall.p90())
             .u64("p99_us", self.exp_wall.p99())

@@ -37,9 +37,32 @@ pub fn drain_aggregates() -> Vec<CampaignAggregate> {
     std::mem::take(&mut *AGGREGATES.lock().expect("telemetry registry poisoned"))
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// temporary file in the same directory (same filesystem, so the rename
+/// cannot cross devices) which is then renamed over `path`. A reader —
+/// or a run killed mid-write — therefore sees either the complete old
+/// file or the complete new one, never a truncated hybrid.
+///
+/// # Errors
+///
+/// Propagates I/O errors; the temporary file is cleaned up on failure.
+pub fn atomic_write(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("atomic-write");
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Writes the machine-readable campaign benchmark file
 /// (`BENCH_campaign.json`): overall faults/sec, mean µs/fault (real) and
 /// mean modelled s/fault, the outcome mix, and one entry per campaign.
+/// The write is [atomic](atomic_write) — a killed run never leaves a
+/// truncated bench file.
 ///
 /// # Errors
 ///
@@ -100,5 +123,5 @@ pub fn write_bench_json(
         .raw("campaigns", &array(&campaigns))
         .finish();
 
-    std::fs::write(path, format!("{doc}\n"))
+    atomic_write(path, &format!("{doc}\n"))
 }
