@@ -135,6 +135,7 @@ fn bench_fastpath(c: &mut Criterion) {
                 threads: 1,
                 margin_cycles: 64,
                 fastpath,
+                batch: true,
             },
         )
         .expect("campaign");
@@ -145,10 +146,95 @@ fn bench_fastpath(c: &mut Criterion) {
     group.finish();
 }
 
+/// Interpreter settle cost with no forces versus one active force. The
+/// per-net force index makes the zero-force hot path a single early-out,
+/// so the no-force variant must match the uninstrumented interpreter and
+/// one force must not reintroduce a per-LUT linear scan.
+fn bench_settle_throughput(c: &mut Criterion) {
+    use fades_netlist::{Force, NetId};
+
+    let workload = workloads::bubblesort();
+    let soc = build_soc(&workload.rom).expect("soc builds");
+    const CYCLES: u64 = 256;
+
+    let mut group = c.benchmark_group("settle_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .throughput(Throughput::Elements(CYCLES));
+
+    group.bench_function("sim_256_cycles_no_forces", |b| {
+        let mut sim = Simulator::new(&soc.netlist).expect("simulates");
+        b.iter(|| {
+            sim.reset();
+            sim.run(CYCLES);
+        })
+    });
+    group.bench_function("sim_256_cycles_one_force", |b| {
+        let mut sim = Simulator::new(&soc.netlist).expect("simulates");
+        b.iter(|| {
+            sim.reset();
+            sim.force(Force::flip(NetId::from_index(soc.netlist.net_count() / 2)));
+            sim.run(CYCLES);
+        })
+    });
+    group.finish();
+}
+
+/// Bit-parallel lane engine vs the scalar per-experiment path: the same
+/// 64-fault single-thread FF bit-flip campaign (identical plan, identical
+/// outcomes and modelled time), emulated 63 machines at a time instead of
+/// one. The ratio is the tentpole's payoff and should stay above 4x.
+fn bench_batch(c: &mut Criterion) {
+    use fades_core::{Campaign, CampaignConfig, DurationRange, FaultLoad, TargetClass};
+    use fades_mcu8051::OBSERVED_PORTS;
+
+    let workload = workloads::bubblesort();
+    let soc = build_soc(&workload.rom).expect("soc builds");
+    let imp = implement(&soc.netlist, ArchParams::virtex1000_like()).expect("implements");
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    const N_FAULTS: usize = 64;
+
+    let campaign = Campaign::with_config(
+        &soc.netlist,
+        imp,
+        &OBSERVED_PORTS,
+        1330,
+        CampaignConfig {
+            threads: 1,
+            margin_cycles: 64,
+            fastpath: true,
+            batch: true,
+        },
+    )
+    .expect("campaign");
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(10))
+        .throughput(Throughput::Elements(N_FAULTS as u64));
+    group.bench_function("scalar_64_ff_flips", |b| {
+        b.iter(|| campaign.run_detailed(&load, N_FAULTS, 7).expect("runs"))
+    });
+    group.bench_function("batched_64_ff_flips", |b| {
+        b.iter(|| {
+            campaign
+                .run_batched_detailed(&load, N_FAULTS, 7)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_substrate,
     bench_telemetry_overhead,
-    bench_fastpath
+    bench_fastpath,
+    bench_settle_throughput,
+    bench_batch
 );
 criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Lane-cohort execution: up to 63 experiments per simulated pass.
+//!
+//! The campaign layer groups lane-expressible plan entries into cohorts
+//! and runs each cohort on one [`BatchDevice`]: lane 0 replays the golden
+//! run, lanes `1..=63` each carry one experiment. A lane whose
+//! configuration has returned to pristine *and* whose sequential state
+//! has reconverged with lane 0 is provably golden for every remaining
+//! cycle, so it retires immediately — outcome decided — and is refilled
+//! from the pending plan if an experiment with a not-yet-passed injection
+//! instant remains. Entries whose injection instant has already passed
+//! when a lane frees up wait for the next pass.
+//!
+//! The choreography per lane is cycle-for-cycle the scalar
+//! [`run_experiment`](crate::experiment::run_experiment) flow — same
+//! inject/tick/settle/observe/edge/remove order, same readback values,
+//! same ledger traffic — which is what the differential test suite pins
+//! down: outcomes, traffic and modelled emulation seconds are
+//! bit-identical to the scalar path.
+
+use std::time::Instant;
+
+use fades_fpga::{BatchDevice, LANES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::classify::Outcome;
+use crate::error::CoreError;
+use crate::experiment::ExperimentResult;
+use crate::golden::GoldenRun;
+use crate::location::ResolvedFault;
+use crate::plan::PlannedExperiment;
+use crate::strategies::{strategy_for, InjectionStrategy};
+use crate::timing::LedgerSummary;
+
+/// Whether the lane engine can express this fault.
+///
+/// Routing mutations alter static timing, which all lanes share, and
+/// oscillating indeterminations reconfigure every cycle of their window
+/// (defeating retirement and costing a full per-cycle mutation per lane),
+/// so both run on the scalar per-experiment path instead.
+pub(crate) fn lane_expressible(fault: &ResolvedFault) -> bool {
+    !matches!(
+        fault,
+        ResolvedFault::WireDelay { .. }
+            | ResolvedFault::FfIndet {
+                oscillating: true,
+                ..
+            }
+            | ResolvedFault::LutIndet {
+                oscillating: true,
+                ..
+            }
+    )
+}
+
+/// One occupied lane: the experiment it carries and its execution state.
+struct LaneSlot<'p> {
+    planned: &'p PlannedExperiment,
+    strategy: Box<dyn InjectionStrategy>,
+    rng: StdRng,
+    diverged: bool,
+    started: Instant,
+}
+
+impl<'p> LaneSlot<'p> {
+    fn new(planned: &'p PlannedExperiment, sub_cycle: bool) -> Self {
+        LaneSlot {
+            planned,
+            strategy: strategy_for(&planned.fault, sub_cycle),
+            rng: StdRng::seed_from_u64(planned.seed),
+            diverged: false,
+            started: Instant::now(),
+        }
+    }
+
+    fn finish(
+        self,
+        batch: &BatchDevice,
+        lane: usize,
+        outcome: Outcome,
+        early_stop_cycles: u64,
+    ) -> (u64, ExperimentResult) {
+        (
+            self.planned.index,
+            ExperimentResult {
+                fault: self.planned.fault.clone(),
+                schedule: self.planned.schedule,
+                outcome,
+                traffic: LedgerSummary::from(batch.ledger(lane)),
+                strategy: self.strategy.name(),
+                wall_us: self.started.elapsed().as_micros() as u64,
+                skipped_cycles: 0,
+                early_stop_cycles,
+            },
+        )
+    }
+}
+
+/// Runs every entry of `entries` through the lane engine, one experiment
+/// per lane, over as many passes as refilling requires. Returns
+/// `(plan index, result)` pairs in ascending plan-index order.
+pub(crate) fn run_lane_cohorts<'p>(
+    batch: &mut BatchDevice,
+    golden: &GoldenRun,
+    ports: &[String],
+    sub_cycle: bool,
+    entries: &[&'p PlannedExperiment],
+) -> Result<Vec<(u64, ExperimentResult)>, CoreError> {
+    let run_cycles = golden.cycles();
+    for e in entries {
+        if e.schedule.inject_at >= run_cycles {
+            return Err(CoreError::BadSchedule {
+                at: e.schedule.inject_at,
+                run_cycles,
+            });
+        }
+    }
+    let port_wires: Vec<Vec<u32>> = ports
+        .iter()
+        .map(|p| {
+            batch
+                .output_wires(p)
+                .map_err(|_| CoreError::UnknownPort(p.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Ascending injection instants maximise refills: a freed lane can
+    // only take an entry whose injection instant has not yet passed.
+    let mut pending: Vec<&'p PlannedExperiment> = entries.to_vec();
+    pending.sort_by_key(|e| (e.schedule.inject_at, e.index));
+
+    let mut results: Vec<(u64, ExperimentResult)> = Vec::with_capacity(entries.len());
+    while !pending.is_empty() {
+        batch.reset();
+        let mut slots: Vec<Option<LaneSlot<'p>>> = (0..LANES).map(|_| None).collect();
+        let mut occupied = 0usize;
+        let mut cursor = 0usize;
+        let mut leftovers: Vec<&'p PlannedExperiment> = Vec::new();
+        for slot in slots.iter_mut().skip(1) {
+            let Some(&planned) = pending.get(cursor) else {
+                break;
+            };
+            cursor += 1;
+            *slot = Some(LaneSlot::new(planned, sub_cycle));
+            occupied += 1;
+        }
+
+        for cycle in 0..run_cycles {
+            // Retire reconverged lanes at the top of the cycle (the batch
+            // analogue of the scalar early-stop hash check, by true
+            // equality — equal state and pristine config imply the hash
+            // check passes too).
+            let any_inert = slots
+                .iter()
+                .flatten()
+                .any(|s| s.planned.schedule.inert_at(cycle));
+            if any_inert {
+                let seq = batch.seq_divergence();
+                let conf = batch.config_divergence();
+                for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
+                    let retire = entry.as_ref().is_some_and(|s| {
+                        s.planned.schedule.inert_at(cycle)
+                            && (seq >> lane) & 1 == 0
+                            && (conf >> lane) & 1 == 0
+                    });
+                    if !retire {
+                        continue;
+                    }
+                    let slot = entry.take().expect("retire checked occupancy");
+                    occupied -= 1;
+                    let outcome = if slot.diverged {
+                        Outcome::Failure
+                    } else {
+                        Outcome::Silent
+                    };
+                    fades_telemetry::sim::record_lane_retirement();
+                    results.push(slot.finish(batch, lane, outcome, run_cycles - cycle));
+                    // Refill: skip entries whose injection instant has
+                    // already passed (they wait for the next pass).
+                    while pending
+                        .get(cursor)
+                        .is_some_and(|e| e.schedule.inject_at < cycle)
+                    {
+                        leftovers.push(pending[cursor]);
+                        cursor += 1;
+                    }
+                    if let Some(&planned) = pending.get(cursor) {
+                        cursor += 1;
+                        batch.refill_lane(lane);
+                        *entry = Some(LaneSlot::new(planned, sub_cycle));
+                        occupied += 1;
+                    }
+                }
+            }
+            if occupied == 0 {
+                break;
+            }
+            for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
+                if let Some(s) = entry {
+                    if cycle == s.planned.schedule.inject_at {
+                        s.strategy.inject(&mut batch.lane(lane), &mut s.rng)?;
+                    } else if s.planned.schedule.active(cycle) {
+                        s.strategy.tick(&mut batch.lane(lane), &mut s.rng)?;
+                    }
+                }
+            }
+            batch.settle();
+            match golden.trace().row(cycle as usize) {
+                Some(row) => {
+                    let mut diff = 0u64;
+                    for (wires, &g) in port_wires.iter().zip(row) {
+                        diff |= batch.port_divergence(wires, g);
+                    }
+                    if diff != 0 {
+                        for (lane, s) in slots.iter_mut().enumerate() {
+                            if (diff >> lane) & 1 == 1 {
+                                if let Some(s) = s {
+                                    s.diverged = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for s in slots.iter_mut().flatten() {
+                        s.diverged = true;
+                    }
+                }
+            }
+            batch.clock_edge();
+            fades_telemetry::sim::record_lane_cycle(occupied as u64);
+            for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
+                if let Some(s) = entry {
+                    if s.planned.schedule.expires_after(cycle) {
+                        s.strategy.remove(&mut batch.lane(lane))?;
+                    }
+                }
+            }
+        }
+
+        // Lanes still occupied at the end of the pass: remove an
+        // outliving fault (its removal traffic belongs to this
+        // experiment's ledger, exactly as in the scalar flow), then
+        // classify against the golden final state.
+        for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
+            if let Some(mut slot) = entry.take() {
+                if slot.planned.schedule.outlives(run_cycles) {
+                    slot.strategy.remove(&mut batch.lane(lane))?;
+                }
+                let outcome = if slot.diverged {
+                    Outcome::Failure
+                } else if batch.state_snapshot_lane(lane).as_slice() != golden.final_state() {
+                    Outcome::Latent
+                } else {
+                    Outcome::Silent
+                };
+                results.push(slot.finish(batch, lane, outcome, 0));
+            }
+        }
+
+        leftovers.extend_from_slice(&pending[cursor..]);
+        pending = leftovers;
+    }
+
+    results.sort_by_key(|(index, _)| *index);
+    Ok(results)
+}

@@ -33,6 +33,13 @@ pub struct CampaignConfig {
     /// shortcuts change host wall-clock only — outcomes and modelled
     /// emulation time are identical to the full-simulation path.
     pub fastpath: bool,
+    /// Whether the batched entry points use the bit-parallel lane engine
+    /// (63 experiments plus the golden run per `u64` word). Like
+    /// [`fastpath`](CampaignConfig::fastpath), a host-side shortcut only:
+    /// outcomes, traffic and modelled emulation time are bit-identical to
+    /// the scalar path. With this off, [`Campaign::run_batched`] falls
+    /// back to the scalar executor wholesale.
+    pub batch: bool,
 }
 
 impl Default for CampaignConfig {
@@ -41,6 +48,7 @@ impl Default for CampaignConfig {
             threads: worker_threads(),
             margin_cycles: 64,
             fastpath: fastpath_default(),
+            batch: batch_default(),
         }
     }
 }
@@ -53,6 +61,16 @@ impl Default for CampaignConfig {
 /// both paths (the equivalence test relies on this).
 pub fn fastpath_default() -> bool {
     !matches!(std::env::var("FADES_NO_FASTPATH"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Default for [`CampaignConfig::batch`]: enabled unless the
+/// `FADES_NO_BATCH` escape hatch is set to a non-empty value other than
+/// `0` (kept available for equivalence testing and debugging).
+///
+/// Read per call — not cached — so one process can construct configs on
+/// both paths (the differential test relies on this).
+pub fn batch_default() -> bool {
+    !matches!(std::env::var("FADES_NO_BATCH"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 /// Campaign worker-thread count: `FADES_THREADS` when set to a positive
@@ -290,6 +308,179 @@ impl<'n> Campaign<'n> {
         }
         recorder.finish();
         Ok(stats)
+    }
+
+    /// [`run`](Campaign::run) through the bit-parallel lane engine: plan
+    /// entries are grouped into cohorts of up to 63 and emulated
+    /// simultaneously, one per `u64` lane, with lane 0 replaying the
+    /// golden run. Outcomes, configuration traffic and modelled emulation
+    /// seconds are bit-identical to [`run`](Campaign::run) — the engine
+    /// changes host wall-clock only.
+    ///
+    /// Faults the lane engine cannot express (routing delays, oscillating
+    /// indeterminations) automatically run on the scalar per-experiment
+    /// path, as does the whole plan when [`CampaignConfig::batch`] is off
+    /// or the design cannot be lane-encoded.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Campaign::run).
+    pub fn run_batched(
+        &self,
+        load: &FaultLoad,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<CampaignStats, CoreError> {
+        let label = load.target.to_string();
+        self.run_batched_named(&label, load, n_faults, seed)
+    }
+
+    /// [`run_batched`](Campaign::run_batched) with an explicit campaign
+    /// label for the telemetry sinks.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Campaign::run).
+    pub fn run_batched_named(
+        &self,
+        label: &str,
+        load: &FaultLoad,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<CampaignStats, CoreError> {
+        let plan = self.plan(load, n_faults, seed)?;
+        let threads = self.config.threads.max(1).min(n_faults.max(1));
+        let recorder = Recorder::new(label, n_faults, threads);
+        let results = self.execute_batched(&plan, Some(&recorder))?;
+        let mut stats = CampaignStats::default();
+        for result in &results {
+            stats.accumulate(
+                result.outcome,
+                self.time_model
+                    .experiment_seconds(&result.traffic, self.golden.cycles()),
+            );
+        }
+        recorder.finish();
+        Ok(stats)
+    }
+
+    /// Like [`run_batched`](Campaign::run_batched), returning every
+    /// per-experiment result (in plan order) without feeding the
+    /// telemetry sinks.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Campaign::run).
+    pub fn run_batched_detailed(
+        &self,
+        load: &FaultLoad,
+        n_faults: usize,
+        seed: u64,
+    ) -> Result<Vec<ExperimentResult>, CoreError> {
+        let plan = self.plan(load, n_faults, seed)?;
+        self.execute_batched(&plan, None)
+    }
+
+    /// Executes every experiment of `plan` with lane-cohort batching,
+    /// failing fast on the first experiment error. Results come back in
+    /// plan order. Accepts any plan — including a
+    /// [shard](CampaignPlan::shard), which is how batched execution
+    /// composes with `fades-dispatch`'s sharded runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first experiment error.
+    pub fn execute_batched(
+        &self,
+        plan: &CampaignPlan,
+        recorder: Option<&Recorder>,
+    ) -> Result<Vec<ExperimentResult>, CoreError> {
+        if !self.config.batch {
+            return self.execute(plan, recorder);
+        }
+        let Some(mut engine) = fades_fpga::BatchDevice::new(&self.device) else {
+            // The design is not lane-encodable (pristine memory contents
+            // carry bits beyond their declared width, or a word is wider
+            // than 64 bits): run everything scalar.
+            return self.execute(plan, recorder);
+        };
+        if plan.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let lane_entries: Vec<&PlannedExperiment> = plan
+            .experiments
+            .iter()
+            .filter(|e| crate::batch::lane_expressible(&e.fault))
+            .collect();
+        let scalar_plan = CampaignPlan {
+            target: plan.target.clone(),
+            sub_cycle: plan.sub_cycle,
+            seed: plan.seed,
+            n_total: plan.n_total,
+            experiments: plan
+                .experiments
+                .iter()
+                .filter(|e| !crate::batch::lane_expressible(&e.fault))
+                .cloned()
+                .collect(),
+        };
+        let scalar_results = if scalar_plan.is_empty() {
+            Vec::new()
+        } else {
+            self.execute(&scalar_plan, recorder)?
+        };
+
+        let lane_results = crate::batch::run_lane_cohorts(
+            &mut engine,
+            &self.golden,
+            &self.ports,
+            plan.sub_cycle,
+            &lane_entries,
+        )?;
+        if let Some(recorder) = recorder {
+            let handle = recorder.handle();
+            for (index, result) in &lane_results {
+                handle.record(ExperimentRecord {
+                    index: *index,
+                    target: plan.target.clone(),
+                    strategy: result.strategy.to_string(),
+                    outcome: result.outcome.as_str(),
+                    modelled_s: self
+                        .time_model
+                        .experiment_seconds(&result.traffic, self.golden.cycles()),
+                    ops: result.traffic.ops as u64,
+                    readback_ops: result.traffic.readback_ops as u64,
+                    write_ops: result.traffic.write_ops as u64,
+                    bulk_ops: result.traffic.bulk_ops as u64,
+                    pulse_ops: result.traffic.pulse_ops as u64,
+                    readback_bytes: result.traffic.readback_bytes,
+                    write_bytes: result.traffic.write_bytes,
+                    bulk_bytes: result.traffic.bulk_bytes,
+                    skipped_cycles: result.skipped_cycles,
+                    early_stop_cycles: result.early_stop_cycles,
+                    wall_us: result.wall_us,
+                    attempts: 1,
+                });
+            }
+        }
+
+        // Stitch the two result streams back into plan order (float
+        // accumulation order is part of the bit-identical contract).
+        let mut by_index: std::collections::HashMap<u64, ExperimentResult> =
+            lane_results.into_iter().collect();
+        for (e, r) in scalar_plan.experiments.iter().zip(scalar_results) {
+            by_index.insert(e.index, r);
+        }
+        Ok(plan
+            .experiments
+            .iter()
+            .map(|e| {
+                by_index
+                    .remove(&e.index)
+                    .expect("every plan entry was executed")
+            })
+            .collect())
     }
 
     /// Like [`run`](Campaign::run), returning every per-experiment result.

@@ -22,7 +22,7 @@ pub struct FaultSchedule {
 }
 
 impl FaultSchedule {
-    fn active(&self, cycle: u64) -> bool {
+    pub(crate) fn active(&self, cycle: u64) -> bool {
         cycle >= self.inject_at
             && match self.duration {
                 Some(d) => cycle < self.inject_at + d,
@@ -30,7 +30,7 @@ impl FaultSchedule {
             }
     }
 
-    fn expires_after(&self, cycle: u64) -> bool {
+    pub(crate) fn expires_after(&self, cycle: u64) -> bool {
         match self.duration {
             Some(d) => cycle + 1 == self.inject_at + d,
             None => false,
@@ -42,7 +42,7 @@ impl FaultSchedule {
     /// on the strategy makes no further `tick`/`remove` calls and the
     /// configuration is behaviourally pristine. Never true for permanent
     /// faults.
-    fn inert_at(&self, cycle: u64) -> bool {
+    pub(crate) fn inert_at(&self, cycle: u64) -> bool {
         match self.duration {
             Some(d) => cycle >= self.inject_at.saturating_add(d),
             None => false,

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod campaign;
 mod classify;
 mod error;
@@ -57,7 +58,9 @@ mod plan;
 pub mod strategies;
 mod timing;
 
-pub use campaign::{fastpath_default, worker_threads, Campaign, CampaignConfig, CampaignStats};
+pub use campaign::{
+    batch_default, fastpath_default, worker_threads, Campaign, CampaignConfig, CampaignStats,
+};
 pub use classify::{classify, Outcome, OutcomeStats};
 pub use error::CoreError;
 pub use experiment::{run_experiment, ExperimentResult, FaultSchedule};

@@ -1,6 +1,6 @@
 //! Bit-flip strategies (paper §4.1).
 
-use fades_fpga::{BramId, CbCoord, Device, Mutation, SetReset};
+use fades_fpga::{BramId, CbCoord, ConfigAccess, Mutation, SetReset};
 use rand::rngs::StdRng;
 
 use crate::error::CoreError;
@@ -32,7 +32,7 @@ impl InjectionStrategy for LsrBitFlip {
         "lsr-bitflip"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         let current = dev.readback_ff(self.cb)?;
         dev.apply(&Mutation::SetLsrDrive {
             cb: self.cb,
@@ -42,7 +42,7 @@ impl InjectionStrategy for LsrBitFlip {
         Ok(())
     }
 
-    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, _dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         Ok(()) // A bit-flip remains until rewritten (paper §4.1).
     }
 }
@@ -73,7 +73,7 @@ impl InjectionStrategy for GsrBitFlip {
         "gsr-bitflip"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         let states = dev.readback_all_ffs();
         let drives: Vec<(CbCoord, SetReset)> = states
             .into_iter()
@@ -87,7 +87,7 @@ impl InjectionStrategy for GsrBitFlip {
         Ok(())
     }
 
-    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, _dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         Ok(())
     }
 }
@@ -115,7 +115,7 @@ impl InjectionStrategy for MultiBitFlip {
         "multi-bitflip"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         let states = dev.readback_all_ffs();
         let drives: Vec<(CbCoord, SetReset)> = states
             .into_iter()
@@ -129,7 +129,7 @@ impl InjectionStrategy for MultiBitFlip {
         Ok(())
     }
 
-    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, _dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         Ok(())
     }
 }
@@ -156,7 +156,7 @@ impl InjectionStrategy for MemBitFlip {
         "mem-bitflip"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         let word = dev.readback_bram_word(self.bram, self.addr)?;
         let flipped = (word >> self.bit) & 1 == 0;
         dev.apply(&Mutation::SetBramBit {
@@ -168,7 +168,7 @@ impl InjectionStrategy for MemBitFlip {
         Ok(())
     }
 
-    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, _dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         Ok(())
     }
 }

@@ -1,6 +1,6 @@
 //! Delay strategies (paper §4.3).
 
-use fades_fpga::{Device, Mutation, WireId};
+use fades_fpga::{ConfigAccess, Mutation, WireId};
 use rand::rngs::StdRng;
 
 use crate::error::CoreError;
@@ -59,7 +59,7 @@ impl WireDelayFault {
 }
 
 impl WireDelayFault {
-    fn reconfigure(&self, dev: &mut Device, restore: bool) -> Result<(), CoreError> {
+    fn reconfigure(&self, dev: &mut dyn ConfigAccess, restore: bool) -> Result<(), CoreError> {
         let mutation = self.mutation(restore);
         if self.full_download {
             dev.apply_via_full_download(&mutation)?;
@@ -75,11 +75,11 @@ impl InjectionStrategy for WireDelayFault {
         "wire-delay"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         self.reconfigure(dev, false)
     }
 
-    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         self.reconfigure(dev, true)
     }
 }

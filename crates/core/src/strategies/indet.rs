@@ -8,7 +8,7 @@
 //! Optionally the level oscillates, forcing one reconfiguration per clock
 //! cycle of fault duration — the expensive case §6.2 measures at 4605 s.
 
-use fades_fpga::{CbCoord, Device, Mutation, SetReset};
+use fades_fpga::{CbCoord, ConfigAccess, Mutation, SetReset};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -49,7 +49,7 @@ impl InjectionStrategy for FfIndetFault {
         "ff-indetermination"
     }
 
-    fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, rng: &mut StdRng) -> Result<(), CoreError> {
         // The tool logs the pre-fault state for the experiment record.
         let _pre = dev.readback_ff(self.cb)?;
         self.drive = SetReset::driving(rng.gen());
@@ -61,7 +61,7 @@ impl InjectionStrategy for FfIndetFault {
         Ok(())
     }
 
-    fn tick(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+    fn tick(&mut self, dev: &mut dyn ConfigAccess, rng: &mut StdRng) -> Result<(), CoreError> {
         if self.oscillating {
             // One merged frame write per cycle: new CLR/PR selection plus
             // the set/reset assertion land in the same reconfiguration.
@@ -77,7 +77,7 @@ impl InjectionStrategy for FfIndetFault {
         Ok(())
     }
 
-    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         // De-assert the set/reset line (restore the InvertLSRMux bit); the
         // last random level stays in the flip-flop until rewritten.
         dev.apply(&Mutation::SetLsrDrive {
@@ -115,7 +115,7 @@ impl InjectionStrategy for LutIndetFault {
         "lut-indetermination"
     }
 
-    fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, rng: &mut StdRng) -> Result<(), CoreError> {
         let original = dev.readback_lut_table(self.cb)?;
         self.original = Some(original);
         let level = if rng.gen() { 0xFFFFu16 } else { 0x0000 };
@@ -126,7 +126,7 @@ impl InjectionStrategy for LutIndetFault {
         Ok(())
     }
 
-    fn tick(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError> {
+    fn tick(&mut self, dev: &mut dyn ConfigAccess, rng: &mut StdRng) -> Result<(), CoreError> {
         if !self.oscillating {
             return Ok(());
         }
@@ -138,7 +138,7 @@ impl InjectionStrategy for LutIndetFault {
         Ok(())
     }
 
-    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         let original = self.original.take().expect("remove follows inject");
         dev.apply(&Mutation::SetLutTable {
             cb: self.cb,

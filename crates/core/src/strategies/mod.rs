@@ -19,7 +19,7 @@ pub use indet::{FfIndetFault, LutIndetFault};
 pub use permanent::PermanentLutFault;
 pub use pulse::{CbInputPulse, LutPulseFault};
 
-use fades_fpga::Device;
+use fades_fpga::ConfigAccess;
 use rand::rngs::StdRng;
 
 use crate::error::CoreError;
@@ -39,7 +39,7 @@ pub trait InjectionStrategy: std::fmt::Debug + Send {
     /// # Errors
     ///
     /// Returns an error if the targeted resource is not configured.
-    fn inject(&mut self, dev: &mut Device, rng: &mut StdRng) -> Result<(), CoreError>;
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, rng: &mut StdRng) -> Result<(), CoreError>;
 
     /// Called once per clock cycle while the fault is active (after the
     /// injection cycle). Only oscillating indeterminations and held
@@ -48,7 +48,7 @@ pub trait InjectionStrategy: std::fmt::Debug + Send {
     /// # Errors
     ///
     /// Returns an error if reconfiguration fails.
-    fn tick(&mut self, _dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn tick(&mut self, _dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         Ok(())
     }
 
@@ -59,7 +59,7 @@ pub trait InjectionStrategy: std::fmt::Debug + Send {
     /// # Errors
     ///
     /// Returns an error if reconfiguration fails.
-    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError>;
+    fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError>;
 }
 
 /// Builds the strategy implementing a resolved fault.

@@ -1,6 +1,6 @@
 //! Permanent fault strategies (the paper's §8 future work, implemented).
 
-use fades_fpga::{CbCoord, Device, Mutation, SetReset};
+use fades_fpga::{CbCoord, ConfigAccess, Mutation, SetReset};
 use rand::rngs::StdRng;
 
 use crate::error::CoreError;
@@ -40,7 +40,7 @@ impl InjectionStrategy for PermanentLutFault {
         "permanent-lut"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         let original = dev.readback_lut_table(self.cb)?;
         let faulty = match self.kind {
             PermanentFault::StuckAt => {
@@ -71,7 +71,7 @@ impl InjectionStrategy for PermanentLutFault {
         Ok(())
     }
 
-    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, _dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         Ok(()) // Permanent faults are never removed.
     }
 }
@@ -97,7 +97,7 @@ impl InjectionStrategy for StuckFf {
         "stuck-ff"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         dev.apply(&Mutation::SetLsrDrive {
             cb: self.cb,
             drive: SetReset::driving(self.level),
@@ -106,12 +106,12 @@ impl InjectionStrategy for StuckFf {
         Ok(())
     }
 
-    fn tick(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn tick(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         dev.apply(&Mutation::PulseLsr { cb: self.cb })?;
         Ok(())
     }
 
-    fn remove(&mut self, _dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, _dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         Ok(())
     }
 }

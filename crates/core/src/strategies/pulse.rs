@@ -1,6 +1,6 @@
 //! Pulse strategies (paper §4.2).
 
-use fades_fpga::{CbCoord, Device, Mutation};
+use fades_fpga::{CbCoord, ConfigAccess, Mutation};
 use rand::rngs::StdRng;
 
 use crate::error::CoreError;
@@ -50,7 +50,7 @@ impl InjectionStrategy for LutPulseFault {
         "lut-pulse"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         let original = dev.readback_lut_table(self.cb)?;
         self.original = Some(original);
         dev.apply(&Mutation::SetLutTable {
@@ -64,7 +64,7 @@ impl InjectionStrategy for LutPulseFault {
         Ok(())
     }
 
-    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         let original = self.original.take().expect("remove follows inject");
         if !self.sub_cycle {
             // Re-extract before restoring, guarding against configuration
@@ -101,7 +101,7 @@ impl InjectionStrategy for CbInputPulse {
         "cb-input-pulse"
     }
 
-    fn inject(&mut self, dev: &mut Device, _rng: &mut StdRng) -> Result<(), CoreError> {
+    fn inject(&mut self, dev: &mut dyn ConfigAccess, _rng: &mut StdRng) -> Result<(), CoreError> {
         dev.apply(&Mutation::SetInvertFfIn {
             cb: self.cb,
             invert: true,
@@ -109,7 +109,7 @@ impl InjectionStrategy for CbInputPulse {
         Ok(())
     }
 
-    fn remove(&mut self, dev: &mut Device) -> Result<(), CoreError> {
+    fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
         dev.apply(&Mutation::SetInvertFfIn {
             cb: self.cb,
             invert: false,

@@ -1,0 +1,337 @@
+//! Equivalence of the bit-parallel lane engine with the scalar
+//! per-experiment path.
+//!
+//! The lane engine is a host-side shortcut: each faulty machine still
+//! executes the full workload and its strategy issues the same
+//! reconfigurations in the same order, just 63 machines per `u64` word.
+//! These tests pin that down for every fault load — identical seeds must
+//! give identical faults, outcomes, configuration traffic and
+//! (bit-for-bit) modelled emulation time on both paths, including for
+//! loads whose faults the lane engine cannot express and routes to the
+//! scalar fallback.
+
+use fades_core::{Campaign, CampaignConfig, DurationRange, FaultLoad, PermanentFault, TargetClass};
+use fades_netlist::UnitTag;
+use fades_pnr::implement;
+use fades_rtl::RtlBuilder;
+
+/// The campaign-test LFSR (same fixture shape as `fastpath.rs`).
+fn lfsr_design() -> (fades_netlist::Netlist, fades_pnr::Implementation) {
+    let mut b = RtlBuilder::new("lfsr");
+    b.set_unit(UnitTag::Registers);
+    let r = b.reg("lfsr", 8, 1);
+    let q = r.q().clone();
+    b.set_unit(UnitTag::Alu);
+    let t1 = b.xor_bit(q.bit(7), q.bit(5));
+    let t2 = b.xor_bit(q.bit(4), q.bit(3));
+    let tap = b.xor_bit(t1, t2);
+    let mut bits = vec![tap];
+    bits.extend((0..7).map(|i| q.bit(i)));
+    b.set_unit(UnitTag::Registers);
+    let next = fades_rtl::Signal::from_bits(bits);
+    b.connect(r, &next);
+    b.output("q", &q);
+    let netlist = b.finish().unwrap();
+    let imp = implement(&netlist, fades_fpga::ArchParams::small()).unwrap();
+    (netlist, imp)
+}
+
+fn config(batch: bool) -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        margin_cycles: 64,
+        fastpath: true,
+        batch,
+    }
+}
+
+/// Runs `load` on both paths of the *same* campaign and asserts the
+/// per-experiment results and aggregated stats are identical — outcomes
+/// and traffic exactly, modelled emulation seconds to the bit.
+fn assert_equivalent(
+    nl: &fades_netlist::Netlist,
+    imp: &fades_pnr::Implementation,
+    ports: &[&str],
+    workload_cycles: u64,
+    load: &FaultLoad,
+    n: usize,
+    seed: u64,
+) {
+    let campaign = Campaign::with_config(nl, imp.clone(), ports, workload_cycles, config(true))
+        .expect("campaign");
+    let batched = campaign
+        .run_batched_detailed(load, n, seed)
+        .expect("batched run");
+    let scalar = campaign.run_detailed(load, n, seed).expect("scalar run");
+    assert_eq!(batched.len(), scalar.len());
+    for (b, s) in batched.iter().zip(&scalar) {
+        assert_eq!(b.fault, s.fault, "{load:?}");
+        assert_eq!(b.schedule, s.schedule, "{load:?}");
+        assert_eq!(b.outcome, s.outcome, "{load:?} fault {:?}", b.fault);
+        assert_eq!(
+            b.traffic, s.traffic,
+            "{load:?} fault {:?}: configuration traffic must be identical",
+            b.fault
+        );
+        assert_eq!(b.strategy, s.strategy);
+    }
+    // The modelled campaign time — the paper's reported quantity — must
+    // agree to the bit, not just approximately.
+    let bs = campaign.run_batched(load, n, seed).expect("batched stats");
+    let ss = campaign.run(load, n, seed).expect("scalar stats");
+    assert_eq!(bs.outcomes, ss.outcomes, "{load:?}");
+    assert_eq!(
+        bs.emulation_seconds.to_bits(),
+        ss.emulation_seconds.to_bits(),
+        "{load:?}: modelled emulation time must be bit-identical"
+    );
+}
+
+#[test]
+fn ff_bit_flips_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 12, 201);
+}
+
+#[test]
+fn gsr_bit_flips_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    let mut load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    load.use_gsr = true;
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 202);
+}
+
+#[test]
+fn multiple_bit_flips_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::multiple_bit_flips(TargetClass::AllFfs, 3);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 203);
+}
+
+#[test]
+fn lut_pulses_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SHORT);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 12, 204);
+}
+
+#[test]
+fn cb_input_pulses_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::pulses(TargetClass::CbInputs, DurationRange::SHORT);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 205);
+}
+
+#[test]
+fn wire_delays_fall_back_to_scalar_and_match() {
+    // Routing delays are not lane-expressible: the whole load routes to
+    // the scalar fallback inside `run_batched`, which must still produce
+    // results identical to a plain scalar run.
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::delays(TargetClass::SequentialWires, DurationRange::SHORT);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 206);
+}
+
+#[test]
+fn indeterminations_match_scalar_path() {
+    // `oscillating: false` runs on the lanes; `oscillating: true`
+    // re-randomises every cycle and falls back to the scalar path.
+    let (nl, imp) = lfsr_design();
+    for oscillating in [false, true] {
+        let load =
+            FaultLoad::indeterminations(TargetClass::AllFfs, DurationRange::SHORT, oscillating);
+        assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 207);
+    }
+}
+
+#[test]
+fn lut_indeterminations_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    for oscillating in [false, true] {
+        let load =
+            FaultLoad::indeterminations(TargetClass::AllLuts, DurationRange::SHORT, oscillating);
+        assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 208);
+    }
+}
+
+#[test]
+fn permanent_stuck_at_faults_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::permanent(PermanentFault::StuckAt, TargetClass::AllLuts);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 209);
+}
+
+#[test]
+fn permanent_stuck_ff_faults_match_scalar_path() {
+    // Stuck-at on a flip-flop resolves to the StuckFf strategy, which
+    // re-asserts its level through the LSR every cycle — per-cycle PulseLsr
+    // traffic the lanes must charge identically.
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::permanent(PermanentFault::StuckAt, TargetClass::AllFfs);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 10, 210);
+}
+
+#[test]
+fn permanent_open_line_faults_match_scalar_path() {
+    let (nl, imp) = lfsr_design();
+    for kind in [
+        PermanentFault::OpenLine,
+        PermanentFault::Bridging,
+        PermanentFault::StuckOpen,
+    ] {
+        let load = FaultLoad::permanent(kind, TargetClass::AllLuts);
+        assert_equivalent(&nl, &imp, &["q"], 150, &load, 8, 216);
+    }
+}
+
+#[test]
+fn memory_bit_flips_match_scalar_path() {
+    use fades_mcu8051::{build_soc, workloads, OBSERVED_PORTS};
+    let w = workloads::fibonacci();
+    let soc = build_soc(&w.rom).unwrap();
+    let imp = implement(&soc.netlist, fades_fpga::ArchParams::virtex1000_like()).unwrap();
+    let load = FaultLoad::bit_flips(
+        TargetClass::MemoryBits {
+            name: "iram".into(),
+            lo: w.data_range.0 as usize,
+            hi: w.data_range.1 as usize,
+        },
+        DurationRange::SubCycle,
+    );
+    assert_equivalent(&soc.netlist, &imp, &OBSERVED_PORTS, 700, &load, 6, 211);
+}
+
+#[test]
+fn cohort_overflow_refills_and_multi_pass() {
+    // More experiments than lanes: the runner must refill retired lanes
+    // and, when an entry's injection instant has already passed, carry it
+    // into a later pass — all without disturbing equivalence.
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    assert_equivalent(&nl, &imp, &["q"], 150, &load, 100, 212);
+}
+
+#[test]
+fn batched_execution_composes_with_shards() {
+    // `execute_batched` accepts shards, which is how it composes with
+    // `fades-dispatch`: the union of per-shard results must equal the
+    // monolithic run.
+    let (nl, imp) = lfsr_design();
+    let campaign = Campaign::with_config(&nl, imp, &["q"], 150, config(true)).unwrap();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    let plan = campaign.plan(&load, 20, 213).unwrap();
+    let whole = campaign.execute_batched(&plan, None).unwrap();
+    let mut sharded = Vec::new();
+    for shard in 0..3 {
+        let sub = plan.shard(shard, 3);
+        sharded.extend(
+            campaign
+                .execute_batched(&sub, None)
+                .unwrap()
+                .into_iter()
+                .zip(sub.experiments.iter().map(|e| e.index)),
+        );
+    }
+    sharded.sort_by_key(|(_, index)| *index);
+    assert_eq!(whole.len(), sharded.len());
+    for (w, (s, _)) in whole.iter().zip(&sharded) {
+        assert_eq!(w.fault, s.fault);
+        assert_eq!(w.outcome, s.outcome);
+        assert_eq!(w.traffic, s.traffic);
+    }
+}
+
+#[test]
+fn disabling_batch_makes_run_batched_scalar() {
+    // With `batch: false` the batched entry points must route everything
+    // through the scalar executor — observable as zero lane telemetry.
+    let (nl, imp) = lfsr_design();
+    let campaign = Campaign::with_config(&nl, imp, &["q"], 150, config(false)).unwrap();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    fades_telemetry::sim::reset();
+    let scalar = campaign.run_detailed(&load, 8, 214).unwrap();
+    let batched = campaign.run_batched_detailed(&load, 8, 214).unwrap();
+    assert_eq!(
+        fades_telemetry::sim::LANE_CYCLES.get(),
+        0,
+        "batch: false must never touch the lane engine"
+    );
+    for (b, s) in batched.iter().zip(&scalar) {
+        assert_eq!(b.outcome, s.outcome);
+        assert_eq!(b.traffic, s.traffic);
+    }
+}
+
+/// A counter whose inverted bits feed only an unobserved port (same
+/// fixture shape as `fastpath.rs`): pulses into the inverters are silent
+/// and the lane re-converges with golden once the fault is removed.
+fn dead_logic_design() -> (fades_netlist::Netlist, fades_pnr::Implementation) {
+    let mut b = RtlBuilder::new("dead");
+    let r = b.reg("cnt", 4, 0);
+    let q = r.q().clone();
+    let next = b.add_const(&q, 1);
+    b.connect(r, &next);
+    b.output("q", &q);
+    let mut dead = Vec::new();
+    for i in 0..4 {
+        dead.push(b.not_bit(q.bit(i)));
+    }
+    let dead_sig = fades_rtl::Signal::from_bits(dead);
+    b.output("unused_dbg", &dead_sig);
+    let nl = b.finish().unwrap();
+    let imp = implement(&nl, fades_fpga::ArchParams::small()).unwrap();
+    (nl, imp)
+}
+
+#[test]
+fn silent_faults_retire_lanes_early() {
+    // Guard against the differential suite silently passing because the
+    // batch path quietly fell back to scalar for everything — and check
+    // the batch analogue of early stop: pulses into the dead inverters
+    // reconverge with lane 0 once removed, so those lanes must retire.
+    let (nl, imp) = dead_logic_design();
+    let campaign = Campaign::with_config(&nl, imp.clone(), &["q"], 150, config(true)).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SHORT);
+    fades_telemetry::sim::reset();
+    let batched = campaign.run_batched_detailed(&load, 20, 17).unwrap();
+    assert!(
+        fades_telemetry::sim::LANE_CYCLES.get() > 0,
+        "the lane engine never ran"
+    );
+    assert!(
+        fades_telemetry::sim::LANE_RETIREMENTS.get() > 0,
+        "no lane ever retired early on reconvergence"
+    );
+    fades_telemetry::sim::reset();
+    assert!(
+        batched
+            .iter()
+            .any(|r| r.outcome == fades_core::Outcome::Silent && r.early_stop_cycles > 0),
+        "no silent experiment retired early: {:?}",
+        batched
+            .iter()
+            .map(|r| (r.outcome, r.early_stop_cycles))
+            .collect::<Vec<_>>()
+    );
+    // And the retired outcomes still match the scalar reference.
+    let scalar = campaign.run_detailed(&load, 20, 17).unwrap();
+    for (b, s) in batched.iter().zip(&scalar) {
+        assert_eq!(b.outcome, s.outcome, "fault {:?}", b.fault);
+        assert_eq!(b.traffic, s.traffic);
+    }
+}
+
+#[test]
+fn no_batch_escape_hatch_controls_the_default() {
+    // Read per call (deliberately uncached) so one process can exercise
+    // both settings; no other test in this binary consults the default.
+    std::env::set_var("FADES_NO_BATCH", "1");
+    assert!(!fades_core::batch_default());
+    std::env::set_var("FADES_NO_BATCH", "0");
+    assert!(fades_core::batch_default());
+    std::env::set_var("FADES_NO_BATCH", "");
+    assert!(fades_core::batch_default());
+    std::env::remove_var("FADES_NO_BATCH");
+    assert!(fades_core::batch_default());
+}

@@ -67,6 +67,7 @@ fn config(fastpath: bool) -> CampaignConfig {
         threads: 2,
         margin_cycles: 64,
         fastpath,
+        batch: true,
     }
 }
 

@@ -1,0 +1,146 @@
+//! Lane-engine speed-up: the same single-threaded FF bit-flip campaign
+//! executed scalar (one faulty machine at a time) and batched (63 faulty
+//! machines plus golden per `u64` word).
+//!
+//! Both runs feed the telemetry recorder under distinct labels, so
+//! `BENCH_campaign.json` reports `faults_per_sec` for each and the ratio
+//! tracks the lane engine's payoff across PRs. The section also
+//! re-asserts the equivalence contract on the spot: identical outcome
+//! tallies and bit-identical modelled emulation seconds.
+
+use std::time::Instant;
+
+use fades_core::{
+    Campaign, CampaignConfig, CampaignStats, CoreError, DurationRange, FaultLoad, TargetClass,
+};
+use fades_mcu8051::OBSERVED_PORTS;
+
+use crate::context::ExperimentContext;
+use crate::tablefmt::TextTable;
+
+/// One execution path's measurement.
+#[derive(Debug, Clone)]
+pub struct PathRow {
+    /// Execution path name.
+    pub path: &'static str,
+    /// Faults emulated per host wall-clock second.
+    pub faults_per_sec: f64,
+    /// Mean modelled seconds per fault (must agree across paths).
+    pub modelled_s_per_fault: f64,
+    /// Failure percentage (must agree across paths).
+    pub failure_pct: f64,
+}
+
+/// The regenerated comparison.
+#[derive(Debug, Clone)]
+pub struct BatchSpeedResult {
+    /// Scalar row then batched row.
+    pub rows: Vec<PathRow>,
+    /// Host wall-clock speed-up of the batched path over scalar.
+    pub speedup: f64,
+    /// Mean occupied lanes per batch cycle.
+    pub mean_lane_occupancy: f64,
+    /// Lanes retired early on golden reconvergence.
+    pub lane_retirements: u64,
+}
+
+/// Runs the scalar and batched campaigns and checks their equivalence.
+///
+/// # Errors
+///
+/// Propagates campaign errors, and reports a corrupted-equivalence error
+/// if the two paths disagree (they must be bit-identical).
+pub fn run(
+    ctx: &ExperimentContext,
+    n_faults: usize,
+    seed: u64,
+) -> Result<BatchSpeedResult, CoreError> {
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
+    let campaign = Campaign::with_config(
+        &ctx.soc().netlist,
+        ctx.implementation().clone(),
+        &OBSERVED_PORTS,
+        ctx.workload_cycles(),
+        CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        },
+    )?;
+
+    let t0 = Instant::now();
+    let scalar = campaign.run_named("ff-flip-scalar", &load, n_faults, seed)?;
+    let scalar_wall = t0.elapsed().as_secs_f64();
+
+    fades_telemetry::sim::LANE_CYCLES.reset();
+    fades_telemetry::sim::BATCH_CYCLES.reset();
+    fades_telemetry::sim::LANE_RETIREMENTS.reset();
+    let t1 = Instant::now();
+    let batched = campaign.run_batched_named("ff-flip-batched", &load, n_faults, seed)?;
+    let batched_wall = t1.elapsed().as_secs_f64();
+
+    assert_equivalent(&scalar, &batched);
+
+    let lane_cycles = fades_telemetry::sim::LANE_CYCLES.get();
+    let batch_cycles = fades_telemetry::sim::BATCH_CYCLES.get();
+    let rows = vec![
+        row("scalar", &scalar, n_faults, scalar_wall),
+        row("batched (64 lanes)", &batched, n_faults, batched_wall),
+    ];
+    Ok(BatchSpeedResult {
+        rows,
+        speedup: if batched_wall > 0.0 {
+            scalar_wall / batched_wall
+        } else {
+            f64::INFINITY
+        },
+        mean_lane_occupancy: if batch_cycles > 0 {
+            lane_cycles as f64 / batch_cycles as f64
+        } else {
+            0.0
+        },
+        lane_retirements: fades_telemetry::sim::LANE_RETIREMENTS.get(),
+    })
+}
+
+fn row(path: &'static str, stats: &CampaignStats, n: usize, wall_s: f64) -> PathRow {
+    PathRow {
+        path,
+        faults_per_sec: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+        modelled_s_per_fault: stats.mean_seconds_per_fault(),
+        failure_pct: stats.outcomes.failure_pct(),
+    }
+}
+
+fn assert_equivalent(scalar: &CampaignStats, batched: &CampaignStats) {
+    assert_eq!(
+        scalar.outcomes, batched.outcomes,
+        "lane engine diverged from the scalar path: outcome tallies differ"
+    );
+    assert_eq!(
+        scalar.emulation_seconds.to_bits(),
+        batched.emulation_seconds.to_bits(),
+        "lane engine diverged from the scalar path: modelled time differs"
+    );
+}
+
+impl BatchSpeedResult {
+    /// Renders the comparison.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&["path", "faults/s (host)", "s/fault (model)", "failure %"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.path.to_string(),
+                format!("{:.1}", r.faults_per_sec),
+                format!("{:.2}", r.modelled_s_per_fault),
+                format!("{:.1}", r.failure_pct),
+            ]);
+        }
+        t.row(vec![
+            "speed-up".to_string(),
+            format!("{:.1}x", self.speedup),
+            format!("occupancy {:.1} lanes", self.mean_lane_occupancy),
+            format!("{} retired", self.lane_retirements),
+        ]);
+        t
+    }
+}

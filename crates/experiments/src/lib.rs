@@ -18,6 +18,7 @@
 //! | [`permanent`] | §8 extension | permanent fault models |
 //! | [`scaling`] | §7.1 | speed-up vs workload length |
 //! | [`techniques`] | §7.3 | RTR vs CTR vs simulation |
+//! | [`batchspeed`] | §7 extension | scalar vs bit-parallel lane engine |
 //!
 //! Runners take an [`ExperimentContext`] (the implemented 8051 running
 //! Bubblesort) and a fault count; the `fades-experiments` binary renders
@@ -29,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batchspeed;
 mod context;
 pub mod dispatch_cli;
 pub mod fig10;

@@ -1,7 +1,7 @@
 //! Command-line regenerator for every table and figure of the paper.
 //!
 //! ```text
-//! fades-experiments [table1|fig10|table2|fig11|fig12|fig13|fig14|fig15|table3|table4|permanent|techniques|scaling|setup|all]
+//! fades-experiments [table1|fig10|table2|fig11|fig12|fig13|fig14|fig15|table3|table4|permanent|techniques|scaling|batch|setup|all]
 //! fades-experiments shard I/N <journal.jsonl> [load]   # run one shard, journaled
 //! fades-experiments resume <journal.jsonl>             # finish a journaled shard
 //! fades-experiments merge <journal.jsonl>...           # fold shards into one result
@@ -13,16 +13,18 @@
 //! * `FADES_THREADS`  — campaign worker threads (default `min(cores, 8)`)
 //! * `FADES_RUN_LOG`  — append a JSONL run log (one line per experiment) here
 //! * `FADES_PROGRESS` — `1`/`0` forces the stderr progress ticker on/off
+//! * `FADES_NO_BATCH` — `1` disables the bit-parallel lane engine (the
+//!   `batch` section then compares scalar against scalar)
 
 use std::error::Error;
 use std::time::Instant;
 
 use fades_experiments::{
-    fault_count_from_env, fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling,
+    batchspeed, fault_count_from_env, fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling,
     seed_from_env, table1, table2, table3, table4, techniques, ExperimentContext,
 };
 
-const KNOWN: [&str; 15] = [
+const KNOWN: [&str; 16] = [
     "setup",
     "table1",
     "fig10",
@@ -37,6 +39,7 @@ const KNOWN: [&str; 15] = [
     "permanent",
     "techniques",
     "scaling",
+    "batch",
     "all",
 ];
 
@@ -135,6 +138,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     if all || which == "scaling" {
         section("§7.1 — speed-up vs workload length");
         print!("{}", scaling::run(n, seed)?.table());
+    }
+    if all || which == "batch" {
+        section("§7 extension — scalar vs bit-parallel lane engine");
+        print!("{}", batchspeed::run(&ctx, n, seed)?.table());
     }
 
     let aggregates = fades_telemetry::drain_aggregates();

@@ -14,8 +14,11 @@ use crate::state::{self, DeviceState};
 use crate::timing::TimingReport;
 
 /// Data source of a flip-flop node, resolved at compile time.
+///
+/// Crate-visible so the bit-parallel lane engine (`batch` module) can run
+/// the same compiled structures 64 lanes at a time.
 #[derive(Debug, Clone, Copy)]
-enum FfData {
+pub(crate) enum FfData {
     /// Output of the LUT node with this index.
     LutInternal(u32),
     /// Value of the wire with this index.
@@ -23,28 +26,28 @@ enum FfData {
 }
 
 #[derive(Debug, Clone)]
-struct LutNode {
-    cb_flat: u32,
-    pins: [Option<u32>; 4],
-    out_wire: Option<u32>,
+pub(crate) struct LutNode {
+    pub(crate) cb_flat: u32,
+    pub(crate) pins: [Option<u32>; 4],
+    pub(crate) out_wire: Option<u32>,
 }
 
 #[derive(Debug, Clone)]
-struct FfNode {
-    cb_flat: u32,
-    data: FfData,
-    out_wire: Option<u32>,
+pub(crate) struct FfNode {
+    pub(crate) cb_flat: u32,
+    pub(crate) data: FfData,
+    pub(crate) out_wire: Option<u32>,
 }
 
 #[derive(Debug, Clone)]
-struct BramWritePort {
-    we: Option<u32>,
-    addr: Vec<u32>,
-    din: Vec<u32>,
+pub(crate) struct BramWritePort {
+    pub(crate) we: Option<u32>,
+    pub(crate) addr: Vec<u32>,
+    pub(crate) din: Vec<u32>,
 }
 
 #[derive(Debug, Clone, Copy)]
-enum CombNode {
+pub(crate) enum CombNode {
     Lut(u32),
     Bram(u32),
 }
@@ -64,22 +67,22 @@ pub struct Device {
     /// Pristine copy for per-experiment reset (the tool keeps the original
     /// configuration file on the host; restoring state between experiments
     /// is the workload's own initialisation plus this host-side copy).
-    pristine: Bitstream,
+    pub(crate) pristine: Bitstream,
     ledger: TransferLedger,
     cycle: u64,
 
     // Compiled structures (connectivity never changes at run time; LUT
     // tables, mux bits, memory contents and routing delays are read live
-    // from `bits`).
-    luts: Vec<LutNode>,
-    ffs: Vec<FfNode>,
+    // from `bits`). Crate-visible so the lane engine can harvest them.
+    pub(crate) luts: Vec<LutNode>,
+    pub(crate) ffs: Vec<FfNode>,
     /// Flip-flop node index per CB (u32::MAX if none).
-    ff_of_cb: Vec<u32>,
+    pub(crate) ff_of_cb: Vec<u32>,
     /// LUT node index per CB (u32::MAX if none).
-    lut_of_cb: Vec<u32>,
-    bram_write_ports: Vec<BramWritePort>,
-    bram_dout_wires: Vec<Vec<Option<u32>>>,
-    eval_order: Vec<CombNode>,
+    pub(crate) lut_of_cb: Vec<u32>,
+    pub(crate) bram_write_ports: Vec<BramWritePort>,
+    pub(crate) bram_dout_wires: Vec<Vec<Option<u32>>>,
+    pub(crate) eval_order: Vec<CombNode>,
 
     // Runtime state.
     wire_values: Vec<bool>,
@@ -87,7 +90,7 @@ pub struct Device {
     ff_state: Vec<bool>,
     ff_prev_d: Vec<bool>,
     bram_prev_write: Vec<(bool, usize, u64)>,
-    timing: TimingReport,
+    pub(crate) timing: TimingReport,
 
     // Incremental digests for state-hash convergence checks (see the
     // `state` module). `behav_hash` covers behaviour-affecting

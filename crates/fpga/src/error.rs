@@ -56,6 +56,9 @@ pub enum FpgaError {
     },
     /// A configuration file could not be parsed.
     BadConfigFile(String),
+    /// A mutation cannot be expressed in the bit-parallel lane engine
+    /// (routing mutations alter timing, which all lanes share).
+    LaneUnsupported(&'static str),
 }
 
 impl fmt::Display for FpgaError {
@@ -92,6 +95,9 @@ impl fmt::Display for FpgaError {
                 write!(f, "not enough spare {what} for delay detour")
             }
             FpgaError::BadConfigFile(msg) => write!(f, "bad configuration file: {msg}"),
+            FpgaError::LaneUnsupported(what) => {
+                write!(f, "{what} is not expressible in the lane engine")
+            }
         }
     }
 }

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod batch;
 mod bitstream;
 mod bram;
 mod cb;
@@ -67,6 +68,7 @@ mod state;
 mod timing;
 
 pub use arch::ArchParams;
+pub use batch::{BatchDevice, ConfigAccess, LaneDevice, GOLDEN_LANE_MASK, LANES};
 pub use bitstream::Bitstream;
 pub use bram::BramConfig;
 pub use cb::{CbConfig, FfDSrc, SetReset};

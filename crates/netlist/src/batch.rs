@@ -1,0 +1,620 @@
+//! Bit-parallel batch simulator: 64 experiments per `u64` word.
+//!
+//! Every net holds a `u64` in which **lane 0 is the golden run** and lanes
+//! 1..=63 are independent faulty experiments. LUT evaluation is the
+//! branch-free mux expansion of the truth table over four input words
+//! ([`crate::cell::eval_table_word`]), flip-flop state and memory contents
+//! are per-lane words, and forces carry a lane mask
+//! ([`LaneForce`]) so each experiment's injection acts only on its own
+//! lane. One `settle`/`clock_edge` pass therefore advances the golden run
+//! *and* 63 faulty machines at the cost of one word-level sweep of the
+//! netlist — the SIMD-within-a-register analogue of the autonomous-
+//! emulation batching that gives FADES-class frameworks their throughput.
+//!
+//! Divergence detection is one XOR against a broadcast of lane 0 per
+//! traced net ([`BatchSimulator::divergence`]); full sequential-state
+//! divergence ([`BatchSimulator::state_divergence`]) supports the
+//! retire-and-refill policy of the campaign layer: a lane whose state word
+//! reconverges with lane 0 can be retired and reloaded with the next
+//! pending experiment.
+
+use crate::cell::{Cell, CellId};
+use crate::error::NetlistError;
+use crate::force::LaneForce;
+use crate::levelize::{levelize, LevelizeResult};
+use crate::net::{NetId, PortDir};
+use crate::netlist::Netlist;
+
+/// Broadcasts bit 0 (the golden lane) of `w` across all 64 lanes.
+#[inline(always)]
+pub fn broadcast_lane0(w: u64) -> u64 {
+    0u64.wrapping_sub(w & 1)
+}
+
+/// True if all 64 lanes of `w` hold the same value.
+#[inline(always)]
+fn uniform(w: u64) -> bool {
+    w == 0 || w == u64::MAX
+}
+
+/// Cycle-accurate bit-parallel simulator over a netlist.
+///
+/// The layout mirrors [`crate::Simulator`] exactly, with every `bool`
+/// widened to a 64-lane `u64`; with no forces active all lanes compute
+/// the identical golden run.
+#[derive(Debug, Clone)]
+pub struct BatchSimulator<'n> {
+    netlist: &'n Netlist,
+    level: LevelizeResult,
+    /// Lane words per net.
+    values: Vec<u64>,
+    /// Flip-flop lane words, indexed by cell index.
+    ff_state: Vec<u64>,
+    /// Memory lane words, indexed by cell index then `addr * width + bit`.
+    mem: Vec<Vec<u64>>,
+    /// Active lane-masked forces, in application order (later forces
+    /// shadow earlier ones on overlapping lanes of the same net).
+    forces: Vec<LaneForce>,
+    /// Per-net flag: at least one force targets this net.
+    forced: Vec<bool>,
+    cycle: u64,
+}
+
+impl<'n> BatchSimulator<'n> {
+    /// Creates a batch simulator with all lanes at their power-on values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist cannot be levelized.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, NetlistError> {
+        let level = levelize(netlist)?;
+        let mut sim = BatchSimulator {
+            netlist,
+            level,
+            values: vec![0; netlist.net_count()],
+            ff_state: vec![0; netlist.cell_count()],
+            mem: vec![Vec::new(); netlist.cell_count()],
+            forces: Vec::new(),
+            forced: vec![false; netlist.net_count()],
+            cycle: 0,
+        };
+        sim.reset();
+        Ok(sim)
+    }
+
+    /// Restores every lane's flip-flops and memories to their power-on
+    /// values and clears forces and the cycle counter. Input values are
+    /// kept.
+    pub fn reset(&mut self) {
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            match cell {
+                Cell::Dff(d) => self.ff_state[i] = broadcast_lane0(d.init as u64),
+                Cell::Ram(r) => {
+                    let width = r.width();
+                    let m = &mut self.mem[i];
+                    m.clear();
+                    m.resize(r.depth() * width, 0);
+                    for (addr, &word) in r.init.iter().enumerate() {
+                        for bit in 0..width {
+                            m[addr * width + bit] = broadcast_lane0(word >> bit);
+                        }
+                    }
+                }
+                Cell::Lut(_) => {}
+            }
+        }
+        self.clear_forces();
+        self.cycle = 0;
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Current cycle count (number of clock edges since reset).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives an input port with the same value on every lane.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::Simulator::set_input`].
+    pub fn set_input(&mut self, name: &str, bits: &[bool]) -> Result<(), NetlistError> {
+        let port = self.netlist.port(name)?;
+        if port.dir != PortDir::Input {
+            return Err(NetlistError::PortDirection {
+                name: name.to_string(),
+                actual: port.dir,
+            });
+        }
+        if port.bits.len() != bits.len() {
+            return Err(NetlistError::WidthMismatch {
+                name: name.to_string(),
+                expected: port.bits.len(),
+                actual: bits.len(),
+            });
+        }
+        for (net, &v) in port.bits.clone().iter().zip(bits) {
+            self.values[net.index()] = broadcast_lane0(v as u64);
+        }
+        Ok(())
+    }
+
+    /// Reads one lane of an output port as an integer (at most 64 bits).
+    /// Call after [`settle`](Self::settle).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port is unknown or is an input.
+    pub fn output_u64_lane(&self, name: &str, lane: usize) -> Result<u64, NetlistError> {
+        let port = self.netlist.port(name)?;
+        if port.dir != PortDir::Output {
+            return Err(NetlistError::PortDirection {
+                name: name.to_string(),
+                actual: port.dir,
+            });
+        }
+        let mut v = 0u64;
+        for (i, n) in port.bits.iter().enumerate().take(64) {
+            v |= ((self.values[n.index()] >> lane) & 1) << i;
+        }
+        Ok(v)
+    }
+
+    /// Lanes whose value on any of `nets` differs from the golden lane 0
+    /// (bit `l` set = lane `l` diverged). One XOR per traced net.
+    pub fn divergence(&self, nets: &[NetId]) -> u64 {
+        let mut d = 0u64;
+        for n in nets {
+            let w = self.values[n.index()];
+            d |= w ^ broadcast_lane0(w);
+        }
+        d
+    }
+
+    /// Lanes whose value on an output port differs from the golden lane 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the port is unknown or is an input.
+    pub fn port_divergence(&self, name: &str) -> Result<u64, NetlistError> {
+        let port = self.netlist.port(name)?;
+        if port.dir != PortDir::Output {
+            return Err(NetlistError::PortDirection {
+                name: name.to_string(),
+                actual: port.dir,
+            });
+        }
+        Ok(self.divergence(&port.bits))
+    }
+
+    /// Lanes whose sequential state (flip-flops and memories) differs from
+    /// the golden lane 0. A zero bit means the lane has reconverged and
+    /// can retire; this scans all state, so callers on hot paths should
+    /// rate-limit it or track flip-flop words incrementally.
+    pub fn state_divergence(&self) -> u64 {
+        let mut d = 0u64;
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            match cell {
+                Cell::Dff(_) => {
+                    let w = self.ff_state[i];
+                    d |= w ^ broadcast_lane0(w);
+                }
+                Cell::Ram(_) => {
+                    for &w in &self.mem[i] {
+                        d |= w ^ broadcast_lane0(w);
+                    }
+                }
+                Cell::Lut(_) => {}
+            }
+        }
+        d
+    }
+
+    /// Current lane word of a flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a flip-flop.
+    pub fn ff_word(&self, id: CellId) -> u64 {
+        assert!(
+            matches!(self.netlist.cell(id), Cell::Dff(_)),
+            "{id} is not a flip-flop"
+        );
+        self.ff_state[id.index()]
+    }
+
+    /// Flips a flip-flop's stored bit on the given lanes (takes effect at
+    /// the next [`settle`](Self::settle)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a flip-flop.
+    pub fn flip_ff_lanes(&mut self, id: CellId, lane_mask: u64) {
+        assert!(
+            matches!(self.netlist.cell(id), Cell::Dff(_)),
+            "{id} is not a flip-flop"
+        );
+        self.ff_state[id.index()] ^= lane_mask;
+    }
+
+    /// Reads one memory word on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a memory or the location is out of range.
+    pub fn mem_word_lane(&self, id: CellId, addr: usize, lane: usize) -> u64 {
+        let Cell::Ram(r) = self.netlist.cell(id) else {
+            panic!("{id} is not a memory");
+        };
+        let width = r.width();
+        let mut v = 0u64;
+        for bit in 0..width {
+            v |= ((self.mem[id.index()][addr * width + bit] >> lane) & 1) << bit;
+        }
+        v
+    }
+
+    /// Flips one stored memory bit on the given lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a memory or the location is out of range.
+    pub fn flip_mem_bit_lanes(&mut self, id: CellId, addr: usize, bit: usize, lane_mask: u64) {
+        let Cell::Ram(r) = self.netlist.cell(id) else {
+            panic!("{id} is not a memory");
+        };
+        let width = r.width();
+        assert!(bit < width, "bit {bit} out of range for {id}");
+        self.mem[id.index()][addr * width + bit] ^= lane_mask;
+    }
+
+    /// Adds a lane-masked force; it applies until
+    /// [`release`](Self::release) or [`clear_forces`](Self::clear_forces).
+    pub fn force(&mut self, force: LaneForce) {
+        self.forced[force.net.index()] = true;
+        self.forces.push(force);
+    }
+
+    /// Removes all forces on the given net, on every lane.
+    pub fn release(&mut self, net: NetId) {
+        self.forces.retain(|f| f.net != net);
+        self.forced[net.index()] = false;
+    }
+
+    /// Removes forces on the given net only where they act on `lane_mask`
+    /// lanes; a force whose mask becomes empty is dropped.
+    pub fn release_lanes(&mut self, net: NetId, lane_mask: u64) {
+        for f in &mut self.forces {
+            if f.net == net {
+                f.lane_mask &= !lane_mask;
+            }
+        }
+        self.forces.retain(|f| f.lane_mask != 0);
+        self.forced[net.index()] = self.forces.iter().any(|f| f.net == net);
+    }
+
+    /// Removes every active force.
+    pub fn clear_forces(&mut self) {
+        for f in &self.forces {
+            self.forced[f.net.index()] = false;
+        }
+        self.forces.clear();
+    }
+
+    /// Number of currently active forces.
+    pub fn force_count(&self) -> usize {
+        self.forces.len()
+    }
+
+    /// Applies every force targeting `net` to the driven word, in
+    /// application order: each force replaces the *driven* value on its
+    /// lanes, so on overlapping lanes the newest force wins — the lane
+    /// generalisation of the scalar simulator's newest-force-wins rule.
+    #[inline]
+    fn forced_word(&self, net: NetId, driven: u64) -> u64 {
+        let mut out = driven;
+        for f in &self.forces {
+            if f.net == net {
+                out = (out & !f.lane_mask) | (f.kind.apply_word(driven) & f.lane_mask);
+            }
+        }
+        out
+    }
+
+    /// Applies forces to nets that are *not* recomputed during LUT
+    /// evaluation (primary inputs and flip-flop outputs); combinational
+    /// outputs are handled inline during [`settle`](Self::settle).
+    fn apply_forces(&mut self) {
+        for i in 0..self.forces.len() {
+            let f = self.forces[i];
+            let driven_by_comb = self
+                .netlist
+                .driver(f.net)
+                .map(|c| !matches!(self.netlist.cell(c), Cell::Dff(_)))
+                .unwrap_or(false);
+            if !driven_by_comb {
+                let w = self.values[f.net.index()];
+                self.values[f.net.index()] =
+                    (w & !f.lane_mask) | (f.kind.apply_word(w) & f.lane_mask);
+            }
+        }
+    }
+
+    /// Propagates values through the combinational fabric on all 64 lanes.
+    pub fn settle(&mut self) {
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            if let Cell::Dff(d) = cell {
+                self.values[d.q.index()] = self.ff_state[i];
+            }
+        }
+        self.apply_forces();
+        let any_forces = !self.forces.is_empty();
+        for idx in 0..self.level.order.len() {
+            let id = self.level.order[idx];
+            match self.netlist.cell(id) {
+                Cell::Lut(l) => {
+                    let mut vals = [0u64; 4];
+                    for (pin, input) in l.inputs.iter().enumerate() {
+                        if let Some(n) = input {
+                            vals[pin] = self.values[n.index()];
+                        }
+                    }
+                    let mut out = l.eval_word(vals);
+                    if any_forces && self.forced[l.output.index()] {
+                        out = self.forced_word(l.output, out);
+                    }
+                    self.values[l.output.index()] = out;
+                }
+                Cell::Ram(r) => {
+                    let width = r.width();
+                    let m = &self.mem[id.index()];
+                    if self.addr_is_uniform(&r.addr) {
+                        // All lanes read the same address: the stored lane
+                        // words are the outputs.
+                        let addr = self.addr_lane(&r.addr, 0);
+                        for (bit, out) in r.dout.iter().enumerate() {
+                            let mut v = m[addr * width + bit];
+                            if any_forces && self.forced[out.index()] {
+                                v = self.forced_word(*out, v);
+                            }
+                            self.values[out.index()] = v;
+                        }
+                    } else {
+                        // Per-lane gather: lanes have diverged on the
+                        // address bus.
+                        let mut words = [0u64; 64];
+                        for (lane, w) in words.iter_mut().enumerate() {
+                            let addr = self.addr_lane(&r.addr, lane);
+                            for bit in 0..width {
+                                *w |= ((m[addr * width + bit] >> lane) & 1) << bit;
+                            }
+                        }
+                        for (bit, out) in r.dout.iter().enumerate() {
+                            let mut v = 0u64;
+                            for (lane, w) in words.iter().enumerate() {
+                                v |= ((w >> bit) & 1) << lane;
+                            }
+                            if any_forces && self.forced[out.index()] {
+                                v = self.forced_word(*out, v);
+                            }
+                            self.values[out.index()] = v;
+                        }
+                    }
+                }
+                Cell::Dff(_) => unreachable!("levelize only yields combinational cells"),
+            }
+        }
+        fades_telemetry::sim::record_settle(self.level.order.len() as u64);
+    }
+
+    fn addr_is_uniform(&self, addr: &[NetId]) -> bool {
+        addr.iter().all(|n| uniform(self.values[n.index()]))
+    }
+
+    fn addr_lane(&self, addr: &[NetId], lane: usize) -> usize {
+        let mut a = 0usize;
+        for (bit, n) in addr.iter().enumerate() {
+            a |= (((self.values[n.index()] >> lane) & 1) as usize) << bit;
+        }
+        a
+    }
+
+    /// Applies the clock edge on all lanes: flip-flops capture `D`,
+    /// memories perform lane-masked enabled writes. Values must be settled
+    /// first. Like the scalar interpreter, the edge is single-phase: it
+    /// reads only the frozen combinational `values` and mutates only
+    /// `ff_state` / `mem`.
+    pub fn clock_edge(&mut self) {
+        for (i, cell) in self.netlist.cells().iter().enumerate() {
+            match cell {
+                Cell::Dff(d) => self.ff_state[i] = self.values[d.d.index()],
+                Cell::Ram(r) => {
+                    let Some(we) = r.write_enable else { continue };
+                    let we_w = self.values[we.index()];
+                    if we_w == 0 {
+                        continue;
+                    }
+                    let width = r.width();
+                    if we_w == u64::MAX && self.addr_is_uniform(&r.addr) {
+                        // Every lane writes the same address.
+                        let addr = self.addr_lane(&r.addr, 0);
+                        for (bit, n) in r.din.iter().enumerate() {
+                            self.mem[i][addr * width + bit] = self.values[n.index()];
+                        }
+                    } else {
+                        let mut lanes = we_w;
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as usize;
+                            lanes &= lanes - 1;
+                            let addr = self.addr_lane(&r.addr, lane);
+                            let bit_mask = 1u64 << lane;
+                            for (bit, n) in r.din.iter().enumerate() {
+                                let din = (self.values[n.index()] >> lane) & 1;
+                                let w = &mut self.mem[i][addr * width + bit];
+                                *w = (*w & !bit_mask) | (din << lane);
+                            }
+                        }
+                    }
+                }
+                Cell::Lut(_) => {}
+            }
+        }
+        self.cycle += 1;
+        fades_telemetry::sim::record_clock_edge();
+    }
+
+    /// Runs one full cycle: settle then clock edge.
+    pub fn step(&mut self) {
+        self.settle();
+        self.clock_edge();
+    }
+
+    /// Runs `n` full cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::Force;
+    use crate::interp::Simulator;
+    use crate::NetlistBuilder;
+
+    fn counter(width: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("counter");
+        let mut qs = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..width {
+            let (q, h) = b.dff_placeholder(format!("cnt[{i}]"), false);
+            qs.push(q);
+            handles.push(h);
+        }
+        let mut carry = b.const1();
+        for (i, h) in handles.into_iter().enumerate() {
+            let d = b.xor2(qs[i], carry);
+            carry = b.and2(carry, qs[i]);
+            b.dff_connect(h, d);
+        }
+        b.output("q", &qs);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_lanes_track_golden_without_forces() {
+        let nl = counter(5);
+        let mut batch = BatchSimulator::new(&nl).unwrap();
+        let mut scalar = Simulator::new(&nl).unwrap();
+        for _ in 0..40 {
+            batch.settle();
+            scalar.settle();
+            assert_eq!(batch.port_divergence("q").unwrap(), 0);
+            for lane in [0usize, 1, 17, 63] {
+                assert_eq!(
+                    batch.output_u64_lane("q", lane).unwrap(),
+                    scalar.output_u64("q").unwrap()
+                );
+            }
+            batch.clock_edge();
+            scalar.clock_edge();
+        }
+        assert_eq!(batch.state_divergence(), 0);
+    }
+
+    #[test]
+    fn lane_force_matches_per_lane_scalar_runs() {
+        let nl = counter(4);
+        let q2 = match nl.cells().iter().find_map(|c| match c {
+            Cell::Dff(d) if d.name == "cnt[2]" => Some(d.q),
+            _ => None,
+        }) {
+            Some(q) => q,
+            None => panic!("cnt[2] not found"),
+        };
+        let mut batch = BatchSimulator::new(&nl).unwrap();
+        // Lane 3: stuck-at-one on cnt[2]'s output; lane 9: flip it.
+        // Injected at cycle 5, released at cycle 8.
+        let mut scalars: Vec<Simulator> = (0..64).map(|_| Simulator::new(&nl).unwrap()).collect();
+        for cycle in 0..20u64 {
+            if cycle == 5 {
+                batch.force(LaneForce::stuck(q2, true, 1 << 3));
+                batch.force(LaneForce::flip(q2, 1 << 9));
+                scalars[3].force(Force::stuck(q2, true));
+                scalars[9].force(Force::flip(q2));
+            }
+            if cycle == 8 {
+                batch.release_lanes(q2, (1 << 3) | (1 << 9));
+                scalars[3].release(q2);
+                scalars[9].release(q2);
+            }
+            batch.settle();
+            let mut expect_div = 0u64;
+            for (lane, s) in scalars.iter_mut().enumerate() {
+                s.settle();
+                assert_eq!(
+                    batch.output_u64_lane("q", lane).unwrap(),
+                    s.output_u64("q").unwrap(),
+                    "cycle {cycle} lane {lane}"
+                );
+                if s.output_u64("q").unwrap() != scalars_golden(&batch) {
+                    expect_div |= 1 << lane;
+                }
+            }
+            assert_eq!(batch.port_divergence("q").unwrap(), expect_div);
+            batch.clock_edge();
+            for s in scalars.iter_mut() {
+                s.clock_edge();
+            }
+        }
+
+        fn scalars_golden(batch: &BatchSimulator) -> u64 {
+            batch.output_u64_lane("q", 0).unwrap()
+        }
+    }
+
+    #[test]
+    fn lane_masked_ram_writes_stay_isolated() {
+        let mut b = NetlistBuilder::new("ram");
+        let addr = b.input("addr", 3);
+        let din = b.input("din", 4);
+        let we = b.input("we", 1)[0];
+        let dout = b.ram("m", &addr, &din, we, 4, &[]).unwrap();
+        b.output("dout", &dout);
+        let nl = b.finish().unwrap();
+        let ram = nl
+            .cells()
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| matches!(c, Cell::Ram(_)).then(|| CellId::from_index(i)))
+            .unwrap();
+        let mut batch = BatchSimulator::new(&nl).unwrap();
+        let bits = |value: u64, width: usize| -> Vec<bool> {
+            (0..width).map(|i| (value >> i) & 1 == 1).collect()
+        };
+        batch.set_input("addr", &bits(5, 3)).unwrap();
+        batch.set_input("din", &bits(0xA, 4)).unwrap();
+        batch.set_input("we", &[true]).unwrap();
+        batch.step();
+        batch.set_input("we", &[false]).unwrap();
+        // Flip a stored bit on lane 7 only.
+        batch.flip_mem_bit_lanes(ram, 5, 1, 1 << 7);
+        batch.settle();
+        assert_eq!(batch.output_u64_lane("dout", 0).unwrap(), 0xA);
+        assert_eq!(batch.output_u64_lane("dout", 7).unwrap(), 0x8);
+        assert_eq!(batch.port_divergence("dout").unwrap(), 1 << 7);
+        assert_eq!(batch.state_divergence(), 1 << 7);
+        assert_eq!(batch.mem_word_lane(ram, 5, 0), 0xA);
+        assert_eq!(batch.mem_word_lane(ram, 5, 7), 0x8);
+        // Write the same word again: the faulty lane reconverges.
+        batch.set_input("we", &[true]).unwrap();
+        batch.step();
+        assert_eq!(batch.state_divergence(), 0);
+    }
+}

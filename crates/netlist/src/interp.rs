@@ -72,6 +72,10 @@ pub struct Simulator<'n> {
     mem: Vec<Vec<u64>>,
     /// Active simulator-command forces.
     forces: Vec<Force>,
+    /// Per-net index into `forces` (`u32::MAX` = no force on that net),
+    /// rebuilt on force/release so the per-LUT-output lookup in `settle`
+    /// is O(1) instead of a linear scan of the force list.
+    force_index: Vec<u32>,
     cycle: u64,
     /// Incremental digest of all memory contents (see [`mem_cell_hash`]),
     /// kept current on every write so [`state_hash`](Self::state_hash)
@@ -95,6 +99,7 @@ impl<'n> Simulator<'n> {
             ff_state: vec![false; netlist.cell_count()],
             mem: vec![Vec::new(); netlist.cell_count()],
             forces: Vec::new(),
+            force_index: vec![u32::MAX; netlist.net_count()],
             cycle: 0,
             mem_hash: 0,
         };
@@ -118,7 +123,7 @@ impl<'n> Simulator<'n> {
                 Cell::Lut(_) => {}
             }
         }
-        self.forces.clear();
+        self.clear_forces();
         self.cycle = 0;
     }
 
@@ -254,16 +259,33 @@ impl<'n> Simulator<'n> {
     /// [`release`](Self::release) or [`clear_forces`](Self::clear_forces).
     pub fn force(&mut self, force: Force) {
         self.forces.push(force);
+        // Later forces shadow earlier ones on the same net, so the index
+        // always points at the newest entry.
+        self.force_index[force.net.index()] = (self.forces.len() - 1) as u32;
     }
 
     /// Removes all forces on the given net.
     pub fn release(&mut self, net: NetId) {
         self.forces.retain(|f| f.net != net);
+        self.force_index[net.index()] = u32::MAX;
+        self.reindex_forces();
     }
 
     /// Removes every active force.
     pub fn clear_forces(&mut self) {
+        for f in &self.forces {
+            self.force_index[f.net.index()] = u32::MAX;
+        }
         self.forces.clear();
+    }
+
+    /// Rewrites the per-net index entries for the current force list
+    /// (positions shift after a removal). O(forces), and the force list is
+    /// short — at most a handful of injected faults at a time.
+    fn reindex_forces(&mut self) {
+        for (i, f) in self.forces.iter().enumerate() {
+            self.force_index[f.net.index()] = i as u32;
+        }
     }
 
     /// Number of currently active forces.
@@ -296,7 +318,7 @@ impl<'n> Simulator<'n> {
                         }
                     }
                     let mut out = l.eval(vals);
-                    if let Some((kind, _)) = self.force_on(l.output) {
+                    if let Some(kind) = self.force_on(l.output) {
                         out = kind.apply(out);
                     }
                     self.values[l.output.index()] = out;
@@ -304,9 +326,9 @@ impl<'n> Simulator<'n> {
                 Cell::Ram(r) => {
                     let addr = self.read_addr(&r.addr);
                     let word = self.mem[id.index()][addr];
-                    for (bit, out) in r.dout.clone().iter().enumerate() {
+                    for (bit, out) in r.dout.iter().enumerate() {
                         let mut v = (word >> bit) & 1 == 1;
-                        if let Some((kind, _)) = self.force_on(*out) {
+                        if let Some(kind) = self.force_on(*out) {
                             v = kind.apply(v);
                         }
                         self.values[out.index()] = v;
@@ -337,12 +359,19 @@ impl<'n> Simulator<'n> {
         }
     }
 
-    fn force_on(&self, net: NetId) -> Option<(ForceKind, NetId)> {
-        self.forces
-            .iter()
-            .rev()
-            .find(|f| f.net == net)
-            .map(|f| (f.kind, f.net))
+    #[inline(always)]
+    fn force_on(&self, net: NetId) -> Option<ForceKind> {
+        // Early-out: the common case is a fault-free settle, which must not
+        // pay a per-output lookup for an empty force list.
+        if self.forces.is_empty() {
+            return None;
+        }
+        let slot = self.force_index[net.index()];
+        if slot == u32::MAX {
+            None
+        } else {
+            Some(self.forces[slot as usize].kind)
+        }
     }
 
     fn read_addr(&self, addr: &[NetId]) -> usize {
@@ -357,37 +386,31 @@ impl<'n> Simulator<'n> {
 
     /// Applies the clock edge: flip-flops capture `D`, memories perform
     /// enabled writes. Values must be settled first.
+    ///
+    /// The update is single-phase with no per-cycle allocation: every
+    /// capture and write reads only the settled combinational `values`
+    /// (frozen during the edge) and mutates only `ff_state` / `mem`, so
+    /// no staging buffers are needed to keep the edge atomic.
     pub fn clock_edge(&mut self) {
-        // Capture all D values before mutating state (two-phase update).
-        let mut captures: Vec<(usize, bool)> = Vec::new();
-        let mut writes: Vec<(usize, usize, u64)> = Vec::new();
         for (i, cell) in self.netlist.cells().iter().enumerate() {
             match cell {
-                Cell::Dff(d) => captures.push((i, self.values[d.d.index()])),
+                Cell::Dff(d) => self.ff_state[i] = self.values[d.d.index()],
                 Cell::Ram(r) => {
                     if let Some(we) = r.write_enable {
                         if self.values[we.index()] {
                             let addr = self.read_addr(&r.addr);
-                            let word = pack_bits(
-                                &r.din
-                                    .iter()
-                                    .map(|n| self.values[n.index()])
-                                    .collect::<Vec<_>>(),
-                            );
-                            writes.push((i, addr, word));
+                            let mut word = 0u64;
+                            for (bit, n) in r.din.iter().enumerate().take(64) {
+                                word |= (self.values[n.index()] as u64) << bit;
+                            }
+                            self.mem_hash ^= mem_cell_hash(i, addr, self.mem[i][addr])
+                                ^ mem_cell_hash(i, addr, word);
+                            self.mem[i][addr] = word;
                         }
                     }
                 }
                 Cell::Lut(_) => {}
             }
-        }
-        for (i, v) in captures {
-            self.ff_state[i] = v;
-        }
-        for (i, addr, word) in writes {
-            self.mem_hash ^=
-                mem_cell_hash(i, addr, self.mem[i][addr]) ^ mem_cell_hash(i, addr, word);
-            self.mem[i][addr] = word;
         }
         self.cycle += 1;
         fades_telemetry::sim::record_clock_edge();
@@ -464,8 +487,9 @@ impl<'n> Simulator<'n> {
         for (dst, src) in self.mem.iter_mut().zip(&snap.mem) {
             dst.copy_from_slice(src);
         }
-        self.forces.clear();
+        self.clear_forces();
         self.forces.extend_from_slice(&snap.forces);
+        self.reindex_forces();
         self.mem_hash = snap.mem_hash;
     }
 
@@ -598,6 +622,34 @@ mod tests {
 
     pub(crate) fn bits(value: u64, width: usize) -> Vec<bool> {
         (0..width).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn force_index_shadows_and_survives_release() {
+        let mut b = NetlistBuilder::new("f");
+        let a = b.input("a", 1)[0];
+        let x = b.not(a);
+        let y = b.not(x);
+        b.output("x", &[x]);
+        b.output("y", &[y]);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", &[false]).unwrap();
+        // Newest force on the same net wins (matches the old reverse scan).
+        sim.force(Force::stuck(x, true));
+        sim.force(Force::flip(x));
+        sim.force(Force::stuck(y, true));
+        sim.settle();
+        assert_eq!(sim.output_u64("x").unwrap(), 0); // not(0)=1, flipped
+        assert_eq!(sim.output_u64("y").unwrap(), 1); // stuck high
+                                                     // Releasing one net re-points the index at the survivors.
+        sim.release(x);
+        sim.settle();
+        assert_eq!(sim.output_u64("x").unwrap(), 1);
+        assert_eq!(sim.output_u64("y").unwrap(), 1);
+        sim.clear_forces();
+        sim.settle();
+        assert_eq!(sim.output_u64("y").unwrap(), 0);
     }
 
     #[test]

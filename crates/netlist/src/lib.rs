@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod builder;
 mod cell;
 mod error;
@@ -59,10 +60,11 @@ mod stats;
 mod trace;
 mod vcd;
 
+pub use batch::{broadcast_lane0, BatchSimulator};
 pub use builder::{DffHandle, NetlistBuilder};
-pub use cell::{Cell, CellId, DffCell, LutCell, RamCell, UnitTag};
+pub use cell::{eval_table_word, Cell, CellId, DffCell, LutCell, RamCell, UnitTag};
 pub use error::NetlistError;
-pub use force::{Force, ForceKind};
+pub use force::{Force, ForceKind, LaneForce};
 pub use interp::{SimSnapshot, Simulator};
 pub use levelize::{levelize, LevelizeResult};
 pub use net::{NetId, PortDir};

@@ -101,10 +101,36 @@ pub mod sim {
         }
     }
 
-    /// Resets both counters (between benchmark sections).
+    /// Faulty-lane cycles executed by the bit-parallel lane engine
+    /// (occupied lanes × batch cycles; the golden lane is not counted).
+    pub static LANE_CYCLES: Counter = Counter::new();
+    /// Cycles executed by the lane engine (each advances all 64 lanes).
+    pub static BATCH_CYCLES: Counter = Counter::new();
+    /// Lanes retired early after reconverging with the golden lane.
+    pub static LANE_RETIREMENTS: Counter = Counter::new();
+
+    /// Records one batch cycle over `occupied` faulty lanes
+    /// (`LANE_CYCLES / BATCH_CYCLES` is the mean lane occupancy). Always
+    /// live — two adds per batch *cycle*, not per lane.
+    #[inline(always)]
+    pub fn record_lane_cycle(occupied: u64) {
+        LANE_CYCLES.add(occupied);
+        BATCH_CYCLES.inc();
+    }
+
+    /// Records one lane retiring early on golden reconvergence.
+    #[inline(always)]
+    pub fn record_lane_retirement() {
+        LANE_RETIREMENTS.inc();
+    }
+
+    /// Resets all counters (between benchmark sections).
     pub fn reset() {
         CYCLES.reset();
         CELL_EVALS.reset();
+        LANE_CYCLES.reset();
+        BATCH_CYCLES.reset();
+        LANE_RETIREMENTS.reset();
     }
 }
 

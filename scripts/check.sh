@@ -31,4 +31,32 @@ for suite in "-p fades-core" "-p fades-dispatch" "-p fades-repro"; do
     echo "-- $suite: $(((end - start) / 1000000)) ms"
 done
 
+# The lane-engine differential suite once more in release (compiler
+# optimisations must not break scalar/batched bit-identity), then the
+# settle and batch throughput microbenches.
+echo "== lane-engine differential suite (release)"
+cargo test -q --release --offline -p fades-core --test batch_equiv
+cargo test -q --release --offline -p fades-core --test batch_props
+
+echo "== settle/batch throughput microbenches (release)"
+cargo bench -q --offline -p fades-bench --bench microbench -- settle_throughput 2>&1 | tail -n +1
+cargo bench -q --offline -p fades-bench --bench microbench -- batch_throughput 2>&1 | tail -n +1
+
+# The lane engine's reason to exist is host wall-clock: the batched
+# 64-fault campaign must beat the scalar one outright, or the gate fails.
+echo "== batched campaign must outrun the scalar campaign"
+FADES_FAULTS=64 cargo run -q --release --offline -p fades-experiments -- batch
+python3 - <<'EOF'
+import json
+
+with open("BENCH_campaign.json") as f:
+    bench = json.load(f)
+rates = {c["campaign"]: c["faults_per_sec"] for c in bench["campaigns"]}
+scalar, batched = rates["ff-flip-scalar"], rates["ff-flip-batched"]
+ratio = batched / scalar if scalar else float("inf")
+print(f"scalar {scalar:.1f} faults/s, batched {batched:.1f} faults/s ({ratio:.1f}x)")
+if batched <= scalar:
+    raise SystemExit("FAIL: batched campaign is no faster than scalar")
+EOF
+
 echo "All checks passed."
