@@ -650,6 +650,7 @@ impl<'n> Campaign<'n> {
                 handles.push(scope.spawn(move |_| -> Result<(), CoreError> {
                     for (planned, out) in chunk_plan.iter().zip(chunk_out.iter_mut()) {
                         slot.store(planned.index, Ordering::Release);
+                        fades_telemetry::trace::set_current_experiment(planned.index);
                         let _span = fades_telemetry::span!("experiment");
                         let mut attempt = 0u32;
                         let verdict = loop {
@@ -760,6 +761,7 @@ impl<'n> Campaign<'n> {
                         }
                         *out = Some(verdict);
                     }
+                    fades_telemetry::trace::clear_current_experiment();
                     Ok(())
                 }));
             }

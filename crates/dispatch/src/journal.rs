@@ -31,6 +31,15 @@ use fades_telemetry::json::{self, JsonObject, JsonValue};
 
 use crate::error::DispatchError;
 
+/// Current wall clock as Unix epoch milliseconds (0 if the clock is
+/// before the epoch, which only happens on a badly misconfigured host).
+pub(crate) fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 /// The self-describing first line of a shard journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalHeader {
@@ -211,6 +220,19 @@ impl JournalRecord {
         }
     }
 
+    /// [`to_json`](JournalRecord::to_json) plus a trailing `at_ms`
+    /// wall-clock stamp (Unix epoch milliseconds). The stamp is
+    /// write-time metadata, not record identity: the loader keeps it out
+    /// of [`JournalRecord`] so replayed duplicates still compare equal,
+    /// and surfaces it separately via
+    /// [`JournalReplay::settled_at_ms`].
+    pub fn to_json_at(&self, at_ms: u64) -> String {
+        let line = self.to_json();
+        // Splice into the object rather than re-deriving every field.
+        debug_assert!(line.ends_with('}'));
+        format!("{},\"at_ms\":{at_ms}}}", &line[..line.len() - 1])
+    }
+
     fn from_json(v: &JsonValue) -> Result<Self, DispatchError> {
         let field_u64 = |k: &str| {
             v.get(k)
@@ -277,6 +299,11 @@ pub struct JournalReplay {
     /// Lines that failed to parse and were skipped (a crash can truncate
     /// the final line; anything more than 1 here deserves suspicion).
     pub malformed_lines: usize,
+    /// Write-time `at_ms` stamps (Unix epoch milliseconds) by settled
+    /// global index, for journals written by timestamping runners.
+    /// Journals from before timestamping load with this empty — status
+    /// reporting degrades to "no throughput estimate", never an error.
+    pub settled_at_ms: BTreeMap<u64, u64>,
 }
 
 impl JournalReplay {
@@ -340,13 +367,15 @@ impl Journal {
         Ok(Journal { file })
     }
 
-    /// Appends one record as a single atomic line write.
+    /// Appends one record as a single atomic line write, stamped with
+    /// the current wall-clock (`at_ms`) so `status` can estimate
+    /// throughput from the journal alone.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn append(&mut self, record: &JournalRecord) -> Result<(), DispatchError> {
-        self.append_line(&record.to_json())
+        self.append_line(&record.to_json_at(now_ms()))
     }
 
     fn append_line(&mut self, line: &str) -> Result<(), DispatchError> {
@@ -397,12 +426,15 @@ impl Journal {
             quarantined: BTreeMap::new(),
             shard_complete: false,
             malformed_lines: 0,
+            settled_at_ms: BTreeMap::new(),
         };
         for line in lines {
             if line.trim().is_empty() {
                 continue;
             }
+            let mut at_ms = None;
             let record = match json::parse(line).map(|v| {
+                at_ms = v.get("at_ms").and_then(JsonValue::as_u64);
                 if v.get("type").and_then(JsonValue::as_str) == Some("plan") {
                     // A resumed run re-created the file instead of
                     // appending; treat an identical header as a no-op and
@@ -432,9 +464,15 @@ impl Journal {
                             )));
                         }
                     }
+                    if let Some(ms) = at_ms {
+                        replay.settled_at_ms.insert(index, ms);
+                    }
                     replay.completed.insert(index, record);
                 }
                 JournalRecord::Quarantined { index, .. } => {
+                    if let Some(ms) = at_ms {
+                        replay.settled_at_ms.insert(index, ms);
+                    }
                     replay.quarantined.insert(index, record);
                 }
                 JournalRecord::ShardComplete { .. } => replay.shard_complete = true,
@@ -568,6 +606,62 @@ mod tests {
         let replay = Journal::load(&path).unwrap();
         assert_eq!(replay.completed.len(), 2, "both real records survive");
         assert_eq!(replay.malformed_lines, 1, "only the garbage is dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_stamps_at_ms_and_load_surfaces_it() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fades-journal-atms-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let before = now_ms();
+        {
+            let mut j = Journal::create(&path, &header()).unwrap();
+            j.append(&JournalRecord::Completed {
+                index: 4,
+                outcome: Outcome::Failure,
+                modelled_seconds: 0.25,
+                attempts: 1,
+            })
+            .unwrap();
+            j.append(&JournalRecord::Quarantined {
+                index: 7,
+                error: "injected".into(),
+                attempts: 2,
+            })
+            .unwrap();
+        }
+        let replay = Journal::load(&path).unwrap();
+        assert_eq!(replay.settled_at_ms.len(), 2);
+        for (&index, &ms) in &replay.settled_at_ms {
+            assert!(ms >= before && ms <= now_ms(), "index {index} stamp {ms}");
+        }
+        // The stamp is metadata: record identity (and thus duplicate
+        // detection) ignores it.
+        assert!(replay.completed.contains_key(&4));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn untimestamped_journals_still_load() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fades-journal-noats-{}.jsonl", std::process::id()));
+        let mut text = header().to_json();
+        text.push('\n');
+        text.push_str(
+            &JournalRecord::Completed {
+                index: 1,
+                outcome: Outcome::Silent,
+                modelled_seconds: 0.5,
+                attempts: 1,
+            }
+            .to_json(),
+        );
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let replay = Journal::load(&path).unwrap();
+        assert_eq!(replay.completed.len(), 1);
+        assert!(replay.settled_at_ms.is_empty(), "no stamps, no estimates");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -28,9 +28,14 @@
 //!   have produced, because per-experiment modelled seconds round-trip
 //!   through the journal as exact f64 bit patterns and are re-summed in
 //!   global plan order.
+//! * **Status** — [`campaign_status`] reads any subset of a campaign's
+//!   shard journals (tolerating torn tails from live or killed writers)
+//!   and derives per-shard and merged progress, throughput, retries,
+//!   quarantines and an ETA from the `at_ms` stamps journal lines carry.
 //!
 //! The experiments CLI exposes this as `fades-experiments shard I/N
-//! <journal>`, `resume <journal>` and `merge <journal>...`.
+//! <journal>`, `resume <journal>`, `merge <journal>...` and
+//! `status <journal>... [--watch]`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,8 +44,12 @@ mod error;
 pub mod journal;
 mod merge;
 mod runner;
+mod status;
 
 pub use error::DispatchError;
 pub use journal::{Journal, JournalHeader, JournalRecord, JournalReplay};
 pub use merge::{merge, merge_replays, MergeReport};
 pub use runner::{run_shard, ShardOptions, ShardOutcome};
+pub use status::{
+    campaign_status, expected_for_shard, latest_activity_ms, ShardStatus, ShardStatusReport,
+};

@@ -1,0 +1,442 @@
+//! Cross-shard campaign status from the journals alone.
+//!
+//! A sharded campaign's ground truth is its append-only journals:
+//! [`campaign_status`] reads them (tolerating torn tails, exactly like
+//! `resume` does) and derives per-shard and merged progress, throughput
+//! and ETA — without talking to the worker processes at all. That makes
+//! the view crash-honest: a dead worker's journal simply stops moving,
+//! which `fades-experiments status --watch` turns into a stall anomaly.
+//!
+//! Throughput comes from the `at_ms` stamps the runner appends with each
+//! settled record. Journals written before timestamping load fine and
+//! report progress, just with no rate/ETA estimate.
+
+use std::path::{Path, PathBuf};
+
+use fades_telemetry::json::JsonObject;
+
+use crate::error::DispatchError;
+use crate::journal::{now_ms, Journal, JournalHeader, JournalReplay};
+
+/// How many of the monolithic plan's `n_total` experiments shard
+/// `shard` (of `of`) owns: the count of global indices `≡ shard (mod
+/// of)` below `n_total`.
+pub fn expected_for_shard(n_total: u64, shard: u32, of: u32) -> u64 {
+    let (shard, of) = (shard as u64, (of as u64).max(1));
+    if shard >= n_total {
+        0
+    } else {
+        (n_total - shard).div_ceil(of)
+    }
+}
+
+/// One shard journal's progress.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// The journal file this was read from.
+    pub path: PathBuf,
+    /// Shard index (0-based).
+    pub shard: u32,
+    /// Total shard count.
+    pub of: u32,
+    /// Experiments this shard owns.
+    pub expected: u64,
+    /// Experiments completed.
+    pub completed: u64,
+    /// Experiments quarantined.
+    pub quarantined: u64,
+    /// Extra attempts spent retrying (attempts beyond the first, summed
+    /// over settled records).
+    pub retried: u64,
+    /// Whether a trailing `shard_complete` marker was seen.
+    pub complete: bool,
+    /// Skipped malformed lines (torn tail from a kill).
+    pub malformed_lines: usize,
+    /// Earliest settled-record stamp (Unix ms), if timestamped.
+    pub first_at_ms: Option<u64>,
+    /// Latest settled-record stamp (Unix ms), if timestamped.
+    pub last_at_ms: Option<u64>,
+    /// Settled experiments per second over the stamped span (needs at
+    /// least two stamps spanning nonzero time).
+    pub rate: Option<f64>,
+}
+
+impl ShardStatus {
+    fn from_replay(path: &Path, replay: &JournalReplay) -> ShardStatus {
+        let header = &replay.header;
+        let retried = replay
+            .completed
+            .values()
+            .chain(replay.quarantined.values())
+            .map(|r| match r {
+                crate::journal::JournalRecord::Completed { attempts, .. }
+                | crate::journal::JournalRecord::Quarantined { attempts, .. } => {
+                    u64::from(attempts.saturating_sub(1))
+                }
+                crate::journal::JournalRecord::ShardComplete { .. } => 0,
+            })
+            .sum();
+        let first_at_ms = replay.settled_at_ms.values().min().copied();
+        let last_at_ms = replay.settled_at_ms.values().max().copied();
+        ShardStatus {
+            path: path.to_path_buf(),
+            shard: header.shard,
+            of: header.of,
+            expected: expected_for_shard(header.n_total, header.shard, header.of),
+            completed: replay.completed.len() as u64,
+            quarantined: replay.quarantined.len() as u64,
+            retried,
+            complete: replay.shard_complete,
+            malformed_lines: replay.malformed_lines,
+            first_at_ms,
+            last_at_ms,
+            rate: rate_over(replay.settled_at_ms.len() as u64, first_at_ms, last_at_ms),
+        }
+    }
+
+    /// Settled experiments (completed + quarantined).
+    pub fn settled(&self) -> u64 {
+        self.completed + self.quarantined
+    }
+}
+
+/// Settled/second over a stamped span; `None` without ≥ 2 stamps
+/// spanning nonzero time.
+fn rate_over(stamped: u64, first_at_ms: Option<u64>, last_at_ms: Option<u64>) -> Option<f64> {
+    let (first, last) = (first_at_ms?, last_at_ms?);
+    let span_s = last.saturating_sub(first) as f64 / 1e3;
+    (stamped >= 2 && span_s > 0.0).then(|| (stamped - 1) as f64 / span_s)
+}
+
+/// The merged cross-shard view [`campaign_status`] computes.
+#[derive(Debug, Clone)]
+pub struct ShardStatusReport {
+    /// The common campaign header (shard index normalised to 0).
+    pub header: JournalHeader,
+    /// Per-shard progress, in input order.
+    pub shards: Vec<ShardStatus>,
+    /// Experiments completed across all provided journals.
+    pub completed: u64,
+    /// Experiments quarantined across all provided journals.
+    pub quarantined: u64,
+    /// Extra retry attempts across all provided journals.
+    pub retried: u64,
+    /// Experiments the *provided* shards own in total. When every shard
+    /// journal is provided this equals the plan's `n_total`.
+    pub expected: u64,
+    /// Settled experiments per second across the union of stamped spans.
+    pub rate: Option<f64>,
+    /// Estimated seconds until the provided shards finish their
+    /// remaining work at the observed rate.
+    pub eta_s: Option<f64>,
+    /// Shard indices of the plan not covered by any provided journal.
+    pub missing_shards: Vec<u32>,
+}
+
+impl ShardStatusReport {
+    /// Settled experiments (completed + quarantined).
+    pub fn settled(&self) -> u64 {
+        self.completed + self.quarantined
+    }
+
+    /// Whether every provided shard wrote its `shard_complete` marker.
+    pub fn all_complete(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.complete)
+    }
+
+    /// Fraction of the provided shards' work settled, in `[0, 1]`.
+    pub fn fraction_done(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            (self.settled() as f64 / self.expected as f64).min(1.0)
+        }
+    }
+
+    /// Serializes the report as one JSON object (stable field order),
+    /// for machine consumers of `fades-experiments status`.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut obj = JsonObject::new()
+                    .u64("shard", s.shard as u64)
+                    .u64("of", s.of as u64)
+                    .u64("expected", s.expected)
+                    .u64("completed", s.completed)
+                    .u64("quarantined", s.quarantined)
+                    .u64("retried", s.retried)
+                    .raw("complete", if s.complete { "true" } else { "false" });
+                obj = match s.rate {
+                    Some(r) => obj.f64("rate", r),
+                    None => obj.raw("rate", "null"),
+                };
+                obj.finish()
+            })
+            .collect();
+        let mut obj = JsonObject::new()
+            .str("type", "status")
+            .str("campaign", &self.header.campaign)
+            .str("load", &self.header.load)
+            .u64("n_total", self.header.n_total)
+            .u64("expected", self.expected)
+            .u64("completed", self.completed)
+            .u64("quarantined", self.quarantined)
+            .u64("retried", self.retried)
+            .f64("fraction_done", self.fraction_done());
+        obj = match self.rate {
+            Some(r) => obj.f64("faults_per_sec", r),
+            None => obj.raw("faults_per_sec", "null"),
+        };
+        obj = match self.eta_s {
+            Some(e) => obj.f64("eta_s", e),
+            None => obj.raw("eta_s", "null"),
+        };
+        let missing: Vec<String> = self.missing_shards.iter().map(|s| s.to_string()).collect();
+        obj.raw("shards", &fades_telemetry::json::array(&shards))
+            .raw("missing_shards", &format!("[{}]", missing.join(",")))
+            .finish()
+    }
+}
+
+/// Reads the shard journals at `paths` and computes the merged
+/// [`ShardStatusReport`]. Journals must belong to one campaign; torn
+/// tails are tolerated exactly as in `resume`/`merge`.
+///
+/// # Errors
+///
+/// Journal I/O/parse errors, or journals from different campaigns.
+pub fn campaign_status(paths: &[impl AsRef<Path>]) -> Result<ShardStatusReport, DispatchError> {
+    let mut replays = Vec::with_capacity(paths.len());
+    for p in paths {
+        replays.push((p.as_ref().to_path_buf(), Journal::load(p.as_ref())?));
+    }
+    let (_, first) = replays
+        .first()
+        .ok_or_else(|| DispatchError::Journal("no journals to inspect".into()))?;
+    for (_, other) in &replays[1..] {
+        first.header.ensure_same_campaign(&other.header)?;
+    }
+    let mut header = first.header.clone();
+    header.shard = 0;
+
+    let shards: Vec<ShardStatus> = replays
+        .iter()
+        .map(|(path, replay)| ShardStatus::from_replay(path, replay))
+        .collect();
+
+    let completed = shards.iter().map(|s| s.completed).sum();
+    let quarantined = shards.iter().map(|s| s.quarantined).sum();
+    let retried = shards.iter().map(|s| s.retried).sum();
+    let expected = shards.iter().map(|s| s.expected).sum::<u64>();
+
+    // The merged rate spans the union of stamped windows: settled count
+    // over (earliest first stamp .. latest last stamp). With parallel
+    // shards this is the honest aggregate wall-clock rate, not the sum
+    // of per-shard rates over disjoint windows.
+    let stamped: u64 = replays
+        .iter()
+        .map(|(_, r)| r.settled_at_ms.len() as u64)
+        .sum();
+    let first_ms = shards.iter().filter_map(|s| s.first_at_ms).min();
+    let last_ms = shards.iter().filter_map(|s| s.last_at_ms).max();
+    let rate = rate_over(stamped, first_ms, last_ms);
+
+    let settled = completed + quarantined;
+    let remaining = expected.saturating_sub(settled);
+    let eta_s = match (rate, remaining) {
+        (Some(r), rem) if r > 0.0 && rem > 0 => Some(rem as f64 / r),
+        _ => None,
+    };
+
+    let mut provided: Vec<u32> = replays.iter().map(|(_, r)| r.header.shard).collect();
+    provided.sort_unstable();
+    provided.dedup();
+    let missing_shards = (0..header.of).filter(|s| !provided.contains(s)).collect();
+
+    Ok(ShardStatusReport {
+        header,
+        shards,
+        completed,
+        quarantined,
+        retried,
+        expected,
+        rate,
+        eta_s,
+        missing_shards,
+    })
+}
+
+/// A freshness probe for `--watch`: the latest settled stamp across the
+/// journals, or the current time when no journal has stamps yet (so
+/// stall detection starts counting from "now", not from 1970).
+pub fn latest_activity_ms(report: &ShardStatusReport) -> u64 {
+    report
+        .shards
+        .iter()
+        .filter_map(|s| s.last_at_ms)
+        .max()
+        .unwrap_or_else(now_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalRecord};
+    use fades_core::Outcome;
+
+    fn header(shard: u32, of: u32) -> JournalHeader {
+        JournalHeader {
+            campaign: "all FFs".into(),
+            load: "bitflip-ffs".into(),
+            n_total: 10,
+            seed: 7,
+            shard,
+            of,
+            run_cycles: 164,
+        }
+    }
+
+    fn write_shard(path: &Path, shard: u32, of: u32, settle: &[u64], complete: bool) {
+        let mut j = Journal::create(path, &header(shard, of)).unwrap();
+        for &index in settle {
+            j.append(&JournalRecord::Completed {
+                index,
+                outcome: Outcome::Silent,
+                modelled_seconds: 0.25,
+                attempts: 1,
+            })
+            .unwrap();
+        }
+        if complete {
+            j.append(&JournalRecord::ShardComplete {
+                completed: settle.len() as u64,
+                quarantined: 0,
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn expected_for_shard_partitions_the_plan() {
+        // 10 experiments over 3 shards: 4 + 3 + 3.
+        assert_eq!(expected_for_shard(10, 0, 3), 4);
+        assert_eq!(expected_for_shard(10, 1, 3), 3);
+        assert_eq!(expected_for_shard(10, 2, 3), 3);
+        let total: u64 = (0..3).map(|s| expected_for_shard(10, s, 3)).sum();
+        assert_eq!(total, 10);
+        // Degenerate geometries.
+        assert_eq!(expected_for_shard(2, 5, 8), 0);
+        assert_eq!(expected_for_shard(0, 0, 1), 0);
+    }
+
+    #[test]
+    fn status_merges_shards_and_reports_missing() {
+        let dir = std::env::temp_dir();
+        let p0 = dir.join(format!("fades-status-s0-{}.jsonl", std::process::id()));
+        let p1 = dir.join(format!("fades-status-s1-{}.jsonl", std::process::id()));
+        // Shard 0 of 3 owns {0,3,6,9} and finished; shard 1 owns {1,4,7}
+        // and settled 2 of 3; shard 2's journal is not provided.
+        write_shard(&p0, 0, 3, &[0, 3, 6, 9], true);
+        write_shard(&p1, 1, 3, &[1, 4], false);
+
+        let report = campaign_status(&[&p0, &p1]).unwrap();
+        assert_eq!(report.header.n_total, 10);
+        assert_eq!(report.expected, 7, "provided shards own 4 + 3");
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.missing_shards, vec![2]);
+        assert!(!report.all_complete());
+        assert!(report.fraction_done() > 0.8 && report.fraction_done() < 0.9);
+        assert_eq!(report.shards[0].expected, 4);
+        assert!(report.shards[0].complete);
+        assert!(!report.shards[1].complete);
+        // Stamps were written moments apart; the rate may or may not
+        // resolve (span can round to 0 ms) but must never panic, and the
+        // JSON view must parse either way.
+        let v = fades_telemetry::json::parse(&report.to_json()).expect("status JSON");
+        assert_eq!(v.get("completed").and_then(|x| x.as_u64()), Some(6));
+        assert_eq!(v.get("campaign").and_then(|x| x.as_str()), Some("all FFs"));
+        let _ = std::fs::remove_file(&p0);
+        let _ = std::fs::remove_file(&p1);
+    }
+
+    #[test]
+    fn rate_and_eta_come_from_at_ms_spans() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fades-status-rate-{}.jsonl", std::process::id()));
+        // Hand-write stamps 1 second apart: 3 settled over 2 s = 1/s.
+        let mut text = String::new();
+        let h = header(0, 1);
+        text.push_str(&format!(
+            "{{\"type\":\"plan\",\"campaign\":\"{}\",\"load\":\"{}\",\"n_total\":10,\
+             \"seed\":7,\"shard\":0,\"of\":1,\"run_cycles\":164}}\n",
+            h.campaign, h.load
+        ));
+        for (i, ms) in [(0u64, 1_000u64), (1, 2_000), (2, 3_000)] {
+            text.push_str(
+                &JournalRecord::Completed {
+                    index: i,
+                    outcome: Outcome::Silent,
+                    modelled_seconds: 0.25,
+                    attempts: 1,
+                }
+                .to_json_at(ms),
+            );
+            text.push('\n');
+        }
+        std::fs::write(&path, text).unwrap();
+
+        let report = campaign_status(&[&path]).unwrap();
+        let rate = report.rate.expect("timestamped journal has a rate");
+        assert!((rate - 1.0).abs() < 1e-9, "3 settled over 2s: {rate}");
+        let eta = report.eta_s.expect("work remains, rate known");
+        assert!((eta - 7.0).abs() < 1e-9, "7 remaining at 1/s: {eta}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn untimestamped_journals_report_progress_without_estimates() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fades-status-old-{}.jsonl", std::process::id()));
+        let mut text = String::new();
+        text.push_str(
+            "{\"type\":\"plan\",\"campaign\":\"all FFs\",\"load\":\"bitflip-ffs\",\
+             \"n_total\":10,\"seed\":7,\"shard\":0,\"of\":1,\"run_cycles\":164}\n",
+        );
+        text.push_str(
+            &JournalRecord::Completed {
+                index: 0,
+                outcome: Outcome::Silent,
+                modelled_seconds: 0.25,
+                attempts: 1,
+            }
+            .to_json(),
+        );
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let report = campaign_status(&[&path]).unwrap();
+        assert_eq!(report.completed, 1);
+        assert!(report.rate.is_none());
+        assert!(report.eta_s.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mixed_campaign_journals_are_rejected() {
+        let dir = std::env::temp_dir();
+        let p0 = dir.join(format!("fades-status-mix0-{}.jsonl", std::process::id()));
+        let p1 = dir.join(format!("fades-status-mix1-{}.jsonl", std::process::id()));
+        write_shard(&p0, 0, 2, &[0], false);
+        let mut other = header(1, 2);
+        other.seed = 99;
+        Journal::create(&p1, &other).unwrap();
+        assert!(matches!(
+            campaign_status(&[&p0, &p1]),
+            Err(DispatchError::Mismatch(_))
+        ));
+        let _ = std::fs::remove_file(&p0);
+        let _ = std::fs::remove_file(&p1);
+    }
+}

@@ -1,10 +1,11 @@
-//! The `shard` / `resume` / `merge` subcommands: sharded, resumable
-//! campaign execution via `fades-dispatch`.
+//! The `shard` / `resume` / `merge` / `status` subcommands: sharded,
+//! resumable campaign execution via `fades-dispatch`.
 //!
 //! ```text
 //! fades-experiments shard I/N <journal.jsonl> [load]   # run shard I of N
 //! fades-experiments resume <journal.jsonl>             # finish a journaled shard
 //! fades-experiments merge <journal.jsonl>...           # fold shards into one result
+//! fades-experiments status <journal.jsonl>... [--watch] # cross-shard progress/ETA
 //! ```
 //!
 //! `shard` samples the monolithic fault list (from `FADES_FAULTS` /
@@ -70,6 +71,7 @@ pub fn try_dispatch(args: &[String]) -> Option<Result<(), Box<dyn Error>>> {
         Some("shard") => Some(cmd_shard(&args[1..])),
         Some("resume") => Some(cmd_resume(&args[1..])),
         Some("merge") => Some(cmd_merge(&args[1..])),
+        Some("status") => Some(crate::status_cli::cmd_status(&args[1..])),
         _ => None,
     }
 }

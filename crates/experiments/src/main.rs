@@ -5,6 +5,7 @@
 //! fades-experiments shard I/N <journal.jsonl> [load]   # run one shard, journaled
 //! fades-experiments resume <journal.jsonl>             # finish a journaled shard
 //! fades-experiments merge <journal.jsonl>...           # fold shards into one result
+//! fades-experiments status <journal.jsonl>... [--watch] # cross-shard progress/ETA
 //! ```
 //!
 //! Environment:
@@ -15,6 +16,13 @@
 //! * `FADES_PROGRESS` — `1`/`0` forces the stderr progress ticker on/off
 //! * `FADES_NO_BATCH` — `1` disables the bit-parallel lane engine (the
 //!   `batch` section then compares scalar against scalar)
+//! * `FADES_METRICS_ADDR` — serve live `GET /metrics` + `GET /status` on
+//!   this `host:port` while the run executes (port 0 picks a free port;
+//!   the bound address is written to `FADES_METRICS_ADDR_FILE` if set)
+//! * `FADES_TRACE_OUT` — export completed spans as Chrome `trace_event`
+//!   JSON here at process end (ring capacity via `FADES_TRACE_CAP`)
+//! * `FADES_WATCHDOG_MS` — enable the stall/anomaly watchdog with this
+//!   completion deadline
 
 use std::error::Error;
 use std::time::Instant;
@@ -49,18 +57,68 @@ fn usage() -> String {
 
 fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(result) = fades_experiments::dispatch_cli::try_dispatch(&args) {
-        fades_telemetry::set_enabled(true);
+    fades_telemetry::set_enabled(true);
+    let observability = start_observability();
+    let result = run(&args);
+    finish_observability(observability);
+    result
+}
+
+/// Live-observability handles held for the duration of the run.
+struct Observability {
+    server: Option<fades_telemetry::MetricsServer>,
+    watchdog: Option<fades_telemetry::WatchdogHandle>,
+}
+
+/// Starts whatever the environment asks for: span tracing
+/// (`FADES_TRACE_OUT`), the /metrics//status endpoint
+/// (`FADES_METRICS_ADDR`), and the anomaly watchdog
+/// (`FADES_WATCHDOG_MS`). All default to off.
+fn start_observability() -> Observability {
+    fades_telemetry::trace::init_from_env();
+    let server = match fades_telemetry::MetricsServer::start_from_env() {
+        Some(Ok(server)) => {
+            eprintln!("[metrics serving on {}]", server.addr());
+            Some(server)
+        }
+        Some(Err(e)) => {
+            eprintln!("warning: FADES_METRICS_ADDR unusable: {e}");
+            None
+        }
+        None => None,
+    };
+    let watchdog = fades_telemetry::start_watchdog_from_env();
+    Observability { server, watchdog }
+}
+
+/// Exports the Chrome trace (when configured) and winds down the
+/// background threads.
+fn finish_observability(observability: Observability) {
+    if let Some(path) = fades_telemetry::trace::trace_out_path() {
+        match fades_telemetry::trace::export_chrome(&path) {
+            Ok(n) => eprintln!("[chrome trace: {n} span(s) written to {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write trace {}: {e}", path.display()),
+        }
+    }
+    if let Some(watchdog) = observability.watchdog {
+        watchdog.stop();
+    }
+    if let Some(server) = observability.server {
+        server.shutdown();
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    if let Some(result) = fades_experiments::dispatch_cli::try_dispatch(args) {
         return result;
     }
     let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment `{which}`");
         eprintln!("{}", usage());
-        eprintln!("or: fades-experiments shard I/N <journal> [load] | resume <journal> | merge <journal>...");
+        eprintln!("or: fades-experiments shard I/N <journal> [load] | resume <journal> | merge <journal>... | status <journal>... [--watch]");
         std::process::exit(2);
     }
-    fades_telemetry::set_enabled(true);
     let n = fault_count_from_env();
     let seed = seed_from_env();
 

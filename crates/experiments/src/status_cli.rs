@@ -1,0 +1,287 @@
+//! The `status` subcommand: cross-shard campaign progress from journals.
+//!
+//! ```text
+//! fades-experiments status <journal.jsonl>... [--json] [--watch]
+//!     [--interval <s>] [--deadline <s>] [--polls <n>]
+//! ```
+//!
+//! One-shot mode prints a merged progress report (per-shard and total
+//! done/expected, faults/s, ETA) computed by
+//! [`fades_dispatch::campaign_status`] from the journals alone — it
+//! never talks to the worker processes, so it works from any machine
+//! that can see the journal files.
+//!
+//! `--watch` re-reads the journals every `--interval` seconds until all
+//! provided shards write their `shard_complete` marker. A shard whose
+//! settled count stops moving for `--deadline` seconds while work
+//! remains is flagged as a stall anomaly (via
+//! [`fades_telemetry::report_anomaly`], so it lands in the run log and
+//! the `fades_anomalies_total` counter) — a killed worker becomes
+//! visible within one deadline instead of never. `--polls` bounds the
+//! number of watch iterations (mainly for tests and scripts).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use fades_dispatch::{campaign_status, ShardStatusReport};
+
+const USAGE: &str = "usage: fades-experiments status <journal.jsonl>... \
+                     [--json] [--watch] [--interval <s>] [--deadline <s>] [--polls <n>]";
+
+/// Parsed `status` arguments.
+struct StatusArgs {
+    journals: Vec<String>,
+    json: bool,
+    watch: bool,
+    interval: Duration,
+    deadline: Duration,
+    polls: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<StatusArgs, Box<dyn Error>> {
+    let mut parsed = StatusArgs {
+        journals: Vec::new(),
+        json: false,
+        watch: false,
+        interval: Duration::from_secs(2),
+        deadline: Duration::from_secs(30),
+        polls: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut seconds_flag = |name: &str| -> Result<Duration, Box<dyn Error>> {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))?;
+            let s: f64 = v
+                .parse()
+                .map_err(|_| format!("bad {name} value `{v}`\n{USAGE}"))?;
+            Ok(Duration::from_secs_f64(s.max(0.0)))
+        };
+        match arg.as_str() {
+            "--json" => parsed.json = true,
+            "--watch" => parsed.watch = true,
+            "--interval" => parsed.interval = seconds_flag("--interval")?,
+            "--deadline" => parsed.deadline = seconds_flag("--deadline")?,
+            "--polls" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--polls needs a value\n{USAGE}"))?;
+                parsed.polls = Some(v.parse().map_err(|_| format!("bad --polls value `{v}`"))?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}").into());
+            }
+            journal => parsed.journals.push(journal.to_string()),
+        }
+    }
+    if parsed.journals.is_empty() {
+        return Err(USAGE.into());
+    }
+    Ok(parsed)
+}
+
+/// Entry point for `fades-experiments status ...`.
+///
+/// # Errors
+///
+/// Argument errors, journal I/O/parse errors, or journals from
+/// different campaigns.
+pub fn cmd_status(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let args = parse_args(args)?;
+    if !args.watch {
+        let report = campaign_status(&args.journals)?;
+        print_report(&report, args.json);
+        return Ok(());
+    }
+
+    let mut tracker = StallTracker::new(args.deadline);
+    let mut polls = 0u64;
+    loop {
+        let report = campaign_status(&args.journals)?;
+        print_report(&report, args.json);
+        for stalled in tracker.observe(&report) {
+            fades_telemetry::report_anomaly(
+                "stall",
+                &format!(
+                    "shard {} ({}): no journal progress for {:.1}s \
+                     ({}/{} settled)",
+                    stalled.shard,
+                    stalled.path,
+                    args.deadline.as_secs_f64(),
+                    stalled.settled,
+                    stalled.expected
+                ),
+            );
+        }
+        if report.all_complete() {
+            println!("all {} provided shard(s) complete", report.shards.len());
+            return Ok(());
+        }
+        polls += 1;
+        if let Some(max) = args.polls {
+            if polls >= max {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
+/// One stalled shard, as reported by [`StallTracker::observe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalledShard {
+    /// Shard index.
+    pub shard: u32,
+    /// Journal path (display form).
+    pub path: String,
+    /// Settled experiments at the time of flagging.
+    pub settled: u64,
+    /// Experiments the shard owns.
+    pub expected: u64,
+}
+
+/// Per-shard progress watcher: flags a shard once per stall episode when
+/// its settled count stops moving (with work remaining) for the
+/// deadline. Progress re-arms the flag.
+pub struct StallTracker {
+    deadline: Duration,
+    // shard index -> (settled count last seen, when it last changed,
+    // already flagged this episode)
+    seen: HashMap<u32, (u64, Instant, bool)>,
+}
+
+impl StallTracker {
+    /// A tracker flagging after `deadline` without progress.
+    pub fn new(deadline: Duration) -> Self {
+        StallTracker {
+            deadline,
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Feeds one freshly computed report; returns shards newly entering
+    /// a stall (each flagged once until it makes progress again).
+    pub fn observe(&mut self, report: &ShardStatusReport) -> Vec<StalledShard> {
+        let now = Instant::now();
+        let mut stalled = Vec::new();
+        for shard in &report.shards {
+            let entry = self
+                .seen
+                .entry(shard.shard)
+                .or_insert((shard.settled(), now, false));
+            if shard.settled() != entry.0 {
+                *entry = (shard.settled(), now, false);
+                continue;
+            }
+            let done = shard.complete || shard.settled() >= shard.expected;
+            if !done && !entry.2 && now.duration_since(entry.1) >= self.deadline {
+                entry.2 = true;
+                stalled.push(StalledShard {
+                    shard: shard.shard,
+                    path: shard.path.display().to_string(),
+                    settled: shard.settled(),
+                    expected: shard.expected,
+                });
+            }
+        }
+        stalled
+    }
+}
+
+fn print_report(report: &ShardStatusReport, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    let h = &report.header;
+    println!(
+        "campaign `{}` (load {}, {} faults, seed {}, {} shards)",
+        h.campaign, h.load, h.n_total, h.seed, h.of
+    );
+    for s in &report.shards {
+        let rate = s
+            .rate
+            .map(|r| format!("{r:.1}/s"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  shard {}: {}/{} settled ({} completed, {} quarantined, {} retried) {} {}{}",
+            s.shard,
+            s.settled(),
+            s.expected,
+            s.completed,
+            s.quarantined,
+            s.retried,
+            rate,
+            if s.complete { "complete" } else { "running" },
+            if s.malformed_lines > 0 {
+                format!(", {} torn line(s) skipped", s.malformed_lines)
+            } else {
+                String::new()
+            }
+        );
+    }
+    let rate = report
+        .rate
+        .map(|r| format!("{r:.1} faults/s"))
+        .unwrap_or_else(|| "rate unknown".into());
+    let eta = match report.eta_s {
+        Some(e) => format!("ETA {e:.0}s"),
+        None if report.all_complete() => "complete".into(),
+        None => "ETA unknown".into(),
+    };
+    println!(
+        "  total: {}/{} settled ({:.1}%), {} quarantined, {rate}, {eta}",
+        report.settled(),
+        report.expected,
+        report.fraction_done() * 100.0,
+        report.quarantined,
+    );
+    if !report.missing_shards.is_empty() {
+        let missing: Vec<String> = report.missing_shards.iter().map(u32::to_string).collect();
+        println!(
+            "  note: no journal provided for shard(s) {}",
+            missing.join(", ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_flags_and_journals() {
+        let a = parse_args(&strs(&[
+            "j0.jsonl",
+            "--watch",
+            "j1.jsonl",
+            "--interval",
+            "0.5",
+            "--deadline",
+            "3",
+            "--polls",
+            "7",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(a.journals, vec!["j0.jsonl", "j1.jsonl"]);
+        assert!(a.watch && a.json);
+        assert_eq!(a.interval, Duration::from_millis(500));
+        assert_eq!(a.deadline, Duration::from_secs(3));
+        assert_eq!(a.polls, Some(7));
+    }
+
+    #[test]
+    fn args_require_a_journal_and_reject_unknown_flags() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&strs(&["--watch"])).is_err());
+        assert!(parse_args(&strs(&["j.jsonl", "--frobnicate"])).is_err());
+        assert!(parse_args(&strs(&["j.jsonl", "--interval"])).is_err());
+    }
+}

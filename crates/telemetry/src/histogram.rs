@@ -290,6 +290,71 @@ mod tests {
     }
 
     #[test]
+    fn exact_log2_boundaries_split_into_adjacent_buckets() {
+        // Bucket b covers [2^(b-1), 2^b): a power of two starts a new
+        // bucket, and the value one below it ends the previous one.
+        for k in 1..63 {
+            let pow = 1u64 << k;
+            assert_eq!(
+                Histogram::bucket_of(pow),
+                k + 1,
+                "2^{k} opens bucket {}",
+                k + 1
+            );
+            assert_eq!(
+                Histogram::bucket_of(pow - 1),
+                k,
+                "2^{k}-1 closes bucket {k}"
+            );
+        }
+        let h = Histogram::new();
+        h.record(1 << 10); // bucket 11
+        h.record((1 << 10) - 1); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), 1023);
+        assert_eq!(s.max(), 1024);
+    }
+
+    #[test]
+    fn u64_max_saturates_into_the_top_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), u64::MAX);
+        // The bucket midpoint would overflow naively; the clamp to the
+        // observed extrema keeps the quantile exact here.
+        assert_eq!(s.p50(), u64::MAX);
+        assert_eq!(s.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_on_empty_histogram_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p90(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantiles_on_single_sample_return_that_sample() {
+        for v in [0u64, 1, 7, 4096, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!(s.p50(), v, "p50 of single sample {v}");
+            assert_eq!(s.p90(), v, "p90 of single sample {v}");
+            assert_eq!(s.p99(), v, "p99 of single sample {v}");
+            assert_eq!(s.min(), v);
+            assert_eq!(s.max(), v);
+        }
+    }
+
+    #[test]
     fn merge_combines_counts_and_extrema() {
         let a = Histogram::new();
         let b = Histogram::new();

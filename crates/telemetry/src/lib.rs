@@ -20,6 +20,16 @@
 //! * [`write_bench_json`] — machine-readable `BENCH_campaign.json`
 //!   aggregate (faults/sec, mean µs/fault) for tracking the performance
 //!   trajectory across PRs.
+//! * [`snapshot`] — a point-in-time capture of every counter, gauge and
+//!   phase histogram, renderable as Prometheus text or JSON.
+//! * [`trace`] — completed spans recorded into a bounded lock-free ring
+//!   buffer and exported as Chrome `trace_event` JSON
+//!   (`FADES_TRACE_OUT=<path>`), loadable in Perfetto.
+//! * [`serve`] — a std-only background HTTP thread answering
+//!   `GET /metrics` and `GET /status` (`FADES_METRICS_ADDR=<addr>`).
+//! * [`monitor`] — live campaign progress ([`status_snapshot`]) and a
+//!   watchdog thread flagging stalls, quarantine spikes and
+//!   lane-occupancy collapse (`FADES_WATCHDOG_MS=<deadline>`).
 //!
 //! Campaign-independent hot paths (the netlist interpreter) report
 //! through the [`sim`] counters, which compile to an `#[inline]` relaxed
@@ -33,19 +43,29 @@
 mod counter;
 mod histogram;
 pub mod json;
+pub mod monitor;
 mod record;
 mod registry;
 mod runlog;
+pub mod serve;
+mod snapshot;
 mod span;
 mod summary;
+pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use monitor::{
+    report_anomaly, start_watchdog, start_watchdog_from_env, status_snapshot, StatusSnapshot,
+    WatchdogConfig, WatchdogHandle,
+};
 pub use record::{CampaignAggregate, ExperimentRecord, OutcomeCounts, Recorder, RecorderHandle};
 pub use registry::{
     atomic_write, drain_aggregates, peek_aggregates, push_aggregate, write_bench_json,
 };
 pub use runlog::run_log_path;
+pub use serve::{http_get, MetricsServer};
+pub use snapshot::{register_counter, register_gauge, snapshot, MetricsSnapshot};
 #[doc(hidden)]
 pub use span::span_phase;
 pub use span::{phase_snapshots, reset_phases, SpanGuard};

@@ -146,6 +146,7 @@ struct ProgressTicker {
 
 impl ProgressTicker {
     fn tick(&self) {
+        crate::monitor::progress().tick();
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if self.enabled && self.every > 0 && done.is_multiple_of(self.every) && done < self.total {
             eprintln!("  [{}] {done}/{} experiments", self.name, self.total);
@@ -197,6 +198,7 @@ impl Recorder {
             enabled: progress_enabled(total),
         });
         let (tx, rx) = mpsc::channel();
+        crate::monitor::progress().campaign_started(total);
         Recorder {
             name,
             threads: threads as u64,
@@ -204,7 +206,7 @@ impl Recorder {
             tx,
             rx,
             progress,
-            run_log: runlog::run_log_path(),
+            run_log: runlog::run_log_path().and_then(runlog::open_checked),
         }
     }
 

@@ -51,7 +51,14 @@ pub fn atomic_write(path: &std::path::Path, contents: &str) -> std::io::Result<(
         .file_name()
         .and_then(|n| n.to_str())
         .unwrap_or("atomic-write");
-    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    // The temp file must live in the destination's own directory — not
+    // the cwd — so the rename stays within one filesystem. A bare
+    // file name has an empty parent, which means "here".
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(std::path::Path::new("."));
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
     std::fs::write(&tmp, contents)?;
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
@@ -124,4 +131,39 @@ pub fn write_bench_json(
         .finish();
 
     atomic_write(path, &format!("{doc}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_lands_its_temp_file_next_to_the_destination() {
+        // A destination outside the cwd: the temp file (and hence the
+        // rename) must stay inside the destination's directory, or a
+        // temp-dir on another filesystem would make the rename fail
+        // with EXDEV.
+        let dir = std::env::temp_dir().join(format!("fades-aw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("out.json");
+        atomic_write(&dest, "{\"ok\":true}\n").expect("atomic write outside cwd");
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "{\"ok\":true}\n");
+        // No stray temp files left behind — here or in the cwd.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");
+        assert!(!std::path::Path::new(&format!(".out.json.tmp.{}", std::process::id())).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_accepts_a_bare_file_name() {
+        let name = format!("fades-aw-bare-{}.json", std::process::id());
+        atomic_write(std::path::Path::new(&name), "1\n").expect("bare name writes to cwd");
+        assert_eq!(std::fs::read_to_string(&name).unwrap(), "1\n");
+        let _ = std::fs::remove_file(&name);
+    }
 }

@@ -9,6 +9,7 @@
 use std::fs::OpenOptions;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::record::{CampaignAggregate, ExperimentRecord};
 
@@ -19,6 +20,38 @@ pub fn run_log_path() -> Option<PathBuf> {
         Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
         _ => None,
     }
+}
+
+static WARNED_UNWRITABLE: AtomicBool = AtomicBool::new(false);
+
+/// Verifies that `path` can actually be opened for appending. On failure
+/// the run log degrades to disabled with a one-line stderr warning (once
+/// per process) — an unwritable `FADES_RUN_LOG` must never panic a
+/// campaign mid-flight.
+pub fn open_checked(path: PathBuf) -> Option<PathBuf> {
+    match OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(_) => Some(path),
+        Err(e) => {
+            if !WARNED_UNWRITABLE.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: run log {} is not writable ({e}); logging disabled",
+                    path.display()
+                );
+            }
+            None
+        }
+    }
+}
+
+/// Appends one pre-serialized JSONL line (no trailing newline expected)
+/// to `path`. Used for out-of-band structured lines such as the
+/// watchdog's `anomaly` records.
+pub(crate) fn append_raw_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    file.write_all(buf.as_bytes())
 }
 
 /// Appends one campaign's records plus its aggregate line to `path`.
@@ -41,4 +74,28 @@ pub(crate) fn append(
     w.write_all(aggregate.to_json().as_bytes())?;
     w.write_all(b"\n")?;
     w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_checked_accepts_a_writable_path() {
+        let path =
+            std::env::temp_dir().join(format!("fades-runlog-ok-{}.jsonl", std::process::id()));
+        assert_eq!(open_checked(path.clone()), Some(path.clone()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_checked_degrades_on_unwritable_path_without_panicking() {
+        // A path whose parent directory does not exist cannot be opened
+        // for append; the run log must shrug, not panic.
+        let path = std::env::temp_dir()
+            .join(format!("fades-no-such-dir-{}", std::process::id()))
+            .join("nested")
+            .join("run.jsonl");
+        assert_eq!(open_checked(path), None);
+    }
 }

@@ -1,0 +1,245 @@
+//! A std-only metrics endpoint: `GET /metrics` and `GET /status` over
+//! plain `std::net::TcpListener`.
+//!
+//! Long campaigns are batch jobs; their health should be observable from
+//! the outside while they run, without adding an HTTP framework to a
+//! zero-dependency workspace. The server here speaks just enough
+//! HTTP/1.1 for `curl`, Prometheus scrapes, and the smoke tests: it
+//! reads the request line, routes two paths, writes one
+//! `Connection: close` response. One background thread, non-blocking
+//! accept with a 20 ms poll so shutdown is prompt, no keep-alive, no
+//! chunking.
+//!
+//! Activated by `FADES_METRICS_ADDR=<host:port>` (port `0` picks a free
+//! port; the bound address is written to `FADES_METRICS_ADDR_FILE` when
+//! that is set, which is how tests discover it).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running metrics server. Dropping the handle signals the thread to
+/// stop (without blocking); [`shutdown`](MetricsServer::shutdown) stops
+/// and joins it deterministically.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and starts serving `/metrics` and `/status` on a
+    /// background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration errors.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("fades-metrics".into())
+            .spawn(move || serve_loop(&listener, &stop_flag))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Starts the server iff `FADES_METRICS_ADDR` is set non-empty.
+    /// `None` when unset; `Some(Err)` when set but unusable (callers
+    /// should surface that — a campaign asked for observability it is
+    /// not getting). On success, writes the bound address to the path in
+    /// `FADES_METRICS_ADDR_FILE` when that is set too.
+    pub fn start_from_env() -> Option<std::io::Result<MetricsServer>> {
+        let addr = match std::env::var("FADES_METRICS_ADDR") {
+            Ok(v) if !v.is_empty() => v,
+            _ => return None,
+        };
+        let server = match MetricsServer::start(&addr) {
+            Ok(s) => s,
+            Err(e) => return Some(Err(e)),
+        };
+        if let Ok(path) = std::env::var("FADES_METRICS_ADDR_FILE") {
+            if !path.is_empty() {
+                if let Err(e) = crate::registry::atomic_write(
+                    std::path::Path::new(&path),
+                    &format!("{}\n", server.addr),
+                ) {
+                    eprintln!("warning: could not write metrics addr file {path}: {e}");
+                }
+            }
+        }
+        Some(Ok(server))
+    }
+
+    /// The address the listener actually bound (relevant with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the serving thread to exit and waits for it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        // Signal only: the poll loop notices within one interval. Not
+        // joining here keeps drops in panic paths cheap.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_loop(listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: responses are tiny and scrapers are rare,
+                // so one thread is plenty and keeps resources bounded.
+                let _ = handle_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head (or the buffer fills —
+    // request bodies are ignored, these are GETs).
+    let mut buf = [0u8; 2048];
+    let mut len = 0;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let path = request_line.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "GET only\n".into())
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                crate::snapshot::snapshot().to_prometheus(),
+            ),
+            "/status" => (
+                "200 OK",
+                "application/json",
+                format!("{}\n", crate::monitor::status_snapshot().to_json()),
+            ),
+            "/" => (
+                "200 OK",
+                "text/plain",
+                "fades-monitor: GET /metrics | GET /status\n".into(),
+            ),
+            _ => ("404 Not Found", "text/plain", "not found\n".into()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal test/tooling HTTP client: fetches `path` from `addr` and
+/// returns `(status_code, body)`. Just enough for the smoke gate to
+/// scrape its own endpoints without external tools.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; malformed responses surface as
+/// `InvalidData`.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+    })?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status code"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_status_index_and_404() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr().to_string();
+
+        let (code, body) = http_get(&addr, "/metrics").expect("GET /metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("fades_anomalies_total"));
+        assert!(body.contains("# TYPE fades_sim_cycles_total counter"));
+
+        let (code, body) = http_get(&addr, "/status").expect("GET /status");
+        assert_eq!(code, 200);
+        let v = crate::json::parse(body.trim()).expect("status is JSON");
+        assert_eq!(v.get("type").and_then(|x| x.as_str()), Some("status"));
+        assert!(v.get("experiments_done").and_then(|x| x.as_u64()).is_some());
+
+        let (code, _) = http_get(&addr, "/").expect("GET /");
+        assert_eq!(code, 200);
+        let (code, _) = http_get(&addr, "/nope").expect("GET /nope");
+        assert_eq!(code, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn port_zero_binds_an_ephemeral_port() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        assert_ne!(server.addr().port(), 0);
+        server.shutdown();
+    }
+}

@@ -53,25 +53,38 @@ pub fn reset_phases() {
 }
 
 /// An RAII guard that records elapsed microseconds into a phase histogram
-/// when dropped. Usually created through [`span!`](crate::span!).
+/// when dropped — and, when tracing is on, deposits one completed-span
+/// event into the [`trace`](crate::trace) ring buffer. Usually created
+/// through [`span!`](crate::span!).
 #[derive(Debug)]
 pub struct SpanGuard {
     hist: Arc<Histogram>,
+    name: &'static str,
     started: Instant,
 }
 
 impl SpanGuard {
-    /// Starts a span against an already-resolved phase histogram.
-    pub fn new(hist: Arc<Histogram>) -> Self {
+    /// Starts a span against an already-resolved phase histogram,
+    /// carrying the phase name for the trace sink.
+    pub fn with_name(name: &'static str, hist: Arc<Histogram>) -> Self {
         SpanGuard {
             hist,
+            name,
             started: Instant::now(),
         }
     }
 
+    /// Starts a span against an already-resolved phase histogram. Trace
+    /// events from this guard carry the generic name `"span"` — prefer
+    /// [`with_name`](SpanGuard::with_name) (or the [`span!`](crate::span!)
+    /// macro, which caches the phase lookup).
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        Self::with_name("span", hist)
+    }
+
     /// Starts a span for a named phase (resolving the histogram).
     pub fn named(name: &'static str) -> Self {
-        Self::new(phase(name))
+        Self::with_name(name, phase(name))
     }
 
     /// Elapsed microseconds so far.
@@ -82,7 +95,14 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        self.hist.record(self.elapsed_us());
+        let dur_us = self.elapsed_us();
+        self.hist.record(dur_us);
+        // One relaxed load when tracing is off — the span path stays as
+        // cheap as PR 1 left it.
+        if crate::trace::enabled() {
+            let end = crate::trace::epoch_us();
+            crate::trace::record_span(self.name, end.saturating_sub(dur_us), dur_us);
+        }
     }
 }
 
@@ -93,9 +113,10 @@ macro_rules! span {
     ($name:literal) => {{
         static PHASE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
             ::std::sync::OnceLock::new();
-        $crate::SpanGuard::new(::std::sync::Arc::clone(
-            PHASE.get_or_init(|| $crate::span_phase($name)),
-        ))
+        $crate::SpanGuard::with_name(
+            $name,
+            ::std::sync::Arc::clone(PHASE.get_or_init(|| $crate::span_phase($name))),
+        )
     }};
 }
 

@@ -1,0 +1,361 @@
+//! Completed-span trace recording and Chrome `trace_event` export.
+//!
+//! When tracing is enabled (`FADES_TRACE_OUT=<path>`), every finished
+//! [`SpanGuard`](crate::SpanGuard) deposits one event — phase name,
+//! start, duration, thread, and the experiment index the worker was
+//! running — into a bounded lock-free ring buffer. At process end the
+//! CLI exports the ring as Chrome `trace_event` JSON, loadable in
+//! Perfetto or `chrome://tracing`, so where campaign wall-clock goes can
+//! be *seen* instead of inferred from percentiles.
+//!
+//! Recording is wait-free for writers: a slot is claimed with one
+//! `fetch_add`, fields are plain relaxed stores, and a sequence stamp
+//! (release-stored last) lets the exporter skip slots that were mid-write
+//! when the snapshot was taken. When the ring wraps, the oldest events
+//! are overwritten — a bounded-memory trade the ring makes explicit via
+//! [`events_recorded`] vs [`capacity`]. With tracing disabled (the
+//! default) the span path pays one relaxed atomic load and nothing else.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{array, JsonObject};
+
+/// Default ring capacity (events). Override with `FADES_TRACE_CAP`.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Sentinel "no experiment" index carried by events recorded outside an
+/// experiment scope (golden runs, setup, merge).
+pub const NO_EXPERIMENT: u64 = u64::MAX;
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+static RING: OnceLock<Ring> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_EXP: Cell<u64> = const { Cell::new(NO_EXPERIMENT) };
+}
+
+/// One ring slot. `seq` is 0 while empty or mid-write and `claim + 1`
+/// once the payload is fully published; the exporter re-checks it after
+/// reading the payload and discards torn slots.
+struct Slot {
+    seq: AtomicU64,
+    name_id: AtomicU64,
+    tid: AtomicU64,
+    start_us: AtomicU64,
+    dur_us: AtomicU64,
+    experiment: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            name_id: AtomicU64::new(0),
+            tid: AtomicU64::new(0),
+            start_us: AtomicU64::new(0),
+            dur_us: AtomicU64::new(0),
+            experiment: AtomicU64::new(NO_EXPERIMENT),
+        }
+    }
+}
+
+struct Ring {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+}
+
+/// The process-wide span epoch: trace timestamps (and the monitor's
+/// activity clock) are microseconds since this instant, pinned on first
+/// use so all threads share one timebase.
+pub fn epoch_us() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as u64
+}
+
+/// Whether span tracing is on. A single relaxed load — the
+/// disabled-path cost added to every span drop.
+#[inline(always)]
+pub fn enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Enables or disables tracing, allocating the ring (with `capacity`
+/// slots, rounded up to 1) on first enable. Capacity is fixed at first
+/// allocation; later calls reuse the existing ring.
+pub fn set_enabled_with_capacity(on: bool, capacity: usize) {
+    if on {
+        let _ = epoch_us(); // pin the timebase before the first event
+        RING.get_or_init(|| Ring {
+            slots: (0..capacity.max(1)).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+        });
+    }
+    TRACE_ON.store(on, Ordering::Relaxed);
+}
+
+/// The trace destination from `FADES_TRACE_OUT`, if set non-empty.
+pub fn trace_out_path() -> Option<PathBuf> {
+    match std::env::var("FADES_TRACE_OUT") {
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+/// Enables tracing iff `FADES_TRACE_OUT` is set (ring capacity from
+/// `FADES_TRACE_CAP`, default [`DEFAULT_CAPACITY`]). Returns whether
+/// tracing is now on.
+pub fn init_from_env() -> bool {
+    if trace_out_path().is_none() {
+        return false;
+    }
+    let cap = std::env::var("FADES_TRACE_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c >= 1)
+        .unwrap_or(DEFAULT_CAPACITY);
+    set_enabled_with_capacity(true, cap);
+    true
+}
+
+/// Ring capacity in events (0 before the ring is allocated).
+pub fn capacity() -> usize {
+    RING.get().map(|r| r.slots.len()).unwrap_or(0)
+}
+
+/// Events recorded since enabling — may exceed [`capacity`], in which
+/// case the ring wrapped and only the newest `capacity()` survive.
+pub fn events_recorded() -> u64 {
+    RING.get()
+        .map(|r| r.head.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// Tags the calling worker thread with the experiment index it is about
+/// to run; spans finishing on this thread carry the index into the
+/// trace. Cleared with [`clear_current_experiment`].
+pub fn set_current_experiment(index: u64) {
+    CURRENT_EXP.with(|c| c.set(index));
+}
+
+/// Clears the calling thread's experiment tag (back to
+/// [`NO_EXPERIMENT`]).
+pub fn clear_current_experiment() {
+    CURRENT_EXP.with(|c| c.set(NO_EXPERIMENT));
+}
+
+/// A small dense id per thread (Chrome traces want integer `tid`s;
+/// `std::thread::ThreadId` has no stable integer form).
+fn thread_tid() -> u64 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+fn name_id(name: &'static str) -> u64 {
+    let mut names = NAMES.lock().expect("trace names poisoned");
+    if let Some(i) = names.iter().position(|n| *n == name) {
+        return i as u64;
+    }
+    names.push(name);
+    (names.len() - 1) as u64
+}
+
+/// Records one completed span. No-op unless tracing is [`enabled`].
+/// Called from [`SpanGuard::drop`](crate::SpanGuard) with the span's
+/// start offset (µs since [`epoch_us`]'s epoch) and duration.
+pub fn record_span(name: &'static str, start_us: u64, dur_us: u64) {
+    if !enabled() {
+        return;
+    }
+    let Some(ring) = RING.get() else { return };
+    let claim = ring.head.fetch_add(1, Ordering::Relaxed);
+    let slot = &ring.slots[(claim % ring.slots.len() as u64) as usize];
+    // Invalidate, publish payload, then stamp: a concurrent exporter
+    // either sees the old complete event, or seq==0 and skips the slot.
+    slot.seq.store(0, Ordering::Release);
+    slot.name_id.store(name_id(name), Ordering::Relaxed);
+    slot.tid.store(thread_tid(), Ordering::Relaxed);
+    slot.start_us.store(start_us, Ordering::Relaxed);
+    slot.dur_us.store(dur_us, Ordering::Relaxed);
+    slot.experiment
+        .store(CURRENT_EXP.with(Cell::get), Ordering::Relaxed);
+    slot.seq.store(claim + 1, Ordering::Release);
+}
+
+/// One exported trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Phase name (the `span!` literal).
+    pub name: &'static str,
+    /// Start, µs since the process trace epoch.
+    pub ts_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Dense per-thread id.
+    pub tid: u64,
+    /// Experiment index, or [`NO_EXPERIMENT`].
+    pub experiment: u64,
+}
+
+/// Snapshots every complete event currently in the ring, sorted by
+/// start timestamp (ties broken by thread then duration, so the export
+/// order — and the Chrome `ts` sequence — is monotonic and stable).
+pub fn snapshot_events() -> Vec<TraceEvent> {
+    let Some(ring) = RING.get() else {
+        return Vec::new();
+    };
+    let names = NAMES.lock().expect("trace names poisoned").clone();
+    let mut events = Vec::new();
+    for slot in &ring.slots {
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == 0 {
+            continue;
+        }
+        let ev = TraceEvent {
+            name: names
+                .get(slot.name_id.load(Ordering::Relaxed) as usize)
+                .copied()
+                .unwrap_or("?"),
+            ts_us: slot.start_us.load(Ordering::Relaxed),
+            dur_us: slot.dur_us.load(Ordering::Relaxed),
+            tid: slot.tid.load(Ordering::Relaxed),
+            experiment: slot.experiment.load(Ordering::Relaxed),
+        };
+        if slot.seq.load(Ordering::Acquire) == seq {
+            events.push(ev);
+        }
+    }
+    events.sort_by_key(|e| (e.ts_us, e.tid, e.dur_us));
+    events
+}
+
+/// Exports the ring as Chrome `trace_event` JSON (the
+/// `{"traceEvents":[...]}` object form, complete `"X"` events with µs
+/// timestamps) to `path`, atomically. Returns the number of events
+/// written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the atomic write.
+pub fn export_chrome(path: &std::path::Path) -> std::io::Result<usize> {
+    let events = snapshot_events();
+    let items: Vec<String> = events
+        .iter()
+        .map(|e| {
+            let mut obj = JsonObject::new()
+                .str("name", e.name)
+                .str("cat", "fades")
+                .str("ph", "X")
+                .u64("ts", e.ts_us)
+                .u64("dur", e.dur_us)
+                .u64("pid", 1)
+                .u64("tid", e.tid);
+            if e.experiment != NO_EXPERIMENT {
+                obj = obj.raw(
+                    "args",
+                    &JsonObject::new().u64("experiment", e.experiment).finish(),
+                );
+            }
+            obj.finish()
+        })
+        .collect();
+    let doc = JsonObject::new()
+        .raw("traceEvents", &array(&items))
+        .str("displayTimeUnit", "ms")
+        .finish();
+    crate::registry::atomic_write(path, &format!("{doc}\n"))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+
+    // Tracing state is process-global, so the ring tests share one ring:
+    // they use a generous capacity and assert relatively.
+
+    #[test]
+    fn record_export_round_trip_with_monotonic_ts() {
+        set_enabled_with_capacity(true, 4096);
+        set_current_experiment(42);
+        record_span("trace-test-phase", 10, 5);
+        record_span("trace-test-phase", 30, 7);
+        clear_current_experiment();
+        record_span("trace-test-other", 20, 1);
+
+        let events = snapshot_events();
+        assert!(events.len() >= 3);
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_us <= pair[1].ts_us, "export is ts-sorted");
+        }
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "trace-test-phase")
+            .collect();
+        assert_eq!(mine.len(), 2);
+        assert!(mine.iter().all(|e| e.experiment == 42));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "trace-test-other" && e.experiment == NO_EXPERIMENT));
+
+        let path = std::env::temp_dir().join(format!("fades-trace-{}.json", std::process::id()));
+        let n = export_chrome(&path).expect("exports");
+        assert!(n >= 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = parse(text.trim()).expect("valid JSON");
+        let evs = match doc.get("traceEvents") {
+            Some(JsonValue::Array(evs)) => evs,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        assert_eq!(evs.len(), n);
+        let mut last_ts = 0.0;
+        for ev in evs {
+            assert_eq!(ev.get("ph").and_then(JsonValue::as_str), Some("X"));
+            let ts = ev.get("ts").and_then(JsonValue::as_f64).expect("ts");
+            assert!(ts >= last_ts, "ts monotone");
+            last_ts = ts;
+        }
+        let _ = std::fs::remove_file(&path);
+        set_enabled_with_capacity(false, 0);
+    }
+
+    #[test]
+    fn wrapping_keeps_only_newest_capacity_events() {
+        set_enabled_with_capacity(true, 4096);
+        let before = events_recorded();
+        let cap = capacity() as u64;
+        for i in 0..cap + 16 {
+            record_span("trace-wrap-phase", 1_000_000 + i, 1);
+        }
+        assert_eq!(events_recorded(), before + cap + 16);
+        let events = snapshot_events();
+        assert!(events.len() <= capacity(), "ring is bounded");
+        // The newest events survive the wrap.
+        assert!(events
+            .iter()
+            .any(|e| e.name == "trace-wrap-phase" && e.ts_us == 1_000_000 + cap + 15));
+        set_enabled_with_capacity(false, 0);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        set_enabled_with_capacity(false, 0);
+        let before = events_recorded();
+        record_span("trace-disabled-phase", 1, 1);
+        assert_eq!(events_recorded(), before);
+    }
+}

@@ -42,6 +42,43 @@ echo "== settle/batch throughput microbenches (release)"
 cargo bench -q --offline -p fades-bench --bench microbench -- settle_throughput 2>&1 | tail -n +1
 cargo bench -q --offline -p fades-bench --bench microbench -- batch_throughput 2>&1 | tail -n +1
 
+# Observability smoke gate: a real sharded campaign with the metrics
+# endpoint and Chrome-trace export enabled, scraped live by the test's
+# built-in HTTP client, with the emitted trace validated as JSON with
+# monotonic ts (crates/experiments/tests/monitor_smoke.rs).
+echo "== observability smoke gate (release)"
+cargo test -q --release --offline -p fades-experiments --test monitor_smoke
+
+# The PR 1 overhead contract: with telemetry disabled, the hot path pays
+# one relaxed atomic load. The disabled-path bench must stay within
+# noise (15%) of the enabled path — if "disabled" got *slower* than
+# doing the counting, the gate fails.
+echo "== telemetry disabled-path overhead gate"
+cargo bench -q --offline -p fades-bench --bench microbench -- telemetry_overhead 2>&1 \
+    | tee /tmp/fades-telemetry-overhead.txt | grep telemetry_overhead
+python3 - <<'EOF'
+import re
+
+scale = {"ns": 1, "µs": 1_000, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+times = {}
+with open("/tmp/fades-telemetry-overhead.txt") as f:
+    for line in f:
+        m = re.search(
+            r"telemetry_overhead/sim_256_cycles_(disabled|enabled)\s+([\d.]+)(ns|µs|us|ms|s) /iter",
+            line,
+        )
+        if m:
+            times[m.group(1)] = float(m.group(2)) * scale[m.group(3)]
+missing = {"disabled", "enabled"} - set(times)
+if missing:
+    raise SystemExit(f"FAIL: telemetry_overhead bench lines not found: {missing}")
+ratio = times["disabled"] / times["enabled"]
+print(f"disabled {times['disabled']:.0f} ns/iter, enabled {times['enabled']:.0f} ns/iter "
+      f"(disabled/enabled = {ratio:.3f})")
+if ratio > 1.15:
+    raise SystemExit("FAIL: disabled-path telemetry cost regressed beyond 15% of enabled")
+EOF
+
 # The lane engine's reason to exist is host wall-clock: the batched
 # 64-fault campaign must beat the scalar one outright, or the gate fails.
 echo "== batched campaign must outrun the scalar campaign"
