@@ -16,6 +16,16 @@
 //! same ledger traffic — which is what the differential test suite pins
 //! down: outcomes, traffic and modelled emulation seconds are
 //! bit-identical to the scalar path.
+//!
+//! # Wall-clock attribution
+//!
+//! The cohort's wall clock is *shared*: 63 concurrent lanes advance on
+//! one host instruction stream. Each retirement (and the end of the
+//! pass) charges the clock advanced since the previous charge point,
+//! divided evenly across the lanes that were occupied over that
+//! interval, to those lanes. Summed `wall_us` across a cohort therefore
+//! equals the cohort's elapsed wall within rounding noise — per-fault
+//! host cost is the per-fault *share*, not the whole word's residency.
 
 use std::time::Instant;
 
@@ -28,7 +38,7 @@ use crate::error::CoreError;
 use crate::experiment::ExperimentResult;
 use crate::golden::GoldenRun;
 use crate::location::ResolvedFault;
-use crate::plan::PlannedExperiment;
+use crate::plan::{ChaosPanic, PlannedExperiment};
 use crate::strategies::{strategy_for, InjectionStrategy};
 use crate::timing::LedgerSummary;
 
@@ -53,13 +63,75 @@ pub(crate) fn lane_expressible(fault: &ResolvedFault) -> bool {
     )
 }
 
+/// Validates the entries against the golden run length and resolves the
+/// observed ports to lane-engine wire lists — the shared prologue of
+/// every cohort loop.
+pub(crate) fn lane_prologue(
+    batch: &BatchDevice,
+    golden: &GoldenRun,
+    ports: &[String],
+    entries: &[&PlannedExperiment],
+) -> Result<Vec<Vec<u32>>, CoreError> {
+    let run_cycles = golden.cycles();
+    for e in entries {
+        if e.schedule.inject_at >= run_cycles {
+            return Err(CoreError::BadSchedule {
+                at: e.schedule.inject_at,
+                run_cycles,
+            });
+        }
+    }
+    ports
+        .iter()
+        .map(|p| {
+            batch
+                .output_wires(p)
+                .map_err(|_| CoreError::UnknownPort(p.clone()))
+        })
+        .collect()
+}
+
+/// The cohort's shared wall clock: charges elapsed intervals evenly
+/// across the lanes occupied over them.
+struct CohortClock {
+    started: Instant,
+    marked_us: f64,
+}
+
+impl CohortClock {
+    fn start() -> Self {
+        CohortClock {
+            started: Instant::now(),
+            marked_us: 0.0,
+        }
+    }
+
+    /// Charges the clock advanced since the last charge point to the
+    /// currently occupied lanes, one equal share each. Call *before*
+    /// removing a retiring lane — it was occupied over the interval.
+    fn charge(&mut self, slots: &mut [Option<LaneSlot<'_>>]) {
+        let now_us = self.started.elapsed().as_secs_f64() * 1e6;
+        let delta = now_us - self.marked_us;
+        self.marked_us = now_us;
+        let occupied = slots.iter().flatten().count();
+        if occupied == 0 {
+            return;
+        }
+        let share = delta / occupied as f64;
+        for slot in slots.iter_mut().flatten() {
+            slot.charged_us += share;
+        }
+    }
+}
+
 /// One occupied lane: the experiment it carries and its execution state.
 struct LaneSlot<'p> {
     planned: &'p PlannedExperiment,
     strategy: Box<dyn InjectionStrategy>,
     rng: StdRng,
     diverged: bool,
-    started: Instant,
+    /// Share of the cohort wall clock charged to this lane so far (µs).
+    charged_us: f64,
 }
 
 impl<'p> LaneSlot<'p> {
@@ -69,7 +141,7 @@ impl<'p> LaneSlot<'p> {
             strategy: strategy_for(&planned.fault, sub_cycle),
             rng: StdRng::seed_from_u64(planned.seed),
             diverged: false,
-            started: Instant::now(),
+            charged_us: 0.0,
         }
     }
 
@@ -88,7 +160,7 @@ impl<'p> LaneSlot<'p> {
                 outcome,
                 traffic: LedgerSummary::from(batch.ledger(lane)),
                 strategy: self.strategy.name(),
-                wall_us: self.started.elapsed().as_micros() as u64,
+                wall_us: self.charged_us.round() as u64,
                 skipped_cycles: 0,
                 early_stop_cycles,
             },
@@ -96,74 +168,93 @@ impl<'p> LaneSlot<'p> {
     }
 }
 
-/// Runs every entry of `entries` through the lane engine, one experiment
-/// per lane, over as many passes as refilling requires. Returns
-/// `(plan index, result)` pairs in ascending plan-index order.
-pub(crate) fn run_lane_cohorts<'p>(
+/// Deposits the per-experiment telemetry a lane retirement owes: the
+/// `experiment` phase histogram entry and — when Chrome tracing is on —
+/// a completed span of the lane's charged wall ending now. Lane spans
+/// overlap on one thread (the word runs up to 63 experiments at once),
+/// which the trace renders faithfully.
+fn trace_retirement(index: u64, wall_us: u64) {
+    fades_telemetry::span_phase("experiment").record(wall_us);
+    if fades_telemetry::trace::enabled() {
+        fades_telemetry::trace::set_current_experiment(index);
+        let end = fades_telemetry::trace::epoch_us();
+        fades_telemetry::trace::record_span("experiment", end.saturating_sub(wall_us), wall_us);
+        fades_telemetry::trace::set_current_experiment(fades_telemetry::trace::NO_EXPERIMENT);
+    }
+}
+
+/// Runs *one* pass of the lane engine over `pending`: fills the lanes in
+/// order, retires and refills until the run length is exhausted, and
+/// hands each decided experiment to `sink` at the moment its lane
+/// retires (not at cohort end — under the isolation contract the sink
+/// journals, so a kill forfeits at most the in-flight word).
+///
+/// Every entry taken from `pending` is pushed to `loaded` *before* it
+/// can influence the device — `loaded` is caller-owned so that when this
+/// function panics (a poisoned fault, or the chaos hook), the caller
+/// knows exactly which experiments were aboard the word and can replay
+/// them scalar-isolated.
+///
+/// Returns the entries this pass could not take: those whose injection
+/// instant had already passed when a lane freed up, plus everything
+/// beyond the last refill. The caller loops until the return is empty.
+#[allow(clippy::too_many_arguments)] // one cohort pass has this many moving parts
+pub(crate) fn run_one_cohort<'p>(
     batch: &mut BatchDevice,
     golden: &GoldenRun,
-    ports: &[String],
+    port_wires: &[Vec<u32>],
     sub_cycle: bool,
-    entries: &[&'p PlannedExperiment],
-) -> Result<Vec<(u64, ExperimentResult)>, CoreError> {
+    pending: &[&'p PlannedExperiment],
+    chaos: Option<ChaosPanic>,
+    loaded: &mut Vec<&'p PlannedExperiment>,
+    sink: &mut dyn FnMut(u64, ExperimentResult),
+) -> Result<Vec<&'p PlannedExperiment>, CoreError> {
     let run_cycles = golden.cycles();
-    for e in entries {
-        if e.schedule.inject_at >= run_cycles {
-            return Err(CoreError::BadSchedule {
-                at: e.schedule.inject_at,
-                run_cycles,
-            });
-        }
+    batch.reset();
+    let mut clock = CohortClock::start();
+    let mut slots: Vec<Option<LaneSlot<'p>>> = (0..LANES).map(|_| None).collect();
+    let mut occupied = 0usize;
+    let mut cursor = 0usize;
+    let mut leftovers: Vec<&'p PlannedExperiment> = Vec::new();
+    for slot in slots.iter_mut().skip(1) {
+        let Some(&planned) = pending.get(cursor) else {
+            break;
+        };
+        cursor += 1;
+        loaded.push(planned);
+        *slot = Some(LaneSlot::new(planned, sub_cycle));
+        occupied += 1;
     }
-    let port_wires: Vec<Vec<u32>> = ports
-        .iter()
-        .map(|p| {
-            batch
-                .output_wires(p)
-                .map_err(|_| CoreError::UnknownPort(p.clone()))
-        })
-        .collect::<Result<_, _>>()?;
 
-    // Ascending injection instants maximise refills: a freed lane can
-    // only take an entry whose injection instant has not yet passed.
-    let mut pending: Vec<&'p PlannedExperiment> = entries.to_vec();
-    pending.sort_by_key(|e| (e.schedule.inject_at, e.index));
-
-    let mut results: Vec<(u64, ExperimentResult)> = Vec::with_capacity(entries.len());
-    while !pending.is_empty() {
-        batch.reset();
-        let mut slots: Vec<Option<LaneSlot<'p>>> = (0..LANES).map(|_| None).collect();
-        let mut occupied = 0usize;
-        let mut cursor = 0usize;
-        let mut leftovers: Vec<&'p PlannedExperiment> = Vec::new();
-        for slot in slots.iter_mut().skip(1) {
-            let Some(&planned) = pending.get(cursor) else {
-                break;
-            };
-            cursor += 1;
-            *slot = Some(LaneSlot::new(planned, sub_cycle));
-            occupied += 1;
-        }
-
-        for cycle in 0..run_cycles {
-            // Retire reconverged lanes at the top of the cycle (the batch
-            // analogue of the scalar early-stop hash check, by true
-            // equality — equal state and pristine config imply the hash
-            // check passes too).
-            let any_inert = slots
-                .iter()
-                .flatten()
-                .any(|s| s.planned.schedule.inert_at(cycle));
-            if any_inert {
-                let seq = batch.seq_divergence();
-                let conf = batch.config_divergence();
+    for cycle in 0..run_cycles {
+        // Retire reconverged lanes at the top of the cycle (the batch
+        // analogue of the scalar early-stop hash check, by true
+        // equality — equal state and pristine config imply the hash
+        // check passes too).
+        let any_inert = slots
+            .iter()
+            .flatten()
+            .any(|s| s.planned.schedule.inert_at(cycle));
+        if any_inert {
+            let seq = batch.seq_divergence();
+            let conf = batch.config_divergence();
+            let mut will_retire = 0u64;
+            for (lane, entry) in slots.iter().enumerate().skip(1) {
+                let retire = entry.as_ref().is_some_and(|s| {
+                    s.planned.schedule.inert_at(cycle)
+                        && (seq >> lane) & 1 == 0
+                        && (conf >> lane) & 1 == 0
+                });
+                if retire {
+                    will_retire |= 1 << lane;
+                }
+            }
+            if will_retire != 0 {
+                // Charge the shared clock before the retiring lanes
+                // leave — they were occupied over the elapsed interval.
+                clock.charge(&mut slots);
                 for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
-                    let retire = entry.as_ref().is_some_and(|s| {
-                        s.planned.schedule.inert_at(cycle)
-                            && (seq >> lane) & 1 == 0
-                            && (conf >> lane) & 1 == 0
-                    });
-                    if !retire {
+                    if (will_retire >> lane) & 1 == 0 {
                         continue;
                     }
                     let slot = entry.take().expect("retire checked occupancy");
@@ -174,7 +265,9 @@ pub(crate) fn run_lane_cohorts<'p>(
                         Outcome::Silent
                     };
                     fades_telemetry::sim::record_lane_retirement();
-                    results.push(slot.finish(batch, lane, outcome, run_cycles - cycle));
+                    let (index, result) = slot.finish(batch, lane, outcome, run_cycles - cycle);
+                    trace_retirement(index, result.wall_us);
+                    sink(index, result);
                     // Refill: skip entries whose injection instant has
                     // already passed (they wait for the next pass).
                     while pending
@@ -187,79 +280,121 @@ pub(crate) fn run_lane_cohorts<'p>(
                     if let Some(&planned) = pending.get(cursor) {
                         cursor += 1;
                         batch.refill_lane(lane);
+                        loaded.push(planned);
                         *entry = Some(LaneSlot::new(planned, sub_cycle));
                         occupied += 1;
                     }
                 }
             }
-            if occupied == 0 {
-                break;
-            }
-            for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
-                if let Some(s) = entry {
-                    if cycle == s.planned.schedule.inject_at {
-                        s.strategy.inject(&mut batch.lane(lane), &mut s.rng)?;
-                    } else if s.planned.schedule.active(cycle) {
-                        s.strategy.tick(&mut batch.lane(lane), &mut s.rng)?;
+        }
+        if occupied == 0 {
+            break;
+        }
+        for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
+            if let Some(s) = entry {
+                if cycle == s.planned.schedule.inject_at {
+                    if let Some(c) = chaos {
+                        c.maybe_panic(s.planned.index, 0);
                     }
+                    s.strategy.inject(&mut batch.lane(lane), &mut s.rng)?;
+                } else if s.planned.schedule.active(cycle) {
+                    s.strategy.tick(&mut batch.lane(lane), &mut s.rng)?;
                 }
             }
-            batch.settle();
-            match golden.trace().row(cycle as usize) {
-                Some(row) => {
-                    let mut diff = 0u64;
-                    for (wires, &g) in port_wires.iter().zip(row) {
-                        diff |= batch.port_divergence(wires, g);
-                    }
-                    if diff != 0 {
-                        for (lane, s) in slots.iter_mut().enumerate() {
-                            if (diff >> lane) & 1 == 1 {
-                                if let Some(s) = s {
-                                    s.diverged = true;
-                                }
+        }
+        batch.settle();
+        match golden.trace().row(cycle as usize) {
+            Some(row) => {
+                let mut diff = 0u64;
+                for (wires, &g) in port_wires.iter().zip(row) {
+                    diff |= batch.port_divergence(wires, g);
+                }
+                if diff != 0 {
+                    for (lane, s) in slots.iter_mut().enumerate() {
+                        if (diff >> lane) & 1 == 1 {
+                            if let Some(s) = s {
+                                s.diverged = true;
                             }
                         }
                     }
                 }
-                None => {
-                    for s in slots.iter_mut().flatten() {
-                        s.diverged = true;
-                    }
-                }
             }
-            batch.clock_edge();
-            fades_telemetry::sim::record_lane_cycle(occupied as u64);
-            for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
-                if let Some(s) = entry {
-                    if s.planned.schedule.expires_after(cycle) {
-                        s.strategy.remove(&mut batch.lane(lane))?;
-                    }
+            None => {
+                for s in slots.iter_mut().flatten() {
+                    s.diverged = true;
                 }
             }
         }
-
-        // Lanes still occupied at the end of the pass: remove an
-        // outliving fault (its removal traffic belongs to this
-        // experiment's ledger, exactly as in the scalar flow), then
-        // classify against the golden final state.
+        batch.clock_edge();
+        fades_telemetry::sim::record_lane_cycle(occupied as u64);
         for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
-            if let Some(mut slot) = entry.take() {
-                if slot.planned.schedule.outlives(run_cycles) {
-                    slot.strategy.remove(&mut batch.lane(lane))?;
+            if let Some(s) = entry {
+                if s.planned.schedule.expires_after(cycle) {
+                    s.strategy.remove(&mut batch.lane(lane))?;
                 }
-                let outcome = if slot.diverged {
-                    Outcome::Failure
-                } else if batch.state_snapshot_lane(lane).as_slice() != golden.final_state() {
-                    Outcome::Latent
-                } else {
-                    Outcome::Silent
-                };
-                results.push(slot.finish(batch, lane, outcome, 0));
             }
         }
+    }
 
-        leftovers.extend_from_slice(&pending[cursor..]);
-        pending = leftovers;
+    // Lanes still occupied at the end of the pass: charge the remaining
+    // shared clock, remove an outliving fault (its removal traffic
+    // belongs to this experiment's ledger, exactly as in the scalar
+    // flow), then classify against the golden final state.
+    if occupied > 0 {
+        clock.charge(&mut slots);
+    }
+    for (lane, entry) in slots.iter_mut().enumerate().skip(1) {
+        if let Some(mut slot) = entry.take() {
+            if slot.planned.schedule.outlives(run_cycles) {
+                slot.strategy.remove(&mut batch.lane(lane))?;
+            }
+            let outcome = if slot.diverged {
+                Outcome::Failure
+            } else if batch.state_snapshot_lane(lane).as_slice() != golden.final_state() {
+                Outcome::Latent
+            } else {
+                Outcome::Silent
+            };
+            let (index, result) = slot.finish(batch, lane, outcome, 0);
+            trace_retirement(index, result.wall_us);
+            sink(index, result);
+        }
+    }
+
+    leftovers.extend_from_slice(&pending[cursor..]);
+    Ok(leftovers)
+}
+
+/// Runs every entry of `entries` through the lane engine, one experiment
+/// per lane, over as many passes as refilling requires. Returns
+/// `(plan index, result)` pairs in ascending plan-index order.
+pub(crate) fn run_lane_cohorts<'p>(
+    batch: &mut BatchDevice,
+    golden: &GoldenRun,
+    ports: &[String],
+    sub_cycle: bool,
+    entries: &[&'p PlannedExperiment],
+) -> Result<Vec<(u64, ExperimentResult)>, CoreError> {
+    let port_wires = lane_prologue(batch, golden, ports, entries)?;
+
+    // Ascending injection instants maximise refills: a freed lane can
+    // only take an entry whose injection instant has not yet passed.
+    let mut pending: Vec<&'p PlannedExperiment> = entries.to_vec();
+    pending.sort_by_key(|e| (e.schedule.inject_at, e.index));
+
+    let mut results: Vec<(u64, ExperimentResult)> = Vec::with_capacity(entries.len());
+    while !pending.is_empty() {
+        let mut loaded = Vec::new();
+        pending = run_one_cohort(
+            batch,
+            golden,
+            &port_wires,
+            sub_cycle,
+            &pending,
+            None,
+            &mut loaded,
+            &mut |index, result| results.push((index, result)),
+        )?;
     }
 
     results.sort_by_key(|(index, _)| *index);

@@ -609,6 +609,217 @@ impl<'n> Campaign<'n> {
         self.execute_mode(plan, recorder, ExecMode::Isolated { retries, observer })
     }
 
+    /// The lane engine under the isolation contract: lane-expressible
+    /// experiments run 63 per `u64` word, everything else (and every
+    /// fallback) goes through [`execute_isolated`](Self::execute_isolated)
+    /// — same retry/quarantine semantics, same verdict shapes, outcomes
+    /// and modelled seconds bit-identical to the scalar isolated path.
+    ///
+    /// `observer` is invoked at lane *retirement* — the moment a lane's
+    /// outcome is decided, not when the whole cohort finishes — so a
+    /// journaling observer forfeits at most the in-flight word on a kill.
+    ///
+    /// A panicking or erroring cohort is contained, not propagated: the
+    /// experiments that were aboard the word and not yet retired are
+    /// replayed on the scalar isolated path, where the existing
+    /// per-experiment retry (`retries` attempts on a pristine device) and
+    /// quarantine machinery isolates the actual offender. One poisoned
+    /// fault therefore costs one scalar cohort replay, never the shard.
+    /// Experiments never loaded into the poisoned word stay on the
+    /// batched path (the engine is rebuilt from the pristine device).
+    ///
+    /// Falls back to [`execute_isolated`](Self::execute_isolated)
+    /// wholesale when [`CampaignConfig::batch`] is off or the design is
+    /// not lane-encodable. Verdicts come back in plan order.
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures (unknown observed port, invalid plan
+    /// schedule) surface here; per-experiment faults are quarantined.
+    pub fn execute_batched_isolated(
+        &self,
+        plan: &CampaignPlan,
+        retries: u32,
+        recorder: Option<&Recorder>,
+        observer: Option<&(dyn Fn(&ExperimentVerdict) + Sync)>,
+    ) -> Result<Vec<ExperimentVerdict>, CoreError> {
+        if !self.config.batch {
+            return self.execute_isolated(plan, retries, recorder, observer);
+        }
+        let Some(mut engine) = fades_fpga::BatchDevice::new(&self.device) else {
+            return self.execute_isolated(plan, retries, recorder, observer);
+        };
+        if plan.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let lane_entries: Vec<&PlannedExperiment> = plan
+            .experiments
+            .iter()
+            .filter(|e| crate::batch::lane_expressible(&e.fault))
+            .collect();
+        let scalar_plan = CampaignPlan {
+            target: plan.target.clone(),
+            sub_cycle: plan.sub_cycle,
+            seed: plan.seed,
+            n_total: plan.n_total,
+            experiments: plan
+                .experiments
+                .iter()
+                .filter(|e| !crate::batch::lane_expressible(&e.fault))
+                .cloned()
+                .collect(),
+        };
+        let mut verdicts: Vec<ExperimentVerdict> = if scalar_plan.is_empty() {
+            Vec::new()
+        } else {
+            self.execute_isolated(&scalar_plan, retries, recorder, observer)?
+        };
+
+        let port_wires =
+            crate::batch::lane_prologue(&engine, &self.golden, &self.ports, &lane_entries)?;
+        let chaos = ChaosPanic::from_env();
+        let handle: Option<RecorderHandle> = recorder.map(Recorder::handle);
+
+        let mut pending: Vec<&PlannedExperiment> = lane_entries;
+        pending.sort_by_key(|e| (e.schedule.inject_at, e.index));
+        // Experiments evicted from the batched path by a poisoned cohort,
+        // replayed scalar-isolated after the lane loop.
+        let mut fallback: Vec<PlannedExperiment> = Vec::new();
+
+        while !pending.is_empty() {
+            let mut loaded: Vec<&PlannedExperiment> = Vec::new();
+            let mut retired: Vec<ExperimentVerdict> = Vec::new();
+            let outcome = {
+                let engine = &mut engine;
+                let loaded = &mut loaded;
+                let retired = &mut retired;
+                let pending = &pending;
+                catch_unwind(AssertUnwindSafe(|| {
+                    crate::batch::run_one_cohort(
+                        engine,
+                        &self.golden,
+                        &port_wires,
+                        plan.sub_cycle,
+                        pending,
+                        chaos,
+                        loaded,
+                        &mut |index, result| {
+                            let verdict = ExperimentVerdict::Completed {
+                                index,
+                                modelled_seconds: self
+                                    .time_model
+                                    .experiment_seconds(&result.traffic, self.golden.cycles()),
+                                attempts: 1,
+                                result,
+                            };
+                            if let (
+                                Some(h),
+                                ExperimentVerdict::Completed {
+                                    result,
+                                    modelled_seconds,
+                                    ..
+                                },
+                            ) = (&handle, &verdict)
+                            {
+                                h.record(ExperimentRecord {
+                                    index,
+                                    target: plan.target.clone(),
+                                    strategy: result.strategy.to_string(),
+                                    outcome: result.outcome.as_str(),
+                                    modelled_s: *modelled_seconds,
+                                    ops: result.traffic.ops as u64,
+                                    readback_ops: result.traffic.readback_ops as u64,
+                                    write_ops: result.traffic.write_ops as u64,
+                                    bulk_ops: result.traffic.bulk_ops as u64,
+                                    pulse_ops: result.traffic.pulse_ops as u64,
+                                    readback_bytes: result.traffic.readback_bytes,
+                                    write_bytes: result.traffic.write_bytes,
+                                    bulk_bytes: result.traffic.bulk_bytes,
+                                    skipped_cycles: result.skipped_cycles,
+                                    early_stop_cycles: result.early_stop_cycles,
+                                    wall_us: result.wall_us,
+                                    attempts: 1,
+                                });
+                            }
+                            if let Some(f) = observer {
+                                f(&verdict);
+                            }
+                            retired.push(verdict);
+                        },
+                    )
+                }))
+            };
+            match outcome {
+                Ok(Ok(leftovers)) => {
+                    verdicts.append(&mut retired);
+                    pending = leftovers;
+                }
+                Ok(Err(_)) | Err(_) => {
+                    // The cohort died mid-pass. Lanes that retired before
+                    // the failure are decided (and already observed);
+                    // everything else that was aboard the word replays on
+                    // the scalar isolated path, which retries and
+                    // quarantines the actual offender per experiment.
+                    let decided: std::collections::HashSet<u64> =
+                        retired.iter().map(ExperimentVerdict::index).collect();
+                    verdicts.append(&mut retired);
+                    fallback.extend(
+                        loaded
+                            .iter()
+                            .filter(|e| !decided.contains(&e.index))
+                            .map(|e| (*e).clone()),
+                    );
+                    if loaded.is_empty() {
+                        // Died before taking any work: batched progress is
+                        // impossible, hand the rest to the scalar path.
+                        fallback.extend(pending.iter().map(|e| (*e).clone()));
+                        pending.clear();
+                    } else {
+                        let aboard: std::collections::HashSet<u64> =
+                            loaded.iter().map(|e| e.index).collect();
+                        pending.retain(|e| !aboard.contains(&e.index));
+                    }
+                    // The word may hold a half-installed fault; rebuild
+                    // the engine from the pristine device.
+                    match fades_fpga::BatchDevice::new(&self.device) {
+                        Some(rebuilt) => engine = rebuilt,
+                        None => {
+                            fallback.extend(pending.iter().map(|e| (*e).clone()));
+                            pending.clear();
+                        }
+                    }
+                }
+            }
+        }
+
+        if !fallback.is_empty() {
+            fallback.sort_by_key(|e| e.index);
+            let fallback_plan = CampaignPlan {
+                target: plan.target.clone(),
+                sub_cycle: plan.sub_cycle,
+                seed: plan.seed,
+                n_total: plan.n_total,
+                experiments: fallback,
+            };
+            verdicts.extend(self.execute_isolated(&fallback_plan, retries, recorder, observer)?);
+        }
+
+        // Stitch back into plan order (float accumulation order is part
+        // of the bit-identical contract).
+        let mut by_index: std::collections::HashMap<u64, ExperimentVerdict> =
+            verdicts.into_iter().map(|v| (v.index(), v)).collect();
+        Ok(plan
+            .experiments
+            .iter()
+            .map(|e| {
+                by_index
+                    .remove(&e.index)
+                    .expect("every plan entry was decided")
+            })
+            .collect())
+    }
+
     fn execute_mode(
         &self,
         plan: &CampaignPlan,

@@ -20,6 +20,16 @@ pub enum CoreError {
         /// Experiment run length.
         run_cycles: u64,
     },
+    /// A shard request names an impossible geometry: zero shards, or a
+    /// shard index at or beyond the count. Catching this before
+    /// execution prevents both the panic (`index >= count`) and the
+    /// silently empty campaign (`count == 0` would keep nothing).
+    ShardGeometry {
+        /// Requested shard index.
+        index: u32,
+        /// Requested shard count.
+        count: u32,
+    },
     /// A multi-site fault load asked for more distinct targets than the
     /// resolved pool holds (e.g. a 4-bit multiple bit-flip on a design
     /// with 3 flip-flops).
@@ -59,6 +69,9 @@ impl fmt::Display for CoreError {
                     f,
                     "injection at cycle {at} outside run of {run_cycles} cycles"
                 )
+            }
+            CoreError::ShardGeometry { index, count } => {
+                write!(f, "invalid shard geometry: shard {index} of {count}")
             }
             CoreError::InsufficientTargets { needed, available } => {
                 write!(

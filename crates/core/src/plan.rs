@@ -12,6 +12,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::error::CoreError;
 use crate::experiment::{ExperimentResult, FaultSchedule};
 use crate::location::ResolvedFault;
 
@@ -73,11 +74,26 @@ impl CampaignPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `count` is zero or `index >= count`.
+    /// Panics if `count` is zero or `index >= count`. Callers handling
+    /// untrusted geometry use [`try_shard`](CampaignPlan::try_shard).
     pub fn shard(&self, index: u32, count: u32) -> CampaignPlan {
-        assert!(count > 0, "shard count must be positive");
-        assert!(index < count, "shard index {index} out of {count}");
-        CampaignPlan {
+        self.try_shard(index, count)
+            .unwrap_or_else(|_| panic!("shard index {index} out of {count}"))
+    }
+
+    /// [`shard`](CampaignPlan::shard) with the geometry validated
+    /// instead of asserted: `count == 0` or `index >= count` is a typed
+    /// [`CoreError::ShardGeometry`], never a panic and never a silently
+    /// empty shard.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ShardGeometry`] on an impossible geometry.
+    pub fn try_shard(&self, index: u32, count: u32) -> Result<CampaignPlan, CoreError> {
+        if count == 0 || index >= count {
+            return Err(CoreError::ShardGeometry { index, count });
+        }
+        Ok(CampaignPlan {
             target: self.target.clone(),
             sub_cycle: self.sub_cycle,
             seed: self.seed,
@@ -88,7 +104,7 @@ impl CampaignPlan {
                 .filter(|e| e.index % count as u64 == index as u64)
                 .cloned()
                 .collect(),
-        }
+        })
     }
 
     /// Drops the experiments whose global index is in `done` (journal
@@ -231,6 +247,22 @@ mod tests {
             }
             assert_eq!(seen.len(), 23, "union of {count} shards covers the plan");
         }
+    }
+
+    #[test]
+    fn try_shard_rejects_impossible_geometry() {
+        let plan = plan_of(10);
+        for (index, count) in [(0u32, 0u32), (3, 3), (5, 2), (u32::MAX, 16)] {
+            match plan.try_shard(index, count) {
+                Err(CoreError::ShardGeometry { index: i, count: c }) => {
+                    assert_eq!((i, c), (index, count));
+                }
+                other => panic!("shard {index}/{count}: expected geometry error, got {other:?}"),
+            }
+        }
+        // Valid geometry still shards.
+        let ok = plan.try_shard(1, 3).unwrap();
+        assert!(ok.experiments.iter().all(|e| e.index % 3 == 1));
     }
 
     #[test]

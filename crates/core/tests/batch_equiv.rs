@@ -263,6 +263,89 @@ fn disabling_batch_makes_run_batched_scalar() {
     }
 }
 
+/// Asserts two isolated-executor verdict streams are equivalent:
+/// identical indices, outcomes, traffic and bit-identical modelled
+/// seconds.
+fn assert_verdicts_equivalent(
+    batched: &[fades_core::ExperimentVerdict],
+    scalar: &[fades_core::ExperimentVerdict],
+) {
+    use fades_core::ExperimentVerdict as V;
+    assert_eq!(batched.len(), scalar.len());
+    for (b, s) in batched.iter().zip(scalar) {
+        assert_eq!(b.index(), s.index());
+        match (b, s) {
+            (
+                V::Completed {
+                    modelled_seconds: bm,
+                    result: br,
+                    ..
+                },
+                V::Completed {
+                    modelled_seconds: sm,
+                    result: sr,
+                    ..
+                },
+            ) => {
+                assert_eq!(br.outcome, sr.outcome, "index {}", b.index());
+                assert_eq!(br.traffic, sr.traffic, "index {}", b.index());
+                assert_eq!(
+                    bm.to_bits(),
+                    sm.to_bits(),
+                    "index {}: modelled seconds must be bit-identical",
+                    b.index()
+                );
+            }
+            (V::Quarantined { .. }, V::Quarantined { .. }) => {}
+            other => panic!("verdict kinds diverge at index {}: {other:?}", b.index()),
+        }
+    }
+}
+
+#[test]
+fn batched_isolated_matches_scalar_isolated_bitwise() {
+    // The tentpole contract: the lane engine under the isolation
+    // contract produces verdicts bit-identical to the scalar isolated
+    // executor, and its observer fires exactly once per experiment — at
+    // lane retirement, i.e. interleaved with execution, not after it.
+    let (nl, imp) = lfsr_design();
+    let campaign = Campaign::with_config(&nl, imp, &["q"], 150, config(true)).unwrap();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    let plan = campaign.plan(&load, 70, 215).unwrap();
+
+    let observed = std::sync::Mutex::new(Vec::new());
+    let observer = |v: &fades_core::ExperimentVerdict| observed.lock().unwrap().push(v.index());
+    let batched = campaign
+        .execute_batched_isolated(&plan, 1, None, Some(&observer))
+        .unwrap();
+    let scalar = campaign.execute_isolated(&plan, 1, None, None).unwrap();
+    assert_verdicts_equivalent(&batched, &scalar);
+
+    let mut seen = observed.into_inner().unwrap();
+    seen.sort_unstable();
+    assert_eq!(
+        seen,
+        (0..70).collect::<Vec<u64>>(),
+        "observer must fire exactly once per experiment"
+    );
+}
+
+#[test]
+fn batched_isolated_scalar_fallback_load_matches() {
+    // A load the lane engine cannot express at all (routing delays):
+    // `execute_batched_isolated` must route it wholesale to the scalar
+    // isolated path and stay equivalent.
+    let (nl, imp) = lfsr_design();
+    let campaign = Campaign::with_config(&nl, imp, &["q"], 150, config(true)).unwrap();
+    let load = FaultLoad::delays(TargetClass::SequentialWires, DurationRange::SHORT);
+    let plan = campaign.plan(&load, 10, 217).unwrap();
+    let batched = campaign
+        .execute_batched_isolated(&plan, 1, None, None)
+        .unwrap();
+    let scalar = campaign.execute_isolated(&plan, 1, None, None).unwrap();
+    assert_verdicts_equivalent(&batched, &scalar);
+}
+
 /// A counter whose inverted bits feed only an unobserved port (same
 /// fixture shape as `fastpath.rs`): pulses into the inverters are silent
 /// and the lane re-converges with golden once the fault is removed.

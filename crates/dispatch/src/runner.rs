@@ -22,6 +22,14 @@ pub struct ShardOptions {
     /// Whether to feed the session [`Recorder`] (run log + aggregate)
     /// while executing.
     pub with_recorder: bool,
+    /// Whether to run lane-expressible experiments on the bit-parallel
+    /// lane engine (63 per `u64` word) via
+    /// [`Campaign::execute_batched_isolated`]. Outcomes, modelled
+    /// seconds and journal contents are bit-identical to the scalar
+    /// isolated path — this changes host wall-clock only. Defaults to
+    /// [`fades_core::batch_default`] (the `FADES_NO_BATCH` escape
+    /// hatch).
+    pub batch: bool,
 }
 
 impl Default for ShardOptions {
@@ -30,6 +38,7 @@ impl Default for ShardOptions {
             load: String::new(),
             retries: 1,
             with_recorder: false,
+            batch: fades_core::batch_default(),
         }
     }
 }
@@ -67,10 +76,20 @@ pub struct ShardOutcome {
 /// a pristine device and then quarantined — journaled and counted, never
 /// fatal to the shard.
 ///
+/// With `opts.batch` (the default), lane-expressible experiments run on
+/// the bit-parallel lane engine under the same isolation contract: each
+/// experiment is journaled the moment its lane retires, and a cohort
+/// poisoned by one bad fault falls back to the scalar path where the
+/// offender is retried and quarantined individually. Journal contents
+/// and merged stats are bit-identical either way.
+///
 /// # Errors
 ///
-/// Journal I/O or header mismatches, or infrastructure errors from the
-/// campaign executor (per-experiment faults are quarantined instead).
+/// Invalid shard geometry (`count == 0` or `shard >= count`, surfaced
+/// as [`CoreError::ShardGeometry`](fades_core::CoreError) before any
+/// journal is touched), journal I/O or header mismatches, or
+/// infrastructure errors from the campaign executor (per-experiment
+/// faults are quarantined instead).
 pub fn run_shard(
     campaign: &Campaign,
     plan: &CampaignPlan,
@@ -89,7 +108,7 @@ pub fn run_shard(
         run_cycles: campaign.run_cycles(),
     };
 
-    let mut pending = plan.shard(shard, count);
+    let mut pending = plan.try_shard(shard, count)?;
     let shard_size = pending.len() as u64;
     let (journal, skipped) = if journal_path.exists() {
         let replay = Journal::load(journal_path)?;
@@ -143,7 +162,16 @@ pub fn run_shard(
             threads,
         )
     });
-    campaign.execute_isolated(&pending, opts.retries, recorder.as_ref(), Some(&observer))?;
+    if opts.batch {
+        campaign.execute_batched_isolated(
+            &pending,
+            opts.retries,
+            recorder.as_ref(),
+            Some(&observer),
+        )?;
+    } else {
+        campaign.execute_isolated(&pending, opts.retries, recorder.as_ref(), Some(&observer))?;
+    }
     if let Some(rec) = recorder {
         rec.finish();
     }

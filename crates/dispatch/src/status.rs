@@ -397,6 +397,65 @@ mod tests {
     }
 
     #[test]
+    fn zero_stamp_span_yields_no_rate_and_finite_json() {
+        // A burst of settles inside one millisecond (or a lone record)
+        // stamps a zero-width span: the rate must come out `None` — not
+        // a division by zero reporting infinite faults/s — and the JSON
+        // view must stay finite with `null` estimates.
+        let dir = std::env::temp_dir();
+        for (name, stamps) in [
+            ("burst", &[(0u64, 5_000u64), (1, 5_000), (2, 5_000)][..]),
+            ("lone", &[(0, 5_000)][..]),
+        ] {
+            let path = dir.join(format!(
+                "fades-status-span0-{name}-{}.jsonl",
+                std::process::id()
+            ));
+            let h = header(0, 1);
+            let mut text = format!(
+                "{{\"type\":\"plan\",\"campaign\":\"{}\",\"load\":\"{}\",\"n_total\":10,\
+                 \"seed\":7,\"shard\":0,\"of\":1,\"run_cycles\":164}}\n",
+                h.campaign, h.load
+            );
+            for &(i, ms) in stamps {
+                text.push_str(
+                    &JournalRecord::Completed {
+                        index: i,
+                        outcome: Outcome::Silent,
+                        modelled_seconds: 0.25,
+                        attempts: 1,
+                    }
+                    .to_json_at(ms),
+                );
+                text.push('\n');
+            }
+            std::fs::write(&path, text).unwrap();
+
+            let report = campaign_status(&[&path]).unwrap();
+            assert_eq!(report.completed, stamps.len() as u64, "{name}");
+            assert!(report.rate.is_none(), "{name}: zero span has no rate");
+            assert!(report.eta_s.is_none(), "{name}: no rate, no ETA");
+            assert!(report.fraction_done().is_finite(), "{name}");
+            assert!(report.shards[0].rate.is_none(), "{name}");
+            let json = report.to_json();
+            assert!(
+                !json.contains("inf") && !json.contains("NaN"),
+                "{name}: {json}"
+            );
+            let v = fades_telemetry::json::parse(&json).expect("status JSON parses");
+            assert!(
+                v.get("faults_per_sec").and_then(|x| x.as_f64()).is_none(),
+                "{name}: faults_per_sec renders null"
+            );
+            assert!(
+                v.get("eta_s").and_then(|x| x.as_f64()).is_none(),
+                "{name}: eta_s renders null"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
     fn untimestamped_journals_report_progress_without_estimates() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("fades-status-old-{}.jsonl", std::process::id()));

@@ -3,7 +3,11 @@
 //! One sequential test: the chaos hooks are process-wide environment
 //! variables, so the scenarios must not run on parallel test threads.
 
+use std::fs;
+use std::path::PathBuf;
+
 use fades_core::{Campaign, CoreError, DurationRange, ExperimentVerdict, FaultLoad, TargetClass};
+use fades_dispatch::{merge, run_shard, ShardOptions};
 use fades_fpga::ArchParams;
 use fades_netlist::UnitTag;
 use fades_pnr::implement;
@@ -103,4 +107,104 @@ fn chaos_panics_quarantine_retry_and_fail_fast() {
         }
         other => panic!("expected ExperimentPanic, got {other:?}"),
     }
+
+    // Scenario 4: the panic lands *inside a lane cohort* on the batched
+    // isolated path. The cohort dies mid-pass; the experiments aboard the
+    // word replay scalar-isolated, where the offender is retried and
+    // quarantined — one poisoned fault costs one scalar cohort replay,
+    // never the shard, and bystanders match the scalar baseline exactly.
+    std::env::set_var("FADES_CHAOS_PANIC", "4");
+    fades_telemetry::dispatch::reset();
+    let verdicts = campaign
+        .execute_batched_isolated(&plan, 1, None, None)
+        .unwrap();
+    std::env::remove_var("FADES_CHAOS_PANIC");
+    assert_eq!(verdicts.len(), 10);
+    for (v, b) in verdicts.iter().zip(&baseline) {
+        if v.index() == 4 {
+            match v {
+                ExperimentVerdict::Quarantined {
+                    error, attempts, ..
+                } => {
+                    assert_eq!(*attempts, 2, "one scalar retry before quarantine");
+                    assert!(error.contains("chaos"), "{error}");
+                }
+                other => panic!("expected quarantine, got {other:?}"),
+            }
+        } else {
+            let (v, b) = (v.result().unwrap(), b.result().unwrap());
+            assert_eq!(v.outcome, b.outcome, "cohort bystanders are unaffected");
+            assert_eq!(v.traffic, b.traffic, "cohort bystanders are unaffected");
+        }
+    }
+    assert_eq!(fades_telemetry::dispatch::QUARANTINES.get(), 1);
+
+    // Scenario 5: first-attempt-only panic on the batched path — the
+    // cohort attempt panics once, the scalar replay's first attempt
+    // panics again (it is still attempt 0 of that executor), and the
+    // retry reproduces the baseline result deterministically.
+    std::env::set_var("FADES_CHAOS_PANIC_ONCE", "3");
+    fades_telemetry::dispatch::reset();
+    let verdicts = campaign
+        .execute_batched_isolated(&plan, 1, None, None)
+        .unwrap();
+    std::env::remove_var("FADES_CHAOS_PANIC_ONCE");
+    match verdicts.iter().find(|v| v.index() == 3).unwrap() {
+        ExperimentVerdict::Completed {
+            attempts, result, ..
+        } => {
+            assert_eq!(*attempts, 2, "scalar replay panicked once, then ran");
+            assert_eq!(result.outcome, baseline[3].result().unwrap().outcome);
+        }
+        other => panic!("retry should have succeeded, got {other:?}"),
+    }
+    assert_eq!(fades_telemetry::dispatch::QUARANTINES.get(), 0);
+
+    // Scenario 6: the same mid-cohort panic under sharded dispatch. Both
+    // engines journal the quarantine and merge to bit-identical stats.
+    let dir = std::env::temp_dir().join(format!("fades-chaos-shard-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("FADES_CHAOS_PANIC", "5");
+    let mut merged = Vec::new();
+    for batch in [true, false] {
+        let engine = if batch { "lane" } else { "scalar" };
+        let journals: Vec<PathBuf> = (0..2u32)
+            .map(|shard| {
+                let path = dir.join(format!("{engine}-s{shard}.jsonl"));
+                let opts = ShardOptions {
+                    load: "bitflip-ffs".into(),
+                    retries: 1,
+                    with_recorder: false,
+                    batch,
+                };
+                let outcome = run_shard(&campaign, &plan, shard, 2, &path, &opts).unwrap();
+                if shard == 1 {
+                    assert_eq!(
+                        outcome.quarantined.len(),
+                        1,
+                        "{engine}: the victim lives in shard 1"
+                    );
+                    assert_eq!(outcome.quarantined[0].0, 5);
+                } else {
+                    assert!(outcome.quarantined.is_empty(), "{engine}");
+                }
+                path
+            })
+            .collect();
+        merged.push(merge(&journals).unwrap());
+    }
+    std::env::remove_var("FADES_CHAOS_PANIC");
+    let (lane, scalar) = (&merged[0], &merged[1]);
+    assert_eq!(lane.completed, 9);
+    assert_eq!(lane.completed, scalar.completed);
+    assert_eq!(lane.quarantined.len(), 1);
+    assert_eq!(lane.quarantined[0].0, scalar.quarantined[0].0);
+    assert_eq!(lane.stats.outcomes, scalar.stats.outcomes);
+    assert_eq!(
+        lane.stats.emulation_seconds.to_bits(),
+        scalar.stats.emulation_seconds.to_bits(),
+        "sharded batched merge must be bit-identical to the scalar-isolated merge"
+    );
+    let _ = fs::remove_dir_all(&dir);
 }

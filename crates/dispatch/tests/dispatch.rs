@@ -47,8 +47,15 @@ fn opts() -> ShardOptions {
     }
 }
 
+fn opts_batch(batch: bool) -> ShardOptions {
+    ShardOptions { batch, ..opts() }
+}
+
 #[test]
 fn merged_shards_are_bit_identical_to_the_monolithic_run() {
+    // Both shard engines — scalar isolated and the batched lane engine —
+    // must merge to stats bit-identical to the monolithic run, for every
+    // shard count.
     let (nl, imp) = lfsr_campaign();
     let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
     let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SHORT);
@@ -58,28 +65,67 @@ fn merged_shards_are_bit_identical_to_the_monolithic_run() {
     let plan = campaign.plan(&load, n, seed).unwrap();
     let dir = scratch_dir("bitident");
 
-    for count in [1u32, 2, 3, 5] {
-        let journals: Vec<PathBuf> = (0..count)
-            .map(|shard| {
-                let path = dir.join(format!("c{count}-s{shard}.jsonl"));
-                let outcome = run_shard(&campaign, &plan, shard, count, &path, &opts()).unwrap();
-                assert_eq!(outcome.skipped, 0);
-                assert!(outcome.quarantined.is_empty());
-                path
-            })
-            .collect();
-        let report = merge(&journals).unwrap();
-        assert!(report.is_complete(), "{count} shards: {report:?}");
-        assert_eq!(report.completed, n as u64);
-        assert_eq!(report.stats.n, monolithic.n);
-        assert_eq!(report.stats.outcomes, monolithic.outcomes);
-        assert_eq!(
-            report.stats.emulation_seconds.to_bits(),
-            monolithic.emulation_seconds.to_bits(),
-            "{count} shards: merged modelled time must be bit-identical \
-             ({} vs {})",
-            report.stats.emulation_seconds,
-            monolithic.emulation_seconds
+    for batch in [false, true] {
+        let engine = if batch { "lane" } else { "scalar" };
+        for count in [1u32, 2, 3, 5] {
+            let journals: Vec<PathBuf> = (0..count)
+                .map(|shard| {
+                    let path = dir.join(format!("{engine}-c{count}-s{shard}.jsonl"));
+                    let outcome =
+                        run_shard(&campaign, &plan, shard, count, &path, &opts_batch(batch))
+                            .unwrap();
+                    assert_eq!(outcome.skipped, 0);
+                    assert!(outcome.quarantined.is_empty());
+                    path
+                })
+                .collect();
+            let report = merge(&journals).unwrap();
+            assert!(report.is_complete(), "{engine}, {count} shards: {report:?}");
+            assert_eq!(report.completed, n as u64);
+            assert_eq!(report.stats.n, monolithic.n);
+            assert_eq!(report.stats.outcomes, monolithic.outcomes);
+            assert_eq!(
+                report.stats.emulation_seconds.to_bits(),
+                monolithic.emulation_seconds.to_bits(),
+                "{engine}, {count} shards: merged modelled time must be bit-identical \
+                 ({} vs {})",
+                report.stats.emulation_seconds,
+                monolithic.emulation_seconds
+            );
+        }
+    }
+
+    // The batched shards above drove the lane engine, whose process-wide
+    // counters feed the `/status` endpoint: sharded runs must show up as
+    // non-zero lane occupancy there.
+    let status = fades_telemetry::status_snapshot();
+    assert!(
+        status.lane_occupancy > 0.0,
+        "batched sharded runs must feed /status lane occupancy"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_shard_geometry_is_a_typed_error() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let plan = campaign.plan(&load, 6, 3).unwrap();
+    let dir = scratch_dir("geometry");
+
+    for (shard, count) in [(0u32, 0u32), (2, 2), (7, 3)] {
+        let path = dir.join(format!("g{shard}-{count}.jsonl"));
+        let err = run_shard(&campaign, &plan, shard, count, &path, &opts()).unwrap_err();
+        match err {
+            DispatchError::Core(fades_core::CoreError::ShardGeometry { index, count: c }) => {
+                assert_eq!((index, c), (shard, count));
+            }
+            other => panic!("shard {shard}/{count}: expected geometry error, got {other:?}"),
+        }
+        assert!(
+            !path.exists(),
+            "an impossible geometry must not leave a journal behind"
         );
     }
     let _ = fs::remove_dir_all(&dir);
@@ -87,6 +133,11 @@ fn merged_shards_are_bit_identical_to_the_monolithic_run() {
 
 #[test]
 fn resume_after_kill_skips_journaled_experiments() {
+    // Run the kill/resume drill on both engines. On the batched path the
+    // journal is written at lane *retirement*, so a kill mid-cohort
+    // leaves a prefix of retirement-ordered records — resume must pick
+    // up the remainder (batched again) and still fold to stats
+    // bit-identical to the uninterrupted scalar pass.
     let (nl, imp) = lfsr_campaign();
     let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
     let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
@@ -94,41 +145,53 @@ fn resume_after_kill_skips_journaled_experiments() {
     let plan = campaign.plan(&load, n, seed).unwrap();
     let dir = scratch_dir("resume");
 
-    // A full reference pass over shard 0 of 2.
+    // The scalar-isolated reference pass over shard 0 of 2.
     let full_path = dir.join("full.jsonl");
-    let full = run_shard(&campaign, &plan, 0, 2, &full_path, &opts()).unwrap();
+    let full = run_shard(&campaign, &plan, 0, 2, &full_path, &opts_batch(false)).unwrap();
     assert_eq!(full.executed, 10);
 
-    // Simulate a kill: keep the header + 4 journaled experiments and a
-    // torn partial line, as if the process died mid-append.
-    let text = fs::read_to_string(&full_path).unwrap();
-    let keep: Vec<&str> = text.lines().take(5).collect();
-    let crashed_path = dir.join("crashed.jsonl");
-    fs::write(
-        &crashed_path,
-        format!("{}\n{{\"type\":\"exp", keep.join("\n")),
-    )
-    .unwrap();
+    for batch in [false, true] {
+        let engine = if batch { "lane" } else { "scalar" };
+        // A full pass on this engine, then simulate a kill: keep the
+        // header + 4 journaled experiments and a torn partial line, as
+        // if the process died mid-append.
+        let donor_path = dir.join(format!("{engine}-donor.jsonl"));
+        run_shard(&campaign, &plan, 0, 2, &donor_path, &opts_batch(batch)).unwrap();
+        let text = fs::read_to_string(&donor_path).unwrap();
+        let keep: Vec<&str> = text.lines().take(5).collect();
+        let crashed_path = dir.join(format!("{engine}-crashed.jsonl"));
+        fs::write(
+            &crashed_path,
+            format!("{}\n{{\"type\":\"exp", keep.join("\n")),
+        )
+        .unwrap();
 
-    let resumed = run_shard(&campaign, &plan, 0, 2, &crashed_path, &opts()).unwrap();
-    assert_eq!(resumed.skipped, 4, "journaled experiments are not re-run");
-    assert_eq!(resumed.executed, 6);
-    assert_eq!(resumed.completed, 10);
+        let resumed = run_shard(&campaign, &plan, 0, 2, &crashed_path, &opts_batch(batch)).unwrap();
+        assert_eq!(
+            resumed.skipped, 4,
+            "{engine}: journaled experiments are not re-run"
+        );
+        assert_eq!(resumed.executed, 6, "{engine}");
+        assert_eq!(resumed.completed, 10, "{engine}");
 
-    // The healed journal folds to exactly the uninterrupted pass.
-    assert_eq!(resumed.stats.outcomes, full.stats.outcomes);
-    assert_eq!(
-        resumed.stats.emulation_seconds.to_bits(),
-        full.stats.emulation_seconds.to_bits()
-    );
+        // The healed journal folds to exactly the uninterrupted
+        // scalar-isolated pass, to the bit.
+        assert_eq!(resumed.stats.outcomes, full.stats.outcomes, "{engine}");
+        assert_eq!(
+            resumed.stats.emulation_seconds.to_bits(),
+            full.stats.emulation_seconds.to_bits(),
+            "{engine}: resumed stats must be bit-identical to the scalar reference"
+        );
 
-    // And a replayed journal has every shard-0 experiment exactly once.
-    let replay = Journal::load(&crashed_path).unwrap();
-    let indices: Vec<u64> = replay.settled_indices().into_iter().collect();
-    assert_eq!(
-        indices,
-        (0..n as u64).filter(|i| i % 2 == 0).collect::<Vec<_>>()
-    );
+        // And a replayed journal has every shard-0 experiment exactly once.
+        let replay = Journal::load(&crashed_path).unwrap();
+        let indices: Vec<u64> = replay.settled_indices().into_iter().collect();
+        assert_eq!(
+            indices,
+            (0..n as u64).filter(|i| i % 2 == 0).collect::<Vec<_>>(),
+            "{engine}"
+        );
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 

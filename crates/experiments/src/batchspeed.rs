@@ -79,6 +79,7 @@ pub fn run(
     let batched_wall = t1.elapsed().as_secs_f64();
 
     assert_equivalent(&scalar, &batched);
+    assert_batched_wall_cheaper("ff-flip-scalar", "ff-flip-batched");
 
     let lane_cycles = fades_telemetry::sim::LANE_CYCLES.get();
     let batch_cycles = fades_telemetry::sim::BATCH_CYCLES.get();
@@ -108,6 +109,31 @@ fn row(path: &'static str, stats: &CampaignStats, n: usize, wall_s: f64) -> Path
         faults_per_sec: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
         modelled_s_per_fault: stats.mean_seconds_per_fault(),
         failure_pct: stats.outcomes.failure_pct(),
+    }
+}
+
+/// Asserts the recorded per-fault host cost of the batched campaign is
+/// below the scalar one. With shared-clock wall attribution (each lane
+/// is charged its *share* of the cohort clock, not the word's whole
+/// residency), 63-wide execution must come out cheaper per fault — this
+/// is the regression guard for the lane wall-time overcounting bug,
+/// checked against the same aggregates that land in
+/// `BENCH_campaign.json`.
+fn assert_batched_wall_cheaper(scalar_label: &str, batched_label: &str) {
+    let aggregates = fades_telemetry::peek_aggregates();
+    let mean_us = |label: &str| {
+        aggregates
+            .iter()
+            .rev()
+            .find(|a| a.name == label)
+            .map(fades_telemetry::CampaignAggregate::mean_us_per_fault)
+    };
+    if let (Some(scalar_us), Some(batched_us)) = (mean_us(scalar_label), mean_us(batched_label)) {
+        assert!(
+            batched_us < scalar_us,
+            "batched mean_us_per_fault ({batched_us:.1}) must be below scalar \
+             ({scalar_us:.1}): lane wall attribution regressed"
+        );
     }
 }
 

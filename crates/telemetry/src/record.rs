@@ -476,6 +476,29 @@ mod tests {
     }
 
     #[test]
+    fn mean_us_per_fault_times_n_equals_summed_wall() {
+        // The per-experiment wall histogram carries an exact sum, so the
+        // reported mean is sum/count exactly — `mean * n` must reproduce
+        // the summed per-experiment `wall_us` (the invariant the
+        // lane-engine wall-attribution fix is checked against).
+        let recorder = Recorder::new("wall-consistency", 3, 1).with_run_log(None);
+        let h = recorder.handle();
+        for (index, wall_us) in [(0u64, 120u64), (1, 80), (2, 10_000)] {
+            h.record(record(index, "silent", wall_us));
+        }
+        drop(h); // finish() drains until every sender is gone
+        let agg = recorder.finish();
+        assert_eq!(agg.exp_wall.sum(), 10_200);
+        let reconstructed = agg.mean_us_per_fault() * agg.n as f64;
+        assert!(
+            (reconstructed - agg.exp_wall.sum() as f64).abs() < 1e-9,
+            "mean*n = {reconstructed}, summed wall_us = {}",
+            agg.exp_wall.sum()
+        );
+        let _ = crate::registry::drain_aggregates();
+    }
+
+    #[test]
     fn aggregate_json_is_parseable_and_ordered() {
         let recorder = Recorder::new("json-test", 1, 1).with_run_log(None);
         recorder.handle().record(record(0, "failure", 123));
