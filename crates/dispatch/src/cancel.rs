@@ -1,0 +1,52 @@
+//! Cooperative cancellation for shard runs.
+//!
+//! A campaign service needs to stop a running shard without killing the
+//! process: cancellation must be *cooperative* (in-flight experiments
+//! and lane-engine cohort words retire and are journaled, so no finished
+//! work is forfeited) and *resumable* (a cancelled shard's journal is a
+//! valid partial journal — re-running the shard picks up exactly where
+//! it stopped).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable cancellation flag checked by [`run_shard`](crate::run_shard)
+/// between execution chunks. Clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+}

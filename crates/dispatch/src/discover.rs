@@ -1,0 +1,119 @@
+//! Journal discovery: expand a directory into its shard journals.
+//!
+//! `merge` and `status` operate on "every shard journal of a campaign",
+//! which on disk is simply "every `*.jsonl` file in the campaign's
+//! directory" (the layout both the CLI's sharding workflow and the
+//! campaign service's per-job directories use). Listing each path
+//! explicitly is error-prone — forgetting one shard silently under-merges
+//! — so callers pass the directory and let this module enumerate it.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::DispatchError;
+
+/// Lists the `*.jsonl` journals in `dir`, sorted by file name (so shard
+/// order is stable across platforms and readdir orderings).
+///
+/// # Errors
+///
+/// I/O errors reading the directory; a typed [`DispatchError::Journal`]
+/// when the directory contains no journals (an empty merge is always a
+/// caller mistake — a wrong path should not look like an empty
+/// campaign).
+pub fn discover_journals(dir: &Path) -> Result<Vec<PathBuf>, DispatchError> {
+    let mut journals = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let is_journal = path.is_file()
+            && path
+                .extension()
+                .is_some_and(|ext| ext.eq_ignore_ascii_case("jsonl"));
+        if is_journal {
+            journals.push(path);
+        }
+    }
+    if journals.is_empty() {
+        return Err(DispatchError::Journal(format!(
+            "no *.jsonl journals in {}",
+            dir.display()
+        )));
+    }
+    journals.sort();
+    Ok(journals)
+}
+
+/// Expands a mixed list of journal paths and directories: directories
+/// are replaced by their sorted `*.jsonl` contents, plain paths pass
+/// through unchanged (and in order).
+///
+/// # Errors
+///
+/// Propagates [`discover_journals`] errors for any directory argument.
+pub fn expand_journal_args<P: AsRef<Path>>(args: &[P]) -> Result<Vec<PathBuf>, DispatchError> {
+    let mut journals = Vec::new();
+    for arg in args {
+        let path = arg.as_ref();
+        if path.is_dir() {
+            journals.extend(discover_journals(path)?);
+        } else {
+            journals.push(path.to_path_buf());
+        }
+    }
+    Ok(journals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(path: &Path) {
+        std::fs::write(path, b"").unwrap();
+    }
+
+    #[test]
+    fn discovers_sorted_jsonl_only() {
+        let dir = std::env::temp_dir().join(format!("fades-discover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        touch(&dir.join("shard-1.jsonl"));
+        touch(&dir.join("shard-0.jsonl"));
+        touch(&dir.join("spec.json"));
+        touch(&dir.join("notes.txt"));
+        std::fs::create_dir_all(dir.join("sub.jsonl")).unwrap(); // dir, not a journal
+
+        let found = discover_journals(&dir).unwrap();
+        assert_eq!(
+            found,
+            vec![dir.join("shard-0.jsonl"), dir.join("shard-1.jsonl")]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_is_an_error_not_an_empty_merge() {
+        let dir = std::env::temp_dir().join(format!("fades-discover-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = discover_journals(&dir).unwrap_err();
+        assert!(matches!(err, DispatchError::Journal(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expand_mixes_files_and_directories() {
+        let dir = std::env::temp_dir().join(format!("fades-expand-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        touch(&dir.join("b.jsonl"));
+        touch(&dir.join("a.jsonl"));
+        let other = dir.join("explicit.log");
+        touch(&other);
+
+        let expanded = expand_journal_args(&[other.clone(), dir.clone()]).unwrap();
+        assert_eq!(
+            expanded,
+            vec![other, dir.join("a.jsonl"), dir.join("b.jsonl")]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -40,12 +40,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
+mod discover;
 mod error;
 pub mod journal;
 mod merge;
 mod runner;
 mod status;
 
+pub use cancel::CancelToken;
+pub use discover::{discover_journals, expand_journal_args};
 pub use error::DispatchError;
 pub use journal::{Journal, JournalHeader, JournalRecord, JournalReplay};
 pub use merge::{merge, merge_replays, MergeReport};

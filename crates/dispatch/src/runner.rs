@@ -7,6 +7,7 @@ use std::sync::Mutex;
 use fades_core::{Campaign, CampaignPlan, CampaignStats, ExperimentVerdict};
 use fades_telemetry::Recorder;
 
+use crate::cancel::CancelToken;
 use crate::error::DispatchError;
 use crate::journal::{Journal, JournalHeader, JournalRecord};
 
@@ -30,6 +31,14 @@ pub struct ShardOptions {
     /// [`fades_core::batch_default`] (the `FADES_NO_BATCH` escape
     /// hatch).
     pub batch: bool,
+    /// Cooperative cancellation. When set, the runner executes the
+    /// pending experiments in bounded chunks and checks the token
+    /// between chunks: on cancellation the in-flight chunk retires (and
+    /// is journaled) and the run returns early with
+    /// [`ShardOutcome::cancelled`] set, leaving a valid partial journal
+    /// that a later run resumes from. `None` (the default) executes the
+    /// whole shard in one dispatch, exactly as before.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ShardOptions {
@@ -39,6 +48,7 @@ impl Default for ShardOptions {
             retries: 1,
             with_recorder: false,
             batch: fades_core::batch_default(),
+            cancel: None,
         }
     }
 }
@@ -59,6 +69,11 @@ pub struct ShardOutcome {
     /// Outcome statistics over every completed experiment of this shard,
     /// folded in ascending global-index order.
     pub stats: CampaignStats,
+    /// Whether the run stopped early because its
+    /// [`CancelToken`](ShardOptions::cancel) fired. Everything journaled
+    /// up to that point is durable; re-running the shard resumes the
+    /// remainder.
+    pub cancelled: bool,
 }
 
 /// Executes shard `shard` of `count` of `plan` against the journal at
@@ -120,7 +135,6 @@ pub fn run_shard(
         (Journal::create(journal_path, &header)?, 0)
     };
 
-    let executed = pending.len() as u64;
     // The observer runs on worker threads; the journal (and the first
     // append error, which execute_isolated cannot surface) live behind
     // mutexes until the single-threaded epilogue below.
@@ -162,16 +176,55 @@ pub fn run_shard(
             threads,
         )
     });
-    if opts.batch {
-        campaign.execute_batched_isolated(
-            &pending,
-            opts.retries,
-            recorder.as_ref(),
-            Some(&observer),
-        )?;
-    } else {
-        campaign.execute_isolated(&pending, opts.retries, recorder.as_ref(), Some(&observer))?;
+    let dispatch = |chunk: &CampaignPlan| -> Result<(), DispatchError> {
+        if opts.batch {
+            campaign.execute_batched_isolated(
+                chunk,
+                opts.retries,
+                recorder.as_ref(),
+                Some(&observer),
+            )?;
+        } else {
+            campaign.execute_isolated(chunk, opts.retries, recorder.as_ref(), Some(&observer))?;
+        }
+        Ok(())
+    };
+
+    let mut executed = 0u64;
+    let mut cancelled = false;
+    match &opts.cancel {
+        None => {
+            dispatch(&pending)?;
+            executed = pending.len() as u64;
+        }
+        Some(token) => {
+            // Bounded chunks so cancellation latency is a few cohort
+            // words per worker, not the rest of the shard. Chunk
+            // boundaries do not affect results: every experiment is
+            // journaled individually and merges fold in global-index
+            // order regardless of execution order.
+            let chunk_len = campaign.config().threads.max(1) * 126;
+            let mut offset = 0;
+            while offset < pending.experiments.len() {
+                if token.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
+                let end = (offset + chunk_len).min(pending.experiments.len());
+                let chunk = CampaignPlan {
+                    target: pending.target.clone(),
+                    sub_cycle: pending.sub_cycle,
+                    seed: pending.seed,
+                    n_total: pending.n_total,
+                    experiments: pending.experiments[offset..end].to_vec(),
+                };
+                dispatch(&chunk)?;
+                executed += (end - offset) as u64;
+                offset = end;
+            }
+        }
     }
+
     if let Some(rec) = recorder {
         rec.finish();
     }
@@ -219,5 +272,6 @@ pub fn run_shard(
         completed,
         quarantined,
         stats,
+        cancelled,
     })
 }

@@ -177,6 +177,7 @@ fn chaos_panics_quarantine_retry_and_fail_fast() {
                     retries: 1,
                     with_recorder: false,
                     batch,
+                    cancel: None,
                 };
                 let outcome = run_shard(&campaign, &plan, shard, 2, &path, &opts).unwrap();
                 if shard == 1 {

@@ -4,7 +4,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use fades_core::{Campaign, DurationRange, FaultLoad, TargetClass};
-use fades_dispatch::{merge, run_shard, DispatchError, Journal, ShardOptions};
+use fades_dispatch::{merge, run_shard, CancelToken, DispatchError, Journal, ShardOptions};
 use fades_fpga::ArchParams;
 use fades_netlist::UnitTag;
 use fades_pnr::implement;
@@ -192,6 +192,52 @@ fn resume_after_kill_skips_journaled_experiments() {
             "{engine}"
         );
     }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_shard_leaves_a_resumable_journal() {
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SubCycle);
+    let (n, seed) = (12, 7);
+    let plan = campaign.plan(&load, n, seed).unwrap();
+    let dir = scratch_dir("cancel");
+    let path = dir.join("s0.jsonl");
+
+    // A token that fired before the run starts: the runner must write a
+    // valid (empty) journal and stop before executing anything.
+    let token = CancelToken::new();
+    token.cancel();
+    let opts_cancel = ShardOptions {
+        cancel: Some(token),
+        ..opts()
+    };
+    let outcome = run_shard(&campaign, &plan, 0, 1, &path, &opts_cancel).unwrap();
+    assert!(outcome.cancelled);
+    assert_eq!(outcome.executed, 0);
+    assert_eq!(outcome.completed, 0);
+    let replay = Journal::load(&path).unwrap();
+    assert!(!replay.shard_complete, "a cancelled shard is not complete");
+
+    // Re-running with a live token resumes and completes; stats are
+    // bit-identical to the monolithic run of the same plan.
+    let monolithic = campaign.run(&load, n, seed).unwrap();
+    let live = ShardOptions {
+        cancel: Some(CancelToken::new()),
+        ..opts()
+    };
+    let resumed = run_shard(&campaign, &plan, 0, 1, &path, &live).unwrap();
+    assert!(!resumed.cancelled);
+    assert_eq!(resumed.completed, n as u64);
+    assert_eq!(resumed.stats.outcomes, monolithic.outcomes);
+    assert_eq!(
+        resumed.stats.emulation_seconds.to_bits(),
+        monolithic.emulation_seconds.to_bits(),
+        "cancel + resume must not perturb merged stats"
+    );
+    let replay = Journal::load(&path).unwrap();
+    assert!(replay.shard_complete);
     let _ = fs::remove_dir_all(&dir);
 }
 

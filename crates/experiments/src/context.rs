@@ -106,6 +106,19 @@ impl ExperimentContext {
         }
     }
 
+    /// Decomposes the context into `(soc, workload, implementation,
+    /// workload_cycles)`. The campaign-service backend needs a
+    /// `Send + Sync` view of the setup, and the screening cache is the
+    /// only non-`Sync` field — everything else moves out as-is.
+    pub fn into_parts(self) -> (Soc, Workload, Implementation, u64) {
+        (
+            self.soc,
+            self.workload,
+            self.implementation,
+            self.workload_cycles,
+        )
+    }
+
     /// The screened sensitive flip-flop sites (paper §6.3's first
     /// experiment: "only 14 registers (81 FFs out of 637) were eligible").
     /// Computed once and cached.

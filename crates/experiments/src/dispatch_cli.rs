@@ -4,9 +4,13 @@
 //! ```text
 //! fades-experiments shard I/N <journal.jsonl> [load] [--batch|--no-batch]
 //! fades-experiments resume <journal.jsonl> [--batch|--no-batch]
-//! fades-experiments merge <journal.jsonl>...           # fold shards into one result
-//! fades-experiments status <journal.jsonl>... [--watch] # cross-shard progress/ETA
+//! fades-experiments merge <journal.jsonl|dir>...           # fold shards into one result
+//! fades-experiments status <journal.jsonl|dir>... [--watch] # cross-shard progress/ETA
 //! ```
+//!
+//! `merge` and `status` accept directories: a directory argument stands
+//! for every `*.jsonl` journal inside it (the natural layout of both the
+//! sharding workflow and the campaign service's per-job directories).
 //!
 //! `shard` samples the monolithic fault list (from `FADES_FAULTS` /
 //! `FADES_SEED`), keeps every experiment whose global index ≡ I (mod N),
@@ -43,13 +47,23 @@ pub const NAMED_LOADS: [&str; 5] = [
 
 /// Resolves a named fault load against the experimental context.
 pub fn named_load(ctx: &ExperimentContext, name: &str) -> Option<FaultLoad> {
+    named_load_for(name, || ctx.memory_data_targets())
+}
+
+/// [`named_load`] with the memory target class supplied lazily — for
+/// callers (the campaign-service backend) that hold the workload parts
+/// rather than a full [`ExperimentContext`].
+pub fn named_load_for(
+    name: &str,
+    memory_targets: impl FnOnce() -> TargetClass,
+) -> Option<FaultLoad> {
     match name {
         "bitflip-ffs" => Some(FaultLoad::bit_flips(
             TargetClass::AllFfs,
             DurationRange::SubCycle,
         )),
         "bitflip-mem" => Some(FaultLoad::bit_flips(
-            ctx.memory_data_targets(),
+            memory_targets(),
             DurationRange::SubCycle,
         )),
         "pulse-luts" => Some(FaultLoad::pulses(
@@ -168,6 +182,7 @@ fn execute_shard(
         retries: 1,
         with_recorder: true,
         batch,
+        cancel: None,
     };
     let outcome = run_shard(&campaign, &plan, shard, count, journal, &opts)?;
     print_shard_outcome(&outcome);
@@ -176,9 +191,12 @@ fn execute_shard(
 
 fn cmd_merge(args: &[String]) -> Result<(), Box<dyn Error>> {
     if args.is_empty() {
-        return Err("usage: fades-experiments merge <journal.jsonl>...".into());
+        return Err("usage: fades-experiments merge <journal.jsonl|dir>...".into());
     }
-    let report = merge(args)?;
+    // Directory arguments expand to their `*.jsonl` shard journals —
+    // `merge <campaign-dir>` instead of listing every shard by hand.
+    let journals = fades_dispatch::expand_journal_args(args)?;
+    let report = merge(&journals)?;
     print_merge_report(&report);
     Ok(())
 }

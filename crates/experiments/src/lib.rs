@@ -42,6 +42,7 @@ pub mod fig15;
 pub mod per_unit;
 pub mod permanent;
 pub mod scaling;
+pub mod service_cli;
 pub mod status_cli;
 pub mod table1;
 pub mod table2;

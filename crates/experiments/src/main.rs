@@ -4,8 +4,10 @@
 //! fades-experiments [table1|fig10|table2|fig11|fig12|fig13|fig14|fig15|table3|table4|permanent|techniques|scaling|batch|setup|all]
 //! fades-experiments shard I/N <journal.jsonl> [load]   # run one shard, journaled
 //! fades-experiments resume <journal.jsonl>             # finish a journaled shard
-//! fades-experiments merge <journal.jsonl>...           # fold shards into one result
-//! fades-experiments status <journal.jsonl>... [--watch] # cross-shard progress/ETA
+//! fades-experiments merge <journal.jsonl|dir>...       # fold shards into one result
+//! fades-experiments status <journal.jsonl|dir>... [--watch] # cross-shard progress/ETA
+//! fades-experiments serve [--addr H:P] [--queue-dir D] # durable multi-campaign job server
+//! fades-experiments submit|jobs|results|cancel|shutdown # its HTTP clients
 //! ```
 //!
 //! Environment:
@@ -112,11 +114,15 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(result) = fades_experiments::dispatch_cli::try_dispatch(args) {
         return result;
     }
+    if let Some(result) = fades_experiments::service_cli::try_service(args) {
+        return result;
+    }
     let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment `{which}`");
         eprintln!("{}", usage());
-        eprintln!("or: fades-experiments shard I/N <journal> [load] | resume <journal> | merge <journal>... | status <journal>... [--watch]");
+        eprintln!("or: fades-experiments shard I/N <journal> [load] | resume <journal> | merge <journal|dir>... | status <journal|dir>... [--watch]");
+        eprintln!("or: fades-experiments serve [--addr H:P] [--queue-dir D] | submit [load] | jobs [id] | results <id> | cancel <id> | shutdown");
         std::process::exit(2);
     }
     let n = fault_count_from_env();

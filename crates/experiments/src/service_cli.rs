@@ -1,0 +1,474 @@
+//! The campaign service subcommands: a durable multi-campaign job
+//! server over the real 8051 setup, plus the thin HTTP clients.
+//!
+//! ```text
+//! fades-experiments serve [--addr <host:port>] [--workers <n>] [--jobs <n>]
+//!                         [--queue-dir <dir>] [--addr-file <path>]
+//! fades-experiments submit [load] [--faults <n>] [--seed <n>] [--shards <n>]
+//!                          [--label <text>] [--addr <host:port>]
+//! fades-experiments jobs [id] [--addr <host:port>]
+//! fades-experiments results <id> [--addr <host:port>]
+//! fades-experiments cancel <id> [--addr <host:port>]
+//! fades-experiments shutdown [--addr <host:port>]
+//! ```
+//!
+//! `serve` builds the experimental setup once (8051 + implementation +
+//! golden run), then serves the `fades-service` HTTP API on `--addr`
+//! (port 0 picks a free port; the bound address lands in `--addr-file`
+//! when given). Jobs are durable: killing the server loses nothing —
+//! the next `serve` with the same `--queue-dir` resumes every
+//! incomplete job from its shard journals. Stop gracefully with the
+//! `shutdown` subcommand (or `POST /shutdown`): admission stops,
+//! in-flight cohort words retire and are journaled, and the process
+//! exits through the normal observability epilogue (Chrome-trace flush,
+//! run-log aggregate). A std-only binary cannot trap SIGTERM, so the
+//! HTTP route *is* the graceful-stop mechanism; plain kill is safe too,
+//! it just skips the epilogue.
+//!
+//! Clients resolve the server address from `--addr`, then the
+//! `FADES_SERVICE_ADDR` environment variable, then the default
+//! `127.0.0.1:7348`.
+
+use std::error::Error;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use fades_core::Campaign;
+use fades_dispatch::{CancelToken, ShardOptions};
+use fades_mcu8051::workloads::Workload;
+use fades_mcu8051::{Soc, OBSERVED_PORTS};
+use fades_pnr::Implementation;
+use fades_service::{api, CampaignBackend, JobSpec, Service, ServiceConfig, ShardRun};
+use fades_telemetry::json::{self, JsonObject};
+use fades_telemetry::{http_get, http_post};
+
+use crate::dispatch_cli::{named_load_for, NAMED_LOADS};
+use crate::ExperimentContext;
+
+/// Default server address for `serve` and every client subcommand.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7348";
+
+/// The service backend over the paper's experimental setup. Holds the
+/// `Sync` parts of an [`ExperimentContext`]; each shard run builds a
+/// fresh campaign borrowing them, exactly as the `shard` subcommand
+/// does, so service jobs and CLI shards produce bit-identical journals.
+pub struct ExperimentBackend {
+    soc: Soc,
+    workload: Workload,
+    implementation: Implementation,
+    workload_cycles: u64,
+}
+
+impl ExperimentBackend {
+    /// Builds the standard setup (Bubblesort on the 8051) once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and implementation errors.
+    pub fn new() -> Result<ExperimentBackend, Box<dyn Error>> {
+        let (soc, workload, implementation, workload_cycles) =
+            ExperimentContext::new()?.into_parts();
+        Ok(ExperimentBackend {
+            soc,
+            workload,
+            implementation,
+            workload_cycles,
+        })
+    }
+
+    fn memory_targets(&self) -> fades_core::TargetClass {
+        fades_core::TargetClass::MemoryBits {
+            name: "iram".into(),
+            lo: self.workload.data_range.0 as usize,
+            hi: self.workload.data_range.1 as usize,
+        }
+    }
+}
+
+impl CampaignBackend for ExperimentBackend {
+    fn validate(&self, spec: &JobSpec) -> Result<(), String> {
+        if named_load_for(&spec.load, || self.memory_targets()).is_none() {
+            return Err(format!(
+                "unknown fault load `{}` (known: {})",
+                spec.load,
+                NAMED_LOADS.join(", ")
+            ));
+        }
+        if spec.faults == 0 {
+            return Err("a campaign needs at least one fault".into());
+        }
+        Ok(())
+    }
+
+    fn run_shard(
+        &self,
+        spec: &JobSpec,
+        shard: u32,
+        journal: &Path,
+        cancel: &CancelToken,
+    ) -> Result<ShardRun, String> {
+        let load = named_load_for(&spec.load, || self.memory_targets())
+            .ok_or_else(|| format!("unknown fault load `{}`", spec.load))?;
+        let campaign = Campaign::new(
+            &self.soc.netlist,
+            self.implementation.clone(),
+            &OBSERVED_PORTS,
+            self.workload_cycles,
+        )
+        .map_err(|e| e.to_string())?;
+        let plan = campaign
+            .plan(&load, spec.faults as usize, spec.seed)
+            .map_err(|e| e.to_string())?;
+        let opts = ShardOptions {
+            load: spec.load.clone(),
+            retries: 1,
+            with_recorder: true,
+            batch: fades_core::batch_default(),
+            cancel: Some(cancel.clone()),
+        };
+        let outcome =
+            fades_dispatch::run_shard(&campaign, &plan, shard, spec.shards, journal, &opts)
+                .map_err(|e| e.to_string())?;
+        Ok(ShardRun {
+            cancelled: outcome.cancelled,
+        })
+    }
+}
+
+/// Handles the service subcommands. Returns `None` when the first
+/// argument is none of them (other dispatchers take over).
+pub fn try_service(args: &[String]) -> Option<Result<(), Box<dyn Error>>> {
+    match args.first().map(String::as_str) {
+        Some("serve") => Some(cmd_serve(&args[1..])),
+        Some("submit") => Some(cmd_submit(&args[1..])),
+        Some("jobs") => Some(cmd_jobs(&args[1..])),
+        Some("results") => Some(cmd_results(&args[1..])),
+        Some("cancel") => Some(cmd_cancel(&args[1..])),
+        Some("shutdown") => Some(cmd_shutdown(&args[1..])),
+        _ => None,
+    }
+}
+
+/// `(name, value)` pairs collected from `--flag value` arguments.
+type Flags = Vec<(String, String)>;
+
+/// Splits `--flag value` pairs from positional arguments.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, Flags), Box<dyn Error>> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn numeric_flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>> {
+    match flag(flags, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --{name} value `{v}`").into()),
+        None => Ok(default),
+    }
+}
+
+fn addr_from(flags: &[(String, String)]) -> String {
+    flag(flags, "addr")
+        .map(str::to_string)
+        .or_else(|| {
+            std::env::var("FADES_SERVICE_ADDR")
+                .ok()
+                .filter(|v| !v.is_empty())
+        })
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (positional, flags) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!("serve takes no positional arguments, got {positional:?}").into());
+    }
+    let addr = addr_from(&flags);
+    let workers = numeric_flag(&flags, "workers", 2usize)?;
+    let max_jobs = numeric_flag(&flags, "jobs", 2usize)?;
+    let queue_dir = PathBuf::from(flag(&flags, "queue-dir").unwrap_or("fades-queue"));
+
+    eprintln!("[building experimental setup (8051 + implementation + golden run)]");
+    let backend = ExperimentBackend::new()?;
+    let service = Service::start(
+        &ServiceConfig {
+            queue_dir: queue_dir.clone(),
+            workers,
+            max_jobs,
+        },
+        Box::new(backend),
+    )?;
+    let server = api::start_http(&addr, Arc::clone(&service))?;
+    if let Some(path) = flag(&flags, "addr-file") {
+        fades_telemetry::atomic_write(Path::new(path), &format!("{}\n", server.addr()))?;
+    }
+    println!(
+        "fades-service listening on {} (queue {}, {} workers, {} concurrent jobs)",
+        server.addr(),
+        queue_dir.display(),
+        workers,
+        max_jobs
+    );
+    println!(
+        "stop with: fades-experiments shutdown --addr {}",
+        server.addr()
+    );
+
+    service.wait_for_shutdown();
+    eprintln!("[shutdown requested: draining in-flight work]");
+    service.join();
+    server.shutdown();
+
+    // The run-log aggregate epilogue the one-shot subcommands print on
+    // exit; the Chrome-trace flush happens in main's observability
+    // teardown after we return.
+    let aggregates = fades_telemetry::drain_aggregates();
+    if !aggregates.is_empty() {
+        print!("{}", fades_telemetry::Summary::of(aggregates));
+    }
+    println!(
+        "fades-service stopped (queue {} is durable)",
+        queue_dir.display()
+    );
+    Ok(())
+}
+
+/// Issues one client request and surfaces non-2xx responses as errors.
+fn client(addr: &str, method: &str, path: &str, body: &str) -> Result<String, Box<dyn Error>> {
+    let result = if method == "POST" {
+        http_post(addr, path, body)
+    } else {
+        http_get(addr, path)
+    };
+    let (code, response) = result.map_err(|e| format!("{addr}: {e} (is the service running?)"))?;
+    if code >= 400 {
+        return Err(format!("{method} {path}: HTTP {code}: {}", response.trim()).into());
+    }
+    Ok(response)
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (positional, flags) = parse_flags(args)?;
+    if positional.len() > 1 {
+        return Err(
+            "usage: fades-experiments submit [load] [--faults <n>] [--seed <n>] \
+                    [--shards <n>] [--label <text>] [--addr <host:port>]"
+                .into(),
+        );
+    }
+    let load = positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("bitflip-ffs");
+    let faults = numeric_flag(&flags, "faults", crate::fault_count_from_env() as u64)?;
+    let seed = numeric_flag(&flags, "seed", crate::seed_from_env())?;
+    let shards = numeric_flag(&flags, "shards", 1u32)?;
+    let mut body = JsonObject::new()
+        .str("load", load)
+        .u64("faults", faults)
+        .u64("seed", seed)
+        .u64("shards", shards as u64);
+    if let Some(label) = flag(&flags, "label") {
+        body = body.str("label", label);
+    }
+    let response = client(&addr_from(&flags), "POST", "/campaigns", &body.finish())?;
+    let job = json::parse(response.trim())?;
+    let id = job
+        .get("id")
+        .and_then(|v| v.as_str())
+        .ok_or("malformed submit response")?;
+    println!("submitted {id}: load {load}, {faults} faults, seed {seed}, {shards} shard(s)");
+    Ok(())
+}
+
+fn cmd_jobs(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (positional, flags) = parse_flags(args)?;
+    let addr = addr_from(&flags);
+    match positional.as_slice() {
+        [] => {
+            let response = client(&addr, "GET", "/campaigns", "")?;
+            let v = json::parse(response.trim())?;
+            let Some(json::JsonValue::Array(jobs)) = v.get("jobs") else {
+                return Err("malformed jobs response".into());
+            };
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+            for job in jobs {
+                print_job_line(job);
+            }
+            Ok(())
+        }
+        [id] => {
+            let response = client(&addr, "GET", &format!("/campaigns/{id}"), "")?;
+            let v = json::parse(response.trim())?;
+            let job = v.get("job").ok_or("malformed job response")?;
+            print_job_line(job);
+            if let Some(progress) = v.get("progress") {
+                let num = |k: &str| progress.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                let settled = num("completed") + num("quarantined");
+                let expected = num("expected");
+                let eta = progress
+                    .get("eta_s")
+                    .and_then(|x| x.as_f64())
+                    .map(|e| format!(", ETA {e:.0}s"))
+                    .unwrap_or_default();
+                println!("  progress: {settled}/{expected} settled{eta}");
+            }
+            Ok(())
+        }
+        _ => Err("usage: fades-experiments jobs [id] [--addr <host:port>]".into()),
+    }
+}
+
+fn print_job_line(job: &json::JsonValue) {
+    let field = |k: &str| {
+        job.get(k)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let num = |k: &str| job.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    println!(
+        "{} [{}] load {}, {} faults, seed {}, {} shard(s) — {}",
+        field("id"),
+        field("state"),
+        field("load"),
+        num("faults"),
+        num("seed"),
+        num("shards"),
+        field("label"),
+    );
+    if let Some(err) = job.get("error").and_then(|v| v.as_str()) {
+        println!("  error: {err}");
+    }
+}
+
+fn cmd_results(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (positional, flags) = parse_flags(args)?;
+    let [id] = positional.as_slice() else {
+        return Err("usage: fades-experiments results <id> [--addr <host:port>]".into());
+    };
+    let response = client(
+        &addr_from(&flags),
+        "GET",
+        &format!("/campaigns/{id}/results"),
+        "",
+    )?;
+    let v = json::parse(response.trim())?;
+    let complete = matches!(v.get("complete"), Some(json::JsonValue::Bool(true)));
+    let stats = v.get("stats").ok_or("malformed results response")?;
+    let num = |k: &str| stats.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    println!(
+        "{id}: {} ({} completed, {} missing, {} quarantined)",
+        if complete { "complete" } else { "partial" },
+        v.get("completed").and_then(|x| x.as_u64()).unwrap_or(0),
+        v.get("missing").and_then(|x| x.as_u64()).unwrap_or(0),
+        match v.get("quarantined") {
+            Some(json::JsonValue::Array(q)) => q.len(),
+            _ => 0,
+        },
+    );
+    println!(
+        "  outcomes: {} failures, {} latents, {} silents of {}",
+        num("failures"),
+        num("latents"),
+        num("silents"),
+        num("n"),
+    );
+    println!(
+        "  modelled {:.6} s total ({})",
+        stats
+            .get("emulation_seconds")
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0),
+        stats
+            .get("emulation_seconds_bits")
+            .and_then(|x| x.as_str())
+            .unwrap_or("?"),
+    );
+    if complete {
+        println!("  every experiment accounted for: stats are bit-identical to a monolithic run");
+    }
+    Ok(())
+}
+
+fn cmd_cancel(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (positional, flags) = parse_flags(args)?;
+    let [id] = positional.as_slice() else {
+        return Err("usage: fades-experiments cancel <id> [--addr <host:port>]".into());
+    };
+    let response = client(
+        &addr_from(&flags),
+        "POST",
+        &format!("/campaigns/{id}/cancel"),
+        "",
+    )?;
+    let v = json::parse(response.trim())?;
+    println!(
+        "{id}: {}",
+        v.get("state")
+            .and_then(|x| x.as_str())
+            .unwrap_or("cancel requested")
+    );
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (positional, flags) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err("usage: fades-experiments shutdown [--addr <host:port>]".into());
+    }
+    client(&addr_from(&flags), "POST", "/shutdown", "")?;
+    println!("shutdown requested: the service drains in-flight work and exits");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_split_from_positionals_last_wins() {
+        let (positional, flags) =
+            parse_flags(&strs(&["pulse-luts", "--faults", "12", "--faults", "30"])).unwrap();
+        assert_eq!(positional, vec!["pulse-luts"]);
+        assert_eq!(flag(&flags, "faults"), Some("30"));
+        assert_eq!(numeric_flag(&flags, "faults", 0u64).unwrap(), 30);
+        assert_eq!(numeric_flag(&flags, "seed", 9u64).unwrap(), 9);
+        assert!(parse_flags(&strs(&["--faults"])).is_err());
+        assert!(numeric_flag::<u64>(&flags, "faults", 0).is_ok_and(|v| v == 30));
+    }
+
+    #[test]
+    fn unknown_service_commands_fall_through() {
+        assert!(try_service(&strs(&["table1"])).is_none());
+        assert!(try_service(&strs(&["shard", "0/2", "j.jsonl"])).is_none());
+    }
+}

@@ -1,9 +1,13 @@
 //! The `status` subcommand: cross-shard campaign progress from journals.
 //!
 //! ```text
-//! fades-experiments status <journal.jsonl>... [--json] [--watch]
+//! fades-experiments status <journal.jsonl|dir>... [--json] [--watch]
 //!     [--interval <s>] [--deadline <s>] [--polls <n>]
 //! ```
+//!
+//! A directory argument stands for every `*.jsonl` journal inside it
+//! (re-enumerated each poll in watch mode, so late-starting shards
+//! appear once their journals exist).
 //!
 //! One-shot mode prints a merged progress report (per-shard and total
 //! done/expected, faults/s, ETA) computed by
@@ -26,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use fades_dispatch::{campaign_status, ShardStatusReport};
 
-const USAGE: &str = "usage: fades-experiments status <journal.jsonl>... \
+const USAGE: &str = "usage: fades-experiments status <journal.jsonl|dir>... \
                      [--json] [--watch] [--interval <s>] [--deadline <s>] [--polls <n>]";
 
 /// Parsed `status` arguments.
@@ -90,8 +94,11 @@ fn parse_args(args: &[String]) -> Result<StatusArgs, Box<dyn Error>> {
 /// different campaigns.
 pub fn cmd_status(args: &[String]) -> Result<(), Box<dyn Error>> {
     let args = parse_args(args)?;
+    // Directory arguments expand to their `*.jsonl` journals. Watch mode
+    // re-expands every poll, so shards that start writing mid-campaign
+    // appear as they come up.
     if !args.watch {
-        let report = campaign_status(&args.journals)?;
+        let report = campaign_status(&fades_dispatch::expand_journal_args(&args.journals)?)?;
         print_report(&report, args.json);
         return Ok(());
     }
@@ -99,7 +106,7 @@ pub fn cmd_status(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut tracker = StallTracker::new(args.deadline);
     let mut polls = 0u64;
     loop {
-        let report = campaign_status(&args.journals)?;
+        let report = campaign_status(&fades_dispatch::expand_journal_args(&args.journals)?)?;
         print_report(&report, args.json);
         for stalled in tracker.observe(&report) {
             fades_telemetry::report_anomaly(

@@ -1,0 +1,160 @@
+//! Job specifications and job states.
+//!
+//! A [`JobSpec`] is everything needed to reconstruct a campaign
+//! deterministically: the named fault load, the fault count, the seed
+//! and the shard fan-out. It is persisted as `spec.json` in the job's
+//! queue directory the moment the job is accepted, *before* any work
+//! starts, so a restarted service can rebuild the exact campaign from
+//! disk alone.
+
+use fades_telemetry::json::{self, JsonObject};
+
+/// One accepted campaign job. The `id` doubles as the job's directory
+/// name under the queue root (`job-000001/`), so specs are
+/// self-locating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Job identifier, `job-{seq:06}`; also the queue directory name.
+    pub id: String,
+    /// Human label for listings (defaults to the load name).
+    pub label: String,
+    /// Named fault load (validated by the backend at submit time).
+    pub load: String,
+    /// Monolithic fault count of the campaign.
+    pub faults: u64,
+    /// Campaign seed (the plan is a pure function of load+faults+seed).
+    pub seed: u64,
+    /// Shard fan-out: the plan is split into this many journal-backed
+    /// shards, each a separately schedulable unit of work.
+    pub shards: u32,
+    /// Submission wall-clock, Unix milliseconds.
+    pub submitted_at_ms: u64,
+}
+
+impl JobSpec {
+    /// The job's sequence number, parsed back out of its id.
+    /// Ids the service itself allocated always parse; `0` otherwise.
+    pub fn seq(&self) -> u64 {
+        self.id
+            .strip_prefix("job-")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Serializes the spec as one JSON object (the `spec.json` format).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("id", &self.id)
+            .str("label", &self.label)
+            .str("load", &self.load)
+            .u64("faults", self.faults)
+            .u64("seed", self.seed)
+            .u64("shards", self.shards as u64)
+            .u64("submitted_at_ms", self.submitted_at_ms)
+            .finish()
+    }
+
+    /// Parses a `spec.json` document.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing/mistyped field.
+    pub fn from_json(text: &str) -> Result<JobSpec, String> {
+        let v = json::parse(text.trim())?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("spec missing string field `{key}`"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("spec missing numeric field `{key}`"))
+        };
+        let shards = u64_field("shards")?;
+        if shards == 0 || shards > u32::MAX as u64 {
+            return Err(format!("spec has impossible shard count {shards}"));
+        }
+        Ok(JobSpec {
+            id: str_field("id")?,
+            label: str_field("label")?,
+            load: str_field("load")?,
+            faults: u64_field("faults")?,
+            seed: u64_field("seed")?,
+            shards: shards as u32,
+            submitted_at_ms: u64_field("submitted_at_ms")?,
+        })
+    }
+}
+
+/// Lifecycle of a job. Terminal states (`Completed`, `Cancelled`,
+/// `Failed`) are derivable from the job directory alone, which is what
+/// makes restart recovery possible without a separate state database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for a scheduler slot (also the state an
+    /// interrupted job returns to after a restart).
+    Queued,
+    /// At least one shard is being executed by the worker pool.
+    Running,
+    /// Every shard journal carries its `shard_complete` marker.
+    Completed,
+    /// Cancelled by a client; the `cancelled` marker file exists.
+    Cancelled,
+    /// A shard failed with an infrastructure error; the `error` marker
+    /// file holds the message.
+    Failed,
+}
+
+impl JobState {
+    /// Stable lowercase name (API JSON and listings).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the state can never change again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec {
+            id: "job-000042".into(),
+            label: "smoke".into(),
+            load: "bitflip-ffs".into(),
+            faults: 300,
+            seed: 20_060_625,
+            shards: 4,
+            submitted_at_ms: 1_723_180_800_000,
+        };
+        let parsed = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.seq(), 42);
+    }
+
+    #[test]
+    fn spec_rejects_missing_fields_and_zero_shards() {
+        assert!(JobSpec::from_json("{}").is_err());
+        let err = JobSpec::from_json(
+            r#"{"id":"job-000001","label":"x","load":"y","faults":1,"seed":2,"shards":0,"submitted_at_ms":3}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("shard"), "{err}");
+    }
+}

@@ -1,0 +1,173 @@
+//! The HTTP/JSON API end to end against a mock backend: submit over
+//! POST, observe status, fetch merged results, cancel, shut down.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fades_core::Outcome;
+use fades_dispatch::{CancelToken, Journal, JournalHeader, JournalRecord};
+use fades_service::{api, CampaignBackend, JobSpec, Service, ServiceConfig, ShardRun};
+use fades_telemetry::json::parse;
+use fades_telemetry::{http_get, http_post};
+
+struct InstantBackend;
+
+impl CampaignBackend for InstantBackend {
+    fn validate(&self, spec: &JobSpec) -> Result<(), String> {
+        (spec.load == "mock")
+            .then_some(())
+            .ok_or_else(|| format!("unknown fault load `{}`", spec.load))
+    }
+
+    fn run_shard(
+        &self,
+        spec: &JobSpec,
+        shard: u32,
+        journal_path: &Path,
+        _cancel: &CancelToken,
+    ) -> Result<ShardRun, String> {
+        let header = JournalHeader {
+            campaign: "mock".into(),
+            load: spec.load.clone(),
+            n_total: spec.faults,
+            seed: spec.seed,
+            shard,
+            of: spec.shards,
+            run_cycles: 1,
+        };
+        let mut journal = Journal::create(journal_path, &header).map_err(|e| e.to_string())?;
+        let mine: Vec<u64> = (0..spec.faults)
+            .filter(|i| i % spec.shards as u64 == shard as u64)
+            .collect();
+        for index in &mine {
+            journal
+                .append(&JournalRecord::Completed {
+                    index: *index,
+                    outcome: Outcome::Latent,
+                    modelled_seconds: (*index as f64) * 0.25,
+                    attempts: 1,
+                })
+                .map_err(|e| e.to_string())?;
+        }
+        journal
+            .append(&JournalRecord::ShardComplete {
+                completed: mine.len() as u64,
+                quarantined: 0,
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(ShardRun { cancelled: false })
+    }
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fades-api-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn http_submit_status_results_cancel_shutdown() {
+    let dir = scratch("full");
+    let service = Service::start(
+        &ServiceConfig {
+            queue_dir: dir.clone(),
+            workers: 2,
+            max_jobs: 2,
+        },
+        Box::new(InstantBackend),
+    )
+    .unwrap();
+    let server = api::start_http("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = server.addr().to_string();
+
+    // Bad submissions are 400s.
+    let (code, _) = http_post(&addr, "/campaigns", "not json").unwrap();
+    assert_eq!(code, 400);
+    let (code, body) = http_post(&addr, "/campaigns", r#"{"load":"no-such"}"#).unwrap();
+    assert_eq!(code, 400, "{body}");
+
+    // A good submission returns the allocated job document.
+    let (code, body) = http_post(
+        &addr,
+        "/campaigns",
+        r#"{"load":"mock","faults":12,"seed":3,"shards":3,"label":"smoke"}"#,
+    )
+    .unwrap();
+    assert_eq!(code, 200, "{body}");
+    let job = parse(body.trim()).unwrap();
+    let id = job.get("id").and_then(|v| v.as_str()).unwrap().to_string();
+    assert_eq!(job.get("label").and_then(|v| v.as_str()), Some("smoke"));
+
+    wait_until("job completed over HTTP", || {
+        let (code, body) = http_get(&addr, &format!("/campaigns/{id}")).unwrap();
+        assert_eq!(code, 200, "{body}");
+        let v = parse(body.trim()).unwrap();
+        v.get("job")
+            .and_then(|j| j.get("state"))
+            .and_then(|s| s.as_str())
+            == Some("completed")
+    });
+
+    // Detail embeds campaign_status progress once journals exist.
+    let (_, body) = http_get(&addr, &format!("/campaigns/{id}")).unwrap();
+    let detail = parse(body.trim()).unwrap();
+    let progress = detail.get("progress").expect("progress embedded");
+    assert_eq!(
+        progress.get("expected").and_then(|v| v.as_u64()),
+        Some(12),
+        "{body}"
+    );
+
+    // Results: complete merge with exact stats bits.
+    let (code, body) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(code, 200, "{body}");
+    let results = parse(body.trim()).unwrap();
+    assert_eq!(results.get("complete").and_then(|v| v.as_str()), None); // bool, not str
+    assert_eq!(results.get("completed").and_then(|v| v.as_u64()), Some(12));
+    let stats = results.get("stats").unwrap();
+    assert_eq!(stats.get("latents").and_then(|v| v.as_u64()), Some(12));
+    let expected: f64 = (0..12u64).map(|i| i as f64 * 0.25).sum();
+    assert_eq!(
+        stats.get("emulation_seconds_bits").and_then(|v| v.as_str()),
+        Some(format!("{:016x}", expected.to_bits()).as_str()),
+        "merged bits must equal in-order fold"
+    );
+
+    // Listing shows the job; unknown ids are 404.
+    let (code, body) = http_get(&addr, "/campaigns").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains(&id));
+    let (code, _) = http_get(&addr, "/campaigns/job-999999").unwrap();
+    assert_eq!(code, 404);
+
+    // Cancelling a terminal job is a 409.
+    let (code, _) = http_post(&addr, &format!("/campaigns/{id}/cancel"), "").unwrap();
+    assert_eq!(code, 409);
+
+    // /metrics carries the service gauges.
+    let (code, body) = http_get(&addr, "/metrics").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("fades_service_queue_depth"), "{body}");
+    assert!(body.contains("fades_service_jobs_running"));
+    assert!(body.contains("fades_service_jobs_completed"));
+
+    // Shutdown: wakes the waiter, further submits are 503.
+    let (code, _) = http_post(&addr, "/shutdown", "").unwrap();
+    assert_eq!(code, 200);
+    service.wait_for_shutdown();
+    let (code, _) = http_post(&addr, "/campaigns", r#"{"load":"mock"}"#).unwrap();
+    assert_eq!(code, 503);
+
+    service.join();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -64,7 +64,10 @@ pub use registry::{
     atomic_write, drain_aggregates, peek_aggregates, push_aggregate, write_bench_json,
 };
 pub use runlog::run_log_path;
-pub use serve::{http_get, MetricsServer};
+pub use serve::{
+    http_get, http_post, metrics_router, HttpHandler, HttpRequest, HttpResponse, HttpServer,
+    MetricsServer,
+};
 pub use snapshot::{register_counter, register_gauge, snapshot, MetricsSnapshot};
 #[doc(hidden)]
 pub use span::span_phase;

@@ -1,16 +1,30 @@
-//! A std-only metrics endpoint: `GET /metrics` and `GET /status` over
-//! plain `std::net::TcpListener`.
+//! A std-only mini HTTP server: the `/metrics` + `/status` endpoint,
+//! and the reusable listener the campaign service builds its API on.
 //!
 //! Long campaigns are batch jobs; their health should be observable from
 //! the outside while they run, without adding an HTTP framework to a
-//! zero-dependency workspace. The server here speaks just enough
-//! HTTP/1.1 for `curl`, Prometheus scrapes, and the smoke tests: it
-//! reads the request line, routes two paths, writes one
-//! `Connection: close` response. One background thread, non-blocking
-//! accept with a 20 ms poll so shutdown is prompt, no keep-alive, no
-//! chunking.
+//! zero-dependency workspace. [`HttpServer`] speaks just enough HTTP/1.1
+//! for `curl`, Prometheus scrapes, the smoke tests and the
+//! `fades-service` JSON API: it reads one request head (bounded), routes
+//! it through a handler closure, writes one `Connection: close`
+//! response. One background thread, non-blocking accept with a 20 ms
+//! poll so shutdown is prompt, no keep-alive, no chunking.
 //!
-//! Activated by `FADES_METRICS_ADDR=<host:port>` (port `0` picks a free
+//! The read path is hardened against slow and oversized clients — a
+//! public listener must not let one bad connection park the serving
+//! thread forever:
+//!
+//! * the request head (request line + headers) is read into a fixed
+//!   byte budget ([`HEAD_BUDGET`]); overflowing it is a `400`;
+//! * a connection that goes silent before completing its head or body
+//!   is abandoned with a `408` once [`READ_DEADLINE`] passes (each
+//!   individual `read` also carries a short timeout so the thread is
+//!   never parked);
+//! * request bodies are accepted only up to [`BODY_BUDGET`] declared
+//!   bytes; anything larger is a `413` and the body is not read.
+//!
+//! [`MetricsServer`] is the classic campaign endpoint on top of it,
+//! activated by `FADES_METRICS_ADDR=<host:port>` (port `0` picks a free
 //! port; the bound address is written to `FADES_METRICS_ADDR_FILE` when
 //! that is set, which is how tests discover it).
 
@@ -18,66 +32,119 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// A running metrics server. Dropping the handle signals the thread to
-/// stop (without blocking); [`shutdown`](MetricsServer::shutdown) stops
-/// and joins it deterministically.
-#[derive(Debug)]
-pub struct MetricsServer {
+/// Maximum bytes of request line + headers the server reads. Anything
+/// larger is answered `400` without further reading.
+pub const HEAD_BUDGET: usize = 8 * 1024;
+
+/// Maximum declared `Content-Length` the server accepts. Larger bodies
+/// are answered `413` without reading the body.
+pub const BODY_BUDGET: usize = 256 * 1024;
+
+/// How long a connection may take to deliver its head (and then its
+/// body) before the server gives up with `408`.
+pub const READ_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Per-`read` socket timeout; keeps the serving thread from parking on
+/// one silent peer while the overall [`READ_DEADLINE`] accumulates.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// One parsed request, as seen by an [`HttpServer`] handler.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request path (`/campaigns/job-000001/results`).
+    pub path: String,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: String,
+}
+
+/// The response a handler produces.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (`200`, `404`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` JSON response (body should already be serialized).
+    pub fn json(body: String) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "application/json".into(),
+            body,
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain".into(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error document `{"error": msg}` with the given status.
+    pub fn error(status: u16, msg: &str) -> HttpResponse {
+        HttpResponse {
+            status: status.max(400),
+            content_type: "application/json".into(),
+            body: format!(
+                "{}\n",
+                crate::json::JsonObject::new().str("error", msg).finish()
+            ),
+        }
+    }
+}
+
+/// The handler signature [`HttpServer`] routes every request through.
+pub type HttpHandler = dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync;
+
+/// A running mini HTTP server. Dropping the handle signals the thread to
+/// stop; [`shutdown`](HttpServer::shutdown) stops and joins it
+/// deterministically.
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
-impl MetricsServer {
-    /// Binds `addr` and starts serving `/metrics` and `/status` on a
-    /// background thread.
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` and serves requests through `handler` on a
+    /// background thread named `name`.
     ///
     /// # Errors
     ///
     /// Propagates bind/configuration errors.
-    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+    pub fn start(addr: &str, name: &str, handler: Arc<HttpHandler>) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
-            .name("fades-metrics".into())
-            .spawn(move || serve_loop(&listener, &stop_flag))?;
-        Ok(MetricsServer {
+            .name(name.to_string())
+            .spawn(move || serve_loop(&listener, &stop_flag, &handler))?;
+        Ok(HttpServer {
             addr,
             stop,
             thread: Some(thread),
         })
-    }
-
-    /// Starts the server iff `FADES_METRICS_ADDR` is set non-empty.
-    /// `None` when unset; `Some(Err)` when set but unusable (callers
-    /// should surface that — a campaign asked for observability it is
-    /// not getting). On success, writes the bound address to the path in
-    /// `FADES_METRICS_ADDR_FILE` when that is set too.
-    pub fn start_from_env() -> Option<std::io::Result<MetricsServer>> {
-        let addr = match std::env::var("FADES_METRICS_ADDR") {
-            Ok(v) if !v.is_empty() => v,
-            _ => return None,
-        };
-        let server = match MetricsServer::start(&addr) {
-            Ok(s) => s,
-            Err(e) => return Some(Err(e)),
-        };
-        if let Ok(path) = std::env::var("FADES_METRICS_ADDR_FILE") {
-            if !path.is_empty() {
-                if let Err(e) = crate::registry::atomic_write(
-                    std::path::Path::new(&path),
-                    &format!("{}\n", server.addr),
-                ) {
-                    eprintln!("warning: could not write metrics addr file {path}: {e}");
-                }
-            }
-        }
-        Some(Ok(server))
     }
 
     /// The address the listener actually bound (relevant with port 0).
@@ -98,24 +165,22 @@ impl MetricsServer {
     }
 }
 
-impl Drop for MetricsServer {
+impl Drop for HttpServer {
     fn drop(&mut self) {
-        // Signal only: the poll loop notices within one interval. Not
-        // joining here keeps drops in panic paths cheap.
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.stop_and_join();
     }
 }
 
-fn serve_loop(listener: &TcpListener, stop: &AtomicBool) {
+fn serve_loop(listener: &TcpListener, stop: &AtomicBool, handler: &Arc<HttpHandler>) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Serve inline: responses are tiny and scrapers are rare,
-                // so one thread is plenty and keeps resources bounded.
-                let _ = handle_connection(stream);
+                // Serve inline: responses are small and clients are the
+                // CLI / scrapers, so one thread is plenty and keeps
+                // resources bounded. The hardened read path guarantees
+                // one connection detains the thread for at most
+                // ~2 × READ_DEADLINE.
+                let _ = handle_connection(stream, handler);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -125,75 +190,287 @@ fn serve_loop(listener: &TcpListener, stop: &AtomicBool) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    // Read until the end of the request head (or the buffer fills —
-    // request bodies are ignored, these are GETs).
-    let mut buf = [0u8; 2048];
-    let mut len = 0;
-    while len < buf.len() {
-        match stream.read(&mut buf[len..]) {
-            Ok(0) => break,
-            Ok(n) => {
-                len += n;
-                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let head = String::from_utf8_lossy(&buf[..len]);
-    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
-    let method = request_line.next().unwrap_or("");
-    let path = request_line.next().unwrap_or("");
+/// Outcome of the bounded request read: a parsed request, or the
+/// rejection to answer with.
+enum ReadOutcome {
+    Request(HttpRequest),
+    Reject(u16, &'static str),
+}
 
-    let (status, content_type, body) = if method != "GET" {
-        ("405 Method Not Allowed", "text/plain", "GET only\n".into())
-    } else {
-        match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4",
-                crate::snapshot::snapshot().to_prometheus(),
-            ),
-            "/status" => (
-                "200 OK",
-                "application/json",
-                format!("{}\n", crate::monitor::status_snapshot().to_json()),
-            ),
-            "/" => (
-                "200 OK",
-                "text/plain",
-                "fades-monitor: GET /metrics | GET /status\n".into(),
-            ),
-            _ => ("404 Not Found", "text/plain", "not found\n".into()),
+/// Reads one request head (and body, when `Content-Length` is present)
+/// within the byte budgets and the read deadline.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<ReadOutcome> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+
+    let started = Instant::now();
+    let mut buf = vec![0u8; HEAD_BUDGET];
+    let mut len = 0;
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf[..len]) {
+            break pos;
+        }
+        if len == buf.len() {
+            // Budget exhausted without a complete head.
+            return Ok(ReadOutcome::Reject(400, "request head too large"));
+        }
+        if started.elapsed() >= READ_DEADLINE {
+            return Ok(ReadOutcome::Reject(408, "timed out reading request head"));
+        }
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => return Ok(ReadOutcome::Reject(400, "connection closed mid-request")),
+            Ok(n) => len += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Per-read timeout: loop back and re-check the deadline.
+            }
+            Err(e) => return Err(e),
         }
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let mut request_line = lines.next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("").to_string();
+    let path = request_line.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Ok(ReadOutcome::Reject(400, "malformed request line"));
+    }
+
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > BODY_BUDGET {
+        return Ok(ReadOutcome::Reject(413, "request body too large"));
+    }
+
+    // Body bytes already read past the head terminator, then the rest.
+    let mut body = buf[head_end + 4..len].to_vec();
+    let mut chunk = [0u8; 4096];
+    while body.len() < content_length {
+        if started.elapsed() >= READ_DEADLINE * 2 {
+            return Ok(ReadOutcome::Reject(408, "timed out reading request body"));
+        }
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return Ok(ReadOutcome::Reject(400, "connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+
+    Ok(ReadOutcome::Request(HttpRequest {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    }))
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &Arc<HttpHandler>) -> std::io::Result<()> {
+    let response = match read_request(&mut stream)? {
+        ReadOutcome::Request(request) => handler(&request),
+        ReadOutcome::Reject(status, msg) => {
+            // Discard (a bounded amount of) whatever else the client
+            // already sent: closing with unread bytes in the socket
+            // makes the kernel reset the connection, which would destroy
+            // the error response we are about to write.
+            drain_briefly(&mut stream);
+            HttpResponse::text(status, format!("{msg}\n"))
+        }
+    };
+    write_response(&mut stream, &response)
+}
+
+/// Reads and discards pending input until the peer pauses, closes, or a
+/// small byte/time budget runs out. Best-effort politeness before a
+/// reject; never blocks for long.
+fn drain_briefly(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let started = Instant::now();
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 1024 * 1024 && started.elapsed() < Duration::from_millis(500) {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+}
+
+fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> std::io::Result<()> {
+    let status_text = match response.status {
+        200 => "200 OK",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        408 => "408 Request Timeout",
+        409 => "409 Conflict",
+        413 => "413 Payload Too Large",
+        503 => "503 Service Unavailable",
+        other => return write_numeric_status(stream, other, response),
+    };
+    let head = format!(
+        "HTTP/1.1 {status_text}\r\nContent-Type: {}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        response.content_type,
+        response.body.len()
     );
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
+fn write_numeric_status(
+    stream: &mut TcpStream,
+    status: u16,
+    response: &HttpResponse,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} Status\r\nContent-Type: {}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// The default observability router: `/metrics`, `/status`, `/`.
+/// Exposed so composite servers (the campaign service) can serve the
+/// same endpoints alongside their own routes.
+pub fn metrics_router(request: &HttpRequest) -> HttpResponse {
+    if request.method != "GET" {
+        return HttpResponse::text(405, "GET only\n");
+    }
+    match request.path.as_str() {
+        "/metrics" => HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4".into(),
+            body: crate::snapshot::snapshot().to_prometheus(),
+        },
+        "/status" => {
+            HttpResponse::json(format!("{}\n", crate::monitor::status_snapshot().to_json()))
+        }
+        "/" => HttpResponse::text(200, "fades-monitor: GET /metrics | GET /status\n"),
+        _ => HttpResponse::text(404, "not found\n"),
+    }
+}
+
+/// A running metrics server ([`HttpServer`] with the
+/// [`metrics_router`]). Dropping the handle signals the thread to stop;
+/// [`shutdown`](MetricsServer::shutdown) stops and joins it
+/// deterministically.
+#[derive(Debug)]
+pub struct MetricsServer {
+    server: HttpServer,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and starts serving `/metrics` and `/status` on a
+    /// background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration errors.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let server = HttpServer::start(addr, "fades-metrics", Arc::new(metrics_router))?;
+        Ok(MetricsServer { server })
+    }
+
+    /// Starts the server iff `FADES_METRICS_ADDR` is set non-empty.
+    /// `None` when unset; `Some(Err)` when set but unusable (callers
+    /// should surface that — a campaign asked for observability it is
+    /// not getting). On success, writes the bound address to the path in
+    /// `FADES_METRICS_ADDR_FILE` when that is set too.
+    pub fn start_from_env() -> Option<std::io::Result<MetricsServer>> {
+        let addr = match std::env::var("FADES_METRICS_ADDR") {
+            Ok(v) if !v.is_empty() => v,
+            _ => return None,
+        };
+        let server = match MetricsServer::start(&addr) {
+            Ok(s) => s,
+            Err(e) => return Some(Err(e)),
+        };
+        if let Ok(path) = std::env::var("FADES_METRICS_ADDR_FILE") {
+            if !path.is_empty() {
+                if let Err(e) = crate::registry::atomic_write(
+                    std::path::Path::new(&path),
+                    &format!("{}\n", server.addr()),
+                ) {
+                    eprintln!("warning: could not write metrics addr file {path}: {e}");
+                }
+            }
+        }
+        Some(Ok(server))
+    }
+
+    /// The address the listener actually bound (relevant with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Signals the serving thread to exit and waits for it.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
 /// A minimal test/tooling HTTP client: fetches `path` from `addr` and
-/// returns `(status_code, body)`. Just enough for the smoke gate to
-/// scrape its own endpoints without external tools.
+/// returns `(status_code, body)`. Just enough for the smoke gates and
+/// the service CLI to talk to their own endpoints without external
+/// tools.
 ///
 /// # Errors
 ///
 /// Propagates connection and read errors; malformed responses surface as
 /// `InvalidData`.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    http_request(addr, "GET", path, None)
+}
+
+/// Like [`http_get`], but issues a `POST` with `body` (sent with a
+/// `Content-Length` header).
+///
+/// # Errors
+///
+/// Propagates connection and read errors; malformed responses surface as
+/// `InvalidData`.
+pub fn http_post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    http_request(addr, "POST", path, Some(body))
+}
+
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let body = body.unwrap_or("");
     stream.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
     )?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -240,6 +517,118 @@ mod tests {
     fn port_zero_binds_an_ephemeral_port() {
         let server = MetricsServer::start("127.0.0.1:0").expect("bind");
         assert_ne!(server.addr().port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_handler_sees_method_path_and_body() {
+        let server = HttpServer::start(
+            "127.0.0.1:0",
+            "test-echo",
+            Arc::new(|req: &HttpRequest| {
+                HttpResponse::json(format!("{} {} [{}]", req.method, req.path, req.body))
+            }),
+        )
+        .expect("bind");
+        let addr = server.addr().to_string();
+        let (code, body) = http_post(&addr, "/echo", "hello body").expect("POST");
+        assert_eq!(code, 200);
+        assert_eq!(body, "POST /echo [hello body]");
+        let (code, body) = http_get(&addr, "/also").expect("GET");
+        assert_eq!(code, 200);
+        assert_eq!(body, "GET /also []");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_head_is_rejected_400() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // A request line that alone overflows the head budget, never
+        // sending the terminator.
+        let huge = format!("GET /{} HTTP/1.1\r\n", "x".repeat(HEAD_BUDGET + 512));
+        stream.write_all(huge.as_bytes()).expect("write");
+        stream.flush().expect("flush");
+        let mut response = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "oversized head answered 400: {response}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn silent_connection_times_out_408() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // Half a request line, then silence: the server must answer 408
+        // after READ_DEADLINE instead of parking its thread forever.
+        stream.write_all(b"GET /metr").expect("write");
+        stream.flush().expect("flush");
+        let mut response = String::new();
+        stream
+            .set_read_timeout(Some(READ_DEADLINE * 4))
+            .expect("timeout");
+        stream.read_to_string(&mut response).expect("read");
+        assert!(
+            response.starts_with("HTTP/1.1 408"),
+            "silent head answered 408: {response}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_413_without_reading_it() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "POST /campaigns HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    BODY_BUDGET + 1
+                )
+                .as_bytes(),
+            )
+            .expect("write");
+        stream.flush().expect("flush");
+        let mut response = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(
+            response.starts_with("HTTP/1.1 413"),
+            "oversized body answered 413: {response}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_body_times_out_408() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // Complete head promising a body that never arrives.
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 64\r\n\r\nonly-part")
+            .expect("write");
+        stream.flush().expect("flush");
+        let mut response = String::new();
+        stream
+            .set_read_timeout(Some(READ_DEADLINE * 8))
+            .expect("timeout");
+        stream.read_to_string(&mut response).expect("read");
+        assert!(
+            response.starts_with("HTTP/1.1 408"),
+            "stalled body answered 408: {response}"
+        );
         server.shutdown();
     }
 }

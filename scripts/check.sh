@@ -49,6 +49,12 @@ cargo bench -q --offline -p fades-bench --bench microbench -- batch_throughput 2
 echo "== observability smoke gate (release)"
 cargo test -q --release --offline -p fades-experiments --test monitor_smoke
 
+# Campaign-service end-to-end gate: HTTP submit, SIGKILL mid-campaign,
+# restart on the same queue dir, resumed merge bit-identical to the
+# monolithic run (crates/experiments/tests/service_e2e.rs).
+echo "== campaign service end-to-end gate (release)"
+cargo test -q --release --offline -p fades-experiments --test service_e2e
+
 # Sharded-batched chaos gate: a chaos panic landing *inside a lane
 # cohort* must not cost the shard. Both engines run the same 2-shard
 # campaign with `FADES_CHAOS_PANIC=5` (index 5 lives in shard 1), resume
@@ -82,6 +88,42 @@ if [ -z "$lane_bits" ] || [ "$lane_bits" != "$scalar_bits" ]; then
     exit 1
 fi
 rm -rf "$gate_dir"
+
+# Campaign-service CLI smoke gate: the serve/submit/jobs/results/shutdown
+# loop through the real binary and a real (tiny) campaign, on a throwaway
+# queue dir and an ephemeral port.
+echo "== campaign service CLI smoke gate (release)"
+svc_dir=$(mktemp -d)
+FADES_THREADS=2 FADES_PROGRESS=0 \
+    run_exp serve --addr 127.0.0.1:0 --workers 2 --jobs 2 \
+    --queue-dir "$svc_dir/queue" --addr-file "$svc_dir/addr" \
+    >"$svc_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 600); do [ -s "$svc_dir/addr" ] && break; sleep 0.1; done
+[ -s "$svc_dir/addr" ] || { echo "FAIL: service never published its address"; cat "$svc_dir/serve.log"; exit 1; }
+addr=$(cat "$svc_dir/addr")
+run_exp submit pulse-luts --faults 400 --seed 11 --shards 2 --addr "$addr" \
+    | tee "$svc_dir/submit.txt"
+job=$(grep -o 'job-[0-9]*' "$svc_dir/submit.txt" | head -1)
+[ -n "$job" ] || { echo "FAIL: submit printed no job id"; exit 1; }
+for _ in $(seq 1 600); do
+    run_exp jobs --addr "$addr" >"$svc_dir/jobs.txt"
+    grep -q "$job \[completed\]" "$svc_dir/jobs.txt" && break
+    sleep 0.2
+done
+grep -q "$job \[completed\]" "$svc_dir/jobs.txt" \
+    || { echo "FAIL: $job never completed"; cat "$svc_dir/jobs.txt" "$svc_dir/serve.log"; exit 1; }
+run_exp results "$job" --addr "$addr" | tee "$svc_dir/results.txt"
+grep -q 'bit-identical' "$svc_dir/results.txt" \
+    || { echo "FAIL: $job results are not a complete merge"; exit 1; }
+run_exp shutdown --addr "$addr"
+# A graceful shutdown must let the process exit cleanly on its own; the
+# watchdog SIGKILL only fires (and fails the wait) if it hangs.
+( sleep 120; kill -9 "$serve_pid" 2>/dev/null ) &
+watchdog_pid=$!
+wait "$serve_pid" || { echo "FAIL: serve did not exit cleanly after shutdown"; cat "$svc_dir/serve.log"; exit 1; }
+kill "$watchdog_pid" 2>/dev/null || true
+rm -rf "$svc_dir"
 
 # The PR 1 overhead contract: with telemetry disabled, the hot path pays
 # one relaxed atomic load. The disabled-path bench must stay within
