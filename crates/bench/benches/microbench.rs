@@ -136,6 +136,8 @@ fn bench_fastpath(c: &mut Criterion) {
                 margin_cycles: 64,
                 fastpath,
                 batch: true,
+                warmstart: true,
+                sparse: true,
             },
         )
         .expect("campaign");
@@ -206,6 +208,8 @@ fn bench_batch(c: &mut Criterion) {
             margin_cycles: 64,
             fastpath: true,
             batch: true,
+            warmstart: true,
+            sparse: true,
         },
     )
     .expect("campaign");

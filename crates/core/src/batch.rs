@@ -206,11 +206,36 @@ pub(crate) fn run_one_cohort<'p>(
     sub_cycle: bool,
     pending: &[&'p PlannedExperiment],
     chaos: Option<ChaosPanic>,
+    warmstart: bool,
     loaded: &mut Vec<&'p PlannedExperiment>,
     sink: &mut dyn FnMut(u64, ExperimentResult),
 ) -> Result<Vec<&'p PlannedExperiment>, CoreError> {
     let run_cycles = golden.cycles();
-    batch.reset();
+    // Warm start: until its injection instant every lane *is* the golden
+    // run, and `pending` arrives sorted by injection instant, so the
+    // whole word can splat-restore the nearest golden checkpoint at or
+    // before the cohort's earliest injection and skip the pristine
+    // prefix. On refill passes (whose surviving entries inject late) the
+    // skip multiplies.
+    let checkpoint = if warmstart {
+        pending
+            .first()
+            .and_then(|e| golden.checkpoint_at_or_before(e.schedule.inject_at))
+            .filter(|cp| cp.cycle() > 0)
+    } else {
+        None
+    };
+    let start_cycle = match checkpoint {
+        Some(cp) => {
+            batch.restore_broadcast(cp);
+            fades_telemetry::sim::record_warm_start(cp.cycle());
+            cp.cycle()
+        }
+        None => {
+            batch.reset();
+            0
+        }
+    };
     let mut clock = CohortClock::start();
     let mut slots: Vec<Option<LaneSlot<'p>>> = (0..LANES).map(|_| None).collect();
     let mut occupied = 0usize;
@@ -226,7 +251,7 @@ pub(crate) fn run_one_cohort<'p>(
         occupied += 1;
     }
 
-    for cycle in 0..run_cycles {
+    for cycle in start_cycle..run_cycles {
         // Retire reconverged lanes at the top of the cycle (the batch
         // analogue of the scalar early-stop hash check, by true
         // equality — equal state and pristine config imply the hash
@@ -236,8 +261,24 @@ pub(crate) fn run_one_cohort<'p>(
             .flatten()
             .any(|s| s.planned.schedule.inert_at(cycle));
         if any_inert {
-            let seq = batch.seq_divergence();
             let conf = batch.config_divergence();
+            // Decided-lane shortcut: a port-diverged lane's outcome is
+            // locked (Failure), and once its fault is inert and its
+            // configuration pristine nothing it does from here on is
+            // observable — outcome, traffic and modelled time are all
+            // fixed. Snap it onto the golden trajectory so the ordinary
+            // reconvergence retirement below fires right now instead of
+            // dragging a hard-diverged machine (and the divergence
+            // frontier it keeps dirty) to the end of the pass.
+            for (lane, entry) in slots.iter().enumerate().skip(1) {
+                let decided = entry.as_ref().is_some_and(|s| {
+                    s.diverged && s.planned.schedule.inert_at(cycle) && (conf >> lane) & 1 == 0
+                });
+                if decided {
+                    batch.snap_lane_to_golden(lane);
+                }
+            }
+            let seq = batch.seq_divergence();
             let mut will_retire = 0u64;
             for (lane, entry) in slots.iter().enumerate().skip(1) {
                 let retire = entry.as_ref().is_some_and(|s| {
@@ -368,12 +409,21 @@ pub(crate) fn run_one_cohort<'p>(
 /// Runs every entry of `entries` through the lane engine, one experiment
 /// per lane, over as many passes as refilling requires. Returns
 /// `(plan index, result)` pairs in ascending plan-index order.
+///
+/// With `threads > 1` the sorted plan is split into contiguous chunks,
+/// each run on its own clone of the engine. Per-experiment results are
+/// independent of cohort composition (lanes interact only with the
+/// golden lane, and timing draws are lane-invariant), so the merged
+/// results are bit-identical to the single-threaded run — the same
+/// property the sharded-dispatch suite already pins down.
 pub(crate) fn run_lane_cohorts<'p>(
     batch: &mut BatchDevice,
     golden: &GoldenRun,
     ports: &[String],
     sub_cycle: bool,
     entries: &[&'p PlannedExperiment],
+    warmstart: bool,
+    threads: usize,
 ) -> Result<Vec<(u64, ExperimentResult)>, CoreError> {
     let port_wires = lane_prologue(batch, golden, ports, entries)?;
 
@@ -382,19 +432,66 @@ pub(crate) fn run_lane_cohorts<'p>(
     let mut pending: Vec<&'p PlannedExperiment> = entries.to_vec();
     pending.sort_by_key(|e| (e.schedule.inject_at, e.index));
 
+    // No point spinning up a word for fewer entries than a word holds.
+    let threads = threads.clamp(1, pending.len().div_ceil(LANES - 1).max(1));
     let mut results: Vec<(u64, ExperimentResult)> = Vec::with_capacity(entries.len());
-    while !pending.is_empty() {
-        let mut loaded = Vec::new();
-        pending = run_one_cohort(
-            batch,
-            golden,
-            &port_wires,
-            sub_cycle,
-            &pending,
-            None,
-            &mut loaded,
-            &mut |index, result| results.push((index, result)),
-        )?;
+    if threads <= 1 {
+        while !pending.is_empty() {
+            let mut loaded = Vec::new();
+            pending = run_one_cohort(
+                batch,
+                golden,
+                &port_wires,
+                sub_cycle,
+                &pending,
+                None,
+                warmstart,
+                &mut loaded,
+                &mut |index, result| results.push((index, result)),
+            )?;
+        }
+    } else {
+        let chunk_len = pending.len().div_ceil(threads);
+        let port_wires = &port_wires;
+        let chunk_results = crossbeam::thread::scope(
+            |scope| -> Vec<Result<Vec<(u64, ExperimentResult)>, CoreError>> {
+                let handles: Vec<_> = pending
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        let mut engine = batch.clone();
+                        scope.spawn(
+                            move |_| -> Result<Vec<(u64, ExperimentResult)>, CoreError> {
+                                let mut out = Vec::with_capacity(chunk.len());
+                                let mut rest: Vec<&'p PlannedExperiment> = chunk.to_vec();
+                                while !rest.is_empty() {
+                                    let mut loaded = Vec::new();
+                                    rest = run_one_cohort(
+                                        &mut engine,
+                                        golden,
+                                        port_wires,
+                                        sub_cycle,
+                                        &rest,
+                                        None,
+                                        warmstart,
+                                        &mut loaded,
+                                        &mut |index, result| out.push((index, result)),
+                                    )?;
+                                }
+                                Ok(out)
+                            },
+                        )
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("lane cohort worker panicked"))
+                    .collect()
+            },
+        )
+        .expect("lane cohort scope panicked");
+        for r in chunk_results {
+            results.extend(r?);
+        }
     }
 
     results.sort_by_key(|(index, _)| *index);

@@ -40,6 +40,16 @@ pub struct CampaignConfig {
     /// the scalar path. With this off, [`Campaign::run_batched`] falls
     /// back to the scalar executor wholesale.
     pub batch: bool,
+    /// Whether batched cohort passes warm-start from the nearest golden
+    /// checkpoint at or before the cohort's earliest injection instant
+    /// instead of replaying the pristine prefix from cycle 0. Host
+    /// wall-clock only — bit-identical results either way.
+    pub warmstart: bool,
+    /// Whether the lane engine's settle evaluates only the fan-out cone
+    /// of changed words (the sparse divergence-frontier scheduler)
+    /// instead of sweeping the whole netlist. Host wall-clock only —
+    /// bit-identical results either way.
+    pub sparse: bool,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +59,8 @@ impl Default for CampaignConfig {
             margin_cycles: 64,
             fastpath: fastpath_default(),
             batch: batch_default(),
+            warmstart: warmstart_default(),
+            sparse: fades_fpga::sparse_default(),
         }
     }
 }
@@ -71,6 +83,16 @@ pub fn fastpath_default() -> bool {
 /// both paths (the differential test relies on this).
 pub fn batch_default() -> bool {
     !matches!(std::env::var("FADES_NO_BATCH"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Default for [`CampaignConfig::warmstart`]: enabled unless the
+/// `FADES_NO_WARMSTART` escape hatch is set to a non-empty value other
+/// than `0` (kept available for equivalence testing and debugging).
+///
+/// Read per call — not cached — so one process can construct configs on
+/// both paths (the differential test relies on this).
+pub fn warmstart_default() -> bool {
+    !matches!(std::env::var("FADES_NO_WARMSTART"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 /// Campaign worker-thread count: `FADES_THREADS` when set to a positive
@@ -404,6 +426,7 @@ impl<'n> Campaign<'n> {
             // than 64 bits): run everything scalar.
             return self.execute(plan, recorder);
         };
+        engine.set_sparse(self.config.sparse);
         if plan.is_empty() {
             return Ok(Vec::new());
         }
@@ -437,6 +460,8 @@ impl<'n> Campaign<'n> {
             &self.ports,
             plan.sub_cycle,
             &lane_entries,
+            self.config.warmstart,
+            self.config.threads,
         )?;
         if let Some(recorder) = recorder {
             let handle = recorder.handle();
@@ -649,6 +674,7 @@ impl<'n> Campaign<'n> {
         let Some(mut engine) = fades_fpga::BatchDevice::new(&self.device) else {
             return self.execute_isolated(plan, retries, recorder, observer);
         };
+        engine.set_sparse(self.config.sparse);
         if plan.is_empty() {
             return Ok(Vec::new());
         }
@@ -703,6 +729,7 @@ impl<'n> Campaign<'n> {
                         plan.sub_cycle,
                         pending,
                         chaos,
+                        self.config.warmstart,
                         loaded,
                         &mut |index, result| {
                             let verdict = ExperimentVerdict::Completed {
@@ -783,7 +810,10 @@ impl<'n> Campaign<'n> {
                     // The word may hold a half-installed fault; rebuild
                     // the engine from the pristine device.
                     match fades_fpga::BatchDevice::new(&self.device) {
-                        Some(rebuilt) => engine = rebuilt,
+                        Some(mut rebuilt) => {
+                            rebuilt.set_sparse(self.config.sparse);
+                            engine = rebuilt;
+                        }
                         None => {
                             fallback.extend(pending.iter().map(|e| (*e).clone()));
                             pending.clear();

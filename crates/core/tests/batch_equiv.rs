@@ -37,13 +37,25 @@ fn lfsr_design() -> (fades_netlist::Netlist, fades_pnr::Implementation) {
 }
 
 fn config(batch: bool) -> CampaignConfig {
+    config_with(batch, true, true)
+}
+
+/// Full-control constructor for the mode matrix: warm-start and the
+/// sparse settle are host-side shortcuts, so every combination must be
+/// bit-identical to the scalar reference.
+fn config_with(batch: bool, warmstart: bool, sparse: bool) -> CampaignConfig {
     CampaignConfig {
         threads: 1,
         margin_cycles: 64,
         fastpath: true,
         batch,
+        warmstart,
+        sparse,
     }
 }
+
+/// Every {warm-start, sparse} combination, all-on first (the default).
+const MODE_MATRIX: [(bool, bool); 4] = [(true, true), (true, false), (false, true), (false, false)];
 
 /// Runs `load` on both paths of the *same* campaign and asserts the
 /// per-experiment results and aggregated stats are identical — outcomes
@@ -57,8 +69,24 @@ fn assert_equivalent(
     n: usize,
     seed: u64,
 ) {
-    let campaign = Campaign::with_config(nl, imp.clone(), ports, workload_cycles, config(true))
-        .expect("campaign");
+    assert_equivalent_cfg(nl, imp, ports, workload_cycles, load, n, seed, config(true));
+}
+
+/// Same contract as [`assert_equivalent`] but under an arbitrary batched
+/// configuration (mode-matrix sweeps pass each hatch combination).
+#[allow(clippy::too_many_arguments)]
+fn assert_equivalent_cfg(
+    nl: &fades_netlist::Netlist,
+    imp: &fades_pnr::Implementation,
+    ports: &[&str],
+    workload_cycles: u64,
+    load: &FaultLoad,
+    n: usize,
+    seed: u64,
+    cfg: CampaignConfig,
+) {
+    let campaign =
+        Campaign::with_config(nl, imp.clone(), ports, workload_cycles, cfg).expect("campaign");
     let batched = campaign
         .run_batched_detailed(load, n, seed)
         .expect("batched run");
@@ -417,4 +445,235 @@ fn no_batch_escape_hatch_controls_the_default() {
     assert!(fades_core::batch_default());
     std::env::remove_var("FADES_NO_BATCH");
     assert!(fades_core::batch_default());
+}
+
+/// Scalar reference once, then each {warm-start, sparse} combination of
+/// the batched path against it: detailed results per-field, stats
+/// outcomes and bit-identical modelled seconds.
+fn assert_matrix_matches(
+    nl: &fades_netlist::Netlist,
+    imp: &fades_pnr::Implementation,
+    ports: &[&str],
+    workload_cycles: u64,
+    load: &FaultLoad,
+    n: usize,
+    seed: u64,
+) {
+    let reference = Campaign::with_config(nl, imp.clone(), ports, workload_cycles, config(false))
+        .expect("scalar campaign");
+    let scalar = reference.run_detailed(load, n, seed).expect("scalar run");
+    let ss = reference.run(load, n, seed).expect("scalar stats");
+    for (warmstart, sparse) in MODE_MATRIX {
+        let campaign = Campaign::with_config(
+            nl,
+            imp.clone(),
+            ports,
+            workload_cycles,
+            config_with(true, warmstart, sparse),
+        )
+        .expect("batched campaign");
+        let batched = campaign
+            .run_batched_detailed(load, n, seed)
+            .expect("batched run");
+        assert_eq!(batched.len(), scalar.len());
+        for (b, s) in batched.iter().zip(&scalar) {
+            assert_eq!(b.fault, s.fault, "warmstart={warmstart} sparse={sparse}");
+            assert_eq!(
+                b.schedule, s.schedule,
+                "warmstart={warmstart} sparse={sparse}"
+            );
+            assert_eq!(
+                b.outcome, s.outcome,
+                "warmstart={warmstart} sparse={sparse} fault {:?}",
+                b.fault
+            );
+            assert_eq!(
+                b.traffic, s.traffic,
+                "warmstart={warmstart} sparse={sparse} fault {:?}: \
+                 configuration traffic must be identical",
+                b.fault
+            );
+        }
+        let bs = campaign.run_batched(load, n, seed).expect("batched stats");
+        assert_eq!(
+            bs.outcomes, ss.outcomes,
+            "warmstart={warmstart} sparse={sparse}"
+        );
+        assert_eq!(
+            bs.emulation_seconds.to_bits(),
+            ss.emulation_seconds.to_bits(),
+            "warmstart={warmstart} sparse={sparse}: modelled time must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn mode_matrix_multi_pass_matches_scalar_bitwise() {
+    // The tentpole sweep: warm-start and the sparse settle, each on and
+    // off, over a multi-pass load (n > 63 forces cohort refill plus
+    // carry-over of entries whose injection instant already passed —
+    // exactly where a stale warm-start cycle or an unmarked dirty cone
+    // would diverge).
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    assert_matrix_matches(&nl, &imp, &["q"], 150, &load, 100, 218);
+}
+
+#[test]
+fn mode_matrix_memory_load_matches_scalar() {
+    // BRAM-targeting faults exercise the dirty-content divergence sweep,
+    // BRAM node marking and the per-lane gather path under every mode
+    // combination.
+    use fades_mcu8051::{build_soc, workloads, OBSERVED_PORTS};
+    let w = workloads::fibonacci();
+    let soc = build_soc(&w.rom).unwrap();
+    let imp = implement(&soc.netlist, fades_fpga::ArchParams::virtex1000_like()).unwrap();
+    let load = FaultLoad::bit_flips(
+        TargetClass::MemoryBits {
+            name: "iram".into(),
+            lo: w.data_range.0 as usize,
+            hi: w.data_range.1 as usize,
+        },
+        DurationRange::SubCycle,
+    );
+    assert_matrix_matches(&soc.netlist, &imp, &OBSERVED_PORTS, 700, &load, 6, 219);
+}
+
+#[test]
+fn mode_matrix_isolated_matches_scalar_isolated() {
+    // The isolation contract under every mode combination: verdicts from
+    // `execute_batched_isolated` (which rebuilds the engine after
+    // quarantines) must stay bit-identical to the scalar isolated path.
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    let reference = Campaign::with_config(&nl, imp.clone(), &["q"], 150, config(false)).unwrap();
+    let plan = reference.plan(&load, 70, 220).unwrap();
+    let scalar = reference.execute_isolated(&plan, 1, None, None).unwrap();
+    for (warmstart, sparse) in MODE_MATRIX {
+        let campaign = Campaign::with_config(
+            &nl,
+            imp.clone(),
+            &["q"],
+            150,
+            config_with(true, warmstart, sparse),
+        )
+        .unwrap();
+        let batched = campaign
+            .execute_batched_isolated(&plan, 1, None, None)
+            .unwrap();
+        assert_verdicts_equivalent(&batched, &scalar);
+    }
+}
+
+#[test]
+fn mode_matrix_composes_with_shards() {
+    // Sharded composition must hold in every mode: warm-start picks its
+    // checkpoint from each shard's own earliest injection, so per-shard
+    // unions must still equal the monolithic run.
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    for (warmstart, sparse) in MODE_MATRIX {
+        let campaign = Campaign::with_config(
+            &nl,
+            imp.clone(),
+            &["q"],
+            150,
+            config_with(true, warmstart, sparse),
+        )
+        .unwrap();
+        let plan = campaign.plan(&load, 20, 222).unwrap();
+        let whole = campaign.execute_batched(&plan, None).unwrap();
+        let mut sharded = Vec::new();
+        for shard in 0..3 {
+            let sub = plan.shard(shard, 3);
+            sharded.extend(
+                campaign
+                    .execute_batched(&sub, None)
+                    .unwrap()
+                    .into_iter()
+                    .zip(sub.experiments.iter().map(|e| e.index)),
+            );
+        }
+        sharded.sort_by_key(|(_, index)| *index);
+        assert_eq!(whole.len(), sharded.len());
+        for (w, (s, _)) in whole.iter().zip(&sharded) {
+            assert_eq!(w.fault, s.fault, "warmstart={warmstart} sparse={sparse}");
+            assert_eq!(
+                w.outcome, s.outcome,
+                "warmstart={warmstart} sparse={sparse}"
+            );
+            assert_eq!(
+                w.traffic, s.traffic,
+                "warmstart={warmstart} sparse={sparse}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_thread_batched_matches_single_thread_bitwise() {
+    // Per-experiment results are cohort-composition-independent (lanes
+    // interact only with the golden lane and timing draws are
+    // lane-invariant), so chunking the sorted plan across worker threads
+    // must be invisible: threads=4 equals threads=1 equals scalar, to the
+    // bit.
+    let (nl, imp) = lfsr_design();
+    let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SHORT);
+    let n = 150; // several cohorts, so the chunking actually splits work
+    let mt = Campaign::with_config(
+        &nl,
+        imp.clone(),
+        &["q"],
+        150,
+        CampaignConfig {
+            threads: 4,
+            ..config(true)
+        },
+    )
+    .unwrap();
+    let st = Campaign::with_config(&nl, imp.clone(), &["q"], 150, config(true)).unwrap();
+    let threaded = mt.run_batched_detailed(&load, n, 221).unwrap();
+    let single = st.run_batched_detailed(&load, n, 221).unwrap();
+    let scalar = st.run_detailed(&load, n, 221).unwrap();
+    assert_eq!(threaded.len(), single.len());
+    assert_eq!(threaded.len(), scalar.len());
+    for ((t, o), s) in threaded.iter().zip(&single).zip(&scalar) {
+        assert_eq!(t.fault, s.fault);
+        assert_eq!(t.outcome, o.outcome, "fault {:?}", t.fault);
+        assert_eq!(t.outcome, s.outcome, "fault {:?}", t.fault);
+        assert_eq!(t.traffic, o.traffic, "fault {:?}", t.fault);
+        assert_eq!(t.traffic, s.traffic, "fault {:?}", t.fault);
+    }
+    let ts = mt.run_batched(&load, n, 221).unwrap();
+    let os = st.run_batched(&load, n, 221).unwrap();
+    assert_eq!(ts.outcomes, os.outcomes);
+    assert_eq!(
+        ts.emulation_seconds.to_bits(),
+        os.emulation_seconds.to_bits(),
+        "modelled time must not depend on the thread count"
+    );
+}
+
+#[test]
+fn warmstart_and_sparse_escape_hatches_control_the_defaults() {
+    // Read per call (deliberately uncached), mirroring FADES_NO_BATCH; no
+    // other test in this binary consults these defaults — every campaign
+    // here sets the fields explicitly.
+    std::env::set_var("FADES_NO_WARMSTART", "1");
+    assert!(!fades_core::warmstart_default());
+    std::env::set_var("FADES_NO_WARMSTART", "0");
+    assert!(fades_core::warmstart_default());
+    std::env::set_var("FADES_NO_WARMSTART", "");
+    assert!(fades_core::warmstart_default());
+    std::env::remove_var("FADES_NO_WARMSTART");
+    assert!(fades_core::warmstart_default());
+
+    std::env::set_var("FADES_NO_SPARSE", "1");
+    assert!(!fades_core::sparse_default());
+    std::env::set_var("FADES_NO_SPARSE", "0");
+    assert!(fades_core::sparse_default());
+    std::env::set_var("FADES_NO_SPARSE", "");
+    assert!(fades_core::sparse_default());
+    std::env::remove_var("FADES_NO_SPARSE");
+    assert!(fades_core::sparse_default());
 }

@@ -68,6 +68,8 @@ fn config(fastpath: bool) -> CampaignConfig {
         margin_cycles: 64,
         fastpath,
         batch: true,
+        warmstart: true,
+        sparse: true,
     }
 }
 

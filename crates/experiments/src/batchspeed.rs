@@ -46,14 +46,20 @@ pub struct BatchSpeedResult {
 
 /// Runs the scalar and batched campaigns and checks their equivalence.
 ///
+/// With `threads > 1`, a third multi-thread batched run (`threads`
+/// cohort workers over `BatchDevice` clones) is measured and recorded
+/// under the `ff-flip-batched-mt` label — so `BENCH_campaign.json`
+/// carries all three rows — and asserted bit-identical as well.
+///
 /// # Errors
 ///
 /// Propagates campaign errors, and reports a corrupted-equivalence error
-/// if the two paths disagree (they must be bit-identical).
+/// if the paths disagree (they must be bit-identical).
 pub fn run(
     ctx: &ExperimentContext,
     n_faults: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<BatchSpeedResult, CoreError> {
     let load = FaultLoad::bit_flips(TargetClass::AllFfs, DurationRange::SubCycle);
     let campaign = Campaign::with_config(
@@ -83,10 +89,30 @@ pub fn run(
 
     let lane_cycles = fades_telemetry::sim::LANE_CYCLES.get();
     let batch_cycles = fades_telemetry::sim::BATCH_CYCLES.get();
-    let rows = vec![
+    let mut rows = vec![
         row("scalar", &scalar, n_faults, scalar_wall),
         row("batched (64 lanes)", &batched, n_faults, batched_wall),
     ];
+
+    if threads > 1 {
+        let mt_campaign = Campaign::with_config(
+            &ctx.soc().netlist,
+            ctx.implementation().clone(),
+            &OBSERVED_PORTS,
+            ctx.workload_cycles(),
+            CampaignConfig {
+                threads,
+                ..CampaignConfig::default()
+            },
+        )?;
+        let t2 = Instant::now();
+        let batched_mt =
+            mt_campaign.run_batched_named("ff-flip-batched-mt", &load, n_faults, seed)?;
+        let mt_wall = t2.elapsed().as_secs_f64();
+        assert_equivalent(&scalar, &batched_mt);
+        rows.push(row("batched, multi-thread", &batched_mt, n_faults, mt_wall));
+    }
+
     Ok(BatchSpeedResult {
         rows,
         speedup: if batched_wall > 0.0 {

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! fades-experiments [table1|fig10|table2|fig11|fig12|fig13|fig14|fig15|table3|table4|permanent|techniques|scaling|batch|setup|all]
+//! fades-experiments batch [--n N] [--threads T]        # lane-engine speed section
+//!                                                      # (T > 1 adds a multi-thread row)
 //! fades-experiments shard I/N <journal.jsonl> [load]   # run one shard, journaled
 //! fades-experiments resume <journal.jsonl>             # finish a journaled shard
 //! fades-experiments merge <journal.jsonl|dir>...       # fold shards into one result
@@ -18,6 +20,11 @@
 //! * `FADES_PROGRESS` — `1`/`0` forces the stderr progress ticker on/off
 //! * `FADES_NO_BATCH` — `1` disables the bit-parallel lane engine (the
 //!   `batch` section then compares scalar against scalar)
+//! * `FADES_NO_WARMSTART` — `1` disables golden-checkpoint warm-start of
+//!   lane cohorts (every cohort replays from cycle 0)
+//! * `FADES_NO_SPARSE` — `1` disables the sparse divergence-frontier
+//!   settle (full eval-order sweep every cycle); both hatches are
+//!   wall-clock-only — results are bit-identical either way
 //! * `FADES_METRICS_ADDR` — serve live `GET /metrics` + `GET /status` on
 //!   this `host:port` while the run executes (port 0 picks a free port;
 //!   the bound address is written to `FADES_METRICS_ADDR_FILE` if set)
@@ -205,7 +212,15 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if all || which == "batch" {
         section("§7 extension — scalar vs bit-parallel lane engine");
-        print!("{}", batchspeed::run(&ctx, n, seed)?.table());
+        let (batch_n, batch_threads) = if which == "batch" {
+            parse_batch_opts(&args[1..], n)?
+        } else {
+            (n, fades_core::worker_threads())
+        };
+        print!(
+            "{}",
+            batchspeed::run(&ctx, batch_n, seed, batch_threads)?.table()
+        );
     }
 
     let aggregates = fades_telemetry::drain_aggregates();
@@ -228,6 +243,35 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
 
 fn section(title: &str) {
     println!("\n=== {title} ===\n");
+}
+
+/// Options of the `batch` subcommand: `--n N` overrides `FADES_FAULTS`
+/// and `--threads T` sets the cohort worker count for the multi-thread
+/// row (`T > 1` adds it; the default is the campaign worker default).
+fn parse_batch_opts(rest: &[String], default_n: usize) -> Result<(usize, usize), Box<dyn Error>> {
+    let mut n = default_n;
+    let mut threads = fades_core::worker_threads();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --n: {e}"))?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+            }
+            other => return Err(format!("unknown batch option `{other}`").into()),
+        }
+    }
+    Ok((n, threads))
 }
 
 fn print_setup(ctx: &ExperimentContext, n: usize, seed: u64) {

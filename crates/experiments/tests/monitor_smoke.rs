@@ -32,6 +32,9 @@ fn base_cmd(faults: &str) -> Command {
         .env_remove("FADES_METRICS_ADDR_FILE")
         .env_remove("FADES_TRACE_OUT")
         .env_remove("FADES_WATCHDOG_MS")
+        .env_remove("FADES_NO_BATCH")
+        .env_remove("FADES_NO_WARMSTART")
+        .env_remove("FADES_NO_SPARSE")
         .env("FADES_FAULTS", faults)
         .env("FADES_THREADS", "2")
         .env("FADES_PROGRESS", "0");
@@ -168,12 +171,77 @@ fn sharded_campaign_observability_end_to_end() {
         .and_then(JsonValue::as_f64)
         .is_some());
 
+    // The default batched path must be visibly using both tentpole
+    // shortcuts: the sparse settle skips evaluations and warm-started
+    // cohorts skip replayed cycles, and both surface on /metrics.
+    let metrics = scrape_until(&addr, "/metrics", &mut child, |body| {
+        counter_value(body, "fades_sim_evals_skipped_total").is_some_and(|v| v > 0)
+            && counter_value(body, "fades_sim_warm_skipped_cycles_total").is_some_and(|v| v > 0)
+    });
+    assert!(metrics.contains("fades_sim_uniform_cycles_total"));
+
     child.kill().expect("kill live shard");
     let _ = child.wait();
 
-    for p in [&j0, &j1, &trace, &j_stall, &j_live, &addr_file] {
+    // Kill-switch phase: the same live shard with both escape hatches
+    // set must keep those counters at exactly zero — the optimised paths
+    // are genuinely off, not merely unreported.
+    let j_hatched = tmp("hatched.jsonl");
+    let addr_file2 = tmp("addr2.txt");
+    let _ = std::fs::remove_file(&addr_file2);
+    let mut child = base_cmd("100000")
+        .args(["shard", "0/1"])
+        .arg(&j_hatched)
+        .env("FADES_METRICS_ADDR", "127.0.0.1:0")
+        .env("FADES_METRICS_ADDR_FILE", &addr_file2)
+        .env("FADES_NO_WARMSTART", "1")
+        .env("FADES_NO_SPARSE", "1")
+        .spawn()
+        .expect("spawn hatched live shard");
+    let addr = wait_for_addr(&addr_file2, &mut child);
+    // Wait until the campaign has demonstrably executed experiments, so
+    // zero counters mean "disabled", not "not started yet".
+    let _ = scrape_until(&addr, "/status", &mut child, |body| {
+        parse(body.trim())
+            .ok()
+            .and_then(|v| v.get("experiments_done").and_then(JsonValue::as_u64))
+            .is_some_and(|done| done > 0)
+    });
+    let metrics = scrape_until(&addr, "/metrics", &mut child, |body| {
+        counter_value(body, "fades_sim_evals_skipped_total").is_some()
+    });
+    assert_eq!(
+        counter_value(&metrics, "fades_sim_evals_skipped_total"),
+        Some(0),
+        "FADES_NO_SPARSE=1 must keep the sparse-settle counter at zero"
+    );
+    assert_eq!(
+        counter_value(&metrics, "fades_sim_warm_skipped_cycles_total"),
+        Some(0),
+        "FADES_NO_WARMSTART=1 must keep the warm-start counter at zero"
+    );
+
+    child.kill().expect("kill hatched live shard");
+    let _ = child.wait();
+
+    for p in [
+        &j0,
+        &j1,
+        &trace,
+        &j_stall,
+        &j_live,
+        &j_hatched,
+        &addr_file,
+        &addr_file2,
+    ] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+/// Extracts `name value` from a Prometheus exposition body.
+fn counter_value(body: &str, name: &str) -> Option<u64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.trim().parse().ok())
 }
 
 /// The emitted Chrome trace must parse as JSON, contain only complete

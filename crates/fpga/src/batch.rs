@@ -28,17 +28,42 @@ use crate::arch::ArchParams;
 use crate::bitstream::Bitstream;
 use crate::cb::SetReset;
 use crate::coords::{BramId, CbCoord};
-use crate::device::{CombNode, Device, FfData, FfNode, LutNode};
+use crate::device::{CombNode, Device, FfData, FfNode};
 use crate::error::FpgaError;
 use crate::frames::{CbField, FrameSet};
 use crate::ledger::{TransferKind, TransferLedger, TransferOp};
 use crate::reconfig::Mutation;
+use crate::state::DeviceState;
+use fades_telemetry::sim;
+
+/// Default sparse-settle decision for lane engines: the divergence-
+/// frontier scheduler is on unless the `FADES_NO_SPARSE` kill switch is
+/// set (to a non-empty value other than `0`). Both modes are
+/// bit-identical; the full sweep is the reference semantics.
+#[must_use]
+pub fn sparse_default() -> bool {
+    !matches!(std::env::var("FADES_NO_SPARSE"), Ok(v) if !v.is_empty() && v != "0")
+}
 
 /// Number of lanes in one batch word.
 pub const LANES: usize = 64;
 
 /// Lane-mask of the golden lane (lane 0, never faulted).
 pub const GOLDEN_LANE_MASK: u64 = 1;
+
+/// A sparse settle that touches more than `n_nodes / DENSE_FRONTIER_DIV`
+/// nodes bails out into the streaming full sweep and flips the engine
+/// into dense mode. The random-access dirty-cone eval costs roughly 5×
+/// a streamed eval per node (measured ≈24 ns vs ≈4.5 ns on the 8051
+/// SoC), so the sweep wins once the frontier passes ~20% of the design;
+/// 1/8 keeps a margin in sparse mode's favour before switching.
+const DENSE_FRONTIER_DIV: usize = 8;
+
+/// In dense mode the engine re-probes with a (bail-bounded) sparse
+/// settle every this many settles, so it returns to the dirty-cone
+/// schedule when the divergence frontier collapses — e.g. after lane
+/// retirements leave only golden activity on a quiet workload phase.
+const DENSE_RESAMPLE_PERIOD: u32 = 32;
 
 /// Broadcasts a boolean across all 64 lanes.
 #[inline(always)]
@@ -182,6 +207,24 @@ struct LaneBram {
     prev_din: Vec<u64>,
 }
 
+/// Evaluation descriptor of one combinational node, packed so the sparse
+/// settle's random-order evaluation reads a single 32-byte record per
+/// node. For a LUT node: `target` is the LUT index, `table_off` its
+/// slice start in `compact_tables`, `arity`/`pins` the connected pin
+/// count and wires, `cpristine` the compact pristine table (for the
+/// golden-uniform scalar path). For a BRAM node (`is_bram != 0`):
+/// `target` is the BRAM index and the rest is unused.
+#[derive(Debug, Clone, Copy)]
+struct NodeDesc {
+    target: u32,
+    out_wire: u32,
+    table_off: u32,
+    arity: u8,
+    is_bram: u8,
+    cpristine: u16,
+    pins: [u32; 4],
+}
+
 impl LaneBram {
     fn mark_dirty(&mut self, idx: usize) {
         if !self.is_dirty[idx] {
@@ -222,11 +265,9 @@ impl LaneBram {
 pub struct BatchDevice {
     arch: ArchParams,
     pristine: Bitstream,
-    luts: Vec<LutNode>,
     ffs: Vec<FfNode>,
     ff_of_cb: Vec<u32>,
     lut_of_cb: Vec<u32>,
-    eval_order: Vec<CombNode>,
     ff_overshoot_ns: Vec<f64>,
     bram_overshoot_ns: Vec<f64>,
     ff_columns: Vec<u16>,
@@ -239,8 +280,26 @@ pub struct BatchDevice {
     ff_init: Vec<bool>,
 
     // Lane configuration state. A LUT table is 16 lane words: bit `l` of
-    // `lut_tables[li][k]` is truth-table entry `k` in lane `l`.
+    // `lut_tables[li][k]` is truth-table entry `k` in lane `l`. This is
+    // the readback/bookkeeping representation; evaluation uses the
+    // arity-compacted mirror below.
     lut_tables: Vec<[u64; 16]>,
+    /// Number of connected pins per LUT (structural: mutations rewrite
+    /// tables, never routing, so this is lane-invariant and constant).
+    lut_arity: Vec<u8>,
+    /// Compact-index → full-table-index map per LUT (first `1 << arity`
+    /// entries valid): compact bit `k` corresponds to connected pin `k`.
+    lut_cfull: Vec<[u8; 16]>,
+    /// Pristine truth table in compact index space.
+    lut_cpristine: Vec<u16>,
+    /// Start of each LUT's slice in `compact_tables` (length `1 << arity`).
+    lut_coff: Vec<u32>,
+    /// Lane-word truth tables in compact index space, arity-packed flat —
+    /// the evaluation mirror of `lut_tables`. Unconnected pins always
+    /// present a constant-0 word, so only the `1 << arity` entries with
+    /// those index bits clear are reachable; restricting the mux tree to
+    /// them is exact for pristine *and* mutated tables.
+    compact_tables: Vec<u64>,
     /// Lanes whose table differs from pristine, per LUT node.
     lut_table_diff: Vec<u64>,
     invert_ff_in: Vec<u64>,
@@ -261,6 +320,60 @@ pub struct BatchDevice {
     ff_prev_d: Vec<u64>,
     brams: Vec<LaneBram>,
     ledgers: Vec<TransferLedger>,
+
+    // Sparse divergence-frontier scheduler (see `settle_sparse`). The
+    // invariant it maintains: between settles, `wire_values`/`lut_values`
+    // always equal the full-sweep fixpoint of the current sequential
+    // state, configuration and inputs — so a node outside the fan-out of
+    // a changed word cannot change output and need not be re-evaluated.
+    sparse: bool,
+    /// Forces the next settle to run the full sweep (set by `reset`,
+    /// whose zeroed wires are *not* a settled fixpoint).
+    all_dirty: bool,
+    /// True while every lane word is still a broadcast of the golden
+    /// lane and the configuration is pristine (no `lane()` handed out
+    /// since the last reset/restore): LUT evaluation collapses to one
+    /// scalar table lookup per node.
+    lanes_uniform: bool,
+    /// Per-`eval_order`-position evaluation descriptor: everything the
+    /// hot path needs to evaluate a node, gathered into one 32-byte
+    /// record so a dirty-cone eval touches one metadata cache line
+    /// instead of five scattered arrays.
+    node_descs: Vec<NodeDesc>,
+    /// Flip-flops whose state word changed since the last settle
+    /// (maintained by `clock_edge` and the direct `ff_state` writers);
+    /// the sparse settle presents exactly these instead of rescanning
+    /// every flip-flop. May contain duplicates; re-presenting is a no-op.
+    ff_changed: Vec<u32>,
+    /// Density feedback for the hybrid settle: true while the last
+    /// sparse probe exceeded [`DENSE_FRONTIER_DIV`] and the streaming
+    /// full sweep is the cheaper schedule; re-probed sparsely every
+    /// [`DENSE_RESAMPLE_PERIOD`] settles.
+    frontier_dense: bool,
+    /// Settles remaining until the next sparse re-probe in dense mode.
+    resample_in: u32,
+    node_of_lut: Vec<u32>,
+    node_of_bram: Vec<u32>,
+    /// CSR wire → consuming `eval_order` positions.
+    consumer_start: Vec<u32>,
+    consumers: Vec<u32>,
+    /// Dirty bitmap over `eval_order` positions, one bit per node. A
+    /// single ascending scan evaluates each dirty node at most once:
+    /// `eval_order` is topological, so a consumer marked during the scan
+    /// always sits at a strictly higher position than the node that
+    /// marked it. Ascending order also makes the walk sequential in
+    /// `node_descs`, which is what keeps the per-node cost near the full
+    /// sweep's streaming cost instead of random-access latency.
+    dirty_words: Vec<u64>,
+
+    // Incremental retirement mask (see `seq_divergence`): the flip-flop
+    // and capture-shadow components are folded during `clock_edge`, so
+    // the per-cycle retirement check no longer rescans every word.
+    seq_div_ff: u64,
+    seq_div_shadow: u64,
+    /// A set/reset pulse mutated `ff_state` after the last edge, so the
+    /// cached `seq_div_ff` fold may be stale.
+    ff_touched_since_edge: bool,
 }
 
 impl BatchDevice {
@@ -319,6 +432,45 @@ impl BatchDevice {
             .map(|f| cbs[f.cb_flat as usize].ff_init)
             .collect();
 
+        // Arity-compacted evaluation structures: gather each LUT's
+        // connected pins into the low index positions and permute its
+        // truth table to match, so evaluation walks a `2^arity`-word mux
+        // tree instead of the full 16-word tree.
+        let mut lut_arity = Vec::with_capacity(luts.len());
+        let mut lut_cpins = Vec::with_capacity(luts.len());
+        let mut lut_cfull = Vec::with_capacity(luts.len());
+        let mut lut_cpristine = Vec::with_capacity(luts.len());
+        let mut lut_coff = Vec::with_capacity(luts.len());
+        let mut coff = 0u32;
+        for (li, l) in luts.iter().enumerate() {
+            let mut cpins = [0u32; 4];
+            let mut used = [0u8; 4];
+            let mut arity = 0usize;
+            for (k, pin) in l.pins.iter().enumerate() {
+                if let Some(w) = pin {
+                    cpins[arity] = *w;
+                    used[arity] = k as u8;
+                    arity += 1;
+                }
+            }
+            let mut cfull = [0u8; 16];
+            let mut cpristine = 0u16;
+            for (j, cf) in cfull.iter_mut().enumerate().take(1usize << arity) {
+                let mut full = 0usize;
+                for (k, &pos) in used.iter().enumerate().take(arity) {
+                    full |= ((j >> k) & 1) << pos;
+                }
+                *cf = full as u8;
+                cpristine |= (((pristine_tables[li] >> full) & 1) as u16) << j;
+            }
+            lut_arity.push(arity as u8);
+            lut_cpins.push(cpins);
+            lut_cfull.push(cfull);
+            lut_cpristine.push(cpristine);
+            lut_coff.push(coff);
+            coff += 1u32 << arity;
+        }
+
         let brams: Vec<LaneBram> = pristine
             .brams()
             .iter()
@@ -349,14 +501,75 @@ impl BatchDevice {
         let ff_columns = pristine.ff_columns();
         let n_luts = luts.len();
         let n_ffs = ffs.len();
+
+        // Build the wire → consumers index the sparse settle walks.
+        // `eval_order` is already topological (producers strictly before
+        // consumers), which is what makes the ascending bitmap scan in
+        // `settle_sparse` evaluate each dirty node at most once.
+        let n_nodes = eval_order.len();
+        let mut node_of_lut = vec![u32::MAX; n_luts];
+        let mut node_of_bram = vec![u32::MAX; brams.len()];
+        let mut consumer_start = vec![0u32; n_wires + 1];
+        let node_inputs = |node: CombNode| -> Vec<u32> {
+            match node {
+                CombNode::Lut(li) => luts[li as usize].pins.iter().flatten().copied().collect(),
+                CombNode::Bram(bi) => brams[bi as usize].addr_wires.clone(),
+            }
+        };
+        for (pos, &node) in eval_order.iter().enumerate() {
+            match node {
+                CombNode::Lut(li) => node_of_lut[li as usize] = pos as u32,
+                CombNode::Bram(bi) => node_of_bram[bi as usize] = pos as u32,
+            }
+            for w in node_inputs(node) {
+                consumer_start[w as usize + 1] += 1;
+            }
+        }
+        for w in 0..n_wires {
+            consumer_start[w + 1] += consumer_start[w];
+        }
+        let mut fill: Vec<u32> = consumer_start[..n_wires].to_vec();
+        let mut consumers = vec![0u32; consumer_start[n_wires] as usize];
+        for (pos, &node) in eval_order.iter().enumerate() {
+            for w in node_inputs(node) {
+                consumers[fill[w as usize] as usize] = pos as u32;
+                fill[w as usize] += 1;
+            }
+        }
+
+        let node_descs: Vec<NodeDesc> = eval_order
+            .iter()
+            .map(|&node| match node {
+                CombNode::Lut(li) => {
+                    let l = li as usize;
+                    NodeDesc {
+                        target: li,
+                        out_wire: luts[l].out_wire.unwrap_or(u32::MAX),
+                        table_off: lut_coff[l],
+                        arity: lut_arity[l],
+                        is_bram: 0,
+                        cpristine: lut_cpristine[l],
+                        pins: lut_cpins[l],
+                    }
+                }
+                CombNode::Bram(bi) => NodeDesc {
+                    target: bi,
+                    out_wire: u32::MAX,
+                    table_off: 0,
+                    arity: 0,
+                    is_bram: 1,
+                    cpristine: 0,
+                    pins: [0; 4],
+                },
+            })
+            .collect();
+
         let mut engine = BatchDevice {
             arch,
             pristine,
-            luts,
             ffs,
             ff_of_cb,
             lut_of_cb,
-            eval_order,
             ff_overshoot_ns,
             bram_overshoot_ns,
             ff_columns,
@@ -365,6 +578,11 @@ impl BatchDevice {
             pristine_drive,
             ff_init,
             lut_tables: vec![[0u64; 16]; n_luts],
+            lut_arity,
+            lut_cfull,
+            lut_cpristine,
+            lut_coff,
+            compact_tables: vec![0u64; coff as usize],
             lut_table_diff: vec![0; n_luts],
             invert_ff_in: vec![0; n_ffs],
             invert_diff: vec![0; n_ffs],
@@ -377,6 +595,21 @@ impl BatchDevice {
             ff_prev_d: vec![0; n_ffs],
             brams,
             ledgers: vec![TransferLedger::new(); LANES],
+            sparse: sparse_default(),
+            all_dirty: true,
+            lanes_uniform: false,
+            node_descs,
+            ff_changed: Vec::new(),
+            frontier_dense: false,
+            resample_in: 0,
+            node_of_lut,
+            node_of_bram,
+            consumer_start,
+            consumers,
+            dirty_words: vec![0u64; n_nodes.div_ceil(64)],
+            seq_div_ff: 0,
+            seq_div_shadow: 0,
+            ff_touched_since_edge: false,
         };
         engine.reset();
         Some(engine)
@@ -392,16 +625,29 @@ impl BatchDevice {
         self.cycle
     }
 
+    /// Broadcast-splats every LUT's pristine truth table into both the
+    /// full (readback) and compact (evaluation) lane representations and
+    /// clears the table-diff masks.
+    fn rebuild_pristine_tables(&mut self) {
+        for li in 0..self.pristine_tables.len() {
+            let table = self.pristine_tables[li];
+            for (k, w) in self.lut_tables[li].iter_mut().enumerate() {
+                *w = splat((table >> k) & 1 == 1);
+            }
+            let ct = self.lut_cpristine[li];
+            let off = self.lut_coff[li] as usize;
+            for k in 0..(1usize << self.lut_arity[li]) {
+                self.compact_tables[off + k] = splat((ct >> k) & 1 == 1);
+            }
+            self.lut_table_diff[li] = 0;
+        }
+    }
+
     /// Restores every lane to the device's initial state: flip-flops to
     /// their init values, configuration (LUT tables, inverters, set/reset
     /// muxes, memory contents) to pristine, and clears all lane ledgers.
     pub fn reset(&mut self) {
-        for (li, table) in self.pristine_tables.iter().enumerate() {
-            for (k, w) in self.lut_tables[li].iter_mut().enumerate() {
-                *w = splat((table >> k) & 1 == 1);
-            }
-            self.lut_table_diff[li] = 0;
-        }
+        self.rebuild_pristine_tables();
         for i in 0..self.ffs.len() {
             self.invert_ff_in[i] = splat(self.pristine_invert[i]);
             self.invert_diff[i] = 0;
@@ -424,6 +670,95 @@ impl BatchDevice {
             l.clear();
         }
         self.cycle = 0;
+        // Zeroed wires are not a settled fixpoint, so the next settle
+        // must be a full sweep; after it the sparse invariant holds.
+        self.all_dirty = true;
+        self.lanes_uniform = true;
+        self.clear_dirty_queues();
+        self.ff_changed.clear();
+        self.seq_div_ff = 0;
+        self.seq_div_shadow = 0;
+        self.ff_touched_since_edge = false;
+    }
+
+    /// Enables or disables the sparse divergence-frontier settle. Both
+    /// modes are bit-identical (the full sweep is the reference
+    /// semantics); the switch exists so campaigns can honour the
+    /// `FADES_NO_SPARSE` kill switch without re-reading the environment
+    /// per engine.
+    pub fn set_sparse(&mut self, on: bool) {
+        if on && !self.sparse {
+            // Dirty marks were not maintained while the scheduler was
+            // off; resync with one full sweep.
+            self.all_dirty = true;
+        }
+        self.sparse = on;
+    }
+
+    /// Splat-loads every lane from one scalar golden-run snapshot:
+    /// configuration back to pristine (exactly as [`reset`](Self::reset)
+    /// does), runtime state broadcast from the snapshot, ledgers cleared,
+    /// and the cycle counter set to the snapshot's cycle.
+    ///
+    /// This is the warm-start primitive: a cohort whose earliest
+    /// injection instant is `c` can restore the nearest golden checkpoint
+    /// at or before `c` and skip re-simulating the pristine prefix, and
+    /// the result is bit-identical by construction — every lane's state
+    /// is exactly what replaying the prefix would have produced, because
+    /// until its injection a lane *is* the golden run.
+    ///
+    /// Checkpoints are captured post-edge, pre-settle: the snapshot's
+    /// wire and LUT values are the fixpoint of the *previous* cycle's
+    /// presentation, stale against its `ff_state` and memory contents.
+    /// The restore therefore forces one full sweep at the next settle
+    /// (`all_dirty`), exactly like `reset`, before the sparse scheduler
+    /// takes over.
+    pub fn restore_broadcast(&mut self, snap: &DeviceState) {
+        self.rebuild_pristine_tables();
+        for i in 0..self.ffs.len() {
+            self.invert_ff_in[i] = splat(self.pristine_invert[i]);
+            self.invert_diff[i] = 0;
+            self.lsr_drive[i] = splat(self.pristine_drive[i]);
+            self.ff_state[i] = splat(snap.ff_state[i]);
+            self.ff_prev_d[i] = splat(snap.ff_prev_d[i]);
+        }
+        self.config_diff_count = [0; LANES];
+        for (w, &v) in self.wire_values.iter_mut().zip(&snap.wire_values) {
+            *w = splat(v);
+        }
+        for (w, &v) in self.lut_values.iter_mut().zip(&snap.lut_values) {
+            *w = splat(v);
+        }
+        for (bi, b) in self.brams.iter_mut().enumerate() {
+            for (addr, &word) in snap.bram_contents[bi].iter().enumerate() {
+                for bit in 0..b.width {
+                    b.contents[addr * b.width + bit] = splat((word >> bit) & 1 == 1);
+                }
+            }
+            for &idx in &b.dirty {
+                b.is_dirty[idx as usize] = false;
+            }
+            b.dirty.clear();
+            let (we, addr, din) = snap.bram_prev_write[bi];
+            b.prev_we = splat(we);
+            for (k, w) in b.prev_addr.iter_mut().enumerate() {
+                *w = splat((addr >> k) & 1 == 1);
+            }
+            for (k, w) in b.prev_din.iter_mut().enumerate() {
+                *w = splat((din >> k) & 1 == 1);
+            }
+        }
+        for l in self.ledgers.iter_mut() {
+            l.clear();
+        }
+        self.cycle = snap.cycle;
+        self.all_dirty = true;
+        self.lanes_uniform = true;
+        self.clear_dirty_queues();
+        self.ff_changed.clear();
+        self.seq_div_ff = 0;
+        self.seq_div_shadow = 0;
+        self.ff_touched_since_edge = false;
     }
 
     /// Drives an input port with the same bits on every lane.
@@ -446,7 +781,12 @@ impl BatchDevice {
             });
         }
         for (w, &v) in port.wires.clone().iter().zip(bits) {
-            self.wire_values[w.index()] = splat(v);
+            let word = splat(v);
+            let wi = w.index();
+            if self.wire_values[wi] != word {
+                self.wire_values[wi] = word;
+                self.mark_wire_consumers(wi);
+            }
         }
         Ok(())
     }
@@ -495,39 +835,192 @@ impl BatchDevice {
 
     /// Propagates values through the combinational fabric, all lanes at
     /// once.
+    ///
+    /// With the sparse scheduler enabled (the default) this is a hybrid:
+    /// a sparse settle re-evaluates only the fan-out cone of words that
+    /// changed since the previous settle — bit-identical to the full
+    /// sweep, because a node outside the changed fan-out sees identical
+    /// inputs and an identical function, so its output cannot change.
+    /// When the frontier turns out dense (above `1/DENSE_FRONTIER_DIV`
+    /// of the design) the sparse scan bails out into the streaming full
+    /// sweep, whose sequential evals are ~5× cheaper per node than the
+    /// dirty-cone's random accesses; the engine then stays on full
+    /// sweeps, re-probing sparsely every `DENSE_RESAMPLE_PERIOD`
+    /// settles. The bail-out is sound because one full topological
+    /// sweep computes the fixpoint from any intermediate wire state,
+    /// after which all accumulated dirty marks and seeds are moot.
     pub fn settle(&mut self) {
+        if !self.sparse {
+            self.settle_full();
+            self.ff_changed.clear();
+        } else if self.all_dirty {
+            self.settle_full();
+            self.clear_dirty_queues();
+            self.ff_changed.clear();
+            self.all_dirty = false;
+        } else if self.frontier_dense && self.resample_in != 0 {
+            self.resample_in -= 1;
+            self.settle_full();
+            self.clear_dirty_queues();
+            self.ff_changed.clear();
+        } else if self.settle_sparse() {
+            self.frontier_dense = false;
+        } else {
+            // The probe crossed the density threshold: finish with the
+            // streaming sweep and stay dense for a while.
+            self.settle_full();
+            self.clear_dirty_queues();
+            self.frontier_dense = true;
+            self.resample_in = DENSE_RESAMPLE_PERIOD;
+        }
+    }
+
+    /// Reference semantics: evaluates every combinational node in
+    /// topological order.
+    fn settle_full(&mut self) {
         for (i, ff) in self.ffs.iter().enumerate() {
             if let Some(w) = ff.out_wire {
                 self.wire_values[w as usize] = self.ff_state[i];
             }
         }
-        for idx in 0..self.eval_order.len() {
-            match self.eval_order[idx] {
-                CombNode::Lut(li) => {
-                    let li = li as usize;
-                    let pins = self.luts[li].pins;
-                    let out_wire = self.luts[li].out_wire;
-                    let mut p = [0u64; 4];
-                    for (k, pin) in pins.iter().enumerate() {
-                        if let Some(w) = pin {
-                            p[k] = self.wire_values[*w as usize];
+        for idx in 0..self.node_descs.len() {
+            let d = self.node_descs[idx];
+            if d.is_bram == 0 {
+                let v = self.eval_lut_lanes(&d);
+                self.lut_values[d.target as usize] = v;
+                if d.out_wire != u32::MAX {
+                    self.wire_values[d.out_wire as usize] = v;
+                }
+            } else {
+                let b = &self.brams[d.target as usize];
+                let all_uniform = b
+                    .addr_wires
+                    .iter()
+                    .all(|&w| uniform(self.wire_values[w as usize]));
+                if all_uniform {
+                    let mut addr = 0usize;
+                    for (k, &w) in b.addr_wires.iter().enumerate() {
+                        addr |= ((self.wire_values[w as usize] & 1) as usize) << k;
+                    }
+                    let base = addr * b.width;
+                    for (bit, dw) in b.dout_wires.iter().enumerate() {
+                        if let Some(w) = dw {
+                            self.wire_values[*w as usize] = b.contents[base + bit];
                         }
                     }
-                    // Pristine-table fast path: when no lane has rewritten
-                    // this table, the 16 lane words are broadcasts and the
-                    // scalar-table expansion avoids reading all 128 bytes.
-                    let v = if self.lut_table_diff[li] == 0 {
-                        eval_scalar_table(self.pristine_tables[li], p)
-                    } else {
-                        eval_lane_table(&self.lut_tables[li], p)
-                    };
-                    self.lut_values[li] = v;
-                    if let Some(w) = out_wire {
-                        self.wire_values[w as usize] = v;
+                } else {
+                    let mut addrs = [0usize; LANES];
+                    for (k, &w) in b.addr_wires.iter().enumerate() {
+                        let word = self.wire_values[w as usize];
+                        for (lane, a) in addrs.iter_mut().enumerate() {
+                            *a |= (((word >> lane) & 1) as usize) << k;
+                        }
+                    }
+                    for (bit, dw) in b.dout_wires.iter().enumerate() {
+                        if let Some(w) = dw {
+                            let mut out = 0u64;
+                            for (lane, &a) in addrs.iter().enumerate() {
+                                out |= ((b.contents[a * b.width + bit] >> lane) & 1) << lane;
+                            }
+                            self.wire_values[*w as usize] = out;
+                        }
                     }
                 }
-                CombNode::Bram(bi) => {
-                    let b = &self.brams[bi as usize];
+            }
+        }
+    }
+
+    /// Dirty-cone settle: seeds from the flip-flops recorded on
+    /// `ff_changed` (every `ff_state` writer — the clock edge, set/reset
+    /// pulses, re-randomisation, lane snapping — appends the indices it
+    /// changed) plus the nodes marked dirty by configuration/memory
+    /// mutations since the previous settle, then scans the dirty bitmap
+    /// in ascending node-position order. Topological `eval_order` makes
+    /// the single scan sufficient: every consumer a dirty node marks
+    /// lies strictly ahead of it, either at a higher bit of the current
+    /// word (caught by the re-check before advancing) or in a later
+    /// word.
+    ///
+    /// Returns `false` — leaving the remaining dirty bits set and the
+    /// wires updated so far in a valid intermediate state — when the
+    /// frontier crosses the density threshold; the caller must then run
+    /// the full sweep (which reaches the same fixpoint from any
+    /// intermediate state) and clear the dirty bitmap.
+    fn settle_sparse(&mut self) -> bool {
+        let limit = (self.node_descs.len() / DENSE_FRONTIER_DIV) as u64;
+        let n_changed = self.ff_changed.len();
+        for n in 0..n_changed {
+            let i = self.ff_changed[n] as usize;
+            if let Some(w) = self.ffs[i].out_wire {
+                let v = self.ff_state[i];
+                let wi = w as usize;
+                if self.wire_values[wi] != v {
+                    self.wire_values[wi] = v;
+                    self.mark_wire_consumers(wi);
+                }
+            }
+        }
+        self.ff_changed.clear();
+        let uniform_mode = self.lanes_uniform;
+        let mut evaluated = 0u64;
+        let mut wi = 0usize;
+        while wi < self.dirty_words.len() {
+            // Clear one bit at a time: an eval that marks a consumer in
+            // this same word either targets a still-pending bit (the OR
+            // is idempotent — no duplicate eval) or a strictly higher,
+            // already-cleared one (re-seen by this inner loop).
+            let base = wi << 6;
+            loop {
+                let w = self.dirty_words[wi];
+                if w == 0 {
+                    break;
+                }
+                if evaluated >= limit {
+                    return false;
+                }
+                let b = w.trailing_zeros() as usize;
+                self.dirty_words[wi] = w & (w - 1);
+                self.eval_node(base + b, uniform_mode);
+                evaluated += 1;
+            }
+            wi += 1;
+        }
+        sim::record_sparse_settle(self.node_descs.len() as u64 - evaluated, uniform_mode);
+        true
+    }
+
+    /// Re-evaluates one combinational node, propagating output changes
+    /// into the dirty bitmap.
+    fn eval_node(&mut self, pos: usize, uniform_mode: bool) {
+        let d = self.node_descs[pos];
+        if d.is_bram == 0 {
+            let v = if uniform_mode {
+                // Golden-uniform fast path: every lane word is still a
+                // broadcast and the configuration is pristine, so one
+                // scalar table lookup replaces the mux tree.
+                let mut idx = 0usize;
+                for k in 0..d.arity as usize {
+                    idx |= ((self.wire_values[d.pins[k] as usize] & 1) as usize) << k;
+                }
+                splat((d.cpristine >> idx) & 1 == 1)
+            } else {
+                self.eval_lut_lanes(&d)
+            };
+            self.lut_values[d.target as usize] = v;
+            if d.out_wire != u32::MAX {
+                let wi = d.out_wire as usize;
+                if self.wire_values[wi] != v {
+                    self.wire_values[wi] = v;
+                    self.mark_wire_consumers(wi);
+                }
+            }
+        } else {
+            {
+                let bi = d.target as usize;
+                let mut changed = [0u32; 64];
+                let mut n_changed = 0usize;
+                {
+                    let b = &self.brams[bi];
                     let all_uniform = b
                         .addr_wires
                         .iter()
@@ -540,7 +1033,13 @@ impl BatchDevice {
                         let base = addr * b.width;
                         for (bit, dw) in b.dout_wires.iter().enumerate() {
                             if let Some(w) = dw {
-                                self.wire_values[*w as usize] = b.contents[base + bit];
+                                let v = b.contents[base + bit];
+                                let wi = *w as usize;
+                                if self.wire_values[wi] != v {
+                                    self.wire_values[wi] = v;
+                                    changed[n_changed] = wi as u32;
+                                    n_changed += 1;
+                                }
                             }
                         }
                     } else {
@@ -557,19 +1056,110 @@ impl BatchDevice {
                                 for (lane, &a) in addrs.iter().enumerate() {
                                     out |= ((b.contents[a * b.width + bit] >> lane) & 1) << lane;
                                 }
-                                self.wire_values[*w as usize] = out;
+                                let wi = *w as usize;
+                                if self.wire_values[wi] != out {
+                                    self.wire_values[wi] = out;
+                                    changed[n_changed] = wi as u32;
+                                    n_changed += 1;
+                                }
                             }
                         }
                     }
                 }
+                for &w in &changed[..n_changed] {
+                    self.mark_wire_consumers(w as usize);
+                }
             }
         }
+    }
+
+    /// Evaluates one LUT over all lanes with a mux tree sized to its
+    /// connected-pin count. Bit-identical to the full 4-variable tree:
+    /// unconnected pins present constant-0 words, so the full tree only
+    /// ever selects the table entries the compact tree holds.
+    #[inline]
+    fn eval_lut_lanes(&self, d: &NodeDesc) -> u64 {
+        let ct = &self.compact_tables[d.table_off as usize..];
+        let wv = &self.wire_values;
+        match d.arity {
+            0 => ct[0],
+            1 => mux2(ct[0], ct[1], wv[d.pins[0] as usize]),
+            2 => {
+                let a = wv[d.pins[0] as usize];
+                let b = wv[d.pins[1] as usize];
+                mux2(mux2(ct[0], ct[1], a), mux2(ct[2], ct[3], a), b)
+            }
+            3 => {
+                let a = wv[d.pins[0] as usize];
+                let b = wv[d.pins[1] as usize];
+                let c = wv[d.pins[2] as usize];
+                let n0 = mux2(mux2(ct[0], ct[1], a), mux2(ct[2], ct[3], a), b);
+                let n1 = mux2(mux2(ct[4], ct[5], a), mux2(ct[6], ct[7], a), b);
+                mux2(n0, n1, c)
+            }
+            _ => {
+                let p = [
+                    wv[d.pins[0] as usize],
+                    wv[d.pins[1] as usize],
+                    wv[d.pins[2] as usize],
+                    wv[d.pins[3] as usize],
+                ];
+                eval_lane_table(ct, p)
+            }
+        }
+    }
+
+    /// Marks every consumer of a wire dirty (enqueues it on its level's
+    /// worklist). No-op while the sparse scheduler is off.
+    #[inline]
+    fn mark_wire_consumers(&mut self, w: usize) {
+        if !self.sparse {
+            return;
+        }
+        let start = self.consumer_start[w] as usize;
+        let end = self.consumer_start[w + 1] as usize;
+        for k in start..end {
+            self.mark_node(self.consumers[k]);
+        }
+    }
+
+    /// Marks one `eval_order` position dirty. `u32::MAX` (no node) is
+    /// ignored, as is everything while the sparse scheduler is off.
+    #[inline]
+    fn mark_node(&mut self, pos: u32) {
+        if !self.sparse || pos == u32::MAX {
+            return;
+        }
+        let p = pos as usize;
+        self.dirty_words[p >> 6] |= 1u64 << (p & 63);
+    }
+
+    /// Writes one flip-flop's state word, recording it on the sparse
+    /// seed list when the value actually changed.
+    #[inline]
+    fn write_ff_state(&mut self, fi: usize, new: u64) {
+        if self.ff_state[fi] != new {
+            self.ff_state[fi] = new;
+            if self.sparse {
+                self.ff_changed.push(fi as u32);
+            }
+        }
+    }
+
+    /// Clears the dirty bitmap (after a full sweep made the marks moot).
+    fn clear_dirty_queues(&mut self) {
+        self.dirty_words.fill(0);
     }
 
     /// Applies the clock edge on every lane: flip-flop captures (with the
     /// same deterministic setup-violation model as the scalar device) and
     /// lane-masked memory writes.
     pub fn clock_edge(&mut self) {
+        // Fold the flip-flop and capture-shadow components of the
+        // retirement divergence mask while the words are already in hand,
+        // so `seq_divergence` does not rescan them per cycle.
+        let mut div_ff = 0u64;
+        let mut div_shadow = 0u64;
         for i in 0..self.ffs.len() {
             let raw = match self.ffs[i].data {
                 FfData::LutInternal(li) => self.lut_values[li as usize],
@@ -584,12 +1174,18 @@ impl BatchDevice {
             } else {
                 d
             };
+            if captured != self.ff_state[i] && self.sparse {
+                self.ff_changed.push(i as u32);
+            }
             self.ff_state[i] = captured;
             self.ff_prev_d[i] = d;
+            div_ff |= captured ^ splat_lane0(captured);
+            div_shadow |= d ^ splat_lane0(d);
         }
         for bi in 0..self.brams.len() {
             let overshoot = self.bram_overshoot_ns.get(bi).copied().unwrap_or(0.0);
             let miss = capture_misses(&self.arch, self.cycle, overshoot, 0x8000_0000 | bi as u64);
+            let mut wrote = false;
             let b = &mut self.brams[bi];
             let Some(we) = b.we else { continue };
             let we_now = self.wire_values[we as usize];
@@ -633,6 +1229,7 @@ impl BatchDevice {
                         let idx = base + bit;
                         if b.contents[idx] != w {
                             b.contents[idx] = w;
+                            wrote = true;
                             if !uniform(w) {
                                 b.mark_dirty(idx);
                             }
@@ -655,6 +1252,7 @@ impl BatchDevice {
                             let new = (b.contents[idx] & !m) | v;
                             if new != b.contents[idx] {
                                 b.contents[idx] = new;
+                                wrote = true;
                                 if !uniform(new) {
                                     b.mark_dirty(idx);
                                 }
@@ -666,7 +1264,22 @@ impl BatchDevice {
             b.prev_we = we_now;
             b.prev_addr.copy_from_slice(&addr_now[..naddr]);
             b.prev_din.copy_from_slice(&din_now[..ndin]);
+            div_shadow |= we_now ^ splat_lane0(we_now);
+            for &w in &addr_now[..naddr] {
+                div_shadow |= w ^ splat_lane0(w);
+            }
+            for &w in &din_now[..ndin] {
+                div_shadow |= w ^ splat_lane0(w);
+            }
+            if wrote {
+                // A content change can move the read ports' next output;
+                // re-evaluate this memory node at the next settle.
+                self.mark_node(self.node_of_bram[bi]);
+            }
         }
+        self.seq_div_ff = div_ff;
+        self.seq_div_shadow = div_shadow;
+        self.ff_touched_since_edge = false;
         self.cycle += 1;
     }
 
@@ -685,20 +1298,27 @@ impl BatchDevice {
     ///
     /// Takes `&mut self` to lazily sweep reconverged memory words off the
     /// dirty list.
+    ///
+    /// The flip-flop and capture-shadow components are incremental: they
+    /// were folded while [`clock_edge`](Self::clock_edge) rewrote the
+    /// words, so the per-cycle cost here is the (divergence-proportional)
+    /// memory dirty-list sweep plus two cached words. A set/reset pulse
+    /// that mutates `ff_state` between edges flips
+    /// `ff_touched_since_edge`, and the flip-flop component is then
+    /// recomputed directly (the shadow words are only ever written at the
+    /// edge, so their fold cannot go stale).
     pub fn seq_divergence(&mut self) -> u64 {
-        let mut d = 0u64;
-        for i in 0..self.ffs.len() {
-            d |= self.ff_state[i] ^ splat_lane0(self.ff_state[i]);
-            d |= self.ff_prev_d[i] ^ splat_lane0(self.ff_prev_d[i]);
-        }
+        let ff_part = if self.ff_touched_since_edge {
+            let mut d = 0u64;
+            for &w in &self.ff_state {
+                d |= w ^ splat_lane0(w);
+            }
+            d
+        } else {
+            self.seq_div_ff
+        };
+        let mut d = ff_part | self.seq_div_shadow;
         for b in self.brams.iter_mut() {
-            d |= b.prev_we ^ splat_lane0(b.prev_we);
-            for &w in &b.prev_addr {
-                d |= w ^ splat_lane0(w);
-            }
-            for &w in &b.prev_din {
-                d |= w ^ splat_lane0(w);
-            }
             let mut k = 0;
             while k < b.dirty.len() {
                 let idx = b.dirty[k] as usize;
@@ -711,6 +1331,35 @@ impl BatchDevice {
                     d |= x;
                     k += 1;
                 }
+            }
+        }
+        debug_assert_eq!(
+            d,
+            self.seq_divergence_scan(),
+            "incremental divergence mask diverged from the full scan"
+        );
+        d
+    }
+
+    /// Ground-truth divergence mask: rescans every flip-flop, shadow and
+    /// memory word. Only used to validate the incremental mask in debug
+    /// builds.
+    fn seq_divergence_scan(&self) -> u64 {
+        let mut d = 0u64;
+        for i in 0..self.ffs.len() {
+            d |= self.ff_state[i] ^ splat_lane0(self.ff_state[i]);
+            d |= self.ff_prev_d[i] ^ splat_lane0(self.ff_prev_d[i]);
+        }
+        for b in &self.brams {
+            d |= b.prev_we ^ splat_lane0(b.prev_we);
+            for &w in &b.prev_addr {
+                d |= w ^ splat_lane0(w);
+            }
+            for &w in &b.prev_din {
+                d |= w ^ splat_lane0(w);
+            }
+            for &w in &b.contents {
+                d |= w ^ splat_lane0(w);
             }
         }
         d
@@ -771,6 +1420,74 @@ impl BatchDevice {
         self.ledgers[lane].clear();
     }
 
+    /// Rewrites one lane's sequential state — flip-flops, capture
+    /// shadows, memory contents and write-port shadows — to the golden
+    /// lane's bits.
+    ///
+    /// This is the decided-lane shortcut: once an experiment's outcome
+    /// is locked (observed-port divergence ⇒ Failure), its fault is
+    /// inert (all reconfiguration traffic already issued) and its
+    /// configuration is pristine, the lane's further evolution cannot
+    /// influence anything observable — outcome, ledger and modelled
+    /// emulation time are fixed. Snapping the lane onto the golden
+    /// trajectory therefore keeps results bit-identical while letting
+    /// the ordinary reconvergence retirement fire immediately, which
+    /// collapses the divergence frontier the sparse settle walks (a
+    /// hard-diverged machine would otherwise keep half the netlist
+    /// non-uniform until the end of the pass).
+    ///
+    /// Only sequential state is touched. Combinational words re-settle
+    /// through the usual dirty-cone machinery: every wire whose lane
+    /// bit differs from golden lies in the fan-out of a snapped word,
+    /// because the configuration is pristine and primary inputs are
+    /// lane-invariant.
+    pub fn snap_lane_to_golden(&mut self, lane: usize) {
+        assert!((1..LANES).contains(&lane), "lane {lane} out of range");
+        let m = 1u64 << lane;
+        let keep = !m;
+        let snap = |w: u64| (w & keep) | ((w & 1) << lane);
+        for i in 0..self.ff_state.len() {
+            self.write_ff_state(i, snap(self.ff_state[i]));
+        }
+        for w in self.ff_prev_d.iter_mut() {
+            *w = snap(*w);
+        }
+        for bi in 0..self.brams.len() {
+            let mut touched = false;
+            {
+                let b = &mut self.brams[bi];
+                b.prev_we = snap(b.prev_we);
+                for w in b.prev_addr.iter_mut() {
+                    *w = snap(*w);
+                }
+                for w in b.prev_din.iter_mut() {
+                    *w = snap(*w);
+                }
+                // Every content word diverging in this lane is on the
+                // dirty list (the list's invariant), so the sweep below
+                // reaches all of them.
+                for k in 0..b.dirty.len() {
+                    let idx = b.dirty[k] as usize;
+                    let w = b.contents[idx];
+                    let s = snap(w);
+                    if s != w {
+                        b.contents[idx] = s;
+                        touched = true;
+                    }
+                }
+            }
+            if touched {
+                // Changed contents can move the read ports' next output.
+                self.mark_node(self.node_of_bram[bi]);
+            }
+        }
+        // The cached retirement folds are per-lane ORs, so clearing the
+        // snapped lane's bit keeps them exact (its true divergence is
+        // now zero; other lanes' bits are untouched).
+        self.seq_div_ff &= keep;
+        self.seq_div_shadow &= keep;
+    }
+
     /// Prepares a retired lane for a fresh experiment: restores its
     /// set/reset mux selections to pristine and clears its ledger.
     ///
@@ -806,6 +1523,11 @@ impl BatchDevice {
     /// Panics if `lane` is 0 or ≥ 64.
     pub fn lane(&mut self, lane: usize) -> LaneDevice<'_> {
         assert!((1..LANES).contains(&lane), "lane {lane} out of range");
+        // Handing out a lane facade is the one gateway to per-lane
+        // mutation, so it conservatively ends the golden-uniform
+        // fast-path window (staying on the general path is always
+        // bit-identical).
+        self.lanes_uniform = false;
         LaneDevice { dev: self, lane }
     }
 
@@ -818,6 +1540,19 @@ impl BatchDevice {
                 *w &= !m;
             }
         }
+        let cfull = self.lut_cfull[li];
+        let off = self.lut_coff[li] as usize;
+        for (j, &cf) in cfull.iter().enumerate().take(1usize << self.lut_arity[li]) {
+            let w = &mut self.compact_tables[off + j];
+            if (table >> cf) & 1 == 1 {
+                *w |= m;
+            } else {
+                *w &= !m;
+            }
+        }
+        // A rewritten table can change the node's output with unchanged
+        // inputs; re-evaluate it at the next settle.
+        self.mark_node(self.node_of_lut[li]);
         let was = self.lut_table_diff[li] & m != 0;
         let now = table != self.pristine_tables[li];
         if was != now {
@@ -930,13 +1665,16 @@ impl LaneDevice<'_> {
             }
             Mutation::PulseLsr { cb } => {
                 let fi = self.ff_node(*cb)?;
-                self.dev.ff_state[fi] = (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+                let new = (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+                self.dev.write_ff_state(fi, new);
+                self.dev.ff_touched_since_edge = true;
             }
             Mutation::PulseGsr => {
                 for fi in 0..self.dev.ffs.len() {
-                    self.dev.ff_state[fi] =
-                        (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+                    let new = (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+                    self.dev.write_ff_state(fi, new);
                 }
+                self.dev.ff_touched_since_edge = true;
                 self.record(TransferOp {
                     kind: TransferKind::GlobalPulse,
                     frames: 0,
@@ -970,6 +1708,8 @@ impl LaneDevice<'_> {
                     if !uniform(new) {
                         b.mark_dirty(idx);
                     }
+                    let node = self.dev.node_of_bram[bram.index()];
+                    self.dev.mark_node(node);
                 }
             }
             Mutation::SetWireFanout { .. } | Mutation::SetWireDetour { .. } => {
@@ -982,7 +1722,9 @@ impl LaneDevice<'_> {
                 } else {
                     self.dev.lsr_drive[fi] &= !m;
                 }
-                self.dev.ff_state[fi] = (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+                let new = (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+                self.dev.write_ff_state(fi, new);
+                self.dev.ff_touched_since_edge = true;
             }
         }
         if full_download {
@@ -1105,31 +1847,24 @@ impl ConfigAccess for LaneDevice<'_> {
     fn hold_lsr(&mut self, cb: CbCoord) -> Result<(), FpgaError> {
         let fi = self.ff_node(cb)?;
         let m = self.mask();
-        self.dev.ff_state[fi] = (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+        let new = (self.dev.ff_state[fi] & !m) | (self.dev.lsr_drive[fi] & m);
+        self.dev.write_ff_state(fi, new);
+        self.dev.ff_touched_since_edge = true;
         Ok(())
     }
 }
 
-/// Evaluates a scalar 16-entry truth table on four lane words (the
-/// Shannon/mux expansion — identical per-lane semantics to
-/// `CbConfig::eval_lut`).
-#[inline]
-fn eval_scalar_table(table: u16, p: [u64; 4]) -> u64 {
-    let bit = |k: u32| splat((table >> k) & 1 == 1);
-    let [a, b, c, d] = p;
-    let mut m = [0u64; 8];
-    for (j, slot) in m.iter_mut().enumerate() {
-        let lo = bit(2 * j as u32);
-        let hi = bit(2 * j as u32 + 1);
-        *slot = (lo & !a) | (hi & a);
-    }
-    mux_tree(m, b, c, d)
+/// One 64-lane 2:1 mux: per lane, `hi` where the select bit is set,
+/// else `lo`.
+#[inline(always)]
+fn mux2(lo: u64, hi: u64, s: u64) -> u64 {
+    (lo & !s) | (hi & s)
 }
 
 /// Evaluates a lane-word truth table (16 lane words, one per entry) on
 /// four lane words.
 #[inline]
-fn eval_lane_table(t: &[u64; 16], p: [u64; 4]) -> u64 {
+fn eval_lane_table(t: &[u64], p: [u64; 4]) -> u64 {
     let [a, b, c, d] = p;
     let mut m = [0u64; 8];
     for (j, slot) in m.iter_mut().enumerate() {

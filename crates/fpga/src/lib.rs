@@ -68,7 +68,7 @@ mod state;
 mod timing;
 
 pub use arch::ArchParams;
-pub use batch::{BatchDevice, ConfigAccess, LaneDevice, GOLDEN_LANE_MASK, LANES};
+pub use batch::{sparse_default, BatchDevice, ConfigAccess, LaneDevice, GOLDEN_LANE_MASK, LANES};
 pub use bitstream::Bitstream;
 pub use bram::BramConfig;
 pub use cb::{CbConfig, FfDSrc, SetReset};

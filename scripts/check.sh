@@ -155,9 +155,11 @@ if ratio > 1.15:
     raise SystemExit("FAIL: disabled-path telemetry cost regressed beyond 15% of enabled")
 EOF
 
-# The lane engine's reason to exist is host wall-clock: the batched
-# 64-fault campaign must beat the scalar one outright, or the gate fails.
-echo "== batched campaign must outrun the scalar campaign"
+# The lane engine's reason to exist is host wall-clock: with the sparse
+# divergence-frontier settle and golden-checkpoint warm-start on top of
+# 63-wide lanes, the batched 64-fault campaign must beat the scalar one
+# by at least 4x, or the gate fails.
+echo "== batched campaign must outrun the scalar campaign by >= 4x"
 FADES_FAULTS=64 cargo run -q --release --offline -p fades-experiments -- batch
 python3 - <<'EOF'
 import json
@@ -168,8 +170,8 @@ rates = {c["campaign"]: c["faults_per_sec"] for c in bench["campaigns"]}
 scalar, batched = rates["ff-flip-scalar"], rates["ff-flip-batched"]
 ratio = batched / scalar if scalar else float("inf")
 print(f"scalar {scalar:.1f} faults/s, batched {batched:.1f} faults/s ({ratio:.1f}x)")
-if batched <= scalar:
-    raise SystemExit("FAIL: batched campaign is no faster than scalar")
+if batched < scalar * 4:
+    raise SystemExit("FAIL: batched campaign is not >= 4x faster than scalar")
 EOF
 
 echo "All checks passed."
