@@ -1,0 +1,343 @@
+//! Cone-of-influence liveness over a configured bitstream.
+//!
+//! The index answers, per wire, "can a value change here ever reach the
+//! observation frontier?" — computed once per design by backward
+//! propagation from the frontier to a fixpoint, in two flavours:
+//!
+//! * **Combinational** ([`ConeIndex::combinational`]) — the frontier is
+//!   the campaign's *observed* output ports plus every stateful capture
+//!   point (any used flip-flop data input, any memory-block pin). This is
+//!   the pre-classifier's notion of liveness: a wire that is dead here
+//!   cannot alter an observed trace row *or* any sequential state, so a
+//!   transient on it is provably Silent.
+//! * **Sequential** ([`ConeIndex::sequential`]) — flip-flops pass
+//!   liveness through (a D input only matters if that flip-flop's Q cone
+//!   is itself live) and the frontier is every *declared* output port
+//!   plus the memory blocks. This is the linter's notion of dead state:
+//!   a register whose value can never, in any number of cycles, reach an
+//!   output or a memory.
+//!
+//! Both are conservative in the safe direction: anything the analysis is
+//! unsure about is treated as live (and therefore executed normally).
+
+use fades_fpga::{Bitstream, CbCoord, FfDSrc, WireDriver, WireId, WireSink};
+
+/// Per-design liveness index (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ConeIndex {
+    rows: u16,
+    cols: u16,
+    live: Vec<bool>,
+    ff_dead: Vec<bool>,
+    lut_dead: Vec<bool>,
+}
+
+impl ConeIndex {
+    /// Builds the combinational index against the given observed output
+    /// ports (port *names*; names that match no declared output are
+    /// ignored — the campaign layer validates ports separately).
+    pub fn combinational(bitstream: &Bitstream, observed_ports: &[String]) -> Self {
+        let observed: Vec<u32> = bitstream
+            .outputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| observed_ports.contains(&p.name))
+            .map(|(i, _)| i as u32)
+            .collect();
+        Self::build(bitstream, Some(&observed), false)
+    }
+
+    /// Builds the sequential (through-flip-flop) index against every
+    /// declared output port.
+    pub fn sequential(bitstream: &Bitstream) -> Self {
+        Self::build(bitstream, None, true)
+    }
+
+    fn build(bitstream: &Bitstream, observed: Option<&[u32]>, through_ffs: bool) -> Self {
+        let arch = bitstream.arch();
+        let (rows, cols) = (arch.rows, arch.cols);
+        let wires = bitstream.wires();
+        let cbs = bitstream.cbs();
+        let mut lut_out: Vec<Option<u32>> = vec![None; cbs.len()];
+        let mut ff_out: Vec<Option<u32>> = vec![None; cbs.len()];
+        for (i, w) in wires.iter().enumerate() {
+            match w.driver {
+                WireDriver::CbLut(cb) => lut_out[cb.flat_index(rows)] = Some(i as u32),
+                WireDriver::CbFf(cb) => ff_out[cb.flat_index(rows)] = Some(i as u32),
+                _ => {}
+            }
+        }
+
+        let q_live =
+            |flat: usize, live: &[bool]| -> bool { ff_out[flat].is_some_and(|q| live[q as usize]) };
+        // Whether a capture into the flip-flop of `flat` counts as a hit:
+        // combinationally every capture is one (it lands in the final
+        // state snapshot); sequentially only if the captured value can
+        // flow onwards through the register's output cone.
+        let ff_capture_hits = |flat: usize, live: &[bool]| -> bool {
+            if through_ffs {
+                q_live(flat, live)
+            } else {
+                true
+            }
+        };
+
+        let mut live = vec![false; wires.len()];
+        loop {
+            let mut changed = false;
+            // Reverse order converges faster: output-side wires carry
+            // lower... the direction is a heuristic only; the loop runs
+            // to a fixpoint either way.
+            for i in (0..wires.len()).rev() {
+                if live[i] {
+                    continue;
+                }
+                let this = WireId::from_index(i);
+                let w = &wires[i];
+                let mut hit = false;
+                // Internal LUT → own-FF feed: reaches the block's FF data
+                // input without a routed sink.
+                if let WireDriver::CbLut(cb) = w.driver {
+                    let flat = cb.flat_index(rows);
+                    let cfg = &cbs[flat];
+                    if cfg.ff_used
+                        && matches!(cfg.ff_d_src, FfDSrc::LutOut)
+                        && ff_capture_hits(flat, &live)
+                    {
+                        hit = true;
+                    }
+                }
+                for sink in &w.sinks {
+                    if hit {
+                        break;
+                    }
+                    match *sink {
+                        WireSink::LutPin { cb, pin } => {
+                            let flat = cb.flat_index(rows);
+                            let cfg = &cbs[flat];
+                            // Stale sinks (a pin re-connected elsewhere)
+                            // are ignored via the config cross-check.
+                            if !cfg.lut_used
+                                || usize::from(pin) >= cfg.lut_pins.len()
+                                || cfg.lut_pins[usize::from(pin)] != Some(this)
+                            {
+                                continue;
+                            }
+                            if lut_out[flat].is_some_and(|o| live[o as usize])
+                                || (cfg.ff_used
+                                    && matches!(cfg.ff_d_src, FfDSrc::LutOut)
+                                    && ff_capture_hits(flat, &live))
+                            {
+                                hit = true;
+                            }
+                        }
+                        WireSink::FfDirect { cb } => {
+                            let flat = cb.flat_index(rows);
+                            let cfg = &cbs[flat];
+                            if cfg.ff_used
+                                && matches!(cfg.ff_d_src, FfDSrc::Direct(d) if d == this)
+                                && ff_capture_hits(flat, &live)
+                            {
+                                hit = true;
+                            }
+                        }
+                        WireSink::BramAddr { bram, .. }
+                        | WireSink::BramDin { bram, .. }
+                        | WireSink::BramWe { bram } => {
+                            // Any memory pin is a frontier hit in both
+                            // modes (memory contents are final state).
+                            if bitstream.bram(bram).is_ok() {
+                                hit = true;
+                            }
+                        }
+                        WireSink::PrimaryOutput { port, .. } => {
+                            if observed.is_none_or(|obs| obs.contains(&port)) {
+                                hit = true;
+                            }
+                        }
+                    }
+                }
+                if hit {
+                    live[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut ff_dead = vec![false; cbs.len()];
+        let mut lut_dead = vec![false; cbs.len()];
+        for (flat, cfg) in cbs.iter().enumerate() {
+            if cfg.ff_used {
+                ff_dead[flat] = !q_live(flat, &live);
+            }
+            if cfg.lut_used {
+                let out_live = lut_out[flat].is_some_and(|o| live[o as usize]);
+                let feeds_own_ff = cfg.ff_used
+                    && matches!(cfg.ff_d_src, FfDSrc::LutOut)
+                    && ff_capture_hits(flat, &live);
+                lut_dead[flat] = !out_live && !feeds_own_ff;
+            }
+        }
+
+        ConeIndex {
+            rows,
+            cols,
+            live,
+            ff_dead,
+            lut_dead,
+        }
+    }
+
+    fn flat(&self, cb: CbCoord) -> Option<usize> {
+        (cb.col < self.cols && cb.row < self.rows).then(|| cb.flat_index(self.rows))
+    }
+
+    /// True if a value change on this wire can never reach the frontier.
+    /// Unknown wires report as live (safe direction).
+    pub fn wire_dead(&self, wire: WireId) -> bool {
+        self.live.get(wire.index()).is_some_and(|l| !l)
+    }
+
+    /// True if the flip-flop at `cb` is *provably* dead: its output cone
+    /// never reaches the frontier. False for coordinates without a used
+    /// flip-flop (nothing is proven about them).
+    pub fn ff_dead(&self, cb: CbCoord) -> bool {
+        self.flat(cb).is_some_and(|f| self.ff_dead[f])
+    }
+
+    /// True if the LUT at `cb` is provably dead: its output cone never
+    /// reaches the frontier and it does not feed its own block's
+    /// flip-flop. False for coordinates without a used LUT.
+    pub fn lut_dead(&self, cb: CbCoord) -> bool {
+        self.flat(cb).is_some_and(|f| self.lut_dead[f])
+    }
+
+    /// Count of used-but-dead flip-flops (linter inventory).
+    pub fn dead_ff_count(&self) -> usize {
+        self.ff_dead.iter().filter(|d| **d).count()
+    }
+
+    /// Dead flip-flop coordinates in column-major order.
+    pub fn dead_ffs(&self) -> Vec<CbCoord> {
+        self.ff_dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d)
+            .map(|(f, _)| CbCoord::from_flat_index(f, self.rows))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fades_fpga::ArchParams;
+
+    /// in → LUT(buf) → FF → out, plus a dead chain: in → FF_d1 → LUT →
+    /// FF_d2 whose output drives nothing.
+    fn two_chain_design() -> Bitstream {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("in", 1);
+        // Live path.
+        let live_lut = bs
+            .add_lut(
+                CbCoord::new(0, 0),
+                0xAAAA,
+                [Some(input[0]), None, None, None],
+            )
+            .expect("lut");
+        let live_q = bs
+            .add_ff(CbCoord::new(0, 1), false, FfDSrc::Direct(live_lut))
+            .expect("ff");
+        bs.add_output("out", &[live_q]).expect("out");
+        // Dead chain.
+        let d1_q = bs
+            .add_ff(CbCoord::new(1, 0), false, FfDSrc::Direct(input[0]))
+            .expect("ff d1");
+        let dead_lut = bs
+            .add_lut(CbCoord::new(1, 1), 0xAAAA, [Some(d1_q), None, None, None])
+            .expect("dead lut");
+        let _d2_q = bs
+            .add_ff(CbCoord::new(1, 2), false, FfDSrc::Direct(dead_lut))
+            .expect("ff d2");
+        bs
+    }
+
+    #[test]
+    fn combinational_liveness_separates_the_chains() {
+        let bs = two_chain_design();
+        let cone = ConeIndex::combinational(&bs, &["out".to_string()]);
+        // The live FF's Q reaches the observed output.
+        assert!(!cone.ff_dead(CbCoord::new(0, 1)));
+        // d1's Q feeds a LUT that feeds d2's D: combinationally a capture
+        // hit, so d1 is NOT combinationally dead...
+        assert!(!cone.ff_dead(CbCoord::new(1, 0)));
+        // ...but the terminal register drives nothing at all.
+        assert!(cone.ff_dead(CbCoord::new(1, 2)));
+        assert!(!cone.lut_dead(CbCoord::new(0, 0)));
+    }
+
+    #[test]
+    fn sequential_liveness_kills_the_whole_dead_chain() {
+        let bs = two_chain_design();
+        let cone = ConeIndex::sequential(&bs);
+        assert!(!cone.ff_dead(CbCoord::new(0, 1)));
+        // Through-FF propagation: d1 only feeds d2, and d2 goes nowhere.
+        assert!(cone.ff_dead(CbCoord::new(1, 0)));
+        assert!(cone.ff_dead(CbCoord::new(1, 2)));
+        assert_eq!(cone.dead_ff_count(), 2);
+        // The LUT between two dead registers is dead too.
+        assert!(cone.lut_dead(CbCoord::new(1, 1)));
+    }
+
+    #[test]
+    fn unobserved_ports_are_not_a_combinational_frontier() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("in", 1);
+        let q = bs
+            .add_ff(CbCoord::new(0, 0), false, FfDSrc::Direct(input[0]))
+            .expect("ff");
+        bs.add_output("debug", &[q]).expect("out");
+        let observed = ConeIndex::combinational(&bs, &["debug".to_string()]);
+        assert!(!observed.ff_dead(CbCoord::new(0, 0)));
+        let unobserved = ConeIndex::combinational(&bs, &[]);
+        assert!(unobserved.ff_dead(CbCoord::new(0, 0)));
+        // The sequential (lint) view counts every declared port.
+        assert!(!ConeIndex::sequential(&bs).ff_dead(CbCoord::new(0, 0)));
+    }
+
+    #[test]
+    fn bram_pins_are_a_frontier_in_both_modes() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("in", 1);
+        let q = bs
+            .add_ff(CbCoord::new(0, 0), false, FfDSrc::Direct(input[0]))
+            .expect("ff");
+        bs.add_bram("m", &[q], &[], None, 4, &[]).expect("bram");
+        assert!(!ConeIndex::combinational(&bs, &[]).ff_dead(CbCoord::new(0, 0)));
+        assert!(!ConeIndex::sequential(&bs).ff_dead(CbCoord::new(0, 0)));
+    }
+
+    #[test]
+    fn self_feeding_lut_ff_pair_is_live_only_if_its_q_escapes() {
+        // LUT → own FF (LutOut), FF's Q feeds the LUT back: a classic
+        // divider bit. With no escape, sequentially dead.
+        let mut bs = Bitstream::new(ArchParams::small());
+        let cb = CbCoord::new(0, 0);
+        let lut_out = bs.place_lut(cb, 0x5555).expect("lut");
+        let q = bs.add_ff(cb, false, FfDSrc::LutOut).expect("ff");
+        bs.connect_lut_pin(cb, 0, q).expect("pin");
+        assert!(ConeIndex::sequential(&bs).ff_dead(cb));
+        // Combinationally the LUT feeds a capture point (its own FF), so
+        // the Q wire feeding the LUT pin is a capture hit.
+        assert!(!ConeIndex::combinational(&bs, &[]).ff_dead(cb));
+        // Give the Q an escape to an output: everything is live.
+        let mut escaped = bs.clone();
+        escaped.add_output("out", &[q]).expect("out");
+        assert!(!ConeIndex::sequential(&escaped).ff_dead(cb));
+        let _ = lut_out;
+    }
+}

@@ -1,0 +1,123 @@
+//! Structured lint diagnostics.
+
+use std::fmt;
+
+use fades_telemetry::json::JsonObject;
+
+/// How serious a [`Diagnostic`] is.
+///
+/// `Error` means the design should not be campaigned against (the
+/// dispatch and service layers refuse such designs); `Warning` flags
+/// structure that is almost certainly unintended but harmless to
+/// emulate; `Info` is inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Inventory and statistics.
+    Info,
+    /// Suspicious structure; campaigns still run.
+    Warning,
+    /// Structurally broken design; campaign gates reject it.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-case name (`info` / `warning` / `error`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the structural linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// The site the finding anchors to (a CB coordinate, wire id, memory
+    /// block name or `design` for whole-design findings).
+    pub site: String,
+    /// Stable machine-readable rule name (`comb-cycle`, `dead-ff`, ...).
+    pub rule: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        severity: Severity,
+        site: impl Into<String>,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            site: site.into(),
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Serializes the diagnostic as a JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("severity", self.severity.as_str())
+            .str("site", &self.site)
+            .str("rule", self.rule)
+            .str("message", &self.message)
+            .finish()
+    }
+
+    /// Serializes the diagnostic as a structured run-log line
+    /// (`{"type":"lint","design":...}`) so gates can surface findings in
+    /// `FADES_RUN_LOG` next to experiment and anomaly records.
+    pub fn to_runlog_json(&self, design: &str) -> String {
+        JsonObject::new()
+            .str("type", "lint")
+            .str("design", design)
+            .str("severity", self.severity.as_str())
+            .str("site", &self.site)
+            .str("rule", self.rule)
+            .str("message", &self.message)
+            .finish()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.site, self.message
+        )
+    }
+}
+
+/// The highest severity present in a diagnostic list, if any.
+pub(crate) fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_renders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        let d = Diagnostic::new(Severity::Warning, "cb(1,2)", "dead-ff", "never observed");
+        assert_eq!(d.to_string(), "warning[dead-ff] cb(1,2): never observed");
+        let parsed = fades_telemetry::json::parse(&d.to_json()).expect("diag JSON parses");
+        assert_eq!(parsed.get("rule").and_then(|v| v.as_str()), Some("dead-ff"));
+    }
+}

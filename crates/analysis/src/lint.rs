@@ -1,0 +1,447 @@
+//! Structural linter over a placed-and-routed bitstream.
+//!
+//! Every rule is a pure function of the pristine configuration — no
+//! simulation, no randomness — so two lint passes over the same design
+//! always produce the same diagnostics in the same order, regardless of
+//! thread count. Rules, in emission order:
+//!
+//! | rule | severity | finding |
+//! |------|----------|---------|
+//! | `comb-cycle` | Error | combinational feedback with no flip-flop on the path |
+//! | `floating-lut` | Warning | used LUT with no connected input pin |
+//! | `constant-lut` | Warning | truth table independent of every connected input |
+//! | `insensitive-lut-input` | Info | one connected pin the truth table ignores |
+//! | `dead-ff` | Warning | register state that can never reach an output or memory |
+//! | `lane-obstacle` | Warning | configuration the lane engine refuses (scalar fallback) |
+//! | `dangling-wire` | Info | routed net with no consuming sink |
+//! | `unused-sites` | Info | whole-design resource inventory |
+
+use fades_fpga::{lane_obstacles, Bitstream, CbCoord, FfDSrc, WireDriver, WireId, WireSink};
+
+use crate::cone::ConeIndex;
+use crate::diag::{Diagnostic, Severity};
+
+/// Lints `bitstream` and records the finding count in
+/// `fades_telemetry::analysis::LINT_DIAGNOSTICS`.
+pub fn lint(bitstream: &Bitstream) -> Vec<Diagnostic> {
+    let diags = lint_quiet(bitstream);
+    fades_telemetry::analysis::LINT_DIAGNOSTICS.add(diags.len() as u64);
+    diags
+}
+
+/// Lints `bitstream` without touching telemetry (for tests and repeated
+/// gate checks that should not inflate the counters).
+pub fn lint_quiet(bitstream: &Bitstream) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    comb_cycles(bitstream, &mut diags);
+    lut_rules(bitstream, &mut diags);
+    dead_ffs(bitstream, &mut diags);
+    for ob in lane_obstacles(bitstream) {
+        let bram = match &ob {
+            fades_fpga::LaneObstacle::WordTooWide { bram, .. }
+            | fades_fpga::LaneObstacle::StrayBits { bram, .. } => *bram,
+        };
+        diags.push(Diagnostic::new(
+            Severity::Warning,
+            format!("bram{}", bram.index()),
+            "lane-obstacle",
+            format!("{ob}; campaigns fall back to the scalar engine"),
+        ));
+    }
+    dangling_wires(bitstream, &mut diags);
+    unused_sites(bitstream, &mut diags);
+    diags
+}
+
+/// Combinational graph node: a used LUT or a memory block's asynchronous
+/// read path (address pins → data outputs, no clock edge in between).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Lut(usize),
+    Bram(usize),
+}
+
+fn comb_cycles(bs: &Bitstream, diags: &mut Vec<Diagnostic>) {
+    let rows = bs.arch().rows;
+    let cbs = bs.cbs();
+    // Dense node numbering: used LUTs first, then memory blocks.
+    let mut lut_node: Vec<Option<usize>> = vec![None; cbs.len()];
+    let mut nodes: Vec<Node> = Vec::new();
+    for (flat, cfg) in cbs.iter().enumerate() {
+        if cfg.lut_used {
+            lut_node[flat] = Some(nodes.len());
+            nodes.push(Node::Lut(flat));
+        }
+    }
+    let bram_base = nodes.len();
+    for i in 0..bs.brams().len() {
+        nodes.push(Node::Bram(i));
+    }
+
+    // Successor edges along combinational paths only. Flip-flop inputs and
+    // the memory write pins (din / we) are synchronous and break the path.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let wire_succs = |out: WireId, from: usize, succs: &mut Vec<Vec<usize>>| {
+        let Ok(w) = bs.wire(out) else { return };
+        for sink in &w.sinks {
+            match *sink {
+                WireSink::LutPin { cb, pin } => {
+                    let flat = cb.flat_index(rows);
+                    let cfg = &cbs[flat];
+                    if cfg.lut_used && cfg.lut_pins[usize::from(pin)] == Some(out) {
+                        if let Some(n) = lut_node[flat] {
+                            succs[from].push(n);
+                        }
+                    }
+                }
+                WireSink::BramAddr { bram, .. } if bram.index() < bs.brams().len() => {
+                    succs[from].push(bram_base + bram.index());
+                }
+                _ => {}
+            }
+        }
+    };
+    for (i, w) in bs.wires().iter().enumerate() {
+        let out = WireId::from_index(i);
+        match w.driver {
+            WireDriver::CbLut(cb) => {
+                if let Some(n) = lut_node[cb.flat_index(rows)] {
+                    wire_succs(out, n, &mut succs);
+                }
+            }
+            WireDriver::BramDout { bram, .. } if bram.index() < bs.brams().len() => {
+                wire_succs(out, bram_base + bram.index(), &mut succs);
+            }
+            _ => {}
+        }
+    }
+
+    // Kahn elimination in both directions: nodes surviving the forward
+    // pass have an ancestor on a cycle, nodes surviving the backward pass
+    // have a descendant on one. The intersection pins the cycle itself.
+    let on_cycle = {
+        let fwd = kahn_leftover(&succs);
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (from, ss) in succs.iter().enumerate() {
+            for &to in ss {
+                preds[to].push(from);
+            }
+        }
+        let bwd = kahn_leftover(&preds);
+        fwd.iter()
+            .zip(&bwd)
+            .map(|(f, b)| *f && *b)
+            .collect::<Vec<bool>>()
+    };
+    for (n, node) in nodes.iter().enumerate() {
+        if !on_cycle[n] {
+            continue;
+        }
+        let site = match node {
+            Node::Lut(flat) => {
+                let c = CbCoord::from_flat_index(*flat, rows);
+                format!("cb({},{})", c.col, c.row)
+            }
+            Node::Bram(i) => format!("bram{i}"),
+        };
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            site,
+            "comb-cycle",
+            "on a combinational cycle (no flip-flop on the feedback path); \
+             settle cannot reach a fixpoint",
+        ));
+    }
+}
+
+/// Kahn's algorithm; returns which nodes were *not* eliminated (i.e. sit
+/// downstream of a cycle in the given edge direction).
+fn kahn_leftover(succs: &[Vec<usize>]) -> Vec<bool> {
+    let mut indeg = vec![0usize; succs.len()];
+    for ss in succs {
+        for &to in ss {
+            indeg[to] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..succs.len()).filter(|&n| indeg[n] == 0).collect();
+    let mut leftover = vec![true; succs.len()];
+    while let Some(n) = queue.pop() {
+        leftover[n] = false;
+        for &to in &succs[n] {
+            indeg[to] -= 1;
+            if indeg[to] == 0 {
+                queue.push(to);
+            }
+        }
+    }
+    leftover
+}
+
+fn lut_rules(bs: &Bitstream, diags: &mut Vec<Diagnostic>) {
+    let rows = bs.arch().rows;
+    for (flat, cfg) in bs.cbs().iter().enumerate() {
+        if !cfg.lut_used {
+            continue;
+        }
+        let c = CbCoord::from_flat_index(flat, rows);
+        let site = format!("cb({},{})", c.col, c.row);
+        let connected: Vec<usize> = (0..4).filter(|&p| cfg.lut_pins[p].is_some()).collect();
+        if connected.is_empty() {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                site,
+                "floating-lut",
+                format!(
+                    "used LUT has no connected input pin; output is constant {}",
+                    cfg.eval_lut([false; 4])
+                ),
+            ));
+            continue;
+        }
+        // Exhaust the connected-pin assignments (unconnected pins evaluate
+        // false, matching the device model).
+        let evals: Vec<bool> = (0..1usize << connected.len())
+            .map(|idx| {
+                let mut pins = [false; 4];
+                for (k, &p) in connected.iter().enumerate() {
+                    pins[p] = (idx >> k) & 1 == 1;
+                }
+                cfg.eval_lut(pins)
+            })
+            .collect();
+        if evals.iter().all(|&v| v == evals[0]) {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                site,
+                "constant-lut",
+                format!(
+                    "truth table 0x{:04x} is constant {} over its {} connected input(s)",
+                    cfg.lut_table,
+                    evals[0],
+                    connected.len()
+                ),
+            ));
+            continue;
+        }
+        for (k, &p) in connected.iter().enumerate() {
+            let sensitive = (0..1usize << connected.len())
+                .any(|idx| (idx >> k) & 1 == 0 && evals[idx] != evals[idx | (1 << k)]);
+            if !sensitive {
+                diags.push(Diagnostic::new(
+                    Severity::Info,
+                    site.clone(),
+                    "insensitive-lut-input",
+                    format!(
+                        "truth table 0x{:04x} ignores connected pin {p}",
+                        cfg.lut_table
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn dead_ffs(bs: &Bitstream, diags: &mut Vec<Diagnostic>) {
+    let cone = ConeIndex::sequential(bs);
+    for c in cone.dead_ffs() {
+        diags.push(Diagnostic::new(
+            Severity::Warning,
+            format!("cb({},{})", c.col, c.row),
+            "dead-ff",
+            "register state can never reach a declared output port or memory block",
+        ));
+    }
+}
+
+fn dangling_wires(bs: &Bitstream, diags: &mut Vec<Diagnostic>) {
+    let rows = bs.arch().rows;
+    let cbs = bs.cbs();
+    for (i, w) in bs.wires().iter().enumerate() {
+        let this = WireId::from_index(i);
+        // A LUT output wire registered by the block's own flip-flop is
+        // consumed without any routed sink.
+        if let WireDriver::CbLut(cb) = w.driver {
+            let cfg = &cbs[cb.flat_index(rows)];
+            if cfg.ff_used && matches!(cfg.ff_d_src, FfDSrc::LutOut) {
+                continue;
+            }
+        }
+        let consumed = w.sinks.iter().any(|sink| match *sink {
+            WireSink::LutPin { cb, pin } => {
+                let cfg = &cbs[cb.flat_index(rows)];
+                cfg.lut_used && cfg.lut_pins[usize::from(pin)] == Some(this)
+            }
+            WireSink::FfDirect { cb } => {
+                let cfg = &cbs[cb.flat_index(rows)];
+                cfg.ff_used && matches!(cfg.ff_d_src, FfDSrc::Direct(d) if d == this)
+            }
+            WireSink::BramAddr { bram, .. }
+            | WireSink::BramDin { bram, .. }
+            | WireSink::BramWe { bram } => bram.index() < bs.brams().len(),
+            WireSink::PrimaryOutput { .. } => true,
+        });
+        if !consumed {
+            diags.push(Diagnostic::new(
+                Severity::Info,
+                format!("wire{i}"),
+                "dangling-wire",
+                "routed net drives no consuming sink",
+            ));
+        }
+    }
+}
+
+fn unused_sites(bs: &Bitstream, diags: &mut Vec<Diagnostic>) {
+    let arch = bs.arch();
+    let total = usize::from(arch.rows) * usize::from(arch.cols);
+    let (luts, ffs, brams) = bs.utilisation();
+    let unused = bs.unused_cbs().len();
+    diags.push(Diagnostic::new(
+        Severity::Info,
+        "design",
+        "unused-sites",
+        format!(
+            "{unused} of {total} blocks fully unused ({luts} LUTs, {ffs} FFs in use); \
+             {brams} of {} memory blocks in use",
+            arch.bram_blocks
+        ),
+    ));
+}
+
+/// The highest severity present in `diags`, if any (re-exported for the
+/// campaign gates).
+pub fn worst(diags: &[Diagnostic]) -> Option<Severity> {
+    crate::diag::max_severity(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fades_fpga::ArchParams;
+
+    fn find<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+        diags.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    #[test]
+    fn clean_design_has_no_errors() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("in", 1);
+        let q = bs
+            .add_ff(CbCoord::new(0, 0), false, FfDSrc::Direct(input[0]))
+            .expect("ff");
+        bs.add_output("out", &[q]).expect("out");
+        let diags = lint_quiet(&bs);
+        assert_eq!(worst(&diags), Some(Severity::Info), "{diags:?}");
+        assert_eq!(find(&diags, "unused-sites").len(), 1);
+    }
+
+    #[test]
+    fn lut_feedback_without_ff_is_a_comb_cycle_error() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let cb = CbCoord::new(2, 2);
+        let out = bs.place_lut(cb, 0x5555).expect("lut");
+        bs.connect_lut_pin(cb, 0, out).expect("pin");
+        let diags = lint_quiet(&bs);
+        let cycles = find(&diags, "comb-cycle");
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].severity, Severity::Error);
+        assert_eq!(cycles[0].site, "cb(2,2)");
+    }
+
+    #[test]
+    fn ff_feedback_is_not_a_comb_cycle() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let cb = CbCoord::new(0, 0);
+        bs.place_lut(cb, 0x5555).expect("lut");
+        let q = bs.add_ff(cb, false, FfDSrc::LutOut).expect("ff");
+        bs.connect_lut_pin(cb, 0, q).expect("pin");
+        bs.add_output("out", &[q]).expect("out");
+        assert!(find(&lint_quiet(&bs), "comb-cycle").is_empty());
+    }
+
+    #[test]
+    fn constant_and_insensitive_luts_are_flagged() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("in", 2);
+        // Table 0x0000: constant false whatever the pins do.
+        let c = bs
+            .add_lut(
+                CbCoord::new(0, 0),
+                0x0000,
+                [Some(input[0]), None, None, None],
+            )
+            .expect("lut");
+        // Table 0xAAAA: depends on pin 0 only; pin 1 is ignored.
+        let s = bs
+            .add_lut(
+                CbCoord::new(0, 1),
+                0xAAAA,
+                [Some(input[0]), Some(input[1]), None, None],
+            )
+            .expect("lut");
+        // A completely floating used LUT.
+        let f = bs.place_lut(CbCoord::new(0, 2), 0xFFFF).expect("lut");
+        bs.add_output("out", &[c, s, f]).expect("out");
+        let diags = lint_quiet(&bs);
+        assert_eq!(find(&diags, "constant-lut").len(), 1);
+        assert_eq!(find(&diags, "constant-lut")[0].site, "cb(0,0)");
+        assert_eq!(find(&diags, "insensitive-lut-input").len(), 1);
+        assert_eq!(find(&diags, "insensitive-lut-input")[0].site, "cb(0,1)");
+        assert_eq!(find(&diags, "floating-lut").len(), 1);
+        assert_eq!(find(&diags, "floating-lut")[0].site, "cb(0,2)");
+    }
+
+    #[test]
+    fn dead_ff_and_dangling_wire_are_reported() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("in", 1);
+        let q = bs
+            .add_ff(CbCoord::new(1, 1), false, FfDSrc::Direct(input[0]))
+            .expect("ff");
+        let diags = lint_quiet(&bs);
+        assert_eq!(find(&diags, "dead-ff").len(), 1);
+        assert_eq!(find(&diags, "dead-ff")[0].site, "cb(1,1)");
+        // q drives nothing.
+        let dangling = find(&diags, "dangling-wire");
+        assert_eq!(dangling.len(), 1);
+        assert_eq!(dangling[0].site, format!("wire{}", q.index()));
+    }
+
+    #[test]
+    fn stray_bram_bits_surface_as_a_lane_obstacle_diagnostic() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("a", 2);
+        let dout = bs
+            .add_bram("m", &[input[0], input[1]], &[], None, 4, &[0x3, 0x1F, 0x2])
+            .expect("bram");
+        bs.add_output("out", &dout).expect("out");
+        let diags = lint_quiet(&bs);
+        let obstacles = find(&diags, "lane-obstacle");
+        assert_eq!(obstacles.len(), 1);
+        assert_eq!(obstacles[0].site, "bram0");
+        assert!(
+            obstacles[0].message.contains("[1]"),
+            "names the offending word: {}",
+            obstacles[0].message
+        );
+    }
+
+    #[test]
+    fn lint_is_deterministic() {
+        let mut bs = Bitstream::new(ArchParams::small());
+        let input = bs.add_input("in", 4);
+        for k in 0..4u16 {
+            bs.add_ff(
+                CbCoord::new(k, 0),
+                false,
+                FfDSrc::Direct(input[usize::from(k)]),
+            )
+            .expect("ff");
+        }
+        let first = lint_quiet(&bs);
+        for _ in 0..10 {
+            assert_eq!(lint_quiet(&bs), first);
+        }
+    }
+}

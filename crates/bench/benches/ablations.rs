@@ -5,6 +5,8 @@
 //! (printed once per group) as much as the host-side wall-clock Criterion
 //! measures.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use fades_bench::{context, BENCH_FAULTS, BENCH_SEED};
 use fades_core::{DurationRange, FaultLoad, TargetClass};
@@ -32,10 +34,10 @@ fn bench_ablations(c: &mut Criterion) {
         g.mean_seconds_per_fault()
     );
     group.bench_function("gsr_vs_lsr/lsr", |b| {
-        b.iter(|| campaign.run(&lsr, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+        b.iter(|| campaign.run(&lsr, BENCH_FAULTS, BENCH_SEED).expect("runs"));
     });
     group.bench_function("gsr_vs_lsr/gsr", |b| {
-        b.iter(|| campaign.run(&gsr, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+        b.iter(|| campaign.run(&gsr, BENCH_FAULTS, BENCH_SEED).expect("runs"));
     });
 
     // --- Delay shipping: full configuration vs partial frames ------------
@@ -53,14 +55,14 @@ fn bench_ablations(c: &mut Criterion) {
         p.mean_seconds_per_fault()
     );
     group.bench_function("delay_shipping/full_download", |b| {
-        b.iter(|| campaign.run(&full, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+        b.iter(|| campaign.run(&full, BENCH_FAULTS, BENCH_SEED).expect("runs"));
     });
     group.bench_function("delay_shipping/partial", |b| {
         b.iter(|| {
             campaign
                 .run(&partial, BENCH_FAULTS, BENCH_SEED)
                 .expect("runs")
-        })
+        });
     });
 
     // --- Oscillating vs fixed indetermination ---------------------------
@@ -71,10 +73,10 @@ fn bench_ablations(c: &mut Criterion) {
             campaign
                 .run(&fixed, BENCH_FAULTS, BENCH_SEED)
                 .expect("runs")
-        })
+        });
     });
     group.bench_function("indetermination/oscillating", |b| {
-        b.iter(|| campaign.run(&osc, BENCH_FAULTS, BENCH_SEED).expect("runs"))
+        b.iter(|| campaign.run(&osc, BENCH_FAULTS, BENCH_SEED).expect("runs"));
     });
 
     // --- RTR emulation vs direct simulator commands (FADES vs VFIT) -----
@@ -86,13 +88,13 @@ fn bench_ablations(c: &mut Criterion) {
             campaign
                 .run(&fades_load, BENCH_FAULTS, BENCH_SEED)
                 .expect("runs")
-        })
+        });
     });
     group.bench_function("rtr_vs_direct/vfit_simulator", |b| {
         b.iter(|| {
             vfit.run(&vfit_load, BENCH_FAULTS, BENCH_SEED)
                 .expect("runs")
-        })
+        });
     });
     group.finish();
 }

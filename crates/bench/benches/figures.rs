@@ -4,6 +4,8 @@
 //! the corresponding artefact, so `cargo bench` both exercises every
 //! experiment path end-to-end and tracks the harness's own performance.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use fades_bench::{context, BENCH_FAULTS, BENCH_SEED};
 use fades_experiments::{fig10, fig11, fig12, fig13, fig14, fig15, table2, table3, table4};
@@ -17,39 +19,39 @@ fn bench_figures(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs(2));
 
     group.bench_function("table1_capability_matrix", |b| {
-        b.iter(|| fades_experiments::table1::table().to_string())
+        b.iter(|| fades_experiments::table1::table().to_string());
     });
     group.bench_function("fig10_emulation_time", |b| {
-        b.iter(|| fig10::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig10 runs"))
+        b.iter(|| fig10::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig10 runs"));
     });
     group.bench_function("table2_speedup", |b| {
         let f10 = fig10::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig10 runs");
-        b.iter(|| table2::from_fig10(&ctx, &f10))
+        b.iter(|| table2::from_fig10(&ctx, &f10));
     });
     group.bench_function("fig11_bitflip", |b| {
         // Screening is part of the context cache; pre-warm it so each
         // iteration measures the campaign itself.
         let _ = ctx.sensitive_ffs(BENCH_SEED).expect("screening runs");
-        b.iter(|| fig11::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig11 runs"))
+        b.iter(|| fig11::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig11 runs"));
     });
     group.bench_function("fig12_sequential", |b| {
-        b.iter(|| fig12::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig12 runs"))
+        b.iter(|| fig12::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig12 runs"));
     });
     group.bench_function("fig13_pulse", |b| {
-        b.iter(|| fig13::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig13 runs"))
+        b.iter(|| fig13::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig13 runs"));
     });
     group.bench_function("fig14_indetermination", |b| {
-        b.iter(|| fig14::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig14 runs"))
+        b.iter(|| fig14::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig14 runs"));
     });
     group.bench_function("fig15_delay", |b| {
-        b.iter(|| fig15::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig15 runs"))
+        b.iter(|| fig15::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("fig15 runs"));
     });
     group.bench_function("table3_fades_vs_vfit", |b| {
         let _ = ctx.sensitive_ffs(BENCH_SEED).expect("screening runs");
-        b.iter(|| table3::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("table3 runs"))
+        b.iter(|| table3::run(&ctx, BENCH_FAULTS, BENCH_SEED).expect("table3 runs"));
     });
     group.bench_function("table4_multiple_bitflips", |b| {
-        b.iter(|| table4::run(&ctx, BENCH_SEED).expect("table4 runs"))
+        b.iter(|| table4::run(&ctx, BENCH_SEED).expect("table4 runs"));
     });
     group.finish();
 }

@@ -1,6 +1,8 @@
 //! Substrate microbenchmarks: raw speed of the FPGA device, the netlist
 //! simulator, the implementation flow and single reconfigurations.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fades_fpga::{ArchParams, Device, Mutation};
 use fades_mcu8051::{build_soc, workloads};
@@ -19,10 +21,10 @@ fn bench_substrate(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs(2));
 
     group.bench_function("pnr_implement_8051", |b| {
-        b.iter(|| implement(&soc.netlist, ArchParams::virtex1000_like()).expect("implements"))
+        b.iter(|| implement(&soc.netlist, ArchParams::virtex1000_like()).expect("implements"));
     });
     group.bench_function("device_configure_8051", |b| {
-        b.iter(|| Device::configure(imp.bitstream.clone()).expect("configures"))
+        b.iter(|| Device::configure(imp.bitstream.clone()).expect("configures"));
     });
 
     const CYCLES: u64 = 256;
@@ -32,14 +34,14 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| {
             dev.reset();
             dev.run(CYCLES);
-        })
+        });
     });
     group.bench_function("netlist_sim_256_cycles", |b| {
         let mut sim = Simulator::new(&soc.netlist).expect("simulates");
         b.iter(|| {
             sim.reset();
             sim.run(CYCLES);
-        })
+        });
     });
     group.finish();
 
@@ -54,14 +56,14 @@ fn bench_substrate(c: &mut Criterion) {
                 cb: lut,
                 table: 0xBEEF,
             })
-            .expect("applies")
-        })
+            .expect("applies");
+        });
     });
     group.bench_function("readback_ff", |b| {
-        b.iter(|| dev.readback_ff(ff).expect("reads"))
+        b.iter(|| dev.readback_ff(ff).expect("reads"));
     });
     group.bench_function("pulse_lsr", |b| {
-        b.iter(|| dev.apply(&Mutation::PulseLsr { cb: ff }).expect("applies"))
+        b.iter(|| dev.apply(&Mutation::PulseLsr { cb: ff }).expect("applies"));
     });
     group.bench_function("timing_reanalysis", |b| b.iter(|| dev.recompute_timing()));
     group.finish();
@@ -89,7 +91,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         b.iter(|| {
             sim.reset();
             sim.run(CYCLES);
-        })
+        });
     });
     fades_telemetry::set_enabled(true);
     group.bench_function("sim_256_cycles_enabled", |b| {
@@ -97,7 +99,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         b.iter(|| {
             sim.reset();
             sim.run(CYCLES);
-        })
+        });
     });
     fades_telemetry::set_enabled(false);
     fades_telemetry::sim::reset();
@@ -138,11 +140,12 @@ fn bench_fastpath(c: &mut Criterion) {
                 batch: true,
                 warmstart: true,
                 sparse: true,
+                static_preclassify: true,
             },
         )
         .expect("campaign");
         group.bench_function(name, |b| {
-            b.iter(|| campaign.run_detailed(&load, 4, 7).expect("runs"))
+            b.iter(|| campaign.run_detailed(&load, 4, 7).expect("runs"));
         });
     }
     group.finish();
@@ -171,7 +174,7 @@ fn bench_settle_throughput(c: &mut Criterion) {
         b.iter(|| {
             sim.reset();
             sim.run(CYCLES);
-        })
+        });
     });
     group.bench_function("sim_256_cycles_one_force", |b| {
         let mut sim = Simulator::new(&soc.netlist).expect("simulates");
@@ -179,7 +182,7 @@ fn bench_settle_throughput(c: &mut Criterion) {
             sim.reset();
             sim.force(Force::flip(NetId::from_index(soc.netlist.net_count() / 2)));
             sim.run(CYCLES);
-        })
+        });
     });
     group.finish();
 }
@@ -210,6 +213,7 @@ fn bench_batch(c: &mut Criterion) {
             batch: true,
             warmstart: true,
             sparse: true,
+            static_preclassify: true,
         },
     )
     .expect("campaign");
@@ -221,14 +225,14 @@ fn bench_batch(c: &mut Criterion) {
         .measurement_time(std::time::Duration::from_secs(10))
         .throughput(Throughput::Elements(N_FAULTS as u64));
     group.bench_function("scalar_64_ff_flips", |b| {
-        b.iter(|| campaign.run_detailed(&load, N_FAULTS, 7).expect("runs"))
+        b.iter(|| campaign.run_detailed(&load, N_FAULTS, 7).expect("runs"));
     });
     group.bench_function("batched_64_ff_flips", |b| {
         b.iter(|| {
             campaign
                 .run_batched_detailed(&load, N_FAULTS, 7)
                 .expect("runs")
-        })
+        });
     });
     group.finish();
 }

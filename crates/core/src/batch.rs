@@ -198,7 +198,6 @@ fn trace_retirement(index: u64, wall_us: u64) {
 /// Returns the entries this pass could not take: those whose injection
 /// instant had already passed when a lane freed up, plus everything
 /// beyond the last refill. The caller loops until the return is empty.
-#[allow(clippy::too_many_arguments)] // one cohort pass has this many moving parts
 pub(crate) fn run_one_cohort<'p>(
     batch: &mut BatchDevice,
     golden: &GoldenRun,
@@ -298,7 +297,9 @@ pub(crate) fn run_one_cohort<'p>(
                     if (will_retire >> lane) & 1 == 0 {
                         continue;
                     }
-                    let slot = entry.take().expect("retire checked occupancy");
+                    let Some(slot) = entry.take() else {
+                        continue; // retire mask checked occupancy
+                    };
                     occupied -= 1;
                     let outcome = if slot.diverged {
                         Outcome::Failure
@@ -484,11 +485,11 @@ pub(crate) fn run_lane_cohorts<'p>(
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("lane cohort worker panicked"))
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             },
         )
-        .expect("lane cohort scope panicked");
+        .unwrap_or_else(|p| std::panic::resume_unwind(p));
         for r in chunk_results {
             results.extend(r?);
         }

@@ -50,6 +50,14 @@ pub struct CampaignConfig {
     /// instead of sweeping the whole netlist. Host wall-clock only —
     /// bit-identical results either way.
     pub sparse: bool,
+    /// Whether executors honour the plan's static pre-classification:
+    /// experiments the cone-of-influence analysis proved Silent replay
+    /// their reconfiguration ledger without simulating a single workload
+    /// cycle. Host wall-clock only — outcomes, traffic and modelled
+    /// emulation time are bit-identical to executing them (the soundness
+    /// suite enforces this). Plans are annotated either way; this flag
+    /// only controls whether execution skips.
+    pub static_preclassify: bool,
 }
 
 impl Default for CampaignConfig {
@@ -61,6 +69,7 @@ impl Default for CampaignConfig {
             batch: batch_default(),
             warmstart: warmstart_default(),
             sparse: fades_fpga::sparse_default(),
+            static_preclassify: static_default(),
         }
     }
 }
@@ -95,6 +104,17 @@ pub fn warmstart_default() -> bool {
     !matches!(std::env::var("FADES_NO_WARMSTART"), Ok(v) if !v.is_empty() && v != "0")
 }
 
+/// Default for [`CampaignConfig::static_preclassify`]: enabled unless the
+/// `FADES_NO_STATIC` escape hatch is set to a non-empty value other than
+/// `0` (kept available for the soundness differential suite, which proves
+/// skipped and executed campaigns bit-identical).
+///
+/// Read per call — not cached — so one process can construct configs on
+/// both paths (the differential test relies on this).
+pub fn static_default() -> bool {
+    !matches!(std::env::var("FADES_NO_STATIC"), Ok(v) if !v.is_empty() && v != "0")
+}
+
 /// Campaign worker-thread count: `FADES_THREADS` when set to a positive
 /// integer, otherwise `min(available_parallelism, 8)`.
 ///
@@ -110,9 +130,7 @@ pub fn worker_threads() -> usize {
                 _ => eprintln!("warning: ignoring invalid FADES_THREADS=`{v}`"),
             }
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(4)
+        std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
     })
 }
 
@@ -237,7 +255,10 @@ impl<'n> Campaign<'n> {
         config: CampaignConfig,
     ) -> Result<Self, CoreError> {
         let mut device = Device::configure(implementation.bitstream.clone())?;
-        let ports: Vec<String> = observed_ports.iter().map(|s| s.to_string()).collect();
+        let ports: Vec<String> = observed_ports
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let run_cycles = workload_cycles + config.margin_cycles;
         let golden = GoldenRun::capture(&mut device, &ports, run_cycles)?;
         let time_model = TimeModel::paper_calibrated(device.arch());
@@ -431,11 +452,16 @@ impl<'n> Campaign<'n> {
             return Ok(Vec::new());
         }
 
-        let lane_entries: Vec<&PlannedExperiment> = plan
-            .experiments
-            .iter()
-            .filter(|e| crate::batch::lane_expressible(&e.fault))
-            .collect();
+        // Statically-Silent experiments go to the scalar side when the
+        // skip is enabled, so `execute_mode` stays the single place that
+        // replays them (a lane would simulate them for nothing).
+        let on_lane = |e: &PlannedExperiment| {
+            crate::batch::lane_expressible(&e.fault)
+                && !(self.config.static_preclassify
+                    && e.annotation == crate::plan::PlanAnnotation::StaticSilent)
+        };
+        let lane_entries: Vec<&PlannedExperiment> =
+            plan.experiments.iter().filter(|e| on_lane(e)).collect();
         let scalar_plan = CampaignPlan {
             target: plan.target.clone(),
             sub_cycle: plan.sub_cycle,
@@ -444,7 +470,7 @@ impl<'n> Campaign<'n> {
             experiments: plan
                 .experiments
                 .iter()
-                .filter(|e| !crate::batch::lane_expressible(&e.fault))
+                .filter(|e| !on_lane(e))
                 .cloned()
                 .collect(),
         };
@@ -503,7 +529,7 @@ impl<'n> Campaign<'n> {
             .map(|e| {
                 by_index
                     .remove(&e.index)
-                    .expect("every plan entry was executed")
+                    .unwrap_or_else(|| unreachable!("every plan entry was executed"))
             })
             .collect())
     }
@@ -565,8 +591,14 @@ impl<'n> Campaign<'n> {
                     duration,
                 },
                 seed: seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                annotation: crate::plan::PlanAnnotation::None,
             });
         }
+        // Annotate unconditionally — the plan must stay a pure function
+        // of its inputs, independent of whether execution later honours
+        // the annotations (`CampaignConfig::static_preclassify`), so
+        // shards built in processes with different settings still agree.
+        self.annotate_static(&mut experiments);
         Ok(CampaignPlan {
             target: load.target.to_string(),
             sub_cycle: load.duration == DurationRange::SubCycle,
@@ -574,6 +606,71 @@ impl<'n> Campaign<'n> {
             n_total: n_faults,
             experiments,
         })
+    }
+
+    /// Marks the experiments whose outcome the cone-of-influence analysis
+    /// decides at plan time. The rules are deliberately conservative —
+    /// each one rests on a healing argument the soundness suite checks
+    /// dynamically:
+    ///
+    /// * **FF bit-flips** (single, multi, via GSR) on registers whose
+    ///   output cone is combinationally dead: the flipped value feeds
+    ///   nothing, and the register recaptures its pristine data input at
+    ///   the very next clock edge (a dead Q rules out self-loops, so every
+    ///   data input in the design stays pristine). No schedule condition
+    ///   needed — injection always precedes that cycle's edge.
+    /// * **LUT pulses / indeterminations** on provably dead LUTs: only
+    ///   configuration memory is touched, the corrupted output reaches no
+    ///   capture point, and configuration is not part of the final-state
+    ///   snapshot.
+    /// * **CB input pulses / FF indeterminations** on dead registers,
+    ///   additionally requiring a bounded schedule with at least one clean
+    ///   clock edge after removal (`inject_at + d < run_cycles`) and no
+    ///   pristine setup-time violation on the register (a violated FF
+    ///   captures one cycle stale and would heal one edge later).
+    /// * **Memory flips, wire delays, permanent faults**: never — a
+    ///   flipped memory bit persists into the final state, and the others
+    ///   have no static healing argument.
+    fn annotate_static(&self, experiments: &mut [PlannedExperiment]) {
+        use crate::location::ResolvedFault as Rf;
+        use crate::plan::PlanAnnotation;
+        let eligible = |f: &Rf| {
+            matches!(
+                f,
+                Rf::FfBitFlip { .. }
+                    | Rf::MultiFfBitFlip { .. }
+                    | Rf::LutPulse { .. }
+                    | Rf::LutIndet { .. }
+                    | Rf::CbInputPulse { .. }
+                    | Rf::FfIndet { .. }
+            )
+        };
+        if !experiments.iter().any(|e| eligible(&e.fault)) {
+            return;
+        }
+        let cone =
+            fades_analysis::ConeIndex::combinational(&self.implementation.bitstream, &self.ports);
+        let run_cycles = self.run_cycles;
+        for e in experiments {
+            let healed_with_clean_edge = |cb: &CbCoord| {
+                cone.ff_dead(*cb)
+                    && !self.device.ff_timing_violated(*cb)
+                    && matches!(e.schedule.duration,
+                        Some(d) if d >= 1 && e.schedule.inject_at + d < run_cycles)
+            };
+            let silent = match &e.fault {
+                Rf::FfBitFlip { cb, .. } => cone.ff_dead(*cb),
+                Rf::MultiFfBitFlip { cbs } => {
+                    !cbs.is_empty() && cbs.iter().all(|cb| cone.ff_dead(*cb))
+                }
+                Rf::LutPulse { cb, .. } | Rf::LutIndet { cb, .. } => cone.lut_dead(*cb),
+                Rf::CbInputPulse { cb } | Rf::FfIndet { cb, .. } => healed_with_clean_edge(cb),
+                Rf::MemBitFlip { .. } | Rf::WireDelay { .. } | Rf::Permanent { .. } => false,
+            };
+            if silent {
+                e.annotation = PlanAnnotation::StaticSilent;
+            }
+        }
     }
 
     /// Executes every experiment of `plan`, failing fast: the first
@@ -679,11 +776,15 @@ impl<'n> Campaign<'n> {
             return Ok(Vec::new());
         }
 
-        let lane_entries: Vec<&PlannedExperiment> = plan
-            .experiments
-            .iter()
-            .filter(|e| crate::batch::lane_expressible(&e.fault))
-            .collect();
+        // As in `execute_batched`: statically-Silent experiments take the
+        // scalar isolated path, where `execute_mode` replays their ledger.
+        let on_lane = |e: &PlannedExperiment| {
+            crate::batch::lane_expressible(&e.fault)
+                && !(self.config.static_preclassify
+                    && e.annotation == crate::plan::PlanAnnotation::StaticSilent)
+        };
+        let lane_entries: Vec<&PlannedExperiment> =
+            plan.experiments.iter().filter(|e| on_lane(e)).collect();
         let scalar_plan = CampaignPlan {
             target: plan.target.clone(),
             sub_cycle: plan.sub_cycle,
@@ -692,7 +793,7 @@ impl<'n> Campaign<'n> {
             experiments: plan
                 .experiments
                 .iter()
-                .filter(|e| !crate::batch::lane_expressible(&e.fault))
+                .filter(|e| !on_lane(e))
                 .cloned()
                 .collect(),
         };
@@ -845,7 +946,7 @@ impl<'n> Campaign<'n> {
             .map(|e| {
                 by_index
                     .remove(&e.index)
-                    .expect("every plan entry was decided")
+                    .unwrap_or_else(|| unreachable!("every plan entry was decided"))
             })
             .collect())
     }
@@ -888,6 +989,7 @@ impl<'n> Campaign<'n> {
                 let sub_cycle = plan.sub_cycle;
                 let time_model = &self.time_model;
                 let fastpath = self.config.fastpath;
+                let static_skip = self.config.static_preclassify;
                 handles.push(scope.spawn(move |_| -> Result<(), CoreError> {
                     for (planned, out) in chunk_plan.iter().zip(chunk_out.iter_mut()) {
                         slot.store(planned.index, Ordering::Release);
@@ -902,6 +1004,24 @@ impl<'n> Campaign<'n> {
                                     }
                                     let mut rng = StdRng::seed_from_u64(planned.seed);
                                     let strategy = strategy_for(&planned.fault, sub_cycle);
+                                    if static_skip
+                                        && planned.annotation
+                                            == crate::plan::PlanAnnotation::StaticSilent
+                                    {
+                                        // Plan-time proof says Silent:
+                                        // replay the reconfiguration
+                                        // ledger, skip the simulation.
+                                        let result = crate::experiment::replay_static_silent(
+                                            dev,
+                                            golden,
+                                            planned.fault.clone(),
+                                            strategy,
+                                            planned.schedule,
+                                            &mut rng,
+                                        )?;
+                                        fades_telemetry::analysis::STATIC_SILENT.inc();
+                                        return Ok(result);
+                                    }
                                     run_experiment(
                                         dev,
                                         golden,
@@ -1019,11 +1139,11 @@ impl<'n> Campaign<'n> {
             }
             Ok(())
         })
-        .expect("campaign scope panicked")?;
+        .unwrap_or_else(|p| std::panic::resume_unwind(p))?;
 
         Ok(results
             .into_iter()
-            .map(|r| r.expect("all experiments decided"))
+            .map(|r| r.unwrap_or_else(|| unreachable!("all experiments decided")))
             .collect())
     }
 

@@ -472,8 +472,7 @@ pub fn sample_fault(
         (FaultModel::Pulse, TargetSite::Lut(cb)) => {
             let arity = bitstream
                 .cb(*cb)
-                .map(|c| c.lut_pins.iter().filter(|p| p.is_some()).count())
-                .unwrap_or(0);
+                .map_or(0, |c| c.lut_pins.iter().filter(|p| p.is_some()).count());
             let line = match rng.gen_range(0..3) {
                 0 => LutLine::Output,
                 1 if arity > 0 => LutLine::Input(rng.gen_range(0..arity) as u8),

@@ -16,6 +16,22 @@ use crate::error::CoreError;
 use crate::experiment::{ExperimentResult, FaultSchedule};
 use crate::location::ResolvedFault;
 
+/// A plan-time verdict attached to an experiment by the static
+/// pre-classifier (`fades-analysis` cone-of-influence over the pristine
+/// design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanAnnotation {
+    /// No static knowledge; the experiment executes normally.
+    #[default]
+    None,
+    /// The fault lands in provably dead logic and heals before it could
+    /// matter: the outcome is Silent without running a single cycle. The
+    /// executors still charge the modelled reconfiguration traffic and
+    /// `emulation_seconds`, so campaign statistics stay bit-identical to
+    /// a run that executed the experiment.
+    StaticSilent,
+}
+
 /// One fully-sampled experiment of a campaign plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedExperiment {
@@ -29,6 +45,9 @@ pub struct PlannedExperiment {
     /// Per-experiment RNG seed, derived from the campaign seed and the
     /// global index (so a shard replays exactly the monolithic stream).
     pub seed: u64,
+    /// Static pre-classification verdict (a pure function of the plan
+    /// inputs, so shards agree on it without communicating).
+    pub annotation: PlanAnnotation,
 }
 
 /// The fully-sampled fault list of one campaign.
@@ -227,6 +246,7 @@ mod tests {
                         duration: Some(1),
                     },
                     seed: index.wrapping_mul(0x9E37_79B9),
+                    annotation: PlanAnnotation::None,
                 })
                 .collect(),
         }

@@ -139,7 +139,10 @@ impl InjectionStrategy for LutIndetFault {
     }
 
     fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
-        let original = self.original.take().expect("remove follows inject");
+        let original = self
+            .original
+            .take()
+            .unwrap_or_else(|| unreachable!("remove follows inject"));
         dev.apply(&Mutation::SetLutTable {
             cb: self.cb,
             table: original,

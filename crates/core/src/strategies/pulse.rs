@@ -65,7 +65,10 @@ impl InjectionStrategy for LutPulseFault {
     }
 
     fn remove(&mut self, dev: &mut dyn ConfigAccess) -> Result<(), CoreError> {
-        let original = self.original.take().expect("remove follows inject");
+        let original = self
+            .original
+            .take()
+            .unwrap_or_else(|| unreachable!("remove follows inject"));
         if !self.sub_cycle {
             // Re-extract before restoring, guarding against configuration
             // upsets during the fault window, and verify afterwards.

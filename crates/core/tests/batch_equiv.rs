@@ -10,6 +10,8 @@
 //! loads whose faults the lane engine cannot express and routes to the
 //! scalar fallback.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{Campaign, CampaignConfig, DurationRange, FaultLoad, PermanentFault, TargetClass};
 use fades_netlist::UnitTag;
 use fades_pnr::implement;
@@ -51,6 +53,8 @@ fn config_with(batch: bool, warmstart: bool, sparse: bool) -> CampaignConfig {
         batch,
         warmstart,
         sparse,
+        // Off: the equivalence matrix must exercise the engines for real.
+        static_preclassify: false,
     }
 }
 
@@ -74,7 +78,6 @@ fn assert_equivalent(
 
 /// Same contract as [`assert_equivalent`] but under an arbitrary batched
 /// configuration (mode-matrix sweeps pass each hatch combination).
-#[allow(clippy::too_many_arguments)]
 fn assert_equivalent_cfg(
     nl: &fades_netlist::Netlist,
     imp: &fades_pnr::Implementation,

@@ -5,6 +5,8 @@
 //! fast path disabled (`FADES_NO_FASTPATH`'s effect, set here through
 //! [`CampaignConfig::fastpath`] so cases cannot race on the environment).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{Campaign, CampaignConfig, DurationRange, FaultLoad, PermanentFault, TargetClass};
 use fades_rtl::{RtlBuilder, Signal};
 use proptest::prelude::*;
@@ -82,7 +84,7 @@ proptest! {
             cycles,
             CampaignConfig {
                 threads: 1, margin_cycles: 32, fastpath: true, batch: true,
-                warmstart: true, sparse: true,
+                warmstart: true, sparse: true, static_preclassify: false,
             },
         )
         .expect("campaign");
@@ -97,7 +99,7 @@ proptest! {
             cycles,
             CampaignConfig {
                 threads: 1, margin_cycles: 32, fastpath: true, batch: true,
-                warmstart: false, sparse: false,
+                warmstart: false, sparse: false, static_preclassify: false,
             },
         )
         .expect("campaign");
@@ -108,7 +110,7 @@ proptest! {
             cycles,
             CampaignConfig {
                 threads: 1, margin_cycles: 32, fastpath: false, batch: false,
-                warmstart: false, sparse: false,
+                warmstart: false, sparse: false, static_preclassify: false,
             },
         )
         .expect("campaign");

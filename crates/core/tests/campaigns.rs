@@ -1,5 +1,7 @@
 //! Campaign-level behaviour of the fault-emulation framework.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{
     Campaign, DurationRange, FaultLoad, FaultModel, Outcome, PermanentFault, TargetClass,
 };

@@ -8,6 +8,8 @@
 //! identical seeds must give identical faults, outcomes, configuration
 //! traffic and (bit-for-bit) modelled emulation time on both paths.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::strategies::strategy_for;
 use fades_core::{
     run_experiment, sample_fault, Campaign, CampaignConfig, CoreError, DurationRange, FaultLoad,
@@ -70,6 +72,8 @@ fn config(fastpath: bool) -> CampaignConfig {
         batch: true,
         warmstart: true,
         sparse: true,
+        // Off: this suite compares the raw engines, not the plan-time skip.
+        static_preclassify: false,
     }
 }
 

@@ -1,5 +1,7 @@
 //! Property-based tests for the truth-table fault transformations.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::models::permanent::table_ops;
 use proptest::prelude::*;
 

@@ -5,6 +5,8 @@
 //! op and frame counts, so they are pinned here: a change to any strategy's
 //! choreography must be deliberate (and re-calibrated in EXPERIMENTS.md).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{Campaign, DurationRange, FaultLoad, TargetClass};
 use fades_fpga::ArchParams;
 use fades_netlist::UnitTag;

@@ -1,6 +1,8 @@
 //! End-to-end telemetry: a tiny campaign with `FADES_RUN_LOG` set must
 //! produce a parseable JSONL log whose lines match the campaign stats.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{worker_threads, Campaign, DurationRange, FaultLoad, TargetClass};
 use fades_fpga::ArchParams;
 use fades_netlist::UnitTag;
@@ -72,8 +74,18 @@ fn run_log_matches_campaign_stats() {
                     v.get("strategy").and_then(|s| s.as_str()),
                     Some("lsr-bitflip")
                 );
-                assert!(v.get("modelled_s").and_then(|m| m.as_f64()).unwrap() > 0.0);
-                assert!(v.get("ops").and_then(|o| o.as_u64()).unwrap() > 0);
+                assert!(
+                    v.get("modelled_s")
+                        .and_then(fades_telemetry::json::JsonValue::as_f64)
+                        .unwrap()
+                        > 0.0
+                );
+                assert!(
+                    v.get("ops")
+                        .and_then(fades_telemetry::json::JsonValue::as_u64)
+                        .unwrap()
+                        > 0
+                );
             }
             Some("aggregate") => aggregate = Some(v),
             other => panic!("unexpected line type {other:?}"),
@@ -82,21 +94,35 @@ fn run_log_matches_campaign_stats() {
     assert_eq!(experiments, N);
 
     let agg = aggregate.expect("trailing aggregate line");
-    assert_eq!(agg.get("n").and_then(|v| v.as_u64()), Some(N as u64));
-    assert_eq!(agg.get("threads").and_then(|v| v.as_u64()), Some(2));
     assert_eq!(
-        agg.get("failures").and_then(|v| v.as_u64()),
+        agg.get("n")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
+        Some(N as u64)
+    );
+    assert_eq!(
+        agg.get("threads")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        agg.get("failures")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
         Some(stats.outcomes.failures as u64)
     );
     assert_eq!(
-        agg.get("latents").and_then(|v| v.as_u64()),
+        agg.get("latents")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
         Some(stats.outcomes.latents as u64)
     );
     assert_eq!(
-        agg.get("silents").and_then(|v| v.as_u64()),
+        agg.get("silents")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
         Some(stats.outcomes.silents as u64)
     );
-    let modelled = agg.get("modelled_s").and_then(|v| v.as_f64()).unwrap();
+    let modelled = agg
+        .get("modelled_s")
+        .and_then(fades_telemetry::json::JsonValue::as_f64)
+        .unwrap();
     assert!(
         (modelled - stats.emulation_seconds).abs() < 1e-6,
         "aggregate modelled_s {modelled} vs stats {}",

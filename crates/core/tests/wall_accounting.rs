@@ -14,6 +14,8 @@
 //! Single test function: both paths feed the process-global telemetry
 //! registry and the comparison needs an interference-free sequence.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use std::time::Instant;
 
 use fades_core::{Campaign, CampaignConfig, DurationRange, FaultLoad, TargetClass};
@@ -69,6 +71,7 @@ fn lane_wall_attribution_shares_the_cohort_clock() {
             batch: true,
             warmstart: true,
             sparse: true,
+            static_preclassify: false,
         },
     )
     .unwrap();

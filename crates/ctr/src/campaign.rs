@@ -73,7 +73,10 @@ impl<'n> CtrCampaign<'n> {
         observed_ports: &[&str],
         workload_cycles: u64,
     ) -> Result<Self, CoreError> {
-        let ports: Vec<String> = observed_ports.iter().map(|s| s.to_string()).collect();
+        let ports: Vec<String> = observed_ports
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let run_cycles = workload_cycles + 64;
         let imp = implement(netlist, arch).map_err(|e| CoreError::Implementation(e.to_string()))?;
         let mut dev = Device::configure(imp.bitstream)?;
@@ -127,7 +130,7 @@ impl<'n> CtrCampaign<'n> {
             .cells()
             .iter()
             .filter(|c| matches!(c, Cell::Lut(_)))
-            .flat_map(|c| c.outputs())
+            .flat_map(fades_netlist::Cell::outputs)
             .collect();
         if targets.is_empty() {
             return Err(CoreError::EmptyTargetSet("combinational signals".into()));
@@ -160,7 +163,9 @@ impl<'n> CtrCampaign<'n> {
                 stats.versions += 1;
                 slot.insert(Device::configure(imp.bitstream)?);
             }
-            let dev = versions.get_mut(&target).expect("version cached");
+            let dev = versions
+                .get_mut(&target)
+                .unwrap_or_else(|| unreachable!("version cached above"));
             let outcome = {
                 let _execute_span = span!("ctr-execute");
                 self.run_one(dev, inject_at, dur)?

@@ -1,5 +1,7 @@
 //! Integration tests for the CTR baseline.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::DurationRange;
 use fades_ctr::{CtrCampaign, CtrTimeModel};
 use fades_fpga::ArchParams;

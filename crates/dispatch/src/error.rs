@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use fades_analysis::Diagnostic;
 use fades_core::CoreError;
 
 /// Errors from journaling, sharding and merging.
@@ -15,6 +16,11 @@ pub enum DispatchError {
     /// A journal belongs to a different campaign than expected (label,
     /// seed, fault count, shard geometry or run length disagree).
     Mismatch(String),
+    /// The structural linter found `Error`-severity diagnostics in the
+    /// design, so no journal was created and no experiment ran. Carries
+    /// the error diagnostics (warnings and inventory are dropped here —
+    /// `fades-experiments analyze` reports the full list).
+    Lint(Vec<Diagnostic>),
     /// The underlying campaign failed.
     Core(CoreError),
 }
@@ -25,6 +31,13 @@ impl fmt::Display for DispatchError {
             DispatchError::Io(e) => write!(f, "journal I/O: {e}"),
             DispatchError::Journal(msg) => write!(f, "bad journal: {msg}"),
             DispatchError::Mismatch(msg) => write!(f, "journal mismatch: {msg}"),
+            DispatchError::Lint(diags) => {
+                write!(f, "design rejected by lint ({} error(s))", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             DispatchError::Core(e) => write!(f, "campaign: {e}"),
         }
     }

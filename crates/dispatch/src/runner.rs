@@ -76,6 +76,27 @@ pub struct ShardOutcome {
     pub cancelled: bool,
 }
 
+/// The admission gate every shard run passes through: lints the placed
+/// design and refuses to campaign against one with `Error`-severity
+/// findings (the structurally-broken class — combinational cycles).
+/// Warnings and inventory pass; the full diagnostic list is the
+/// `fades-experiments analyze` subcommand's job.
+///
+/// Exposed so service backends can gate admission on the same rule set
+/// without paying for a journal round-trip first.
+///
+/// # Errors
+///
+/// [`DispatchError::Lint`] carrying the error-severity diagnostics.
+pub fn lint_gate(bitstream: &fades_fpga::Bitstream) -> Result<(), DispatchError> {
+    let mut diagnostics = fades_analysis::lint(bitstream);
+    if fades_analysis::worst(&diagnostics) == Some(fades_analysis::Severity::Error) {
+        diagnostics.retain(|d| d.severity == fades_analysis::Severity::Error);
+        return Err(DispatchError::Lint(diagnostics));
+    }
+    Ok(())
+}
+
 /// Executes shard `shard` of `count` of `plan` against the journal at
 /// `journal_path`.
 ///
@@ -100,9 +121,12 @@ pub struct ShardOutcome {
 ///
 /// # Errors
 ///
-/// Invalid shard geometry (`count == 0` or `shard >= count`, surfaced
-/// as [`CoreError::ShardGeometry`](fades_core::CoreError) before any
-/// journal is touched), journal I/O or header mismatches, or
+/// A design with `Error`-severity lint diagnostics is rejected by
+/// [`lint_gate`] as [`DispatchError::Lint`] before any journal is
+/// touched. Other
+/// failures: invalid shard geometry (`count == 0` or `shard >= count`,
+/// surfaced as [`CoreError::ShardGeometry`](fades_core::CoreError)
+/// before any journal is touched), journal I/O or header mismatches, or
 /// infrastructure errors from the campaign executor (per-experiment
 /// faults are quarantined instead).
 pub fn run_shard(
@@ -113,6 +137,10 @@ pub fn run_shard(
     journal_path: &Path,
     opts: &ShardOptions,
 ) -> Result<ShardOutcome, DispatchError> {
+    // Pre-campaign gate: runs before any journal I/O so a rejected
+    // shard leaves nothing on disk to resume from.
+    lint_gate(&campaign.implementation().bitstream)?;
+
     let header = JournalHeader {
         campaign: plan.target.clone(),
         load: opts.load.clone(),
@@ -163,8 +191,15 @@ pub fn run_shard(
                 attempts: *attempts,
             },
         };
-        if let Err(e) = journal.lock().unwrap().append(&record) {
-            append_error.lock().unwrap().get_or_insert(e);
+        let append = journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .append(&record);
+        if let Err(e) = append {
+            append_error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get_or_insert(e);
         }
     };
 
@@ -228,7 +263,10 @@ pub fn run_shard(
     if let Some(rec) = recorder {
         rec.finish();
     }
-    if let Some(e) = append_error.into_inner().unwrap() {
+    if let Some(e) = append_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         return Err(e);
     }
 
@@ -258,7 +296,7 @@ pub fn run_shard(
     if !replay.shard_complete && completed + quarantined.len() as u64 == shard_size {
         journal
             .into_inner()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .append(&JournalRecord::ShardComplete {
                 completed,
                 quarantined: quarantined.len() as u64,

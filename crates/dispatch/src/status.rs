@@ -193,7 +193,11 @@ impl ShardStatusReport {
             Some(e) => obj.f64("eta_s", e),
             None => obj.raw("eta_s", "null"),
         };
-        let missing: Vec<String> = self.missing_shards.iter().map(|s| s.to_string()).collect();
+        let missing: Vec<String> = self
+            .missing_shards
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         obj.raw("shards", &fades_telemetry::json::array(&shards))
             .raw("missing_shards", &format!("[{}]", missing.join(",")))
             .finish()
@@ -356,7 +360,11 @@ mod tests {
         // resolve (span can round to 0 ms) but must never panic, and the
         // JSON view must parse either way.
         let v = fades_telemetry::json::parse(&report.to_json()).expect("status JSON");
-        assert_eq!(v.get("completed").and_then(|x| x.as_u64()), Some(6));
+        assert_eq!(
+            v.get("completed")
+                .and_then(fades_telemetry::json::JsonValue::as_u64),
+            Some(6)
+        );
         assert_eq!(v.get("campaign").and_then(|x| x.as_str()), Some("all FFs"));
         let _ = std::fs::remove_file(&p0);
         let _ = std::fs::remove_file(&p1);
@@ -444,11 +452,15 @@ mod tests {
             );
             let v = fades_telemetry::json::parse(&json).expect("status JSON parses");
             assert!(
-                v.get("faults_per_sec").and_then(|x| x.as_f64()).is_none(),
+                v.get("faults_per_sec")
+                    .and_then(fades_telemetry::json::JsonValue::as_f64)
+                    .is_none(),
                 "{name}: faults_per_sec renders null"
             );
             assert!(
-                v.get("eta_s").and_then(|x| x.as_f64()).is_none(),
+                v.get("eta_s")
+                    .and_then(fades_telemetry::json::JsonValue::as_f64)
+                    .is_none(),
                 "{name}: eta_s renders null"
             );
             let _ = std::fs::remove_file(&path);

@@ -3,6 +3,8 @@
 //! One sequential test: the chaos hooks are process-wide environment
 //! variables, so the scenarios must not run on parallel test threads.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use std::fs;
 use std::path::PathBuf;
 

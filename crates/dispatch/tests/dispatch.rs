@@ -1,5 +1,7 @@
 //! End-to-end shard / resume / merge behaviour on a real campaign.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -102,6 +104,47 @@ fn merged_shards_are_bit_identical_to_the_monolithic_run() {
     assert!(
         status.lane_occupancy > 0.0,
         "batched sharded runs must feed /status lane occupancy"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_gate_rejects_error_designs_and_shard_runs_pass_through_it() {
+    // A LUT feeding its own input pin is a combinational cycle, the one
+    // lint rule with `Error` severity. Such a bitstream cannot even
+    // become a `Campaign` (device construction refuses the loop), so the
+    // gate is exercised directly — it is the same call `run_shard` makes
+    // before touching any journal.
+    let mut broken = fades_fpga::Bitstream::new(ArchParams::small());
+    let cycle_cb = fades_fpga::CbCoord::new(15, 15);
+    let out = broken.place_lut(cycle_cb, 0xAAAA).unwrap();
+    broken.connect_lut_pin(cycle_cb, 0, out).unwrap();
+    match fades_dispatch::lint_gate(&broken) {
+        Err(DispatchError::Lint(diags)) => {
+            assert!(!diags.is_empty());
+            assert!(
+                diags
+                    .iter()
+                    .all(|d| d.severity == fades_analysis::Severity::Error),
+                "the Lint error carries only the error-severity findings: {diags:?}"
+            );
+            assert!(diags.iter().any(|d| d.rule == "comb-cycle"), "{diags:?}");
+        }
+        other => panic!("expected a lint rejection, got {other:?}"),
+    }
+
+    // A healthy design passes the gate inside run_shard — and the lint
+    // pass feeds the process-wide diagnostics counter while doing so.
+    let (nl, imp) = lfsr_campaign();
+    let campaign = Campaign::new(&nl, imp, &["q"], 150).unwrap();
+    let load = FaultLoad::pulses(TargetClass::AllLuts, DurationRange::SHORT);
+    let plan = campaign.plan(&load, 4, 7).unwrap();
+    let dir = scratch_dir("lintgate");
+    let before = fades_telemetry::analysis::LINT_DIAGNOSTICS.get();
+    run_shard(&campaign, &plan, 0, 1, &dir.join("ok.jsonl"), &opts()).unwrap();
+    assert!(
+        fades_telemetry::analysis::LINT_DIAGNOSTICS.get() > before,
+        "run_shard must actually lint the design on admission"
     );
     let _ = fs::remove_dir_all(&dir);
 }

@@ -132,6 +132,9 @@ impl ExperimentContext {
             let found = campaign.screen_sensitive_ffs(3, seed)?;
             let _ = self.screened.set(found);
         }
-        Ok(self.screened.get().expect("just initialised"))
+        Ok(self
+            .screened
+            .get()
+            .unwrap_or_else(|| unreachable!("initialised above")))
     }
 }

@@ -119,7 +119,7 @@ fn cmd_shard(args: &[String]) -> Result<(), Box<dyn Error>> {
     let spec = args.first().ok_or(USAGE)?;
     let (shard, count) = parse_shard_spec(spec)?;
     let journal = args.get(1).ok_or(USAGE)?;
-    let load_name = args.get(2).map(String::as_str).unwrap_or("bitflip-ffs");
+    let load_name = args.get(2).map_or("bitflip-ffs", String::as_str);
     execute_shard(
         shard,
         count,
@@ -273,7 +273,11 @@ mod tests {
 
     #[test]
     fn batch_flags_split_off_and_last_wins() {
-        let strs = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let strs = |a: &[&str]| {
+            a.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+        };
         let (rest, batch) = split_batch_flag(&strs(&["0/2", "j.jsonl", "--no-batch"]));
         assert_eq!(rest, strs(&["0/2", "j.jsonl"]));
         assert_eq!(batch, Some(false));

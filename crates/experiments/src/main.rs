@@ -4,6 +4,7 @@
 //! fades-experiments [table1|fig10|table2|fig11|fig12|fig13|fig14|fig15|table3|table4|permanent|techniques|scaling|batch|setup|all]
 //! fades-experiments batch [--n N] [--threads T]        # lane-engine speed section
 //!                                                      # (T > 1 adds a multi-thread row)
+//! fades-experiments analyze [load|all] [--json]        # lint + static pre-classification
 //! fades-experiments shard I/N <journal.jsonl> [load]   # run one shard, journaled
 //! fades-experiments resume <journal.jsonl>             # finish a journaled shard
 //! fades-experiments merge <journal.jsonl|dir>...       # fold shards into one result
@@ -25,6 +26,9 @@
 //! * `FADES_NO_SPARSE` — `1` disables the sparse divergence-frontier
 //!   settle (full eval-order sweep every cycle); both hatches are
 //!   wall-clock-only — results are bit-identical either way
+//! * `FADES_NO_STATIC` — `1` disables acting on static `StaticSilent`
+//!   pre-classification (every planned fault executes); wall-clock-only,
+//!   campaign statistics are bit-identical either way
 //! * `FADES_METRICS_ADDR` — serve live `GET /metrics` + `GET /status` on
 //!   this `host:port` while the run executes (port 0 picks a free port;
 //!   the bound address is written to `FADES_METRICS_ADDR_FILE` if set)
@@ -118,6 +122,9 @@ fn finish_observability(observability: Observability) {
 }
 
 fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    if let Some(result) = fades_experiments::analyze_cli::try_analyze(args) {
+        return result;
+    }
     if let Some(result) = fades_experiments::dispatch_cli::try_dispatch(args) {
         return result;
     }
@@ -128,6 +135,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     if !KNOWN.contains(&which.as_str()) {
         eprintln!("unknown experiment `{which}`");
         eprintln!("{}", usage());
+        eprintln!("or: fades-experiments analyze [load|all] [--json] [--design 8051|demo-dead]");
         eprintln!("or: fades-experiments shard I/N <journal> [load] | resume <journal> | merge <journal|dir>... | status <journal|dir>... [--watch]");
         eprintln!("or: fades-experiments serve [--addr H:P] [--queue-dir D] | submit [load] | jobs [id] | results <id> | cancel <id> | shutdown");
         std::process::exit(2);
@@ -165,9 +173,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     } else {
         None
     };
-    if all || which == "table2" {
+    if let Some(fig10) = fig10_result.as_ref().filter(|_| all || which == "table2") {
         section("Table 2 — speed-up obtained via FADES over VFIT");
-        let r = table2::from_fig10(&ctx, fig10_result.as_ref().expect("fig10 computed"));
+        let r = table2::from_fig10(&ctx, fig10);
         print!("{}", r.table());
     }
     if all || which == "fig11" {
@@ -279,10 +287,7 @@ fn print_setup(ctx: &ExperimentContext, n: usize, seed: u64) {
     let (luts, ffs, brams) = ctx.implementation().bitstream.utilisation();
     let arch = ctx.implementation().bitstream.arch();
     println!("Experimental setup (paper §6.1):");
-    println!(
-        "  model: 8051 subset, {} LUTs / {} FFs / {} memory blocks implemented",
-        luts, ffs, brams
-    );
+    println!("  model: 8051 subset, {luts} LUTs / {ffs} FFs / {brams} memory blocks implemented");
     println!(
         "  device: {}x{} CLBs, {} frames/column x {} bytes, {} BRAM blocks, {:.0} MHz",
         arch.rows,

@@ -57,10 +57,20 @@ pub struct ExperimentBackend {
     workload: Workload,
     implementation: Implementation,
     workload_cycles: u64,
+    /// Structural lint findings over the implemented design, computed
+    /// once at construction. Admission rejects every job while an
+    /// `Error`-severity finding is present.
+    diagnostics: Vec<fades_analysis::Diagnostic>,
 }
 
 impl ExperimentBackend {
-    /// Builds the standard setup (Bubblesort on the 8051) once.
+    /// Builds the standard setup (Bubblesort on the 8051) once and lints
+    /// the implemented design. Diagnostics are surfaced in the run log
+    /// (`FADES_RUN_LOG`) as structured `lint` lines and counted on
+    /// `/metrics`; `Error`-severity findings make [`validate`] reject
+    /// every submission.
+    ///
+    /// [`validate`]: CampaignBackend::validate
     ///
     /// # Errors
     ///
@@ -68,12 +78,22 @@ impl ExperimentBackend {
     pub fn new() -> Result<ExperimentBackend, Box<dyn Error>> {
         let (soc, workload, implementation, workload_cycles) =
             ExperimentContext::new()?.into_parts();
+        let diagnostics = fades_analysis::lint(&implementation.bitstream);
+        for d in &diagnostics {
+            fades_telemetry::log_raw_line(&d.to_runlog_json("8051-bubblesort"));
+        }
         Ok(ExperimentBackend {
             soc,
             workload,
             implementation,
             workload_cycles,
+            diagnostics,
         })
+    }
+
+    /// The lint findings computed at construction.
+    pub fn diagnostics(&self) -> &[fades_analysis::Diagnostic] {
+        &self.diagnostics
     }
 
     fn memory_targets(&self) -> fades_core::TargetClass {
@@ -87,6 +107,19 @@ impl ExperimentBackend {
 
 impl CampaignBackend for ExperimentBackend {
     fn validate(&self, spec: &JobSpec) -> Result<(), String> {
+        if fades_analysis::worst(&self.diagnostics) == Some(fades_analysis::Severity::Error) {
+            let errors: Vec<String> = self
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == fades_analysis::Severity::Error)
+                .map(ToString::to_string)
+                .collect();
+            return Err(format!(
+                "design rejected by lint ({} error(s)): {}",
+                errors.len(),
+                errors.join("; ")
+            ));
+        }
         if named_load_for(&spec.load, || self.memory_targets()).is_none() {
             return Err(format!(
                 "unknown fault load `{}` (known: {})",
@@ -212,6 +245,20 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn Error>> {
 
     eprintln!("[building experimental setup (8051 + implementation + golden run)]");
     let backend = ExperimentBackend::new()?;
+    let diags = backend.diagnostics();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == fades_analysis::Severity::Error)
+        .count();
+    eprintln!(
+        "[lint: {} diagnostic(s), {errors} error(s){}]",
+        diags.len(),
+        if errors > 0 {
+            " — submissions will be rejected"
+        } else {
+            ""
+        }
+    );
     let service = Service::start(
         &ServiceConfig {
             queue_dir: queue_dir.clone(),
@@ -278,10 +325,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn Error>> {
                 .into(),
         );
     }
-    let load = positional
-        .first()
-        .map(String::as_str)
-        .unwrap_or("bitflip-ffs");
+    let load = positional.first().map_or("bitflip-ffs", String::as_str);
     let faults = numeric_flag(&flags, "faults", crate::fault_count_from_env() as u64)?;
     let seed = numeric_flag(&flags, "seed", crate::seed_from_env())?;
     let shards = numeric_flag(&flags, "shards", 1u32)?;
@@ -327,12 +371,17 @@ fn cmd_jobs(args: &[String]) -> Result<(), Box<dyn Error>> {
             let job = v.get("job").ok_or("malformed job response")?;
             print_job_line(job);
             if let Some(progress) = v.get("progress") {
-                let num = |k: &str| progress.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                let num = |k: &str| {
+                    progress
+                        .get(k)
+                        .and_then(fades_telemetry::json::JsonValue::as_u64)
+                        .unwrap_or(0)
+                };
                 let settled = num("completed") + num("quarantined");
                 let expected = num("expected");
                 let eta = progress
                     .get("eta_s")
-                    .and_then(|x| x.as_f64())
+                    .and_then(fades_telemetry::json::JsonValue::as_f64)
                     .map(|e| format!(", ETA {e:.0}s"))
                     .unwrap_or_default();
                 println!("  progress: {settled}/{expected} settled{eta}");
@@ -350,7 +399,11 @@ fn print_job_line(job: &json::JsonValue) {
             .unwrap_or("?")
             .to_string()
     };
-    let num = |k: &str| job.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let num = |k: &str| {
+        job.get(k)
+            .and_then(fades_telemetry::json::JsonValue::as_u64)
+            .unwrap_or(0)
+    };
     println!(
         "{} [{}] load {}, {} faults, seed {}, {} shard(s) — {}",
         field("id"),
@@ -380,12 +433,21 @@ fn cmd_results(args: &[String]) -> Result<(), Box<dyn Error>> {
     let v = json::parse(response.trim())?;
     let complete = matches!(v.get("complete"), Some(json::JsonValue::Bool(true)));
     let stats = v.get("stats").ok_or("malformed results response")?;
-    let num = |k: &str| stats.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let num = |k: &str| {
+        stats
+            .get(k)
+            .and_then(fades_telemetry::json::JsonValue::as_u64)
+            .unwrap_or(0)
+    };
     println!(
         "{id}: {} ({} completed, {} missing, {} quarantined)",
         if complete { "complete" } else { "partial" },
-        v.get("completed").and_then(|x| x.as_u64()).unwrap_or(0),
-        v.get("missing").and_then(|x| x.as_u64()).unwrap_or(0),
+        v.get("completed")
+            .and_then(fades_telemetry::json::JsonValue::as_u64)
+            .unwrap_or(0),
+        v.get("missing")
+            .and_then(fades_telemetry::json::JsonValue::as_u64)
+            .unwrap_or(0),
         match v.get("quarantined") {
             Some(json::JsonValue::Array(q)) => q.len(),
             _ => 0,
@@ -402,7 +464,7 @@ fn cmd_results(args: &[String]) -> Result<(), Box<dyn Error>> {
         "  modelled {:.6} s total ({})",
         stats
             .get("emulation_seconds")
-            .and_then(|x| x.as_f64())
+            .and_then(fades_telemetry::json::JsonValue::as_f64)
             .unwrap_or(0.0),
         stats
             .get("emulation_seconds_bits")
@@ -451,7 +513,7 @@ mod tests {
     use super::*;
 
     fn strs(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

@@ -208,10 +208,7 @@ fn print_report(report: &ShardStatusReport, json: bool) {
         h.campaign, h.load, h.n_total, h.seed, h.of
     );
     for s in &report.shards {
-        let rate = s
-            .rate
-            .map(|r| format!("{r:.1}/s"))
-            .unwrap_or_else(|| "-".into());
+        let rate = s.rate.map_or_else(|| "-".into(), |r| format!("{r:.1}/s"));
         println!(
             "  shard {}: {}/{} settled ({} completed, {} quarantined, {} retried) {} {}{}",
             s.shard,
@@ -231,8 +228,7 @@ fn print_report(report: &ShardStatusReport, json: bool) {
     }
     let rate = report
         .rate
-        .map(|r| format!("{r:.1} faults/s"))
-        .unwrap_or_else(|| "rate unknown".into());
+        .map_or_else(|| "rate unknown".into(), |r| format!("{r:.1} faults/s"));
     let eta = match report.eta_s {
         Some(e) => format!("ETA {e:.0}s"),
         None if report.all_complete() => "complete".into(),
@@ -259,7 +255,7 @@ mod tests {
     use super::*;
 
     fn strs(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

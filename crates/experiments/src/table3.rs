@@ -45,7 +45,6 @@ pub struct Table3Result {
 /// # Errors
 ///
 /// Propagates campaign errors.
-#[allow(clippy::too_many_lines)]
 pub fn run(ctx: &ExperimentContext, n_faults: usize, seed: u64) -> Result<Table3Result, CoreError> {
     let fades = ctx.fades_campaign()?;
     let vfit = ctx.vfit_campaign()?;
@@ -228,7 +227,7 @@ pub fn run(ctx: &ExperimentContext, n_faults: usize, seed: u64) -> Result<Table3
 impl Table3Result {
     /// Renders the table.
     pub fn table(&self) -> TextTable {
-        let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or("-".into());
+        let fmt_opt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.2}"));
         let mut t = TextTable::new(&[
             "model",
             "location",

@@ -52,8 +52,12 @@ fn read_registers(ctx: &ExperimentContext, dev: &Device) -> Vec<(String, u64)> {
         let cells = netlist.dffs_with_prefix(&format!("{name}["));
         let mut value = 0u64;
         for (bit, cell) in cells.iter().enumerate() {
-            let site = map.ff_site(*cell).expect("register FF is placed");
-            if dev.peek_ff(site).expect("placed FF is readable") {
+            // Register FFs are placed and readable by construction of
+            // the 8051 implementation; skip defensively otherwise.
+            let Some(site) = map.ff_site(*cell) else {
+                continue;
+            };
+            if dev.peek_ff(site) == Some(true) {
                 value |= 1 << bit;
             }
         }

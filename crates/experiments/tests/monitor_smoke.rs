@@ -9,6 +9,8 @@
 //! a deliberately huge shard, scrapes its live `/metrics` and `/status`
 //! endpoints mid-run with the crate's own HTTP client, then kills it.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::{Duration, Instant};

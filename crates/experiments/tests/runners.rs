@@ -1,6 +1,8 @@
 //! Smoke tests: every regenerator produces a complete, well-formed
 //! result at small fault counts.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_experiments::{
     fig10, fig11, fig12, fig13, fig14, fig15, permanent, scaling, table1, table2, table3, table4,
     techniques, ExperimentContext,

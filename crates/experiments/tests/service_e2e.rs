@@ -13,6 +13,8 @@
 //! to recompute here — the scalar path would take minutes at this
 //! fault count).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 use std::time::{Duration, Instant};

@@ -376,6 +376,84 @@ pub struct BatchDevice {
     ff_touched_since_edge: bool,
 }
 
+/// One reason a pristine configuration cannot be represented bit-exactly
+/// by the transposed lane store of [`BatchDevice`].
+///
+/// Campaign engines fall back to scalar execution when any obstacle is
+/// present; the `lane-obstacle` lint rule in `fades-analysis` reports the
+/// same findings as diagnostics so the fallback is explained instead of
+/// showing up as an unexplained scalar run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneObstacle {
+    /// A memory word wider than the 64-bit lane word.
+    WordTooWide {
+        /// The offending memory block.
+        bram: crate::coords::BramId,
+        /// Its declared word width.
+        width: u32,
+    },
+    /// Pristine memory words carrying bits at or above the declared
+    /// width. The scalar device preserves such stray bits in state
+    /// snapshots until the word is first written; the lane store cannot,
+    /// so the engines would disagree on `Latent` classification.
+    StrayBits {
+        /// The offending memory block.
+        bram: crate::coords::BramId,
+        /// Word addresses with stray bits, ascending.
+        addrs: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for LaneObstacle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaneObstacle::WordTooWide { bram, width } => {
+                write!(
+                    f,
+                    "bram{} word width {width} exceeds the 64-bit lane word",
+                    bram.0
+                )
+            }
+            LaneObstacle::StrayBits { bram, addrs } => {
+                write!(
+                    f,
+                    "bram{} has stray bits above the declared width at word address(es) {addrs:?}",
+                    bram.0
+                )
+            }
+        }
+    }
+}
+
+/// Enumerates everything that stops [`BatchDevice::new`] from lane-encoding
+/// `bitstream`. Empty means the lane engine can represent the design
+/// bit-exactly. Deterministic: blocks in id order, addresses ascending.
+pub fn lane_obstacles(bitstream: &Bitstream) -> Vec<LaneObstacle> {
+    let mut out = Vec::new();
+    for (i, b) in bitstream.brams().iter().enumerate() {
+        let bram = crate::coords::BramId(i as u16);
+        let width = b.width as usize;
+        if width > 64 {
+            out.push(LaneObstacle::WordTooWide {
+                bram,
+                width: b.width,
+            });
+        } else if width < 64 {
+            let addrs: Vec<usize> = b
+                .contents
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w >> width != 0)
+                .map(|(a, _)| a)
+                .collect();
+            if !addrs.is_empty() {
+                out.push(LaneObstacle::StrayBits { bram, addrs });
+            }
+        }
+    }
+    out
+}
+
 impl BatchDevice {
     /// Builds a lane engine from a configured device.
     ///
@@ -384,24 +462,18 @@ impl BatchDevice {
     /// has done to `dev` since configuring it.
     ///
     /// Returns `None` for configurations the engine cannot represent
-    /// bit-exactly: a memory word wider than 64 bits, or pristine memory
-    /// contents with bits set at or above the declared width (the scalar
-    /// device preserves such stray bits in state snapshots until the word
-    /// is first written; the transposed lane store does not keep them).
+    /// bit-exactly (see [`lane_obstacles`]), counting the refusal in
+    /// `fades_telemetry::analysis::LANE_FALLBACKS` so the resulting
+    /// scalar fallback is visible on `/metrics`.
     #[must_use]
     pub fn new(dev: &Device) -> Option<Self> {
         let mut d = dev.clone();
         d.reset();
         let arch = *d.arch();
         let pristine = d.pristine.clone();
-        for b in pristine.brams().iter() {
-            let width = b.width as usize;
-            if width > 64 {
-                return None;
-            }
-            if width < 64 && b.contents.iter().any(|&w| w >> width != 0) {
-                return None;
-            }
+        if !lane_obstacles(&pristine).is_empty() {
+            fades_telemetry::analysis::LANE_FALLBACKS.inc();
+            return None;
         }
 
         let luts = std::mem::take(&mut d.luts);
@@ -1441,6 +1513,10 @@ impl BatchDevice {
     /// bit differs from golden lies in the fan-out of a snapped word,
     /// because the configuration is pristine and primary inputs are
     /// lane-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is 0 (the golden lane) or out of range.
     pub fn snap_lane_to_golden(&mut self, lane: usize) {
         assert!((1..LANES).contains(&lane), "lane {lane} out of range");
         let m = 1u64 << lane;

@@ -214,7 +214,7 @@ impl Bitstream {
             }
         }
         let out = self.new_wire(WireDriver::CbLut(cb));
-        let cfg = self.cb_mut(cb).expect("validated above");
+        let cfg = self.cb_mut(cb)?;
         cfg.lut_used = true;
         cfg.lut_table = table;
         cfg.lut_pins = pins;
@@ -250,7 +250,7 @@ impl Bitstream {
             }
         }
         let out = self.new_wire(WireDriver::CbFf(cb));
-        let cfg = self.cb_mut(cb).expect("validated above");
+        let cfg = self.cb_mut(cb)?;
         cfg.ff_used = true;
         cfg.ff_init = init;
         cfg.ff_d_src = d_src;
@@ -266,7 +266,6 @@ impl Bitstream {
     /// Returns [`FpgaError::NoBramAvailable`] if all blocks are in use,
     /// [`FpgaError::BramTooLarge`] if the memory exceeds one block, or
     /// [`FpgaError::BadWire`] for a bad pin wire.
-    #[allow(clippy::too_many_arguments)]
     pub fn add_bram(
         &mut self,
         name: impl Into<String>,
@@ -335,7 +334,7 @@ impl Bitstream {
             return Err(FpgaError::CbOccupied(cb));
         }
         let out = self.new_wire(WireDriver::CbLut(cb));
-        let cfg = self.cb_mut(cb).expect("validated above");
+        let cfg = self.cb_mut(cb)?;
         cfg.lut_used = true;
         cfg.lut_table = table;
         Ok(out)
@@ -352,7 +351,7 @@ impl Bitstream {
             return Err(FpgaError::CbOccupied(cb));
         }
         let out = self.new_wire(WireDriver::CbFf(cb));
-        let cfg = self.cb_mut(cb).expect("validated above");
+        let cfg = self.cb_mut(cb)?;
         cfg.ff_used = true;
         cfg.ff_init = init;
         Ok(out)
@@ -414,7 +413,7 @@ impl Bitstream {
         self.wire_mut(wire)?
             .sinks
             .push(WireSink::LutPin { cb, pin });
-        self.cb_mut(cb).expect("validated above").lut_pins[pin as usize] = Some(wire);
+        self.cb_mut(cb)?.lut_pins[pin as usize] = Some(wire);
         Ok(())
     }
 
@@ -440,7 +439,7 @@ impl Bitstream {
                 self.wire_mut(w)?.sinks.push(WireSink::FfDirect { cb });
             }
         }
-        self.cb_mut(cb).expect("validated above").ff_d_src = src;
+        self.cb_mut(cb)?.ff_d_src = src;
         Ok(())
     }
 
@@ -473,7 +472,7 @@ impl Bitstream {
         if let Some(w) = we {
             self.wire_mut(w)?.sinks.push(WireSink::BramWe { bram });
         }
-        let b = self.bram_mut(bram).expect("validated above");
+        let b = self.bram_mut(bram)?;
         b.addr_pins = addr.to_vec();
         b.din_pins = din.to_vec();
         b.we_pin = we;
@@ -526,7 +525,7 @@ impl Bitstream {
 
     /// All completely unused blocks (candidates for delay detours).
     pub fn unused_cbs(&self) -> Vec<CbCoord> {
-        self.used_cbs(|c| c.is_unused())
+        self.used_cbs(super::cb::CbConfig::is_unused)
     }
 
     fn used_cbs(&self, pred: impl Fn(&CbConfig) -> bool) -> Vec<CbCoord> {

@@ -172,7 +172,7 @@ impl Device {
                 WireDriver::CbLut(cb) => lut_out_wire[cb.flat_index(rows)] = Some(wi as u32),
                 WireDriver::CbFf(cb) => ff_out_wire[cb.flat_index(rows)] = Some(wi as u32),
                 WireDriver::BramDout { bram, bit } => {
-                    bram_dout[bram.index()][*bit as usize] = Some(wi as u32)
+                    bram_dout[bram.index()][*bit as usize] = Some(wi as u32);
                 }
                 WireDriver::PrimaryInput { .. } => {}
             }
@@ -307,11 +307,9 @@ impl Device {
                 }
             }
         }
-        if order.len() != total {
-            let stuck = all_nodes
-                .iter()
-                .find(|&&n| !done[node_key(n)])
-                .expect("a node must be stuck");
+        // A node the queue never reached sits on a cycle: report one of
+        // its output wires for diagnosis.
+        if let Some(stuck) = all_nodes.iter().find(|&&n| !done[node_key(n)]) {
             let wire = match stuck {
                 CombNode::Lut(i) => self.luts[*i as usize].out_wire.unwrap_or(0),
                 CombNode::Bram(i) => self.bram_dout_wires[*i as usize]
@@ -548,10 +546,10 @@ impl Device {
                     (we_now, addr_now, din_now)
                 };
             if we_eff {
-                let bram = self
-                    .bits
-                    .bram_mut(BramId::from_index(bi))
-                    .expect("compiled BRAM index is valid");
+                // Compiled port indices are valid by construction.
+                let Ok(bram) = self.bits.bram_mut(BramId::from_index(bi)) else {
+                    continue;
+                };
                 let old = bram.contents[addr_eff];
                 bram.contents[addr_eff] = din_eff;
                 let cell = ((bi as u64) << 32) | addr_eff as u64;
@@ -895,6 +893,27 @@ impl Device {
         }
     }
 
+    /// Whether the flip-flop at `cb` has a setup-time violation in the
+    /// *pristine* timing report (its data arrival overshoots the clock
+    /// period, so it captures the previous cycle's value). `false` for
+    /// coordinates without a used flip-flop.
+    ///
+    /// The static fault pre-classifier uses this: a violated register
+    /// heals one cycle later than a clean one, so the conservative
+    /// plan-time rules simply refuse to pre-classify faults on it.
+    pub fn ff_timing_violated(&self, cb: CbCoord) -> bool {
+        let flat = cb.flat_index(self.bits.arch().rows);
+        match self.ff_of_cb.get(flat) {
+            Some(&idx) if idx != u32::MAX => self
+                .timing
+                .ff_violated
+                .get(idx as usize)
+                .copied()
+                .unwrap_or(true),
+            _ => false,
+        }
+    }
+
     /// Snapshot of all sequential state (flip-flops then memory words),
     /// used for Latent-fault classification at experiment end.
     pub fn state_snapshot(&self) -> Vec<u64> {
@@ -971,10 +990,9 @@ impl Device {
             "snapshot BRAM count matches device"
         );
         for (bi, contents) in snap.bram_contents.iter().enumerate() {
-            let b = self
-                .bits
-                .bram_mut(BramId::from_index(bi))
-                .expect("snapshot BRAM index is valid");
+            let Ok(b) = self.bits.bram_mut(BramId::from_index(bi)) else {
+                continue;
+            };
             b.contents.copy_from_slice(contents);
         }
         self.bram_hash = snap.bram_hash;

@@ -75,16 +75,24 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, FpgaError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().map_err(|_| bad("short field"))?,
+        ))
     }
     fn u32(&mut self) -> Result<u32, FpgaError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().map_err(|_| bad("short field"))?,
+        ))
     }
     fn u64(&mut self) -> Result<u64, FpgaError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().map_err(|_| bad("short field"))?,
+        ))
     }
     fn f64(&mut self) -> Result<f64, FpgaError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().map_err(|_| bad("short field"))?,
+        ))
     }
     fn str(&mut self) -> Result<String, FpgaError> {
         let n = self.u32()? as usize;
@@ -266,7 +274,6 @@ impl Bitstream {
     ///
     /// Returns [`FpgaError::BadConfigFile`] for truncated, corrupt or
     /// unsupported files.
-    #[allow(clippy::too_many_lines)]
     pub fn from_config_file(bytes: &[u8]) -> Result<Self, FpgaError> {
         let mut r = Reader::new(bytes);
         if r.take(8)? != MAGIC {

@@ -48,8 +48,10 @@
 //! # Ok::<(), fades_fpga::FpgaError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)
+)]
 
 mod arch;
 mod batch;
@@ -68,7 +70,10 @@ mod state;
 mod timing;
 
 pub use arch::ArchParams;
-pub use batch::{sparse_default, BatchDevice, ConfigAccess, LaneDevice, GOLDEN_LANE_MASK, LANES};
+pub use batch::{
+    lane_obstacles, sparse_default, BatchDevice, ConfigAccess, LaneDevice, LaneObstacle,
+    GOLDEN_LANE_MASK, LANES,
+};
 pub use bitstream::Bitstream;
 pub use bram::BramConfig;
 pub use cb::{CbConfig, FfDSrc, SetReset};

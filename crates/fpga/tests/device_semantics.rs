@@ -1,5 +1,7 @@
 //! Device-level semantics of the reconfiguration mechanisms.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_fpga::{
     ArchParams, Bitstream, CbCoord, Device, FfDSrc, Mutation, SetReset, TransferKind,
 };

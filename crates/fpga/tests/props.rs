@@ -1,5 +1,7 @@
 //! Property-based tests for the FPGA substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_fpga::{
     ArchParams, Bitstream, CbConfig, CbCoord, Device, Mutation, WireConfig, WireDriver,
 };

@@ -208,7 +208,6 @@ impl Iss {
         self.cycle += 1;
     }
 
-    #[allow(clippy::too_many_lines)]
     fn exec_step(&mut self, step: &Step) {
         // 1. Program memory.
         let mut rom_byte = 0u8;

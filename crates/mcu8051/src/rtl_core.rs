@@ -33,7 +33,6 @@ use crate::iss::ROM_ADDR_BITS;
 ///
 /// Propagates netlist construction errors (they indicate a bug in the
 /// generator, not bad user input).
-#[allow(clippy::too_many_lines)]
 pub fn build_core(b: &mut RtlBuilder, rom_image: &[u8]) -> Result<CoreSignals, NetlistError> {
     // ---- Architectural registers (paper: "registers" fault target) ------
     b.set_unit(UnitTag::Registers);

@@ -107,7 +107,9 @@ pub fn bubblesort() -> Workload {
     a.bind(table);
     a.data(&BUBBLE_DATA);
 
-    let rom = a.assemble().expect("bubblesort assembles");
+    let rom = a
+        .assemble()
+        .unwrap_or_else(|e| unreachable!("static program must assemble: {e:?}"));
     let mut expected: Vec<u8> = BUBBLE_DATA.to_vec();
     expected.sort_unstable();
     Workload {
@@ -154,7 +156,9 @@ pub fn fibonacci() -> Workload {
     a.bind(spin);
     a.sjmp(spin);
 
-    let rom = a.assemble().expect("fibonacci assembles");
+    let rom = a
+        .assemble()
+        .unwrap_or_else(|e| unreachable!("static program must assemble: {e:?}"));
     let mut expected = Vec::new();
     let (mut f1, mut f2) = (1u8, 1u8);
     for _ in 0..COUNT {
@@ -235,7 +239,9 @@ pub fn crc8() -> Workload {
     a.bind(table);
     a.data(&CRC_DATA);
 
-    let rom = a.assemble().expect("crc8 assembles");
+    let rom = a
+        .assemble()
+        .unwrap_or_else(|e| unreachable!("static program must assemble: {e:?}"));
     // Reference CRC-8 implementation mirroring the assembly exactly.
     let mut expected = Vec::new();
     let mut crc = 0u8;
@@ -366,7 +372,9 @@ pub fn matvec() -> Workload {
     }
     a.data(&VEC);
 
-    let rom = a.assemble().expect("matvec assembles");
+    let rom = a
+        .assemble()
+        .unwrap_or_else(|e| unreachable!("static program must assemble: {e:?}"));
     let expected: Vec<u8> = MAT
         .iter()
         .map(|row| {

@@ -6,6 +6,8 @@
 //! port on every cycle for the real workloads, then fuzz with randomly
 //! generated straight-line programs to cover the whole instruction space.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_mcu8051::{build_soc, workloads, Iss};
 use fades_netlist::Simulator;
 use rand::rngs::StdRng;

@@ -1,5 +1,7 @@
 //! Property-based tests for the assembler and ISS arithmetic.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_mcu8051::asm::Asm;
 use fades_mcu8051::Iss;
 use proptest::prelude::*;

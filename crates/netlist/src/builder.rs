@@ -303,12 +303,12 @@ impl NetlistBuilder {
 
     /// Reduction AND over arbitrarily many nets (LUT tree).
     pub fn and_all(&mut self, nets: &[NetId]) -> NetId {
-        self.reduce(nets, true, |b, x, y| b.and2(x, y))
+        self.reduce(nets, true, NetlistBuilder::and2)
     }
 
     /// Reduction OR over arbitrarily many nets (LUT tree).
     pub fn or_all(&mut self, nets: &[NetId]) -> NetId {
-        self.reduce(nets, false, |b, x, y| b.or2(x, y))
+        self.reduce(nets, false, NetlistBuilder::or2)
     }
 
     fn reduce(

@@ -350,8 +350,7 @@ impl<'n> Simulator<'n> {
             let driven_by_comb = self
                 .netlist
                 .driver(f.net)
-                .map(|c| !matches!(self.netlist.cell(c), Cell::Dff(_)))
-                .unwrap_or(false);
+                .is_some_and(|c| !matches!(self.netlist.cell(c), Cell::Dff(_)));
             if !driven_by_comb {
                 let v = f.value(self.values[f.net.index()]);
                 self.values[f.net.index()] = v;

@@ -102,15 +102,9 @@ pub fn levelize(netlist: &Netlist) -> Result<LevelizeResult, NetlistError> {
         order.push(id);
     }
 
-    if order.len() != comb.len() {
-        // Some cell never reached zero pending fan-in: report a net on the
-        // cycle for diagnosis.
-        let stuck = comb
-            .iter()
-            .enumerate()
-            .find(|(pos, _)| pending[*pos] > 0)
-            .map(|(_, &id)| id)
-            .expect("at least one cell must be stuck");
+    // A cell that never reached zero pending fan-in sits on a cycle:
+    // report one of its output nets for diagnosis.
+    if let Some((_, &stuck)) = comb.iter().enumerate().find(|(pos, _)| pending[*pos] > 0) {
         let net = netlist.cell(stuck).outputs()[0];
         return Err(NetlistError::CombinationalLoop(net));
     }

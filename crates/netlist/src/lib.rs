@@ -43,8 +43,10 @@
 //! # Ok::<(), fades_netlist::NetlistError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)
+)]
 
 mod batch;
 mod builder;
@@ -54,7 +56,6 @@ mod force;
 mod interp;
 mod levelize;
 mod net;
-#[allow(clippy::module_inception)]
 mod netlist;
 mod stats;
 mod trace;

@@ -66,7 +66,7 @@ impl OutputTrace {
     /// uses to track divergence from the golden trace without building a
     /// trace of its own.
     pub fn row(&self, cycle: usize) -> Option<&[u64]> {
-        self.rows.get(cycle).map(|r| r.as_slice())
+        self.rows.get(cycle).map(std::vec::Vec::as_slice)
     }
 
     /// Compares this (faulty) trace against a golden trace.

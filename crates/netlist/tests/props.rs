@@ -1,5 +1,7 @@
 //! Property-based tests for the netlist layer.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_netlist::{NetlistBuilder, Simulator};
 use proptest::prelude::*;
 

@@ -206,7 +206,9 @@ pub fn implement(netlist: &Netlist, arch: ArchParams) -> Result<Implementation, 
 
     // --- Connection pass ------------------------------------------------
     let wire_of = |map: &ResourceMap, net: NetId| -> WireId {
-        map.net_wire[net.index()].expect("every driven net has a wire")
+        // Invariant of the construction pass above: every driven net got
+        // a wire. A miss here is a bug in the flow itself, not bad input.
+        map.net_wire[net.index()].unwrap_or_else(|| unreachable!("driven net without a wire"))
     };
     for (slot, site) in &site_of_slot {
         match *slot {
@@ -301,12 +303,12 @@ fn route(bs: &mut Bitstream, arch: ArchParams) -> Result<(), PnrError> {
             }
         }
         let (min_c, max_c) = (
-            *cols.iter().min().expect("wire has a driver"),
-            *cols.iter().max().expect("wire has a driver"),
+            cols.iter().min().copied().unwrap_or(0),
+            cols.iter().max().copied().unwrap_or(0),
         );
         let (min_r, max_r) = (
-            *rows.iter().min().expect("wire has a driver"),
-            *rows.iter().max().expect("wire has a driver"),
+            rows.iter().min().copied().unwrap_or(0),
+            rows.iter().max().copied().unwrap_or(0),
         );
         let half_perimeter = (max_c - min_c) as u32 + (max_r - min_r) as u32;
         let n_sinks = wire.sinks.len() as u32;

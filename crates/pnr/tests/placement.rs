@@ -1,5 +1,7 @@
 //! Placement and resource-map behaviour on the real 8051 design.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_fpga::ArchParams;
 use fades_mcu8051::{build_soc, workloads};
 use fades_netlist::{Cell, UnitTag};

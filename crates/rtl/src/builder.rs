@@ -109,17 +109,17 @@ impl RtlBuilder {
 
     /// Bitwise AND.
     pub fn and(&mut self, a: &Signal, b: &Signal) -> Signal {
-        self.bitwise(a, b, |nl, x, y| nl.and2(x, y))
+        self.bitwise(a, b, fades_netlist::NetlistBuilder::and2)
     }
 
     /// Bitwise OR.
     pub fn or(&mut self, a: &Signal, b: &Signal) -> Signal {
-        self.bitwise(a, b, |nl, x, y| nl.or2(x, y))
+        self.bitwise(a, b, fades_netlist::NetlistBuilder::or2)
     }
 
     /// Bitwise XOR.
     pub fn xor(&mut self, a: &Signal, b: &Signal) -> Signal {
-        self.bitwise(a, b, |nl, x, y| nl.xor2(x, y))
+        self.bitwise(a, b, fades_netlist::NetlistBuilder::xor2)
     }
 
     /// Bitwise NOT.

@@ -42,7 +42,8 @@ impl Signal {
     ///
     /// Panics if the signal is empty.
     pub fn msb(&self) -> NetId {
-        *self.bits.last().expect("signal must not be empty")
+        assert!(!self.bits.is_empty(), "signal must not be empty");
+        self.bits[self.bits.len() - 1]
     }
 
     /// A sub-range `[lo, lo+width)` as a new signal.

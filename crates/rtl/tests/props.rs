@@ -1,6 +1,8 @@
 //! Property-based tests: RTL operators versus their `u8`/`u16` reference
 //! semantics.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_netlist::Simulator;
 use fades_rtl::{RtlBuilder, Signal};
 use proptest::prelude::*;
@@ -27,13 +29,13 @@ fn eval2(build: impl FnOnce(&mut RtlBuilder, &Signal, &Signal) -> Signal, x: u8,
 proptest! {
     #[test]
     fn add_matches_wrapping_add(x in any::<u8>(), y in any::<u8>()) {
-        let got = eval2(|b, xs, ys| b.add(xs, ys), x, y);
+        let got = eval2(fades_rtl::RtlBuilder::add, x, y);
         prop_assert_eq!(got, x.wrapping_add(y) as u64);
     }
 
     #[test]
     fn sub_matches_wrapping_sub(x in any::<u8>(), y in any::<u8>()) {
-        let got = eval2(|b, xs, ys| b.sub(xs, ys), x, y);
+        let got = eval2(fades_rtl::RtlBuilder::sub, x, y);
         prop_assert_eq!(got, x.wrapping_sub(y) as u64);
     }
 
@@ -63,9 +65,9 @@ proptest! {
 
     #[test]
     fn bitwise_ops_match(x in any::<u8>(), y in any::<u8>()) {
-        prop_assert_eq!(eval2(|b, xs, ys| b.and(xs, ys), x, y), (x & y) as u64);
-        prop_assert_eq!(eval2(|b, xs, ys| b.or(xs, ys), x, y), (x | y) as u64);
-        prop_assert_eq!(eval2(|b, xs, ys| b.xor(xs, ys), x, y), (x ^ y) as u64);
+        prop_assert_eq!(eval2(fades_rtl::RtlBuilder::and, x, y), (x & y) as u64);
+        prop_assert_eq!(eval2(fades_rtl::RtlBuilder::or, x, y), (x | y) as u64);
+        prop_assert_eq!(eval2(fades_rtl::RtlBuilder::xor, x, y), (x ^ y) as u64);
     }
 
     #[test]

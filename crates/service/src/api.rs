@@ -66,7 +66,7 @@ fn campaign_route(service: &Service, req: &HttpRequest, rest: &str) -> HttpRespo
     match (req.method.as_str(), action) {
         ("GET", None) => job_detail(service, &job),
         ("POST", Some("cancel")) => match service.cancel(id) {
-            Ok(_) => HttpResponse::json(format!("{}\n", job_json(&service.job(id).unwrap()))),
+            Ok(_) => HttpResponse::json(format!("{}\n", job_json(&service.job(id).unwrap_or(job)))),
             Err(msg) => HttpResponse::error(409, &msg),
         },
         ("GET", Some("results")) => results(service, &job),
@@ -82,11 +82,17 @@ fn submit(service: &Service, body: &str) -> HttpResponse {
     let Some(load) = v.get("load").and_then(|x| x.as_str()) else {
         return HttpResponse::error(400, "missing required field `load`");
     };
-    let faults = v.get("faults").and_then(|x| x.as_u64()).unwrap_or(100);
-    let seed = v.get("seed").and_then(|x| x.as_u64()).unwrap_or(1);
+    let faults = v
+        .get("faults")
+        .and_then(fades_telemetry::json::JsonValue::as_u64)
+        .unwrap_or(100);
+    let seed = v
+        .get("seed")
+        .and_then(fades_telemetry::json::JsonValue::as_u64)
+        .unwrap_or(1);
     let shards = v
         .get("shards")
-        .and_then(|x| x.as_u64())
+        .and_then(fades_telemetry::json::JsonValue::as_u64)
         .unwrap_or(1)
         .clamp(1, 4096) as u32;
     let label = v.get("label").and_then(|x| x.as_str());
@@ -95,8 +101,7 @@ fn submit(service: &Service, body: &str) -> HttpResponse {
             "{}\n",
             service
                 .job(&spec.id)
-                .map(|j| job_json(&j))
-                .unwrap_or_else(|| spec.to_json())
+                .map_or_else(|| spec.to_json(), |j| job_json(&j))
         )),
         Err(SubmitError::NotAccepting) => HttpResponse::error(503, "service is shutting down"),
         Err(SubmitError::Invalid(msg)) => HttpResponse::error(400, &msg),

@@ -263,7 +263,11 @@ impl Service {
         seed: u64,
         shards: u32,
     ) -> Result<JobSpec, SubmitError> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !st.accepting {
             return Err(SubmitError::NotAccepting);
         }
@@ -311,13 +315,21 @@ impl Service {
 
     /// Every known job, in submission order.
     pub fn list(&self) -> Vec<JobView> {
-        let st = self.inner.state.lock().unwrap();
+        let st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         st.jobs.values().map(view).collect()
     }
 
     /// One job by id.
     pub fn job(&self, id: &str) -> Option<JobView> {
-        let st = self.inner.state.lock().unwrap();
+        let st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         st.jobs.values().find(|e| e.spec.id == id).map(view)
     }
 
@@ -330,14 +342,21 @@ impl Service {
     /// `None`-like message for unknown ids; a message for jobs already
     /// terminal.
     pub fn cancel(&self, id: &str) -> Result<JobState, String> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let seq = st
             .jobs
             .iter()
             .find(|(_, e)| e.spec.id == id)
             .map(|(seq, _)| *seq)
             .ok_or_else(|| format!("no such job `{id}`"))?;
-        let entry = st.jobs.get_mut(&seq).unwrap();
+        let entry = st
+            .jobs
+            .get_mut(&seq)
+            .unwrap_or_else(|| unreachable!("job entry exists"));
         match entry.state {
             JobState::Queued => {
                 entry.state = JobState::Cancelled;
@@ -366,7 +385,10 @@ impl Service {
                     st.tasks.retain(|(s, _)| *s != seq);
                     (before - st.tasks.len()) as u32
                 };
-                let entry = st.jobs.get_mut(&seq).unwrap();
+                let entry = st
+                    .jobs
+                    .get_mut(&seq)
+                    .unwrap_or_else(|| unreachable!("job entry exists"));
                 entry.shards_left -= dropped;
                 entry.interrupted |= dropped > 0;
                 if entry.shards_left == 0 {
@@ -392,7 +414,11 @@ impl Service {
     ///
     /// [`wait_for_shutdown`]: Service::wait_for_shutdown
     pub fn request_shutdown(&self) {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         st.accepting = false;
         st.stopping = true;
         st.shutdown_requested = true;
@@ -408,9 +434,17 @@ impl Service {
     /// Blocks until [`request_shutdown`](Service::request_shutdown) is
     /// called (typically via `POST /shutdown`).
     pub fn wait_for_shutdown(&self) {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while !st.shutdown_requested {
-            st = self.inner.signal.wait(st).unwrap();
+            st = self
+                .inner
+                .signal
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -419,7 +453,11 @@ impl Service {
     /// only once all journals are quiescent.
     pub fn join(&self) {
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = self
+                .inner
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             st.accepting = false;
             st.stopping = true;
             for entry in st.jobs.values_mut() {
@@ -429,7 +467,12 @@ impl Service {
             }
             self.inner.signal.notify_all();
         }
-        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        let workers = std::mem::take(
+            &mut *self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for w in workers {
             let _ = w.join();
         }
@@ -457,7 +500,10 @@ fn admit(st: &mut State, max_jobs: usize) {
         let Some(seq) = st.queue.pop_front() else {
             break;
         };
-        let entry = st.jobs.get_mut(&seq).expect("queued job exists");
+        let entry = st
+            .jobs
+            .get_mut(&seq)
+            .unwrap_or_else(|| unreachable!("queued job exists"));
         entry.state = JobState::Running;
         entry.shards_left = entry.spec.shards;
         entry.interrupted = false;
@@ -472,7 +518,10 @@ fn admit(st: &mut State, max_jobs: usize) {
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let (seq, shard, spec, cancel) = {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = inner
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 admit(&mut st, inner.max_jobs);
                 if let Some((seq, shard)) = st.tasks.pop_front() {
@@ -482,15 +531,24 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if st.stopping {
                     return;
                 }
-                st = inner.signal.wait(st).unwrap();
+                st = inner
+                    .signal
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
 
         let journal = inner.store.journal_path(&spec.id, shard);
         let result = inner.backend.run_shard(&spec, shard, &journal, &cancel);
 
-        let mut st = inner.state.lock().unwrap();
-        let entry = st.jobs.get_mut(&seq).expect("running job exists");
+        let mut st = inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = st
+            .jobs
+            .get_mut(&seq)
+            .unwrap_or_else(|| unreachable!("running job exists"));
         entry.shards_left -= 1;
         match result {
             Ok(run) => entry.interrupted |= run.cancelled,
@@ -510,7 +568,10 @@ fn worker_loop(inner: &Arc<Inner>) {
 /// Settles a job whose last shard task finished (or was dropped).
 /// Caller holds the state lock.
 fn finalize_job(inner: &Inner, st: &mut State, seq: u64) {
-    let entry = st.jobs.get_mut(&seq).expect("job exists");
+    let entry = st
+        .jobs
+        .get_mut(&seq)
+        .unwrap_or_else(|| unreachable!("job exists"));
     let id = entry.spec.id.clone();
     if let Some(msg) = entry.error.clone() {
         entry.state = JobState::Failed;

@@ -69,7 +69,7 @@ impl JobSpec {
         };
         let u64_field = |key: &str| -> Result<u64, String> {
             v.get(key)
-                .and_then(|x| x.as_u64())
+                .and_then(fades_telemetry::json::JsonValue::as_u64)
                 .ok_or_else(|| format!("spec missing numeric field `{key}`"))
         };
         let shards = u64_field("shards")?;

@@ -139,10 +139,7 @@ impl JobStore {
         }
         let all_complete = (0..spec.shards).all(|s| {
             let path = self.journal_path(&spec.id, s);
-            path.exists()
-                && Journal::load(&path)
-                    .map(|replay| replay.shard_complete)
-                    .unwrap_or(false)
+            path.exists() && Journal::load(&path).is_ok_and(|replay| replay.shard_complete)
         });
         if all_complete {
             (JobState::Completed, None)
@@ -208,8 +205,7 @@ impl JobStore {
 pub fn now_ms() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+        .map_or(0, |d| d.as_millis() as u64)
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! The HTTP/JSON API end to end against a mock backend: submit over
 //! POST, observe status, fetch merged results, cancel, shut down.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -122,7 +124,9 @@ fn http_submit_status_results_cancel_shutdown() {
     let detail = parse(body.trim()).unwrap();
     let progress = detail.get("progress").expect("progress embedded");
     assert_eq!(
-        progress.get("expected").and_then(|v| v.as_u64()),
+        progress
+            .get("expected")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
         Some(12),
         "{body}"
     );
@@ -132,9 +136,19 @@ fn http_submit_status_results_cancel_shutdown() {
     assert_eq!(code, 200, "{body}");
     let results = parse(body.trim()).unwrap();
     assert_eq!(results.get("complete").and_then(|v| v.as_str()), None); // bool, not str
-    assert_eq!(results.get("completed").and_then(|v| v.as_u64()), Some(12));
+    assert_eq!(
+        results
+            .get("completed")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
+        Some(12)
+    );
     let stats = results.get("stats").unwrap();
-    assert_eq!(stats.get("latents").and_then(|v| v.as_u64()), Some(12));
+    assert_eq!(
+        stats
+            .get("latents")
+            .and_then(fades_telemetry::json::JsonValue::as_u64),
+        Some(12)
+    );
     let expected: f64 = (0..12u64).map(|i| i as f64 * 0.25).sum();
     assert_eq!(
         stats.get("emulation_seconds_bits").and_then(|v| v.as_str()),

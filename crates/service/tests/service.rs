@@ -2,6 +2,8 @@
 //! exercised through a mock backend that writes *real* dispatch
 //! journals (so restart recovery sees exactly what production sees).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};

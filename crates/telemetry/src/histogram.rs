@@ -32,7 +32,6 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub const fn new() -> Self {
-        #[allow(clippy::declare_interior_mutable_const)]
         const ZERO: AtomicU64 = AtomicU64::new(0);
         Histogram {
             buckets: [ZERO; BUCKETS],

@@ -315,7 +315,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().expect("non-empty");
+                    let Some(c) = s.chars().next() else {
+                        return Err("unterminated string".to_string());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -37,8 +37,10 @@
 //!
 //! [`Instant`]: std::time::Instant
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)
+)]
 
 mod counter;
 mod histogram;
@@ -63,7 +65,7 @@ pub use record::{CampaignAggregate, ExperimentRecord, OutcomeCounts, Recorder, R
 pub use registry::{
     atomic_write, drain_aggregates, peek_aggregates, push_aggregate, write_bench_json,
 };
-pub use runlog::run_log_path;
+pub use runlog::{log_raw_line, run_log_path};
 pub use serve::{
     http_get, http_post, metrics_router, HttpHandler, HttpRequest, HttpResponse, HttpServer,
     MetricsServer,
@@ -253,6 +255,34 @@ pub mod dispatch {
         RETRIES.reset();
         QUARANTINES.reset();
         RESUME_SKIPPED.reset();
+    }
+}
+
+/// Process-wide counters for the pre-execution static analysis layer
+/// (`fades-analysis`): how many planned experiments the cone-of-influence
+/// pre-classifier proved Silent without running them, how many findings
+/// the structural linter reported, and how often the lane engine refused
+/// a design and fell back to scalar execution.
+///
+/// Always live — one atomic add per experiment/diagnostic/campaign, never
+/// per cycle.
+pub mod analysis {
+    use super::Counter;
+
+    /// Experiments classified Silent at plan time and skipped at
+    /// execution (their modelled cost is still charged).
+    pub static STATIC_SILENT: Counter = Counter::new();
+    /// Diagnostics emitted by reporting lint passes.
+    pub static LINT_DIAGNOSTICS: Counter = Counter::new();
+    /// Campaigns that fell back to the scalar engine because the design
+    /// cannot be lane-encoded (see the `lane-obstacle` lint rule).
+    pub static LANE_FALLBACKS: Counter = Counter::new();
+
+    /// Resets all three counters (between runs or tests).
+    pub fn reset() {
+        STATIC_SILENT.reset();
+        LINT_DIAGNOSTICS.reset();
+        LANE_FALLBACKS.reset();
     }
 }
 

@@ -117,6 +117,10 @@ pub struct StatusSnapshot {
     /// `skipped / (skipped + executed)`, best-effort (executed cycles
     /// only count while hot-path telemetry is enabled).
     pub fastpath_skip_ratio: f64,
+    /// Experiments the static pre-classifier settled without simulation.
+    pub static_silent: u64,
+    /// Structural lint diagnostics emitted by reporting lint passes.
+    pub lint_diagnostics: u64,
     /// Experiments quarantined.
     pub quarantined: u64,
     /// Anomalies flagged.
@@ -169,6 +173,8 @@ pub fn status_snapshot() -> StatusSnapshot {
         eta_s,
         lane_occupancy,
         fastpath_skip_ratio,
+        static_silent: crate::analysis::STATIC_SILENT.get(),
+        lint_diagnostics: crate::analysis::LINT_DIAGNOSTICS.get(),
         quarantined: crate::dispatch::QUARANTINES.get(),
         anomalies: ANOMALIES.get(),
         uptime_s: elapsed_s,
@@ -191,6 +197,8 @@ impl StatusSnapshot {
         };
         obj.f64("lane_occupancy", self.lane_occupancy)
             .f64("fastpath_skip_ratio", self.fastpath_skip_ratio)
+            .u64("static_silent", self.static_silent)
+            .u64("lint_diagnostics", self.lint_diagnostics)
             .u64("quarantined", self.quarantined)
             .u64("anomalies", self.anomalies)
             .f64("uptime_s", self.uptime_s)
@@ -212,8 +220,7 @@ pub fn report_anomaly(kind: &str, detail: &str) {
     if let Some(path) = crate::runlog::run_log_path() {
         let at_ms = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
+            .map_or(0, |d| d.as_millis() as u64);
         let line = JsonObject::new()
             .str("type", "anomaly")
             .str("kind", kind)
@@ -310,18 +317,17 @@ impl Drop for WatchdogHandle {
     }
 }
 
-/// Starts the watchdog thread with `cfg`.
+/// Starts the watchdog thread with `cfg`. The watchdog is best-effort
+/// observability: if the OS refuses the thread, the returned handle is
+/// inert rather than the campaign failing.
 pub fn start_watchdog(cfg: WatchdogConfig) -> WatchdogHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
         .name("fades-watchdog".into())
         .spawn(move || watchdog_loop(cfg, &stop_flag))
-        .expect("spawn watchdog thread");
-    WatchdogHandle {
-        stop,
-        thread: Some(thread),
-    }
+        .ok();
+    WatchdogHandle { stop, thread }
 }
 
 /// [`start_watchdog`] from [`WatchdogConfig::from_env`]; `None` when the
@@ -436,7 +442,8 @@ mod tests {
         assert!(after.campaigns > before.campaigns);
         let v = crate::json::parse(&after.to_json()).expect("status JSON parses");
         assert_eq!(
-            v.get("experiments_done").and_then(|x| x.as_u64()),
+            v.get("experiments_done")
+                .and_then(super::super::json::JsonValue::as_u64),
             Some(after.done)
         );
         assert_eq!(v.get("type").and_then(|x| x.as_str()), Some("status"));

@@ -506,8 +506,15 @@ mod tests {
         let line = agg.to_json();
         assert!(line.starts_with("{\"type\":\"aggregate\",\"campaign\":\"json-test\""));
         let v = crate::json::parse(&line).expect("parses");
-        assert_eq!(v.get("n").and_then(|x| x.as_u64()), Some(1));
-        assert_eq!(v.get("failures").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(
+            v.get("n").and_then(super::super::json::JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("failures")
+                .and_then(super::super::json::JsonValue::as_u64),
+            Some(1)
+        );
         let _ = crate::registry::drain_aggregates();
     }
 }

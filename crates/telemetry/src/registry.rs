@@ -20,7 +20,7 @@ static AGGREGATES: Mutex<Vec<CampaignAggregate>> = Mutex::new(Vec::new());
 pub fn push_aggregate(agg: CampaignAggregate) {
     AGGREGATES
         .lock()
-        .expect("telemetry registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .push(agg);
 }
 
@@ -28,13 +28,17 @@ pub fn push_aggregate(agg: CampaignAggregate) {
 pub fn peek_aggregates() -> Vec<CampaignAggregate> {
     AGGREGATES
         .lock()
-        .expect("telemetry registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clone()
 }
 
 /// Takes all registered aggregates, leaving the registry empty.
 pub fn drain_aggregates() -> Vec<CampaignAggregate> {
-    std::mem::take(&mut *AGGREGATES.lock().expect("telemetry registry poisoned"))
+    std::mem::take(
+        &mut *AGGREGATES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
 }
 
 /// Writes `contents` to `path` atomically: the bytes land in a
@@ -151,7 +155,7 @@ mod tests {
         // No stray temp files left behind — here or in the cwd.
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
             .collect();
         assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");

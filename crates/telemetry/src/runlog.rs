@@ -24,6 +24,16 @@ pub fn run_log_path() -> Option<PathBuf> {
 
 static WARNED_UNWRITABLE: AtomicBool = AtomicBool::new(false);
 
+/// Appends one pre-serialized structured JSONL line (no trailing
+/// newline) to the configured run log, best-effort: when `FADES_RUN_LOG`
+/// is unset or the file cannot be written this is a no-op. Used for
+/// out-of-band records such as lint diagnostics.
+pub fn log_raw_line(line: &str) {
+    if let Some(path) = run_log_path() {
+        let _ = append_raw_line(&path, line);
+    }
+}
+
 /// Verifies that `path` can actually be opened for appending. On failure
 /// the run log degrades to disabled with a one-line stderr warning (once
 /// per process) — an unwritable `FADES_RUN_LOG` must never panic a

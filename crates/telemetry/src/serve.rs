@@ -503,7 +503,10 @@ mod tests {
         assert_eq!(code, 200);
         let v = crate::json::parse(body.trim()).expect("status is JSON");
         assert_eq!(v.get("type").and_then(|x| x.as_str()), Some("status"));
-        assert!(v.get("experiments_done").and_then(|x| x.as_u64()).is_some());
+        assert!(v
+            .get("experiments_done")
+            .and_then(super::super::json::JsonValue::as_u64)
+            .is_some());
 
         let (code, _) = http_get(&addr, "/").expect("GET /");
         assert_eq!(code, 200);

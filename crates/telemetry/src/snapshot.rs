@@ -2,8 +2,9 @@
 //! text and JSON renderings.
 //!
 //! [`snapshot`] gathers the built-in counter families ([`sim`](crate::sim),
-//! [`fastpath`](crate::fastpath), [`dispatch`](crate::dispatch), the
-//! monitor's anomaly counter), the progress gauges, every phase
+//! [`fastpath`](crate::fastpath), [`dispatch`](crate::dispatch),
+//! [`analysis`](crate::analysis), the monitor's anomaly counter), the
+//! progress gauges, every phase
 //! histogram, and anything applications registered through
 //! [`register_counter`]/[`register_gauge`] — into one stable, serializable
 //! [`MetricsSnapshot`]. The capture itself is just relaxed loads: safe to
@@ -32,7 +33,9 @@ static EXTRA: Mutex<Extra> = Mutex::new(Extra {
 /// metric name, e.g. `myapp_retries_total`). Re-registering the same
 /// name replaces the previous entry.
 pub fn register_counter(name: &'static str, counter: &'static Counter) {
-    let mut extra = EXTRA.lock().expect("metric registry poisoned");
+    let mut extra = EXTRA
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     extra.counters.retain(|(n, _)| *n != name);
     extra.counters.push((name, counter));
 }
@@ -40,7 +43,9 @@ pub fn register_counter(name: &'static str, counter: &'static Counter) {
 /// Registers an application gauge under `name`. Re-registering the same
 /// name replaces the previous entry.
 pub fn register_gauge(name: &'static str, gauge: &'static Gauge) {
-    let mut extra = EXTRA.lock().expect("metric registry poisoned");
+    let mut extra = EXTRA
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     extra.gauges.retain(|(n, _)| *n != name);
     extra.gauges.push((name, gauge));
 }
@@ -112,6 +117,18 @@ pub fn snapshot() -> MetricsSnapshot {
             "fades_dispatch_resume_skipped_total",
             crate::dispatch::RESUME_SKIPPED.get(),
         ),
+        (
+            "fades_analysis_static_silent_total",
+            crate::analysis::STATIC_SILENT.get(),
+        ),
+        (
+            "fades_analysis_lint_diagnostics_total",
+            crate::analysis::LINT_DIAGNOSTICS.get(),
+        ),
+        (
+            "fades_analysis_lane_fallbacks_total",
+            crate::analysis::LANE_FALLBACKS.get(),
+        ),
         ("fades_anomalies_total", crate::monitor::ANOMALIES.get()),
         (
             "fades_trace_events_recorded_total",
@@ -133,7 +150,9 @@ pub fn snapshot() -> MetricsSnapshot {
     .collect();
 
     {
-        let extra = EXTRA.lock().expect("metric registry poisoned");
+        let extra = EXTRA
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         counters.extend(extra.counters.iter().map(|(n, c)| (n.to_string(), c.get())));
         gauges.extend(extra.gauges.iter().map(|(n, g)| (n.to_string(), g.get())));
     }

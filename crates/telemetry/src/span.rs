@@ -26,7 +26,9 @@ static PHASES: Mutex<Vec<(&'static str, Arc<Histogram>)>> = Mutex::new(Vec::new(
 /// The histogram for a named phase, registering it on first use. Phase
 /// names must be `'static` (string literals at `span!` call sites).
 pub fn phase(name: &'static str) -> Arc<Histogram> {
-    let mut phases = PHASES.lock().expect("telemetry phases poisoned");
+    let mut phases = PHASES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some((_, h)) = phases.iter().find(|(n, _)| *n == name) {
         return Arc::clone(h);
     }
@@ -39,7 +41,7 @@ pub fn phase(name: &'static str) -> Arc<Histogram> {
 pub fn phase_snapshots() -> Vec<(&'static str, HistogramSnapshot)> {
     PHASES
         .lock()
-        .expect("telemetry phases poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(n, h)| (*n, h.snapshot()))
         .collect()
@@ -47,7 +49,11 @@ pub fn phase_snapshots() -> Vec<(&'static str, HistogramSnapshot)> {
 
 /// Resets all phase histograms (the phases stay registered).
 pub fn reset_phases() {
-    for (_, h) in PHASES.lock().expect("telemetry phases poisoned").iter() {
+    for (_, h) in PHASES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+    {
         h.reset();
     }
 }

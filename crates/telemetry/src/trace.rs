@@ -127,15 +127,13 @@ pub fn init_from_env() -> bool {
 
 /// Ring capacity in events (0 before the ring is allocated).
 pub fn capacity() -> usize {
-    RING.get().map(|r| r.slots.len()).unwrap_or(0)
+    RING.get().map_or(0, |r| r.slots.len())
 }
 
 /// Events recorded since enabling — may exceed [`capacity`], in which
 /// case the ring wrapped and only the newest `capacity()` survive.
 pub fn events_recorded() -> u64 {
-    RING.get()
-        .map(|r| r.head.load(Ordering::Relaxed))
-        .unwrap_or(0)
+    RING.get().map_or(0, |r| r.head.load(Ordering::Relaxed))
 }
 
 /// Tags the calling worker thread with the experiment index it is about
@@ -165,7 +163,9 @@ fn thread_tid() -> u64 {
 }
 
 fn name_id(name: &'static str) -> u64 {
-    let mut names = NAMES.lock().expect("trace names poisoned");
+    let mut names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(i) = names.iter().position(|n| *n == name) {
         return i as u64;
     }
@@ -217,7 +217,10 @@ pub fn snapshot_events() -> Vec<TraceEvent> {
     let Some(ring) = RING.get() else {
         return Vec::new();
     };
-    let names = NAMES.lock().expect("trace names poisoned").clone();
+    let names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
     let mut events = Vec::new();
     for slot in &ring.slots {
         let seq = slot.seq.load(Ordering::Acquire);

@@ -61,7 +61,10 @@ impl<'n> VfitCampaign<'n> {
         observed_ports: &[&str],
         workload_cycles: u64,
     ) -> Result<Self, CoreError> {
-        let ports: Vec<String> = observed_ports.iter().map(|s| s.to_string()).collect();
+        let ports: Vec<String> = observed_ports
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let run_cycles = workload_cycles + 64;
         let mut sim = Simulator::new(netlist)?;
         let mut trace = OutputTrace::new(ports.clone());
@@ -188,11 +191,11 @@ impl<'n> VfitCampaign<'n> {
                 }));
             }
             for h in handles {
-                h.join().expect("vfit worker panicked")?;
+                h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))?;
             }
             Ok(())
         })
-        .expect("vfit scope panicked")?;
+        .unwrap_or_else(|p| std::panic::resume_unwind(p))?;
         recorder.finish();
 
         let mut stats = VfitStats {
@@ -227,14 +230,14 @@ impl<'n> VfitCampaign<'n> {
                 oscillating: true,
             } = fault
             {
-                if cycle > inject_at && expiry.map(|e| cycle < e).unwrap_or(true) {
+                if cycle > inject_at && expiry.is_none_or(|e| cycle < e) {
                     sim.release(*net);
                     sim.force(Force::stuck(*net, rng.gen()));
                 }
             } else if let VfitFault::FfIndet { cell, oscillating } = fault {
                 // A VHDL `force` holds the register for the whole window;
                 // the oscillating variant re-randomises each cycle.
-                if cycle > inject_at && expiry.map(|e| cycle < e).unwrap_or(true) {
+                if cycle > inject_at && expiry.is_none_or(|e| cycle < e) {
                     let value = if *oscillating {
                         rng.gen()
                     } else {

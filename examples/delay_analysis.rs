@@ -9,6 +9,8 @@
 //! cargo run --release --example delay_analysis
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{Campaign, DurationRange, FaultLoad, TargetClass};
 use fades_fpga::{ArchParams, Device, Mutation};
 use fades_pnr::implement;

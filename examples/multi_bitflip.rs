@@ -8,6 +8,8 @@
 //! cargo run --release --example multi_bitflip
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_repro::experiments::{table4, ExperimentContext};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

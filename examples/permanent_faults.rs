@@ -6,6 +6,8 @@
 //! cargo run --release --example permanent_faults
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{Campaign, FaultLoad, PermanentFault, TargetClass};
 use fades_fpga::ArchParams;
 use fades_pnr::implement;

@@ -8,6 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_core::{Campaign, DurationRange, FaultLoad, TargetClass};
 use fades_fpga::ArchParams;
 use fades_pnr::implement;

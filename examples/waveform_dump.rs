@@ -9,6 +9,8 @@
 //! gtkwave golden.vcd   # if you have a viewer installed
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_repro::mcu8051::{build_soc, workloads};
 use fades_repro::netlist::{Force, Simulator, VcdRecorder};
 

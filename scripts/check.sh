@@ -174,4 +174,28 @@ if batched < scalar * 4:
     raise SystemExit("FAIL: batched campaign is not >= 4x faster than scalar")
 EOF
 
+# Static-analysis gate. Three promises: the 8051 design lints clean
+# enough to campaign (no error-severity diagnostics, any load), the
+# statically-Silent soundness/bit-identity suite holds under release
+# optimisation, and the pre-classifier actually finds the dead logic in
+# the demo-dead fixture — a zero count there would mean the cone
+# analysis went blind while the skip machinery still trusts it.
+echo "== static analysis gate (release)"
+run_exp analyze all
+cargo test -q --release --offline -p fades-core --test static_analysis
+run_exp analyze all --design demo-dead --json >/tmp/fades-analyze-dead.json
+python3 - <<'EOF'
+import json
+
+with open("/tmp/fades-analyze-dead.json") as f:
+    report = json.load(f)
+silent = sum(load.get("static_silent", 0) for load in report["loads"])
+per_load = {load["load"]: load.get("static_silent") for load in report["loads"]}
+print(f"demo-dead statically-Silent counts: {per_load} (total {silent})")
+if report["worst"] == "error":
+    raise SystemExit("FAIL: the demo-dead fixture has error-severity lint diagnostics")
+if silent == 0:
+    raise SystemExit("FAIL: static pre-classifier found no dead faults on the demo-dead fixture")
+EOF
+
 echo "All checks passed."

@@ -5,8 +5,12 @@
 //! single dependency. Library users should depend on the individual crates
 //! (`fades-core`, `fades-fpga`, ...) directly.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)
+)]
 
+pub use fades_analysis as analysis;
 pub use fades_core as core;
 pub use fades_ctr as ctr;
 pub use fades_experiments as experiments;

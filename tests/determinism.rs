@@ -1,6 +1,8 @@
 //! Determinism across configurations: a campaign's results depend only on
 //! its seed, not on the worker-thread count or repeated execution.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_repro::core::{Campaign, CampaignConfig, DurationRange, FaultLoad, TargetClass};
 use fades_repro::fpga::ArchParams;
 use fades_repro::mcu8051::{build_soc, workloads, OBSERVED_PORTS};

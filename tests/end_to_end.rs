@@ -2,6 +2,8 @@
 //! device must agree, and campaigns over the implemented design must
 //! behave sanely, for every workload.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_repro::core::{Campaign, DurationRange, FaultLoad, TargetClass};
 use fades_repro::fpga::{ArchParams, Device};
 use fades_repro::mcu8051::{build_soc, workloads, Iss, OBSERVED_PORTS};

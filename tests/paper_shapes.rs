@@ -5,6 +5,8 @@
 //! with margins wide enough to be seed-robust while still failing if a
 //! mechanism regresses (e.g. delays suddenly outranking bit-flips).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::missing_panics_doc)]
+
 use fades_repro::core::{DurationRange, FaultLoad, TargetClass};
 use fades_repro::experiments::ExperimentContext;
 use fades_repro::netlist::UnitTag;
